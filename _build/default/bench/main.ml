@@ -1,0 +1,619 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (§4).  Each section prints the same rows/series the
+   paper reports, computed from the activity counters of the simulated
+   machine.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe fig8 table2  # selected sections
+
+   Absolute energy is in model units; every figure reports values relative
+   to BASELINE exactly as the paper does.  EXPERIMENTS.md records the
+   paper-vs-measured comparison per section. *)
+
+open Bitspec
+open Bs_workloads
+open Bs_interp
+open Bs_energy
+
+let benches = Registry.all
+
+(* ---------------------------------------------------------------------- *)
+(* Cached experiment runs                                                  *)
+(* ---------------------------------------------------------------------- *)
+
+let cache : (string, Experiment.metrics) Hashtbl.t = Hashtbl.create 64
+
+let cfg_tag (c : Driver.config) =
+  Printf.sprintf "%s-%s-%b-%b-%b-%b-u%d"
+    (match c.arch with
+    | Driver.Baseline -> "base"
+    | Driver.Bitspec_arch -> "spec"
+    | Driver.Thumb -> "thumb")
+    (Profile.heuristic_name c.heuristic)
+    c.speculate c.compare_elim c.bitmask_elide c.orig_first
+    c.expander.Expander.unroll_factor
+
+let run_cached ?profile_input ?tag config (w : Workload.t) =
+  let key =
+    cfg_tag config ^ "/" ^ w.name
+    ^ match tag with Some t -> "#" ^ t | None -> ""
+  in
+  match Hashtbl.find_opt cache key with
+  | Some m -> m
+  | None ->
+      let m = Experiment.run ?profile_input config w in
+      Hashtbl.replace cache key m;
+      m
+
+let baseline w = run_cached Driver.baseline_config w
+let bitspec w = run_cached Driver.bitspec_config w
+
+let rel a b = if b = 0.0 then 1.0 else a /. b
+let reli a b = rel (float_of_int a) (float_of_int b)
+
+let header title = Printf.printf "\n=== %s ===\n%!" title
+
+let row_header cols =
+  Printf.printf "%-18s" "benchmark";
+  List.iter (fun c -> Printf.printf " %12s" c) cols;
+  print_newline ()
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 1: bitwidth selection techniques                                  *)
+(* ---------------------------------------------------------------------- *)
+
+let profile_for_fig1 (w : Workload.t) =
+  (* IR-level study: profile the expanded module on the test input *)
+  let m = Bs_frontend.Lower.compile w.source in
+  ignore (Expander.run m Expander.default);
+  let profile = Profile.create () in
+  let opts = { Interp.default_opts with profile = Some profile } in
+  ignore
+    (Interp.run_fresh ~opts ~setup:(w.test.Workload.setup m) m ~entry:w.entry
+       ~args:w.test.Workload.args);
+  (m, profile)
+
+let print_dist name (d : float array) =
+  if Array.length d = 4 then
+    Printf.printf "%-20s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n%!" name
+      (100. *. d.(0)) (100. *. d.(1)) (100. *. d.(2)) (100. *. d.(3))
+
+let fig1 () =
+  header "Figure 1: dynamic IR integer instructions by bitwidth selection";
+  List.iter
+    (fun (w : Workload.t) ->
+      let m, profile = profile_for_fig1 w in
+      Printf.printf "-- %s (columns: 8 / 16 / 32 / 64 bits)\n" w.name;
+      print_dist "  (a) required" (Profile.required_distribution profile);
+      print_dist "  (b) programmer" (Profile.programmer_distribution profile);
+      let db = Bs_analysis.Demanded_bits.module_selection m in
+      print_dist "  (c) demanded-bits"
+        (Profile.selection_distribution profile ~select:db);
+      let bc = Bs_analysis.Block_coerce.selection m profile in
+      print_dist "  (d) block-coerced"
+        (Profile.selection_distribution profile ~select:bc))
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 3: loop unrolling IR vs assembly instructions                     *)
+(* ---------------------------------------------------------------------- *)
+
+let fig3 () =
+  header "Figure 3: unrolling factor vs dynamic IR and assembly instructions";
+  let src =
+    (* eight live accumulators with cross-dependencies: unrolled copies
+       multiply the simultaneously-live temporaries, pressuring the
+       register file exactly as §2.5 describes *)
+    "u32 acc[64];\n\
+     u32 f(u32 n) {\n\
+     u32 s0 = 0; u32 s1 = 1; u32 s2 = 2; u32 s3 = 3;\n\
+     u32 s4 = 4; u32 s5 = 5; u32 s6 = 6; u32 s7 = 7;\n\
+     u32 s8 = 8; u32 s9 = 9; u32 sa = 10; u32 sb = 11;\n\
+     for (u32 i = 0; i < n; i += 1) {\n\
+     u32 t = acc[i & 63];\n\
+     s0 = (s0 + t) & 0xFFFF; s1 = (s1 ^ s0) + i; s2 = (s2 + s1) & 0xFFFF;\n\
+     s3 = s3 ^ (s2 >> 1); s4 = (s4 + s3) & 0xFFFF; s5 = s5 ^ (s4 + t);\n\
+     s6 = (s6 + s5) & 0xFFFF; s7 = s7 ^ (s6 + i); s8 = (s8 + s7) & 0xFFFF;\n\
+     s9 = s9 ^ (s8 + t); sa = (sa + s9) & 0xFFFF; sb = sb ^ (sa >> 2);\n\
+     acc[i & 63] = sb;\n\
+     }\n\
+     return s0 ^ s1 ^ s2 ^ s3 ^ s4 ^ s5 ^ s6 ^ s7 ^ s8 ^ s9 ^ sa ^ sb; }"
+  in
+  Printf.printf "%-8s %14s %14s\n" "factor" "IR instrs" "asm instrs";
+  List.iter
+    (fun factor ->
+      let expander =
+        { Expander.unroll_factor = factor; max_fn_size = 2000;
+          max_loop_size = 3000 }
+      in
+      let m = Bs_frontend.Lower.compile src in
+      ignore (Expander.run m expander);
+      let r, _ = Interp.run_fresh m ~entry:"f" ~args:[ 3000L ] in
+      let cfg = { Driver.baseline_config with expander } in
+      let c =
+        Driver.compile ~config:cfg ~source:src ~train:[ ("f", [ 100L ]) ] ()
+      in
+      let mr = Driver.run_machine c ~entry:"f" ~args:[ 3000L ] in
+      Printf.printf "%-8d %14d %14d\n%!" factor r.Interp.steps
+        mr.Bs_sim.Machine.ctr.Bs_sim.Counters.instrs)
+    [ 1; 2; 4; 8; 16 ]
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 5: profiler classification under T = MAX / AVG / MIN              *)
+(* ---------------------------------------------------------------------- *)
+
+let fig5 () =
+  header "Figure 5: profiler bitwidth classes under each heuristic";
+  List.iter
+    (fun (w : Workload.t) ->
+      let _, profile = profile_for_fig1 w in
+      Printf.printf "-- %s (columns: 8 / 16 / 32 / 64 bits)\n" w.name;
+      List.iter
+        (fun h ->
+          print_dist
+            ("  T=" ^ Profile.heuristic_name h)
+            (Profile.heuristic_distribution profile h))
+        [ Profile.Hmax; Profile.Havg; Profile.Hmin ])
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 8: energy, dynamic instructions, EPI                              *)
+(* ---------------------------------------------------------------------- *)
+
+let fig8 () =
+  header "Figure 8: BITSPEC relative to BASELINE";
+  row_header [ "energy"; "dyn instrs"; "EPI" ];
+  let gm_e = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = baseline w and s = bitspec w in
+      let e = rel s.Experiment.total_energy b.Experiment.total_energy in
+      gm_e := !gm_e +. log e;
+      incr n;
+      Printf.printf "%-18s %12.3f %12.3f %12.3f\n%!" w.name e
+        (reli s.Experiment.instrs b.Experiment.instrs)
+        (rel s.Experiment.epi b.Experiment.epi))
+    benches;
+  Printf.printf "%-18s %12.3f   (geometric mean; paper reports 0.901)\n"
+    "MEAN energy"
+    (exp (!gm_e /. float_of_int !n))
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 9: per-component energy                                           *)
+(* ---------------------------------------------------------------------- *)
+
+let fig9 () =
+  header "Figure 9: per-component energy relative to the BASELINE component";
+  row_header [ "ALU"; "regfile"; "D$"; "I$"; "pipeline" ];
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = (baseline w).Experiment.energy
+      and s = (bitspec w).Experiment.energy in
+      Printf.printf "%-18s %12.3f %12.3f %12.3f %12.3f %12.3f\n%!" w.name
+        (rel s.Energy.alu b.Energy.alu)
+        (rel s.Energy.regfile b.Energy.regfile)
+        (rel s.Energy.dcache b.Energy.dcache)
+        (rel s.Energy.icache b.Energy.icache)
+        (rel s.Energy.pipeline b.Energy.pipeline))
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 10: register-allocator traffic                                    *)
+(* ---------------------------------------------------------------------- *)
+
+let fig10 () =
+  header
+    "Figure 10: spill loads / stores / copies (normalised to their BASELINE \
+     sum)";
+  row_header [ "loads"; "stores"; "copies"; "total" ];
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = baseline w and s = bitspec w in
+      let base_sum =
+        float_of_int
+          (b.Experiment.spill_loads + b.Experiment.spill_stores
+         + b.Experiment.copies)
+      in
+      let base_sum = if base_sum = 0.0 then 1.0 else base_sum in
+      let f x = float_of_int x /. base_sum in
+      Printf.printf "%-18s %12.3f %12.3f %12.3f %12.3f\n%!" w.name
+        (f s.Experiment.spill_loads)
+        (f s.Experiment.spill_stores)
+        (f s.Experiment.copies)
+        (f
+           (s.Experiment.spill_loads + s.Experiment.spill_stores
+          + s.Experiment.copies)))
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 11: dynamic register accesses at 8 and 32 bits                    *)
+(* ---------------------------------------------------------------------- *)
+
+let fig11 () =
+  header "Figure 11: register accesses relative to BASELINE (all 32-bit there)";
+  row_header [ "32-bit"; "8-bit"; "total" ];
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = baseline w and s = bitspec w in
+      let base = float_of_int b.Experiment.reg_accesses_32 in
+      Printf.printf "%-18s %12.3f %12.3f %12.3f\n%!" w.name
+        (float_of_int s.Experiment.reg_accesses_32 /. base)
+        (float_of_int s.Experiment.reg_accesses_8 /. base)
+        (float_of_int
+           (s.Experiment.reg_accesses_32 + s.Experiment.reg_accesses_8)
+        /. base))
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 12 (RQ2): register packing without speculation                    *)
+(* ---------------------------------------------------------------------- *)
+
+let fig12 () =
+  header "Figure 12: energy without speculation vs BITSPEC (both vs BASELINE)";
+  row_header [ "no-spec"; "bitspec" ];
+  let nospec_cfg = { Driver.bitspec_config with speculate = false } in
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = baseline w in
+      let ns = run_cached nospec_cfg w in
+      let s = bitspec w in
+      Printf.printf "%-18s %12.3f %12.3f\n%!" w.name
+        (rel ns.Experiment.total_energy b.Experiment.total_energy)
+        (rel s.Experiment.total_energy b.Experiment.total_energy))
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* RQ3: optimisation ablations                                              *)
+(* ---------------------------------------------------------------------- *)
+
+let rq3 () =
+  header "RQ3: BITSPEC-specific optimisation ablations (energy vs BASELINE)";
+  row_header [ "full"; "-cmp-elim"; "-bitmask" ];
+  let no_ce = { Driver.bitspec_config with compare_elim = false } in
+  let no_bm = { Driver.bitspec_config with bitmask_elide = false } in
+  List.iter
+    (fun name ->
+      let w = Registry.find name in
+      let b = baseline w in
+      let full = bitspec w in
+      let a = run_cached no_ce w and c = run_cached no_bm w in
+      Printf.printf "%-18s %12.3f %12.3f %12.3f\n%!" w.name
+        (rel full.Experiment.total_energy b.Experiment.total_energy)
+        (rel a.Experiment.total_energy b.Experiment.total_energy)
+        (rel c.Experiment.total_energy b.Experiment.total_energy))
+    [ "dijkstra"; "blowfish"; "rijndael"; "CRC32" ]
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 13 (RQ4): expander disabled                                       *)
+(* ---------------------------------------------------------------------- *)
+
+let fig13 () =
+  header "Figure 13: expander disabled (relative to BASELINE with expander)";
+  row_header [ "base-noexp E"; "spec-noexp E"; "spec-noexp EPI" ];
+  let noexp = Expander.disabled in
+  let base_noexp = { Driver.baseline_config with expander = noexp } in
+  let spec_noexp = { Driver.bitspec_config with expander = noexp } in
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = baseline w in
+      let bn = run_cached base_noexp w in
+      let sn = run_cached spec_noexp w in
+      Printf.printf "%-18s %12.3f %12.3f %12.3f\n%!" w.name
+        (rel bn.Experiment.total_energy b.Experiment.total_energy)
+        (rel sn.Experiment.total_energy b.Experiment.total_energy)
+        (rel sn.Experiment.epi b.Experiment.epi))
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 14 + Table 2: heuristic aggressiveness                            *)
+(* ---------------------------------------------------------------------- *)
+
+let heuristic_cfg h = { Driver.bitspec_config with heuristic = h }
+
+let fig14 () =
+  header "Figure 14: energy per selection heuristic (vs BASELINE)";
+  row_header [ "MAX"; "AVG"; "MIN" ];
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = baseline w in
+      let e h =
+        rel
+          (run_cached (heuristic_cfg h) w).Experiment.total_energy
+          b.Experiment.total_energy
+      in
+      Printf.printf "%-18s %12.3f %12.3f %12.3f\n%!" w.name (e Profile.Hmax)
+        (e Profile.Havg) (e Profile.Hmin))
+    benches
+
+let table2 () =
+  header "Table 2: misspeculation counts per heuristic";
+  row_header [ "MAX"; "AVG"; "MIN" ];
+  List.iter
+    (fun (w : Workload.t) ->
+      let mi h = (run_cached (heuristic_cfg h) w).Experiment.misspecs in
+      Printf.printf "%-18s %12d %12d %12d\n%!" w.name (mi Profile.Hmax)
+        (mi Profile.Havg) (mi Profile.Hmin))
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* RQ5 deep dive: CFG_orig code quality under MIN                           *)
+(* ---------------------------------------------------------------------- *)
+
+let rq5 () =
+  header
+    "RQ5: MIN-heuristic dynamic instructions vs BASELINE, with the default \
+     allocator weights (handlers never entered) vs inverted (CFG_orig \
+     first)";
+  row_header [ "MIN default"; "MIN orig-1st"; "misspecs" ];
+  let min_cfg = { Driver.bitspec_config with heuristic = Profile.Hmin } in
+  let min_inv = { min_cfg with orig_first = true } in
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = baseline w in
+      let d = run_cached min_cfg w in
+      let i = run_cached min_inv w in
+      Printf.printf "%-18s %12.3f %12.3f %12d\n%!" w.name
+        (reli d.Experiment.instrs b.Experiment.instrs)
+        (reli i.Experiment.instrs b.Experiment.instrs)
+        d.Experiment.misspecs)
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* Autotuning the expander (§3.2.1's offline search)                        *)
+(* ---------------------------------------------------------------------- *)
+
+let tune () =
+  header
+    "Expander autotuning: grid search minimising BASELINE dynamic IR \
+     instructions (the paper's 10-day OpenTuner run, reduced to a grid)";
+  Printf.printf "%-18s %8s %10s %10s %14s\n" "benchmark" "unroll" "max-fn"
+    "max-loop" "IR instrs";
+  List.iter
+    (fun name ->
+      let w = Registry.find name in
+      let compile () = Bs_frontend.Lower.compile w.Workload.source in
+      let measure m =
+        let r, _ =
+          Interp.run_fresh ~setup:(w.Workload.train.Workload.setup m) m
+            ~entry:w.entry ~args:w.Workload.train.Workload.args
+        in
+        r.Interp.steps
+      in
+      let best = Expander.autotune ~compile ~measure in
+      let m = compile () in
+      ignore (Expander.run m best);
+      Printf.printf "%-18s %8d %10d %10d %14d\n%!" w.name
+        best.Expander.unroll_factor best.Expander.max_fn_size
+        best.Expander.max_loop_size (measure m))
+    [ "CRC32"; "bitcount"; "sha" ]
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 15 (RQ6): alternate profiling input                               *)
+(* ---------------------------------------------------------------------- *)
+
+let fig15 () =
+  header "Figure 15: profiling on the alternate input (energy vs BASELINE)";
+  row_header [ "train-prof"; "alt-prof" ];
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = baseline w in
+      let s = bitspec w in
+      let alt =
+        run_cached ~profile_input:w.alt ~tag:"altprof" Driver.bitspec_config w
+      in
+      Printf.printf "%-18s %12.3f %12.3f\n%!" w.name
+        (rel s.Experiment.total_energy b.Experiment.total_energy)
+        (rel alt.Experiment.total_energy b.Experiment.total_energy))
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 16 (RQ6 deep dive): susan-edges image-pair study                  *)
+(* ---------------------------------------------------------------------- *)
+
+let fig16 () =
+  header
+    "Figure 16: susan-edges profile/run image pairs — dynamic instructions \
+     relative to self-profiled (CDF summary; paper uses 50 BSDS500 images, \
+     we use 8 synthetic textures)";
+  let w = Registry.find "susan-edges" in
+  let n_images = 8 in
+  let image i =
+    Susan.gen_input
+      ~seed:(Int64.of_int (900 + i))
+      ~range:(100 + (18 * i))
+      ~threshold:20
+  in
+  Printf.printf "%-6s %12s %12s %12s %12s\n" "T" "p50" "p90" "max" ">1.05";
+  List.iter
+    (fun h ->
+      let cfg = heuristic_cfg h in
+      (* compile once per profile image; measure each on every run image *)
+      let compiled =
+        Array.init n_images (fun i ->
+            Experiment.compile_workload ~profile_input:(image i) cfg w)
+      in
+      let self_instrs =
+        Array.init n_images (fun j ->
+            (Experiment.run_compiled compiled.(j) w ~input:(image j))
+              .Experiment.instrs)
+      in
+      let ratios = ref [] in
+      for i = 0 to n_images - 1 do
+        for j = 0 to n_images - 1 do
+          let r = Experiment.run_compiled compiled.(i) w ~input:(image j) in
+          ratios :=
+            (float_of_int r.Experiment.instrs /. float_of_int self_instrs.(j))
+            :: !ratios
+        done
+      done;
+      let arr = Array.of_list (List.sort compare !ratios) in
+      let n = Array.length arr in
+      let pct p = arr.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+      let over =
+        Array.fold_left (fun acc r -> if r > 1.05 then acc + 1 else acc) 0 arr
+      in
+      Printf.printf "%-6s %12.3f %12.3f %12.3f %11.1f%%\n%!"
+        (Profile.heuristic_name h) (pct 0.5) (pct 0.9)
+        arr.(n - 1)
+        (100.0 *. float_of_int over /. float_of_int n))
+    [ Profile.Hmax; Profile.Havg; Profile.Hmin ]
+
+(* ---------------------------------------------------------------------- *)
+(* RQ7: fully automatic bitwidth selection                                  *)
+(* ---------------------------------------------------------------------- *)
+
+let rq7 () =
+  header
+    "RQ7: worst-case-width source vs hand-narrowed source (energy vs \
+     narrow-source BASELINE)";
+  row_header [ "base-wide"; "spec-wide"; "spec-narrow" ];
+  List.iter
+    (fun name ->
+      let w = Registry.find name in
+      match w.narrow_source with
+      | None -> ()
+      | Some narrow ->
+          let narrow_w = { w with source = narrow } in
+          let b_narrow =
+            run_cached ~tag:"narrow" Driver.baseline_config narrow_w
+          in
+          let b_wide = baseline w in
+          let s_wide = bitspec w in
+          let s_narrow =
+            run_cached ~tag:"narrow" Driver.bitspec_config narrow_w
+          in
+          Printf.printf "%-18s %12.3f %12.3f %12.3f\n%!" w.name
+            (rel b_wide.Experiment.total_energy b_narrow.Experiment.total_energy)
+            (rel s_wide.Experiment.total_energy b_narrow.Experiment.total_energy)
+            (rel s_narrow.Experiment.total_energy
+               b_narrow.Experiment.total_energy))
+    [ "dijkstra"; "stringsearch" ]
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 17 (RQ8): composition with dynamic timing slack                   *)
+(* ---------------------------------------------------------------------- *)
+
+let fig17 () =
+  header "Figure 17: DTS and DTS+BITSPEC energy (vs BASELINE)";
+  row_header [ "DTS"; "DTS+BITSPEC"; "product"; "width-aware" ];
+  List.iter
+    (fun (w : Workload.t) ->
+      let cb = Experiment.compile_workload Driver.baseline_config w in
+      let rb =
+        Driver.run_machine ~setup:(w.test.Workload.setup cb.Driver.ir) cb
+          ~entry:w.entry ~args:w.test.Workload.args
+      in
+      let cs = Experiment.compile_workload Driver.bitspec_config w in
+      let rs =
+        Driver.run_machine ~setup:(w.test.Workload.setup cs.Driver.ir) cs
+          ~entry:w.entry ~args:w.test.Workload.args
+      in
+      let dts est (r : Bs_sim.Machine.result) =
+        Energy.total
+          (fst (Dts.scale est r.Bs_sim.Machine.ctr (Energy.of_result r)))
+      in
+      let base_e = Energy.total (Energy.of_result rb) in
+      let spec_e = Energy.total (Energy.of_result rs) in
+      let dts_rel = dts Dts.Conservative rb /. base_e in
+      let dts_spec_rel = dts Dts.Conservative rs /. base_e in
+      let aware_rel = dts Dts.Width_aware rs /. base_e in
+      Printf.printf "%-18s %12.3f %12.3f %12.3f %12.3f\n%!" w.name dts_rel
+        dts_spec_rel
+        (dts_rel *. (spec_e /. base_e))
+        aware_rel)
+    benches
+
+(* ---------------------------------------------------------------------- *)
+(* Figure 18 (RQ9): Thumb dynamic instructions                              *)
+(* ---------------------------------------------------------------------- *)
+
+let fig18 () =
+  header "Figure 18: Thumb dynamic instructions relative to BASELINE";
+  row_header [ "thumb/base" ];
+  let sum = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (w : Workload.t) ->
+      let b = baseline w in
+      let t = run_cached Driver.thumb_config w in
+      let r = reli t.Experiment.instrs b.Experiment.instrs in
+      sum := !sum +. r;
+      incr n;
+      Printf.printf "%-18s %12.3f\n%!" w.name r)
+    benches;
+  Printf.printf "%-18s %12.3f   (paper: 1.258 average)\n" "MEAN"
+    (!sum /. float_of_int !n)
+
+(* ---------------------------------------------------------------------- *)
+(* Bechamel: host-side throughput of the toolchain                          *)
+(* ---------------------------------------------------------------------- *)
+
+let bechamel_section () =
+  header "Bechamel: host-side throughput of the pipeline stages";
+  let open Bechamel in
+  let open Toolkit in
+  let w = Registry.find "bitcount" in
+  let c = Experiment.compile_workload Driver.bitspec_config w in
+  let tests =
+    Test.make_grouped ~name:"pipeline"
+      [ Test.make ~name:"compile-baseline"
+          (Staged.stage (fun () ->
+               ignore (Experiment.compile_workload Driver.baseline_config w)));
+        Test.make ~name:"compile-bitspec"
+          (Staged.stage (fun () ->
+               ignore (Experiment.compile_workload Driver.bitspec_config w)));
+        Test.make ~name:"simulate-bitspec"
+          (Staged.stage (fun () ->
+               ignore
+                 (Driver.run_machine
+                    ~setup:(w.train.Workload.setup c.Driver.ir)
+                    c ~entry:w.entry ~args:w.train.Workload.args)));
+        Test.make ~name:"interpret-ir"
+          (Staged.stage (fun () ->
+               ignore
+                 (Interp.run_fresh
+                    ~setup:(w.train.Workload.setup c.Driver.ir)
+                    c.Driver.ir ~entry:w.entry ~args:w.train.Workload.args)))
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          Printf.printf "%-28s %12.3f ms/run\n%!" name (est /. 1e6)
+      | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+    results
+
+(* ---------------------------------------------------------------------- *)
+
+let sections =
+  [ ("fig1", fig1); ("fig3", fig3); ("fig5", fig5); ("fig8", fig8);
+    ("fig9", fig9); ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
+    ("rq3", rq3); ("fig13", fig13); ("fig14", fig14); ("table2", table2);
+    ("rq5", rq5); ("tune", tune);
+    ("fig15", fig15); ("fig16", fig16); ("rq7", rq7); ("fig17", fig17);
+    ("fig18", fig18); ("bechamel", bechamel_section) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %s (available: %s)\n" name
+            (String.concat " " (List.map fst sections)))
+    requested

@@ -1,0 +1,163 @@
+(* bitspecc — the BITSPEC command-line driver.
+
+   Subcommands:
+     compile   compile a MiniC file, print IR / MIR / disassembly
+     run       compile and simulate, print result and counters
+     bench     run a named built-in workload under a configuration
+     list      list built-in workloads
+
+   Examples:
+     bitspecc compile kernel.mc --emit-ir
+     bitspecc run kernel.mc --entry f --args 10,20 --arch bitspec
+     bitspecc bench rijndael --arch bitspec --heuristic max *)
+
+open Cmdliner
+open Bitspec
+open Bs_workloads
+open Bs_interp
+open Bs_energy
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let arch_of_string = function
+  | "baseline" -> Driver.Baseline
+  | "bitspec" -> Driver.Bitspec_arch
+  | "thumb" -> Driver.Thumb
+  | s -> failwith ("unknown architecture " ^ s ^ " (baseline|bitspec|thumb)")
+
+let heuristic_of_string = function
+  | "max" -> Profile.Hmax
+  | "avg" -> Profile.Havg
+  | "min" -> Profile.Hmin
+  | s -> failwith ("unknown heuristic " ^ s ^ " (max|avg|min)")
+
+let config_of ~arch ~heuristic ~no_expander =
+  let base =
+    match arch_of_string arch with
+    | Driver.Baseline -> Driver.baseline_config
+    | Driver.Bitspec_arch -> Driver.bitspec_config
+    | Driver.Thumb -> Driver.thumb_config
+  in
+  let base = { base with heuristic = heuristic_of_string heuristic } in
+  if no_expander then { base with expander = Expander.disabled } else base
+
+let parse_args s =
+  if s = "" then []
+  else List.map Int64.of_string (String.split_on_char ',' s)
+
+(* --- compile ----------------------------------------------------------- *)
+
+let compile_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let arch = Arg.(value & opt string "bitspec" & info [ "arch" ]) in
+  let heuristic = Arg.(value & opt string "max" & info [ "heuristic" ]) in
+  let emit_ir = Arg.(value & flag & info [ "emit-ir" ] ~doc:"print SIR") in
+  let emit_asm = Arg.(value & flag & info [ "emit-asm" ] ~doc:"print disassembly") in
+  let entry = Arg.(value & opt string "run" & info [ "entry" ]) in
+  let train = Arg.(value & opt string "" & info [ "train" ] ~doc:"profiling args, comma-separated") in
+  let no_expander = Arg.(value & flag & info [ "no-expander" ]) in
+  let action file arch heuristic emit_ir emit_asm entry train no_expander =
+    let source = read_file file in
+    let config = config_of ~arch ~heuristic ~no_expander in
+    let c =
+      Driver.compile ~config ~source ~train:[ (entry, parse_args train) ] ()
+    in
+    if emit_ir then print_string (Bs_ir.Printer.module_str c.Driver.ir);
+    if emit_asm then print_string (Bs_backend.Asm.disassemble c.Driver.program);
+    if not (emit_ir || emit_asm) then
+      Printf.printf "compiled %s: %d instructions, Δ = %d\n" file
+        (Array.length c.Driver.program.Bs_backend.Asm.code)
+        c.Driver.program.Bs_backend.Asm.delta
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"compile a MiniC file")
+    Term.(const action $ file $ arch $ heuristic $ emit_ir $ emit_asm $ entry
+          $ train $ no_expander)
+
+(* --- run --------------------------------------------------------------- *)
+
+let print_metrics (m : Experiment.metrics) =
+  Printf.printf "result        = %Ld\n" m.Experiment.checksum;
+  Printf.printf "instructions  = %d\n" m.Experiment.instrs;
+  Printf.printf "cycles        = %d\n" m.Experiment.cycles;
+  Printf.printf "misspecs      = %d\n" m.Experiment.misspecs;
+  Printf.printf "energy        = %.1f (alu %.1f, regfile %.1f, D$ %.1f, I$ %.1f, pipe %.1f)\n"
+    m.Experiment.total_energy m.Experiment.energy.Energy.alu
+    m.Experiment.energy.Energy.regfile m.Experiment.energy.Energy.dcache
+    m.Experiment.energy.Energy.icache m.Experiment.energy.Energy.pipeline;
+  Printf.printf "EPI           = %.3f\n" m.Experiment.epi;
+  Printf.printf "reg accesses  = %d x 32-bit, %d x 8-bit\n"
+    m.Experiment.reg_accesses_32 m.Experiment.reg_accesses_8;
+  Printf.printf "spill traffic = %d loads, %d stores, %d copies\n"
+    m.Experiment.spill_loads m.Experiment.spill_stores m.Experiment.copies
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let arch = Arg.(value & opt string "bitspec" & info [ "arch" ]) in
+  let heuristic = Arg.(value & opt string "max" & info [ "heuristic" ]) in
+  let entry = Arg.(value & opt string "run" & info [ "entry" ]) in
+  let args = Arg.(value & opt string "" & info [ "args" ]) in
+  let train = Arg.(value & opt string "" & info [ "train" ]) in
+  let no_expander = Arg.(value & flag & info [ "no-expander" ]) in
+  let action file arch heuristic entry args train no_expander =
+    let source = read_file file in
+    let config = config_of ~arch ~heuristic ~no_expander in
+    let train_args =
+      if train = "" then parse_args args else parse_args train
+    in
+    let c = Driver.compile ~config ~source ~train:[ (entry, train_args) ] () in
+    let r = Driver.run_machine c ~entry ~args:(parse_args args) in
+    print_metrics (Experiment.metrics_of_run r)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"compile and simulate a MiniC file")
+    Term.(const action $ file $ arch $ heuristic $ entry $ args $ train
+          $ no_expander)
+
+(* --- bench ------------------------------------------------------------- *)
+
+let bench_cmd =
+  let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  let arch = Arg.(value & opt string "bitspec" & info [ "arch" ]) in
+  let heuristic = Arg.(value & opt string "max" & info [ "heuristic" ]) in
+  let no_expander = Arg.(value & flag & info [ "no-expander" ]) in
+  let relative = Arg.(value & flag & info [ "relative" ] ~doc:"also print values relative to BASELINE") in
+  let action wname arch heuristic no_expander relative =
+    let w = Registry.find wname in
+    let config = config_of ~arch ~heuristic ~no_expander in
+    let m = Experiment.run config w in
+    print_metrics m;
+    let expect = Experiment.reference_checksum w in
+    Printf.printf "reference     = %Ld (%s)\n" expect
+      (if expect = m.Experiment.checksum then "MATCH" else "MISMATCH");
+    if relative then begin
+      let b = Experiment.run Driver.baseline_config w in
+      Printf.printf "vs BASELINE   : energy %.3f, instrs %.3f, EPI %.3f\n"
+        (m.Experiment.total_energy /. b.Experiment.total_energy)
+        (float_of_int m.Experiment.instrs /. float_of_int b.Experiment.instrs)
+        (m.Experiment.epi /. b.Experiment.epi)
+    end
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"run a built-in workload")
+    Term.(const action $ wname $ arch $ heuristic $ no_expander $ relative)
+
+(* --- list -------------------------------------------------------------- *)
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun (w : Workload.t) ->
+        Printf.printf "%-18s %s\n" w.name w.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"list built-in workloads") Term.(const action $ const ())
+
+let () =
+  let doc = "the BITSPEC compiler and architecture simulator" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "bitspecc" ~doc)
+          [ compile_cmd; run_cmd; bench_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/bitwidth_report.ml: Array Block_coerce Bs_analysis Bs_frontend Bs_interp Demanded_bits Interp List Lower Option Printf Profile

@@ -1,0 +1,1 @@
+examples/bitwidth_report.mli:

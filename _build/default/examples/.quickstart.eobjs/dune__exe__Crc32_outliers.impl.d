@@ -1,0 +1,1 @@
+examples/crc32_outliers.ml: Bitspec Bs_frontend Bs_interp Bs_workloads Crc32 Driver Experiment Int64 Option Printf Registry Workload

@@ -1,0 +1,1 @@
+examples/crc32_outliers.mli:

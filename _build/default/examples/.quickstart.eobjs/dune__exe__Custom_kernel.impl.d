@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Bitspec Bs_energy Bs_interp Bs_sim Bs_support Driver Energy Int64 List Memimage Printf Profile Rng

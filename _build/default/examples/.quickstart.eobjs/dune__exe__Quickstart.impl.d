@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bitspec Bs_backend Bs_ir Bs_sim Counters Driver Machine Printf Squeezer

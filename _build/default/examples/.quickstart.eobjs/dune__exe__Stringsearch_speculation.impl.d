@@ -1,0 +1,1 @@
+examples/stringsearch_speculation.ml: Bitspec Bs_energy Bs_workloads Driver Energy Experiment Printf Registry

@@ -1,0 +1,68 @@
+(* Figure-1-style bitwidth report for user code.
+
+     dune exec examples/bitwidth_report.exe
+
+   Profiles a kernel and prints, per width class, how its dynamic integer
+   instructions are classified by (a) the bits they actually required,
+   (b) the programmer's declarations, (c) static demanded-bits analysis,
+   and (d) basic-block coercion — the §2 motivation study, on demand. *)
+
+open Bs_frontend
+open Bs_interp
+open Bs_analysis
+
+let source =
+  {|
+u8 histogram[256];
+u32 total = 0;
+
+u32 run(u32 n) {
+  u32 seed = 12345;
+  for (u32 i = 0; i < n; i += 1) {
+    seed = seed * 1103515245 + 12345;
+    u32 bucket = (seed >> 16) & 0xFF;
+    histogram[bucket] = (u8)(histogram[bucket] + 1);
+    total += 1;
+  }
+  u32 peak = 0;
+  for (u32 b = 0; b < 256; b += 1) {
+    if (histogram[b] > peak) peak = histogram[b];
+  }
+  return peak * 1000 + (total & 0xFF);
+}
+|}
+
+let print_row name (d : float array) =
+  Printf.printf "  %-16s" name;
+  Array.iter (fun v -> Printf.printf " %7.1f%%" (100.0 *. v)) d;
+  print_newline ()
+
+let () =
+  print_endline "=== Bitwidth selection report (the paper's §2 study) ===\n";
+  print_endline "Kernel: byte histogram of an LCG stream.\n";
+  let m = Lower.compile source in
+  let profile = Profile.create () in
+  let opts = { Interp.default_opts with profile = Some profile } in
+  let r, _ = Interp.run_fresh ~opts m ~entry:"run" ~args:[ 5000L ] in
+  Printf.printf "executed %d dynamic IR instructions, result %Ld\n\n"
+    r.Interp.steps
+    (Option.get r.Interp.ret);
+  Printf.printf "  %-16s %8s %8s %8s %8s\n" "" "8-bit" "16-bit" "32-bit" "64-bit";
+  print_row "required" (Profile.required_distribution profile);
+  print_row "programmer" (Profile.programmer_distribution profile);
+  let db = Demanded_bits.module_selection m in
+  print_row "demanded-bits" (Profile.selection_distribution profile ~select:db);
+  let bc = Block_coerce.selection m profile in
+  print_row "block-coerced" (Profile.selection_distribution profile ~select:bc);
+  print_newline ();
+  Printf.printf "  %-16s %8s %8s %8s %8s\n" "heuristic T =" "8-bit" "16-bit"
+    "32-bit" "64-bit";
+  List.iter
+    (fun h ->
+      print_row (Profile.heuristic_name h)
+        (Profile.heuristic_distribution profile h))
+    [ Profile.Hmax; Profile.Havg; Profile.Hmin ];
+  print_endline
+    "\nReading: the histogram counters and bucket indices need 8 bits, but\n\
+     the declarations and the static analysis keep most of the kernel at\n\
+     32 bits — the gap BITSPEC's profile-guided speculation closes."

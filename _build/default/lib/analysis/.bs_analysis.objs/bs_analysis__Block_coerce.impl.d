@@ -1,0 +1,1 @@
+lib/analysis/block_coerce.ml: Bs_interp Bs_ir Hashtbl Ir List Profile Width

@@ -1,0 +1,1 @@
+lib/analysis/block_coerce.mli: Bs_interp Bs_ir

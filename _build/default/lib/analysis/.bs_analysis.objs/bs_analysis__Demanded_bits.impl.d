@@ -1,0 +1,1 @@
+lib/analysis/demanded_bits.ml: Bs_ir Hashtbl Int64 Ir List Width

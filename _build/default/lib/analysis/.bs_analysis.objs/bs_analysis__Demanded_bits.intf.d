@@ -1,0 +1,1 @@
+lib/analysis/demanded_bits.mli: Bs_ir Hashtbl

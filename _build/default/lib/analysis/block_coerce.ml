@@ -1,0 +1,38 @@
+open Bs_ir
+open Bs_interp
+
+(* Basic-block-granularity bitwidth coercion, modelling Pokam et al.'s
+   speculative datapath-width management (paper §2.3, Figure 1d):
+   every variable in a basic block is coerced to the worst-case (maximum)
+   profiled bitwidth observed anywhere in that block,
+   BW(v) = max_{w in BasicBlock(v)} BW(w). *)
+
+(** [selection m profile] returns a per-variable width-selection function
+    usable with {!Profile.selection_distribution}. *)
+let selection (m : Ir.modul) (profile : Profile.t) =
+  let block_max : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          let m =
+            List.fold_left
+              (fun acc (i : Ir.instr) ->
+                if Ir.has_result i then
+                  match Profile.stats profile ~func:f.fname ~iid:i.iid with
+                  | Some s -> max acc s.Profile.s_max
+                  | None -> acc
+                else acc)
+              1 b.instrs
+          in
+          List.iter
+            (fun (i : Ir.instr) ->
+              if Ir.has_result i then
+                Hashtbl.replace block_max (f.fname, i.iid) m)
+            b.instrs)
+        f.blocks)
+    m.funcs;
+  fun ~func ~iid ->
+    match Hashtbl.find_opt block_max (func, iid) with
+    | Some bits -> Width.class_of_bits bits
+    | None -> 32

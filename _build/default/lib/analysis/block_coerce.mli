@@ -1,0 +1,13 @@
+(** Basic-block-granularity bitwidth coercion, modelling Pokam et al.'s
+    speculative datapath-width management (§2.3, Figure 1d): every
+    variable in a block is coerced to the worst-case profiled bitwidth
+    observed anywhere in that block. *)
+
+val selection :
+  Bs_ir.Ir.modul ->
+  Bs_interp.Profile.t ->
+  func:string ->
+  iid:int ->
+  int
+(** Per-variable width selection usable with
+    {!Bs_interp.Profile.selection_distribution}. *)

@@ -1,0 +1,149 @@
+open Bs_ir
+
+(* Demanded-bits static analysis, reimplementing the LLVM analysis the
+   paper evaluates in Figure 1c.
+
+   A backward dataflow computes, for every SSA variable, the mask of result
+   bits that can influence program behaviour.  Roots (stores, branches,
+   compares, calls, returns, addresses) demand bits unconditionally;
+   arithmetic propagates demand to operands according to how information
+   flows through each operation (e.g. addition carries only propagate
+   upward, so operand demand never exceeds the highest demanded result
+   bit). *)
+
+type t = (int, int64) Hashtbl.t  (* iid -> demanded mask *)
+
+let high_bit_mask_up_to mask =
+  (* All bits up to and including the highest set bit of [mask]. *)
+  if mask = 0L then 0L
+  else
+    let n = Width.required_bits mask in
+    Width.mask n
+
+let compute (f : Ir.func) : t =
+  let demand : t = Hashtbl.create 64 in
+  let get iid = match Hashtbl.find_opt demand iid with Some d -> d | None -> 0L in
+  let changed = ref true in
+  let add_demand (o : Ir.operand) bits =
+    match o with
+    | Ir.Const _ -> ()
+    | Ir.Var v ->
+        let cur = get v in
+        let nw = Int64.logor cur bits in
+        if nw <> cur then begin
+          Hashtbl.replace demand v nw;
+          changed := true
+        end
+  in
+  let full o = add_demand o (Width.mask (Ir.operand_width f o)) in
+  (* Seed the roots. *)
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.Store s ->
+              full s.s_addr;
+              add_demand s.s_value (Width.mask s.s_width)
+          | Ir.Load l -> full l.l_addr
+          | Ir.Call c -> List.iter full c.args
+          | Ir.Ret (Some v) -> full v
+          | Ir.Cbr (c, _, _) -> full c
+          | Ir.Cmp (_, a, b) ->
+              (* A comparison inspects every bit of both operands. *)
+              full a;
+              full b
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  (* Backward propagation to a fixpoint. *)
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun (i : Ir.instr) ->
+            if Ir.has_result i then begin
+              let d = Int64.logand (get i.iid) (Width.mask i.width) in
+              if d <> 0L then
+                match i.op with
+                | Ir.Bin ((Ir.Add | Ir.Sub | Ir.Mul), a, c) ->
+                    (* carries/partial products only flow upward *)
+                    let m = high_bit_mask_up_to d in
+                    add_demand a m;
+                    add_demand c m
+                | Ir.Bin ((Ir.And | Ir.Or | Ir.Xor), a, c) ->
+                    add_demand a d;
+                    add_demand c d
+                | Ir.Bin (Ir.Shl, a, Ir.Const k) ->
+                    let sh = Int64.to_int k.cval land (i.width - 1) in
+                    add_demand a (Int64.shift_right_logical d sh)
+                | Ir.Bin (Ir.Lshr, a, Ir.Const k) ->
+                    let sh = Int64.to_int k.cval land (i.width - 1) in
+                    add_demand a
+                      (Int64.logand (Int64.shift_left d sh) (Width.mask i.width))
+                | Ir.Bin (Ir.Ashr, a, Ir.Const k) ->
+                    let sh = Int64.to_int k.cval land (i.width - 1) in
+                    let base =
+                      Int64.logand (Int64.shift_left d sh) (Width.mask i.width)
+                    in
+                    (* the sign bit feeds every shifted-in position *)
+                    let sign = Int64.shift_left 1L (i.width - 1) in
+                    add_demand a (Int64.logor base sign)
+                | Ir.Bin ((Ir.Shl | Ir.Lshr | Ir.Ashr), a, c) ->
+                    (* variable shifts: conservative *)
+                    full a;
+                    add_demand c (Width.mask (Ir.operand_width f c))
+                | Ir.Bin ((Ir.Udiv | Ir.Sdiv | Ir.Urem | Ir.Srem), a, c) ->
+                    full a;
+                    full c
+                | Ir.Cast (Ir.TruncCast, a) -> add_demand a d
+                | Ir.Cast (Ir.Zext, a) ->
+                    add_demand a (Int64.logand d (Width.mask (Ir.operand_width f a)))
+                | Ir.Cast (Ir.Sext, a) ->
+                    let sw = Ir.operand_width f a in
+                    let low = Int64.logand d (Width.mask sw) in
+                    let above = Int64.logand d (Int64.lognot (Width.mask sw)) in
+                    let low =
+                      if above <> 0L then
+                        Int64.logor low (Int64.shift_left 1L (sw - 1))
+                      else low
+                    in
+                    add_demand a low
+                | Ir.Select (c, a, e) ->
+                    full c;
+                    add_demand a d;
+                    add_demand e d
+                | Ir.Phi incoming ->
+                    List.iter (fun (_, v) -> add_demand v d) incoming
+                | Ir.Cmp _ | Ir.Load _ | Ir.Gaddr _ | Ir.Salloc _
+                | Ir.Call _ | Ir.Param _ -> ()
+                | Ir.Store _ | Ir.Br _ | Ir.Cbr _ | Ir.Ret _ | Ir.Unreachable ->
+                    ()
+            end)
+          b.instrs)
+      (List.rev f.blocks)
+  done;
+  demand
+
+(** Bitwidth selection from the analysis: BW(v) = width class of the
+    highest demanded bit, or the declared width when nothing narrows
+    (matching how the paper reports "demanded bits analysis ... simply
+    outputs the original bitwidth" on failure). *)
+let selection (t : t) (f : Ir.func) ~iid =
+  let i = Ir.instr f iid in
+  match Hashtbl.find_opt t iid with
+  | Some d when d <> 0L ->
+      min i.width (Width.class_of_bits (Width.required_bits d))
+  | _ -> min i.width (Width.class_of_bits i.width)
+
+(** Selection map over a whole module, keyed like the profiler. *)
+let module_selection (m : Ir.modul) =
+  let per_func = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.func) -> Hashtbl.replace per_func f.fname (compute f, f))
+    m.funcs;
+  fun ~func ~iid ->
+    match Hashtbl.find_opt per_func func with
+    | Some (t, f) -> selection t f ~iid
+    | None -> 64

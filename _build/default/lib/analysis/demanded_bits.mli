@@ -1,0 +1,21 @@
+(** Demanded-bits static analysis — the reimplementation of LLVM's
+    analysis the paper evaluates in Figure 1c.
+
+    A backward dataflow computes, for every SSA variable, the mask of
+    result bits that can influence program behaviour; stores, branches,
+    compares, calls, returns and addresses seed full demand, and
+    arithmetic propagates it according to how information flows through
+    each operation. *)
+
+type t = (int, int64) Hashtbl.t
+(** Defining instruction id -> demanded-bit mask. *)
+
+val compute : Bs_ir.Ir.func -> t
+
+val selection : t -> Bs_ir.Ir.func -> iid:int -> int
+(** BW(v): the width class of the highest demanded bit, or the declared
+    width when nothing narrows (the paper notes the analysis "simply
+    outputs the original bitwidth" on failure). *)
+
+val module_selection : Bs_ir.Ir.modul -> func:string -> iid:int -> int
+(** Selection map over a whole module, keyed like the profiler. *)

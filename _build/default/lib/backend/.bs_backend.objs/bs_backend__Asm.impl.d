@@ -1,0 +1,1 @@
+lib/backend/asm.ml: Array Bs_isa Buffer Hashtbl Int64 Isa List Mir Option Printf Regalloc

@@ -1,0 +1,1 @@
+lib/backend/isel.ml: Bs_ir Bs_isa Hashtbl Int64 Ir Isa List Mir Option Printf String Width

@@ -1,0 +1,1 @@
+lib/backend/isel.mli: Bs_ir Mir

@@ -1,0 +1,1 @@
+lib/backend/mir.ml: Bs_isa Buffer Hashtbl Int64 Isa List Printf String

@@ -1,0 +1,1 @@
+lib/backend/regalloc.ml: Bs_isa Hashtbl Int Isa List Mir Set

@@ -1,0 +1,1 @@
+lib/backend/regalloc.mli: Bs_isa Hashtbl Mir

@@ -1,0 +1,1 @@
+lib/backend/thumb.ml: Array Asm Bs_isa Hashtbl Isa

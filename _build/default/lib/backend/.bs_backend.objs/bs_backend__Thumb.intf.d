@@ -1,0 +1,1 @@
+lib/backend/thumb.mli: Asm Bs_isa

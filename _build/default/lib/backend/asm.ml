@@ -1,0 +1,507 @@
+open Bs_isa
+open Isa
+open Mir
+open Regalloc
+
+(* Code emission, layout and linking (§3.3.4).
+
+   Emission maps allocated SMIR to BSARM instructions, inserting spill
+   loads/stores (tagged for the Figure 10 counters) and the function
+   prologue/epilogue of the stack-args calling convention.
+
+   Layout realises the skeleton-block co-design: every block belonging to
+   a speculative region is placed in one contiguous low area; a skeleton
+   area of exactly the same size follows, where the slot at offset k holds
+   an unconditional branch to the handler of the region owning low-area
+   instruction k.  Δ is the size of the low area, so the hardware's
+   PC := PC + Δ on misspeculation lands on precisely the branch that
+   reaches the right handler.  Δ is a single program-wide constant, as in
+   the paper's artifact. *)
+
+exception Emit_error of string
+
+type raw =
+  | RI of insn * provenance
+  | RBr of cond option * int * provenance     (* local block target *)
+  | RCall of string
+
+(* an emitted block: function, MIR block id, region?, instructions *)
+type eblock = {
+  e_fn : string;
+  e_bid : int;
+  e_region : int option;      (* region id if the block is in a region *)
+  e_handler : bool;
+  mutable e_raw : raw list;
+}
+
+type program = {
+  code : insn array;
+  prov : provenance array;
+  entries : (string, int) Hashtbl.t;
+  delta : int;
+  halt_pc : int;
+  handler_pcs : (int, unit) Hashtbl.t;  (* pcs inside handler blocks *)
+}
+
+let frame_align n = (n + 7) / 8 * 8
+
+type fctx = {
+  mf : mfunc;
+  ra : Regalloc.result;
+  addr_of_global : string -> int;
+  salloc_off : (int, int) Hashtbl.t;
+  spill_base : int;          (* offset of spill slot 0 *)
+  frame_total : int;
+  saved : reg list;          (* callee-saved registers, ordered *)
+  mutable sp_adjust : int;   (* extra SP displacement during call setup *)
+  mutable out : raw list;    (* reversed *)
+}
+
+let emit c ?(prov = PNormal) i = c.out <- RI (i, prov) :: c.out
+
+let spill_off c slot = c.spill_base + (4 * slot) + c.sp_adjust
+
+let loc_of c v =
+  match Hashtbl.find_opt c.ra.assignment v with
+  | Some l -> l
+  | None -> Lreg scratch0 (* dead value: any location *)
+
+(* Read a 32-bit vreg into a physical register (scratch when spilled). *)
+let read32 c v ~scratch =
+  match loc_of c v with
+  | Lreg r -> r
+  | Lstack slot ->
+      emit c ~prov:PSpillLoad (LDR (W32, Unsigned, scratch, sp, spill_off c slot));
+      scratch
+  | Lslice _ -> raise (Emit_error "32-bit vreg in a slice")
+
+(* Slice spill traffic: BLDRB/BSTRB carry an 8-bit offset; frames larger
+   than that go through LR as an emergency address register (LR is only
+   live at prologue/epilogue and across BL, never inside these
+   sequences). *)
+let slice_spill_addr c slot =
+  let off = spill_off c slot in
+  if off <= 255 then (sp, off)
+  else begin
+    emit c (ALU (OpAdd, lr, sp, Imm off));
+    (lr, 0)
+  end
+
+(* Read an 8-bit vreg as a slice; spills load into the given scratch
+   slice. *)
+let read8 c v ~scratch_slice =
+  match loc_of c v with
+  | Lslice s -> s
+  | Lstack slot ->
+      let base, off = slice_spill_addr c slot in
+      emit c ~prov:PSpillLoad (BLDRB (scratch_slice, base, BOff off));
+      scratch_slice
+  | Lreg _ -> raise (Emit_error "8-bit vreg in a full register")
+
+(* Destination helpers: return the register/slice to write, plus a closure
+   storing it back if the vreg is spilled. *)
+let write32 c v ~scratch =
+  match loc_of c v with
+  | Lreg r -> (r, fun () -> ())
+  | Lstack slot ->
+      ( scratch,
+        fun () ->
+          emit c ~prov:PSpillStore (STR (W32, scratch, sp, spill_off c slot)) )
+  | Lslice _ -> raise (Emit_error "32-bit vreg in a slice")
+
+let write8 c v ~scratch_slice =
+  match loc_of c v with
+  | Lslice s -> (s, fun () -> ())
+  | Lstack slot ->
+      ( scratch_slice,
+        fun () ->
+          let base, off = slice_spill_addr c slot in
+          emit c ~prov:PSpillStore (BSTRB (scratch_slice, base, BOff off)) )
+  | Lreg _ -> raise (Emit_error "8-bit vreg in a full register")
+
+let load_const c r (v : int64) =
+  let v = Int64.to_int (Int64.logand v 0xFFFFFFFFL) in
+  let lo = v land 0xFFFF and hi = (v lsr 16) land 0xFFFF in
+  emit c (MOVW (r, lo));
+  if hi <> 0 then emit c (MOVT (r, hi))
+
+let is_width8 c v = width_of c.mf v = 8
+
+let emit_instr (c : fctx) (i : minstr) =
+  let prov = i.prov in
+  match i.mop with
+  | Mmov (d, s) ->
+      if is_width8 c d then begin
+        let ss = read8 c s ~scratch_slice:{ sl_reg = scratch0; sl_byte = 0 } in
+        let ds, fin = write8 c d ~scratch_slice:{ sl_reg = scratch1; sl_byte = 0 } in
+        emit c ~prov (BMOV (ds, ss));
+        fin ()
+      end
+      else begin
+        let sr = read32 c s ~scratch:scratch0 in
+        let dr, fin = write32 c d ~scratch:scratch1 in
+        if dr <> sr then emit c ~prov (MOV (dr, sr));
+        fin ()
+      end
+  | Mmovi (d, v) ->
+      if is_width8 c d then begin
+        let ds, fin = write8 c d ~scratch_slice:{ sl_reg = scratch0; sl_byte = 0 } in
+        emit c ~prov (BMOVI (ds, Int64.to_int (Int64.logand v 0xFFL)));
+        fin ()
+      end
+      else begin
+        let dr, fin = write32 c d ~scratch:scratch0 in
+        load_const c dr v;
+        fin ()
+      end
+  | Malu (op, d, n, o) ->
+      if is_width8 c d then begin
+        let bop =
+          match op with
+          | OpAdd -> BAdd | OpSub -> BSub | OpAnd -> BAnd | OpOrr -> BOrr
+          | OpEor -> BEor
+          | _ -> raise (Emit_error "slice shift")
+        in
+        let ns = read8 c n ~scratch_slice:{ sl_reg = scratch0; sl_byte = 0 } in
+        let o2 =
+          match o with
+          | Vi v when Int64.compare v 0L >= 0 && Int64.compare v 15L <= 0 ->
+              BImm (Int64.to_int v)
+          | Vi v ->
+              let s = { sl_reg = scratch1; sl_byte = 1 } in
+              emit c (BMOVI (s, Int64.to_int (Int64.logand v 0xFFL)));
+              Sl s
+          | Vr m -> Sl (read8 c m ~scratch_slice:{ sl_reg = scratch1; sl_byte = 1 })
+        in
+        let ds, fin = write8 c d ~scratch_slice:{ sl_reg = scratch1; sl_byte = 0 } in
+        emit c ~prov (BALU (bop, ds, ns, o2));
+        fin ()
+      end
+      else begin
+        let nr = read32 c n ~scratch:scratch0 in
+        let o2 =
+          match o with
+          | Vi v when Int64.compare v 0L >= 0 && Int64.compare v 0x7FFFL <= 0 ->
+              Imm (Int64.to_int v)
+          | Vi v ->
+              load_const c scratch1 v;
+              Reg scratch1
+          | Vr m -> Reg (read32 c m ~scratch:scratch1)
+        in
+        let dr, fin = write32 c d ~scratch:scratch0 in
+        emit c ~prov (ALU (op, dr, nr, o2));
+        fin ()
+      end
+  | Mmul (d, n, m) ->
+      let nr = read32 c n ~scratch:scratch0 in
+      let mr = read32 c m ~scratch:scratch1 in
+      let dr, fin = write32 c d ~scratch:scratch0 in
+      emit c ~prov (MUL (dr, nr, mr));
+      fin ()
+  | Mdiv (sg, d, n, m) ->
+      let nr = read32 c n ~scratch:scratch0 in
+      let mr = read32 c m ~scratch:scratch1 in
+      let dr, fin = write32 c d ~scratch:scratch0 in
+      emit c ~prov (DIV (sg, dr, nr, mr));
+      fin ()
+  | Mcmp (n, o) ->
+      if is_width8 c n then begin
+        let ns = read8 c n ~scratch_slice:{ sl_reg = scratch0; sl_byte = 0 } in
+        let o2 =
+          match o with
+          | Vi v -> BImm (Int64.to_int (Int64.logand v 0xFFL))
+          | Vr m -> Sl (read8 c m ~scratch_slice:{ sl_reg = scratch1; sl_byte = 1 })
+        in
+        emit c ~prov (BCMPS (ns, o2))
+      end
+      else begin
+        let nr = read32 c n ~scratch:scratch0 in
+        let o2 =
+          match o with
+          | Vi v when Int64.compare v 0L >= 0 && Int64.compare v 0x3FFFFFL <= 0 ->
+              Imm (Int64.to_int v)
+          | Vi v ->
+              load_const c scratch1 v;
+              Reg scratch1
+          | Vr m -> Reg (read32 c m ~scratch:scratch1)
+        in
+        emit c ~prov (CMP (nr, o2))
+      end
+  | Mcset (cc, d) ->
+      let dr, fin = write32 c d ~scratch:scratch0 in
+      emit c ~prov (CSET (cc, dr));
+      fin ()
+  | Mb t -> c.out <- RBr (None, t, prov) :: c.out
+  | Mbc (cc, t, e) ->
+      c.out <- RBr (Some cc, t, prov) :: c.out;
+      c.out <- RBr (None, e, prov) :: c.out
+  | Mcall (callee, args, ret) ->
+      let n = List.length args in
+      let bytes = 4 * n in
+      if n > 0 then emit c (ALU (OpSub, sp, sp, Imm bytes));
+      c.sp_adjust <- c.sp_adjust + bytes;
+      List.iteri
+        (fun k a ->
+          let r = read32 c a ~scratch:scratch0 in
+          emit c (STR (W32, r, sp, 4 * k)))
+        args;
+      c.out <- RCall callee :: c.out;
+      c.sp_adjust <- c.sp_adjust - bytes;
+      if n > 0 then emit c (ALU (OpAdd, sp, sp, Imm bytes));
+      (match ret with
+      | Some d ->
+          let dr, fin = write32 c d ~scratch:scratch0 in
+          if dr <> 0 then emit c (MOV (dr, 0));
+          fin ()
+      | None -> ())
+  | Mret v ->
+      (match v with
+      | Some x ->
+          let r = read32 c x ~scratch:scratch0 in
+          if r <> 0 then emit c (MOV (0, r))
+      | None -> ());
+      (* epilogue *)
+      List.iteri
+        (fun k r ->
+          emit c ~prov:PPrologue
+            (LDR (W32, Unsigned, r, sp,
+                  c.spill_base + (4 * c.ra.spill_slots) + (4 * k))))
+        c.saved;
+      emit c ~prov:PPrologue
+        (LDR (W32, Unsigned, lr, sp,
+              c.spill_base + (4 * c.ra.spill_slots) + (4 * List.length c.saved)));
+      emit c ~prov:PPrologue (ALU (OpAdd, sp, sp, Imm c.frame_total));
+      emit c ~prov:PPrologue BX_LR
+  | Mload (w, sg, d, a, off) ->
+      let ar = read32 c a ~scratch:scratch0 in
+      if is_width8 c d then begin
+        let ds, fin = write8 c d ~scratch_slice:{ sl_reg = scratch1; sl_byte = 0 } in
+        emit c ~prov (BLDRB (ds, ar, BOff off));
+        fin ()
+      end
+      else begin
+        let dr, fin = write32 c d ~scratch:scratch1 in
+        emit c ~prov (LDR (w, sg, dr, ar, off));
+        fin ()
+      end
+  | Mloadspec (d, a, off) ->
+      let ar = read32 c a ~scratch:scratch0 in
+      let ds, fin = write8 c d ~scratch_slice:{ sl_reg = scratch1; sl_byte = 0 } in
+      emit c ~prov (BLDRS (ds, ar, BOff off));
+      fin ()
+  | Mload8x (d, a, x) ->
+      let ar = read32 c a ~scratch:scratch0 in
+      let xs = read8 c x ~scratch_slice:{ sl_reg = scratch1; sl_byte = 1 } in
+      let ds, fin = write8 c d ~scratch_slice:{ sl_reg = scratch1; sl_byte = 0 } in
+      emit c ~prov (BLDRB (ds, ar, BIdx xs));
+      fin ()
+  | Mloadspecx (d, a, x) ->
+      let ar = read32 c a ~scratch:scratch0 in
+      let xs = read8 c x ~scratch_slice:{ sl_reg = scratch1; sl_byte = 1 } in
+      let ds, fin = write8 c d ~scratch_slice:{ sl_reg = scratch1; sl_byte = 0 } in
+      emit c ~prov (BLDRS (ds, ar, BIdx xs));
+      fin ()
+  | Mstore8x (sv, a, x) ->
+      let ss = read8 c sv ~scratch_slice:{ sl_reg = scratch0; sl_byte = 0 } in
+      let ar = read32 c a ~scratch:scratch1 in
+      let xs = read8 c x ~scratch_slice:{ sl_reg = scratch0; sl_byte = 1 } in
+      emit c ~prov (BSTRB (ss, ar, BIdx xs))
+  | Mstore (w, s, a, off) ->
+      if w = W8 && is_width8 c s then begin
+        let ss = read8 c s ~scratch_slice:{ sl_reg = scratch0; sl_byte = 0 } in
+        let ar = read32 c a ~scratch:scratch1 in
+        emit c ~prov (BSTRB (ss, ar, BOff off))
+      end
+      else begin
+        let sr = read32 c s ~scratch:scratch0 in
+        let ar = read32 c a ~scratch:scratch1 in
+        emit c ~prov (STR (w, sr, ar, off))
+      end
+  | Mext (sg, d, s) ->
+      let ss = read8 c s ~scratch_slice:{ sl_reg = scratch0; sl_byte = 0 } in
+      let dr, fin = write32 c d ~scratch:scratch1 in
+      emit c ~prov (BEXT (sg, dr, ss));
+      fin ()
+  | Mtrunc_spec (d, s) ->
+      let sr = read32 c s ~scratch:scratch0 in
+      let ds, fin = write8 c d ~scratch_slice:{ sl_reg = scratch1; sl_byte = 0 } in
+      emit c ~prov (BTRN (ds, sr));
+      fin ()
+  | Mtrunc_exact (d, s) ->
+      let sr = read32 c s ~scratch:scratch0 in
+      let ds, fin = write8 c d ~scratch_slice:{ sl_reg = scratch1; sl_byte = 0 } in
+      emit c ~prov (BMOV (ds, { sl_reg = sr; sl_byte = 0 }));
+      fin ()
+  | Muxt (w, d, s) ->
+      let sr = read32 c s ~scratch:scratch0 in
+      let dr, fin = write32 c d ~scratch:scratch1 in
+      emit c ~prov (UXT (w, dr, sr));
+      fin ()
+  | Msxt (w, d, s) ->
+      let sr = read32 c s ~scratch:scratch0 in
+      let dr, fin = write32 c d ~scratch:scratch1 in
+      emit c ~prov (SXT (w, dr, sr));
+      (* canonical form keeps the full sign-extended 32-bit value *)
+      fin ()
+  | Mgaddr (d, g) ->
+      let dr, fin = write32 c d ~scratch:scratch0 in
+      load_const c dr (Int64.of_int (c.addr_of_global g));
+      fin ()
+  | Mframeaddr (d, slot) ->
+      let dr, fin = write32 c d ~scratch:scratch0 in
+      emit c (ALU (OpAdd, dr, sp, Imm (Hashtbl.find c.salloc_off slot)));
+      fin ()
+  | Margload (d, k) ->
+      let dr, fin = write32 c d ~scratch:scratch0 in
+      emit c ~prov (LDR (W32, Unsigned, dr, sp, c.frame_total + (4 * k)));
+      fin ()
+
+(* --- function emission -------------------------------------------------- *)
+
+let emit_func ~addr_of_global (mf : mfunc) (ra : Regalloc.result) : eblock list =
+  (* frame layout *)
+  let salloc_off = Hashtbl.create 4 in
+  let cursor = ref 0 in
+  List.iter
+    (fun (slot, bytes) ->
+      Hashtbl.replace salloc_off slot !cursor;
+      cursor := !cursor + frame_align bytes)
+    mf.sallocs;
+  let spill_base = !cursor in
+  let saved =
+    List.sort compare (List.filter (fun r -> r <> 0) ra.used_regs)
+  in
+  let frame_total =
+    frame_align (spill_base + (4 * ra.spill_slots) + (4 * List.length saved) + 4)
+  in
+  let handler_blocks = Hashtbl.create 4 in
+  List.iter
+    (fun (rid, _, h) -> Hashtbl.replace handler_blocks h rid)
+    mf.mregions;
+  let c =
+    { mf; ra; addr_of_global; salloc_off; spill_base; frame_total; saved;
+      sp_adjust = 0; out = [] }
+  in
+  List.mapi
+    (fun idx (b : mblock) ->
+      c.out <- [];
+      (* prologue in the entry block *)
+      if idx = 0 then begin
+        emit c ~prov:PPrologue (ALU (OpSub, sp, sp, Imm frame_total));
+        List.iteri
+          (fun k r ->
+            emit c ~prov:PPrologue
+              (STR (W32, r, sp, spill_base + (4 * ra.spill_slots) + (4 * k))))
+          saved;
+        emit c ~prov:PPrologue
+          (STR (W32, lr, sp,
+                spill_base + (4 * ra.spill_slots) + (4 * List.length saved)))
+      end;
+      List.iter (fun i -> emit_instr c i) b.mins;
+      { e_fn = mf.mname; e_bid = b.mbid; e_region = b.in_region;
+        e_handler = Hashtbl.mem handler_blocks b.mbid;
+        e_raw = List.rev c.out })
+    mf.mblocks
+
+(* --- module layout and linking ------------------------------------------ *)
+
+let assemble ~addr_of_global (funcs : (mfunc * Regalloc.result) list) : program =
+  let all_blocks =
+    List.concat_map (fun (mf, ra) -> emit_func ~addr_of_global mf ra) funcs
+  in
+  let low, rest = List.partition (fun b -> b.e_region <> None) all_blocks in
+  let low_size =
+    List.fold_left (fun n b -> n + List.length b.e_raw) 0 low
+  in
+  let delta = low_size in
+  (* assign addresses: [low][skeleton][rest][halt] *)
+  let labels : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let pc = ref 0 in
+  let place blocks =
+    List.iter
+      (fun b ->
+        Hashtbl.replace labels (b.e_fn, b.e_bid) !pc;
+        pc := !pc + List.length b.e_raw)
+      blocks
+  in
+  place low;
+  let skeleton_start = !pc in
+  pc := !pc + low_size;
+  place rest;
+  let halt_pc = !pc in
+  let total = !pc + 1 in
+  assert (skeleton_start = delta);
+  (* handler lookup per low-area instruction slot *)
+  let handler_label_of_region =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (mf, _) ->
+        List.iter
+          (fun (rid, _, h) -> Hashtbl.replace tbl (mf.mname, rid) (mf.mname, h))
+          mf.mregions)
+      funcs;
+    tbl
+  in
+  let code = Array.make total NOP in
+  let prov = Array.make total PNormal in
+  let resolve_label fn bid =
+    match Hashtbl.find_opt labels (fn, bid) with
+    | Some a -> a
+    | None -> raise (Emit_error (Printf.sprintf "unresolved label %s/mb%d" fn bid))
+  in
+  let entries = Hashtbl.create 8 in
+  List.iter
+    (fun (mf, _) ->
+      Hashtbl.replace entries mf.mname
+        (resolve_label mf.mname
+           (match mf.mblocks with b :: _ -> b.mbid | [] -> 0)))
+    funcs;
+  let handler_pcs = Hashtbl.create 16 in
+  let emit_block (b : eblock) =
+    let base = resolve_label b.e_fn b.e_bid in
+    List.iteri
+      (fun k raw ->
+        let a = base + k in
+        if b.e_handler then Hashtbl.replace handler_pcs a ();
+        match raw with
+        | RI (i, p) ->
+            code.(a) <- i;
+            prov.(a) <- p
+        | RBr (None, t, p) ->
+            code.(a) <- B (resolve_label b.e_fn t);
+            prov.(a) <- p
+        | RBr (Some cc, t, p) ->
+            code.(a) <- BC (cc, resolve_label b.e_fn t);
+            prov.(a) <- p
+        | RCall callee -> (
+            match Hashtbl.find_opt entries callee with
+            | Some e -> code.(a) <- BL e
+            | None -> raise (Emit_error ("undefined function " ^ callee))))
+      b.e_raw
+  in
+  List.iter emit_block low;
+  List.iter emit_block rest;
+  (* skeleton area: slot k mirrors low-area instruction k (§3.3.4) *)
+  let k = ref 0 in
+  List.iter
+    (fun b ->
+      let rid = Option.get b.e_region in
+      let hfn, hbid = Hashtbl.find handler_label_of_region (b.e_fn, rid) in
+      let target = resolve_label hfn hbid in
+      List.iter
+        (fun _ ->
+          code.(skeleton_start + !k) <- B target;
+          prov.(skeleton_start + !k) <- PSkeleton;
+          incr k)
+        b.e_raw)
+    low;
+  code.(halt_pc) <- HALT;
+  { code; prov; entries; delta; halt_pc; handler_pcs }
+
+let disassemble (p : program) =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun i insn ->
+      Buffer.add_string buf (Printf.sprintf "%6d: %s\n" i (Isa.to_string insn)))
+    p.code;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Instruction selection (§3.3.2): SIR → SMIR.
+
+    Canonical value representation: in BITSPEC mode width-8 values with a
+    slice-friendly consumer live in 8-bit virtual registers (slices);
+    everything else lives in 32-bit virtual registers holding its value
+    zero-extended.  Speculative instructions map to the Table 1 slice
+    operations; two fusions fire during a prepass:
+    - a single-use 32-bit load feeding a speculative truncate becomes the
+      speculative load BLDRS;
+    - a byte-memory address of the form [base + zext(idx8)] becomes the
+      slice-indexed Mem[Rn + Bm] form, deleting the extension and the
+      add. *)
+
+exception Unsupported of string
+(** 64-bit values and other constructs the 32-bit machine cannot hold. *)
+
+val lower_func : slices:bool -> Bs_ir.Ir.func -> Mir.mfunc
+(** [slices] enables the BITSPEC extension; the BASELINE and Thumb builds
+    pass [false]. *)

@@ -1,0 +1,528 @@
+open Bs_isa
+open Mir
+
+(* Register allocation (§3.3.3).
+
+   Phase 1 destroys SSA: critical edges are split and phis become parallel
+   copies in predecessors (cycles broken through a temporary).
+
+   Phase 2 is a linear scan over linearised SMIR.  Liveness uses the SMIR
+   predecessor relation of equation (2): every block of a speculative
+   region has an implicit edge to the region's handler, so values the
+   handler (and the re-executed CFG_orig block) will read stay allocated
+   across the whole region — the guarantee equation (9) provides in the
+   paper.  Every 8-bit slice of every 32-bit register is exposed as an
+   allocatable location: a 32-bit interval claims all four slices of a
+   register, an 8-bit interval claims one, which is how multiple squeezed
+   variables pack into one conventional register (§2.5).
+
+   Calling convention: arguments on the stack, result in R0, callee saves
+   every register it uses except R0.  Only intervals crossing a call must
+   therefore avoid R0. *)
+
+type loc =
+  | Lreg of Isa.reg
+  | Lslice of Isa.slice
+  | Lstack of int          (* spill slot index *)
+
+let allocatable = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+let scratch0 = 11
+let scratch1 = 12
+
+(* --- phi elimination --------------------------------------------------- *)
+
+let preds_map (f : mfunc) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace tbl b.mbid []) f.mblocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find tbl s with Not_found -> [] in
+          if not (List.mem b.mbid cur) then Hashtbl.replace tbl s (b.mbid :: cur))
+        (succs b))
+    f.mblocks;
+  tbl
+
+let retarget (b : mblock) ~from_ ~to_ =
+  let t = terminator b in
+  t.mop <-
+    (match t.mop with
+    | Mb x -> Mb (if x = from_ then to_ else x)
+    | Mbc (c, x, y) ->
+        Mbc (c, (if x = from_ then to_ else x), if y = from_ then to_ else y)
+    | other -> other)
+
+let split_critical_edges (f : mfunc) =
+  let next_bid = ref (List.fold_left (fun m b -> max m b.mbid) 0 f.mblocks + 1) in
+  let preds = preds_map f in
+  List.iter
+    (fun s ->
+      if s.mphis <> [] then
+        let ps = try Hashtbl.find preds s.mbid with Not_found -> [] in
+        if List.length ps > 1 then
+          List.iter
+            (fun pbid ->
+              let p = block f pbid in
+              if List.length (succs p) > 1 then begin
+                (* critical edge p -> s: interpose a block *)
+                let nb =
+                  { mbid = !next_bid; mphis = [];
+                    mins = [ mk_instr (Mb s.mbid) ];
+                    in_region = None; handler_of = None;
+                    is_orig = s.is_orig && p.is_orig }
+                in
+                incr next_bid;
+                retarget p ~from_:s.mbid ~to_:nb.mbid;
+                (* phi incomings from p now arrive via nb *)
+                s.mphis <-
+                  List.map
+                    (fun (d, incoming) ->
+                      ( d,
+                        List.map
+                          (fun (q, v) -> ((if q = pbid then nb.mbid else q), v))
+                          incoming ))
+                    s.mphis;
+                f.mblocks <- f.mblocks @ [ nb ]
+              end)
+            ps)
+    f.mblocks
+
+(* Emit one width-aware copy. *)
+let copy_instr (f : mfunc) dst (src : vop2) =
+  let wd = width_of f dst in
+  match src with
+  | Vi c -> mk_instr ~prov:PCopy (Mmovi (dst, c))
+  | Vr s ->
+      let ws = width_of f s in
+      if wd = ws then mk_instr ~prov:PCopy (Mmov (dst, s))
+      else if wd = 8 then mk_instr ~prov:PCopy (Mtrunc_exact (dst, s))
+      else mk_instr ~prov:PCopy (Mext (Unsigned, dst, s))
+
+(* Sequentialise a parallel copy, breaking cycles with a temporary. *)
+let sequentialize (f : mfunc) (copies : (vreg * vop2) list) : minstr list =
+  let pending = ref (List.filter (fun (d, s) -> s <> Vr d) copies) in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let src_is v (_, s) = s = Vr v in
+  let rec loop () =
+    match !pending with
+    | [] -> ()
+    | _ -> (
+        match
+          List.find_opt
+            (fun (d, _) -> not (List.exists (src_is d) !pending))
+            !pending
+        with
+        | Some ((d, s) as c) ->
+            emit (copy_instr f d s);
+            pending := List.filter (fun x -> x != c) !pending;
+            loop ()
+        | None ->
+            (* cycle: rotate through a temp of the right width *)
+            let (d, s) = List.hd !pending in
+            let w = width_of f d in
+            let t = fresh_vreg f ~width:w in
+            emit (copy_instr f t (Vr d));
+            pending :=
+              List.map
+                (fun (d', s') -> (d', if s' = Vr d then Vr t else s'))
+                (List.tl !pending)
+              @ [ (d, s) ];
+            loop ())
+  in
+  loop ();
+  List.rev !out
+
+let eliminate_phis (f : mfunc) =
+  split_critical_edges f;
+  List.iter
+    (fun s ->
+      if s.mphis <> [] then begin
+        (* group copies per incoming edge *)
+        let by_pred = Hashtbl.create 4 in
+        List.iter
+          (fun (d, incoming) ->
+            List.iter
+              (fun (p, v) ->
+                let cur = try Hashtbl.find by_pred p with Not_found -> [] in
+                Hashtbl.replace by_pred p ((d, v) :: cur))
+              incoming)
+          s.mphis;
+        Hashtbl.iter
+          (fun pbid copies ->
+            let p = block f pbid in
+            let seq = sequentialize f copies in
+            (* insert before the terminator *)
+            let rec place = function
+              | [ t ] when (match t.mop with Mb _ | Mbc _ | Mret _ -> true | _ -> false) ->
+                  seq @ [ t ]
+              | x :: rest -> x :: place rest
+              | [] -> seq
+            in
+            p.mins <- place p.mins)
+          by_pred;
+        s.mphis <- []
+      end)
+    f.mblocks
+
+(* --- liveness ----------------------------------------------------------- *)
+
+module VSet = Set.Make (Int)
+
+let liveness (f : mfunc) =
+  (* equation (2): region blocks flow into their handler *)
+  let handler_of_region = Hashtbl.create 4 in
+  List.iter
+    (fun (rid, _, h) -> Hashtbl.replace handler_of_region rid h)
+    f.mregions;
+  let succs_ext b =
+    succs b
+    @ (match b.in_region with
+      | Some r -> (
+          match Hashtbl.find_opt handler_of_region r with
+          | Some h -> [ h ]
+          | None -> [])
+      | None -> [])
+  in
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace live_in b.mbid VSet.empty;
+      Hashtbl.replace live_out b.mbid VSet.empty)
+    f.mblocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        let out =
+          List.fold_left
+            (fun acc s ->
+              VSet.union acc
+                (try Hashtbl.find live_in s with Not_found -> VSet.empty))
+            VSet.empty (succs_ext b)
+        in
+        let inn =
+          List.fold_right
+            (fun i live ->
+              let defs, uses = defs_uses i in
+              let live = List.fold_left (fun l d -> VSet.remove d l) live defs in
+              List.fold_left (fun l u -> VSet.add u l) live uses)
+            b.mins out
+        in
+        if
+          not
+            (VSet.equal out (Hashtbl.find live_out b.mbid)
+            && VSet.equal inn (Hashtbl.find live_in b.mbid))
+        then begin
+          Hashtbl.replace live_out b.mbid out;
+          Hashtbl.replace live_in b.mbid inn;
+          changed := true
+        end)
+      (List.rev f.mblocks)
+  done;
+  (live_in, live_out)
+
+(* --- linear scan -------------------------------------------------------- *)
+
+(* A live interval is a set of disjoint ranges (holes preserved).  Without
+   holes, the implicit region->handler edges of equation (2) would stretch
+   every value read by CFG_orig across the whole function and manufacture
+   spill pressure the hardware does not have. *)
+
+type interval = {
+  ivreg : vreg;
+  iwidth : int;
+  mutable ranges : (int * int) list;   (* sorted, disjoint [start, end) *)
+  mutable icrosses_call : bool;
+}
+
+type result = {
+  assignment : (vreg, loc) Hashtbl.t;
+  spill_slots : int;                  (* number of 4-byte spill slots *)
+  used_regs : Isa.reg list;           (* physical registers touched *)
+}
+
+let interval_start iv = match iv.ranges with (s, _) :: _ -> s | [] -> 0
+
+let add_range iv s e =
+  (* ranges are built in increasing order; merge with the last one *)
+  let rec insert = function
+    | [] -> [ (s, e) ]
+    | (s0, e0) :: rest when e < s0 -> (s, e) :: (s0, e0) :: rest
+    | (s0, e0) :: rest when s > e0 -> (s0, e0) :: insert rest
+    | (s0, e0) :: rest -> insert2 (min s s0) (max e e0) rest
+  and insert2 s e = function
+    | (s0, e0) :: rest when s0 <= e -> insert2 s (max e e0) rest
+    | rest -> (s, e) :: rest
+  in
+  iv.ranges <- insert iv.ranges
+
+let ranges_overlap a b =
+  List.exists
+    (fun (s0, e0) ->
+      List.exists (fun (s1, e1) -> s0 < e1 && s1 < e0) b)
+    a
+
+let build_intervals (f : mfunc) =
+  let live_in, live_out = liveness f in
+  let pos = ref 0 in
+  let tbl : (vreg, interval) Hashtbl.t = Hashtbl.create 64 in
+  let call_positions = ref [] in
+  let get v =
+    match Hashtbl.find_opt tbl v with
+    | Some iv -> iv
+    | None ->
+        let iv = { ivreg = v; iwidth = width_of f v; ranges = [];
+                   icrosses_call = false } in
+        Hashtbl.replace tbl v iv;
+        iv
+  in
+  List.iter
+    (fun b ->
+      let bstart = !pos in
+      let bend = bstart + List.length b.mins in
+      let lin = Hashtbl.find live_in b.mbid in
+      let lout = Hashtbl.find live_out b.mbid in
+      (* per-block last use / first def positions *)
+      let first_def = Hashtbl.create 8 and last_use = Hashtbl.create 8 in
+      List.iteri
+        (fun k i ->
+          let defs, uses = defs_uses i in
+          List.iter
+            (fun u -> Hashtbl.replace last_use u (bstart + k)) uses;
+          List.iter
+            (fun d ->
+              if not (Hashtbl.mem first_def d) then
+                Hashtbl.replace first_def d (bstart + k))
+            defs)
+        b.mins;
+      let vars = Hashtbl.create 16 in
+      VSet.iter (fun v -> Hashtbl.replace vars v ()) lin;
+      VSet.iter (fun v -> Hashtbl.replace vars v ()) lout;
+      Hashtbl.iter (fun v _ -> Hashtbl.replace vars v ()) first_def;
+      Hashtbl.iter (fun v _ -> Hashtbl.replace vars v ()) last_use;
+      Hashtbl.iter
+        (fun v () ->
+          let s =
+            if VSet.mem v lin then bstart
+            else
+              match Hashtbl.find_opt first_def v with
+              | Some p -> p
+              | None -> ( (* used before any def here: upward exposed *)
+                  match Hashtbl.find_opt last_use v with
+                  | Some _ -> bstart
+                  | None -> bstart)
+          in
+          let e =
+            if VSet.mem v lout then bend
+            else
+              match Hashtbl.find_opt last_use v with
+              | Some p -> p + 1
+              | None -> (
+                  match Hashtbl.find_opt first_def v with
+                  | Some p -> p + 1
+                  | None -> bstart)
+          in
+          if e > s then add_range (get v) s e
+          else add_range (get v) s (s + 1))
+        vars;
+      List.iteri
+        (fun k i ->
+          match i.mop with
+          | Mcall _ -> call_positions := (bstart + k) :: !call_positions
+          | _ -> ())
+        b.mins;
+      pos := bend)
+    f.mblocks;
+  let calls = !call_positions in
+  Hashtbl.iter
+    (fun _ iv ->
+      iv.icrosses_call <-
+        List.exists
+          (fun c ->
+            List.exists (fun (s, e) -> c >= s && c < e - 1) iv.ranges)
+          calls)
+    tbl;
+  let intervals = Hashtbl.fold (fun _ iv acc -> iv :: acc) tbl [] in
+  List.sort
+    (fun a b -> compare (interval_start a, a.ivreg) (interval_start b, b.ivreg))
+    intervals
+
+(** [run ?regs f] allocates every virtual register of [f] to a register, a
+    register slice, or a spill slot.  [regs] restricts the allocatable set
+    (the Thumb build passes R0-R7). *)
+(* RQ5's register-allocator heuristic: by default handlers are treated as
+   almost-never-entered, so CFG_spec intervals allocate first and get the
+   best registers; [orig_first] inverts the weights, giving CFG_orig
+   first pick (the experiment that recovers MIN's code quality in §4). *)
+let run ?(regs = allocatable) ?(orig_first = false) (f : mfunc) : result =
+  let allocatable = regs in
+  eliminate_phis f;
+  let intervals = build_intervals f in
+  let intervals =
+    (* partition by where the interval starts: spec code lies before orig
+       code in layout order, so block spans classify positions *)
+    let pos = ref 0 in
+    let orig_spans =
+      List.filter_map
+        (fun b ->
+          let s = !pos in
+          pos := !pos + List.length b.mins;
+          if b.is_orig then Some (s, !pos) else None)
+        f.mblocks
+    in
+    let starts_in_orig iv =
+      List.exists
+        (fun (s, e) -> interval_start iv >= s && interval_start iv < e)
+        orig_spans
+    in
+    let o, sp = List.partition starts_in_orig intervals in
+    if orig_first then o @ sp else sp @ o
+  in
+  (* Copy hints: allocating both ends of a move to the same register (or
+     slice) lets the emitter elide it — this is what coalesces the phi
+     webs the squeezer's SSA repair threads through CFG_orig. *)
+  let hints : (vreg, vreg list) Hashtbl.t = Hashtbl.create 32 in
+  let add_hint a b =
+    let cur = try Hashtbl.find hints a with Not_found -> [] in
+    Hashtbl.replace hints a (b :: cur)
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i.mop with
+          | Mmov (d, s) | Mtrunc_exact (d, s) | Mext (_, d, s) ->
+              add_hint d s;
+              add_hint s d
+          | _ -> ())
+        b.mins)
+    f.mblocks;
+  (* occupancy per (reg, slice) *)
+  let occ : (int * int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let occ_of r s =
+    match Hashtbl.find_opt occ (r, s) with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace occ (r, s) l;
+        l
+  in
+  let slice_free r s iv = not (ranges_overlap iv.ranges !(occ_of r s)) in
+  let reg_free r iv =
+    slice_free r 0 iv && slice_free r 1 iv && slice_free r 2 iv
+    && slice_free r 3 iv
+  in
+  let assignment = Hashtbl.create 64 in
+  let spill_slots = ref 0 in
+  let used = Hashtbl.create 16 in
+  let claim_reg r iv =
+    for s = 0 to 3 do
+      let l = occ_of r s in
+      l := iv.ranges @ !l
+    done;
+    Hashtbl.replace used r ()
+  in
+  let claim_slice r s iv =
+    let l = occ_of r s in
+    l := iv.ranges @ !l;
+    Hashtbl.replace used r ()
+  in
+  let candidates iv =
+    if iv.icrosses_call then List.filter (fun r -> r <> 0) allocatable
+    else allocatable
+  in
+  let hinted_locs iv =
+    match Hashtbl.find_opt hints iv.ivreg with
+    | None -> []
+    | Some partners ->
+        List.filter_map (fun p -> Hashtbl.find_opt assignment p) partners
+  in
+  List.iter
+    (fun iv ->
+      if iv.iwidth = 8 then begin
+        (* prefer the slice (or slice 0 of the register) a copy partner got *)
+        let hint =
+          List.find_map
+            (fun l ->
+              match l with
+              | Lslice sl
+                when List.mem sl.Isa.sl_reg (candidates iv)
+                     && slice_free sl.Isa.sl_reg sl.Isa.sl_byte iv ->
+                  Some (sl.Isa.sl_reg, sl.Isa.sl_byte)
+              | Lreg r when List.mem r (candidates iv) && slice_free r 0 iv ->
+                  Some (r, 0)
+              | _ -> None)
+            (hinted_locs iv)
+        in
+        match hint with
+        | Some (r, sl) ->
+            claim_slice r sl iv;
+            Hashtbl.replace assignment iv.ivreg
+              (Lslice { sl_reg = r; sl_byte = sl })
+        | None ->
+        (* packing: prefer a slice of a register already hosting other
+           slice values (most occupied slices first) *)
+        let score r =
+          List.length
+            (List.filter (fun s -> not (slice_free r s iv)) [ 0; 1; 2; 3 ])
+        in
+        let ranked =
+          List.sort
+            (fun a b -> compare (score b, a) (score a, b))
+            (candidates iv)
+        in
+        let found =
+          List.find_map
+            (fun r ->
+              List.find_map
+                (fun s -> if slice_free r s iv then Some (r, s) else None)
+                [ 0; 1; 2; 3 ])
+            (List.filter (fun r -> score r > 0 && score r < 4) ranked)
+        in
+        let found =
+          match found with
+          | Some _ -> found
+          | None ->
+              List.find_map
+                (fun r -> if reg_free r iv then Some (r, 0) else None)
+                (candidates iv)
+        in
+        match found with
+        | Some (r, s) ->
+            claim_slice r s iv;
+            Hashtbl.replace assignment iv.ivreg (Lslice { sl_reg = r; sl_byte = s })
+        | None ->
+            let slot = !spill_slots in
+            incr spill_slots;
+            Hashtbl.replace assignment iv.ivreg (Lstack slot)
+      end
+      else begin
+        let hint =
+          List.find_map
+            (fun l ->
+              match l with
+              | Lreg r when List.mem r (candidates iv) && reg_free r iv ->
+                  Some r
+              | _ -> None)
+            (hinted_locs iv)
+        in
+        let reg =
+          match hint with
+          | Some r -> Some r
+          | None -> List.find_opt (fun r -> reg_free r iv) (candidates iv)
+        in
+        match reg with
+        | Some r ->
+            claim_reg r iv;
+            Hashtbl.replace assignment iv.ivreg (Lreg r)
+        | None ->
+            let slot = !spill_slots in
+            incr spill_slots;
+            Hashtbl.replace assignment iv.ivreg (Lstack slot)
+      end)
+    intervals;
+  { assignment; spill_slots = !spill_slots;
+    used_regs = Hashtbl.fold (fun r () acc -> r :: acc) used [] }

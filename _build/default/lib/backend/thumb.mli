@@ -1,0 +1,18 @@
+(** The compact-ISA comparison point (RQ9).
+
+    A Thumb build is modelled by register-allocating with R0-R7 only and
+    padding every instruction with the NOPs its Thumb expansion would add:
+    the padded program is semantically identical while its dynamic
+    instruction count follows the Thumb cost model (two-address ALU ops,
+    short immediates, no conditional set), which is what Figure 18
+    reports. *)
+
+val thumb_regs : Bs_isa.Isa.reg list
+(** R0-R7. *)
+
+val cost : Bs_isa.Isa.insn -> int
+(** Dynamic Thumb instruction count of one BSARM instruction. *)
+
+val expand : Asm.program -> Asm.program
+(** Pad and re-link (branch targets, entries and the halt address are
+    remapped). *)

@@ -1,0 +1,1 @@
+lib/core/bitmask_elide.ml: Bs_ir Hashtbl Ir List Specops Width

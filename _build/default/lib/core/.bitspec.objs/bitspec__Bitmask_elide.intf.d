@@ -1,0 +1,1 @@
+lib/core/bitmask_elide.mli: Bs_ir

@@ -1,0 +1,1 @@
+lib/core/cfg_prep.ml: Bs_ir Ir List

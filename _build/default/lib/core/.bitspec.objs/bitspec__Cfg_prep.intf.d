@@ -1,0 +1,1 @@
+lib/core/cfg_prep.mli: Bs_ir

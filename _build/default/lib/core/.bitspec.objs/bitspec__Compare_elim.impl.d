@@ -1,0 +1,1 @@
+lib/core/compare_elim.ml: Bs_ir Dom Hashtbl Ir Lazy List Specops Width

@@ -1,0 +1,1 @@
+lib/core/compare_elim.mli: Bs_ir

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Bs_backend Bs_interp Bs_ir Bs_sim Expander Squeezer

@@ -1,0 +1,1 @@
+lib/core/expander.ml: Bs_ir Bs_opt Constfold Dce Inline Ir List Simplify_cfg Unroll

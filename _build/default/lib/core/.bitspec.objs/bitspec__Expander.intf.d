@@ -1,0 +1,1 @@
+lib/core/expander.mli: Bs_ir

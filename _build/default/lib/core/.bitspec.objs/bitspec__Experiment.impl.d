@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Bs_energy Bs_frontend Bs_interp Bs_sim Bs_workloads Cache Counters Driver Energy Int64 Interp Machine Option Workload

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Bs_energy Bs_sim Bs_workloads Driver

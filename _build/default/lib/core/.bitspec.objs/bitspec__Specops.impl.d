@@ -1,0 +1,1 @@
+lib/core/specops.ml: Bs_ir Ir List

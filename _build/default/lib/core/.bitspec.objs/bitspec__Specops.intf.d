@@ -1,0 +1,1 @@
+lib/core/specops.mli: Bs_ir

@@ -1,0 +1,1 @@
+lib/core/squeezer.ml: Bs_interp Bs_ir Hashtbl Int Ir List Liveness Map Option Profile Set Specops Ssa_repair Width

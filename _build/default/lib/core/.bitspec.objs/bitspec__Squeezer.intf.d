@@ -1,0 +1,1 @@
+lib/core/squeezer.mli: Bs_interp Bs_ir

@@ -1,0 +1,1 @@
+lib/core/ssa_repair.ml: Bs_ir Hashtbl Ir List

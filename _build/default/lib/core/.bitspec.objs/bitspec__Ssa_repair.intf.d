@@ -1,0 +1,1 @@
+lib/core/ssa_repair.mli: Bs_ir Hashtbl

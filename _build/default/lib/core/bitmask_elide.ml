@@ -1,0 +1,54 @@
+open Bs_ir
+
+(* Bitmask elision (RQ3).
+
+   Encoding kernels mask values with 0xFF constantly (`R2 = and R1, 0xFF`).
+   When such a masked value then feeds a *speculative* truncate inserted by
+   the squeezer, the truncate can never misspeculate — the mask already
+   guarantees the value fits the slice — so it is rewritten into an *exact*
+   truncate of the unmasked source, which the back-end lowers to a plain
+   register-slice move (no misspeculation hardware involved, no handler
+   entry possible).  If every consumer of the AND is rewritten this way the
+   AND itself dies at the next DCE. *)
+
+let slice_mask = Width.mask Specops.slice_width
+
+let run_func (f : Ir.func) =
+  let elided = ref 0 in
+  (* map: result of `and x, 0xFF` -> x *)
+  let masked : (int, Ir.operand) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.Bin (Ir.And, x, Ir.Const c)
+            when c.cval = slice_mask && i.width > Specops.slice_width
+                 && not i.speculative ->
+              Hashtbl.replace masked i.iid x
+          | Ir.Bin (Ir.And, Ir.Const c, x)
+            when c.cval = slice_mask && i.width > Specops.slice_width
+                 && not i.speculative ->
+              Hashtbl.replace masked i.iid x
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  if Hashtbl.length masked > 0 then
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun (i : Ir.instr) ->
+            match i.op with
+            | Ir.Cast (Ir.TruncCast, Ir.Var v)
+              when i.speculative && i.width = Specops.slice_width
+                   && Hashtbl.mem masked v ->
+                (* trunc8(and(x, 0xFF)) = trunc8(x), exactly *)
+                i.op <- Ir.Cast (Ir.TruncCast, Hashtbl.find masked v);
+                i.speculative <- false;
+                incr elided
+            | _ -> ())
+          b.instrs)
+      f.blocks;
+  !elided
+
+let run (m : Ir.modul) = List.fold_left (fun n f -> n + run_func f) 0 m.funcs

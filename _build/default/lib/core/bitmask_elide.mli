@@ -1,0 +1,10 @@
+(** Bitmask elision (RQ3): a speculative truncate fed by [v & 0xFF]
+    becomes an exact truncate of [v] — the back-end lowers it to a plain
+    register-slice move that can never misspeculate, and the mask itself
+    dies at the next DCE.  The pattern dominates encoder kernels
+    (blowfish, rijndael). *)
+
+val run_func : Bs_ir.Ir.func -> int
+(** Returns the number of truncates de-speculated. *)
+
+val run : Bs_ir.Ir.modul -> int

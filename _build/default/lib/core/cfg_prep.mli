@@ -1,0 +1,23 @@
+(** CFG preparation — pass ① of the squeezer (§3.2.3).
+
+    Splits blocks until each satisfies equations (4)-(6): only loads or
+    only stores per block (no intra-block WAR hazards), volatile accesses
+    and calls isolated, phis separated from non-phis. *)
+
+val run_func : Bs_ir.Ir.func -> int
+(** Prepare one function; returns the number of splits performed. *)
+
+val run : Bs_ir.Ir.modul -> int
+(** Prepare every function of the module. *)
+
+val satisfies_eq4 : Bs_ir.Ir.block -> bool
+(** Loads-only or stores-only. *)
+
+val satisfies_eq5 : Bs_ir.Ir.block -> bool
+(** Volatile/call instructions stand alone. *)
+
+val satisfies_eq6 : Bs_ir.Ir.block -> bool
+(** Phis-only or phi-free. *)
+
+val check_func : Bs_ir.Ir.func -> bool
+(** All three invariants hold for every block (used by the test suite). *)

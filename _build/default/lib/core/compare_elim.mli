@@ -1,0 +1,10 @@
+(** Compare elimination (§3.2.4): a compare between a speculated 8-bit
+    value and a constant that cannot fit the slice is decided by the
+    speculation outcome alone, so it folds to a constant while execution
+    remains in CFG_spec.  Evidence that the value fits is either a
+    squeezed definition or a dominating committed speculative truncate. *)
+
+val run_func : Bs_ir.Ir.func -> int
+(** Returns the number of compares eliminated. *)
+
+val run : Bs_ir.Ir.modul -> int

@@ -1,0 +1,120 @@
+open Bs_ir
+open Bs_frontend
+open Bs_interp
+open Bs_backend
+open Bs_sim
+
+(* The BITSPEC compilation driver (Figure 4): front-end → expander →
+   CFG preparation → profile → squeeze → BITSPEC optimisations → back-end
+   → binary, plus the baseline pipeline that skips the speculative
+   stages. *)
+
+type arch = Baseline | Bitspec_arch | Thumb
+
+type config = {
+  arch : arch;
+  heuristic : Profile.heuristic;
+  expander : Expander.config;
+  speculate : bool;               (* RQ2: false = static narrowing only *)
+  compare_elim : bool;
+  bitmask_elide : bool;
+  orig_first : bool;
+      (* RQ5: invert the allocator's handler branch weights, giving
+         CFG_orig first pick of registers *)
+}
+
+let bitspec_config =
+  { arch = Bitspec_arch; heuristic = Profile.Hmax;
+    expander = Expander.default; speculate = true; compare_elim = true;
+    bitmask_elide = true; orig_first = false }
+
+let baseline_config =
+  { bitspec_config with arch = Baseline; speculate = false;
+    compare_elim = false; bitmask_elide = false }
+
+(** RQ9: the compact-ISA build (Thumb-like: 8 registers, 2-address ops). *)
+let thumb_config = { baseline_config with arch = Thumb }
+
+type compiled = {
+  ir : Ir.modul;
+  program : Asm.program;
+  config : config;
+  profile : Profile.t option;
+  squeeze_stats : Squeezer.stats option;
+}
+
+(** Profile [m] by interpreting it on the training runs: each run is an
+    (entry, args) pair; [setup] (if any) initialises workload inputs given
+    the in-flight module. *)
+let profile_module (m : Ir.modul) ?setup
+    ~(train : (string * int64 list) list) () =
+  let profile = Profile.create () in
+  let opts = { Interp.default_opts with profile = Some profile } in
+  List.iter
+    (fun (entry, args) ->
+      let s = Option.map (fun f -> f m) setup in
+      ignore (Interp.run_fresh ~opts ?setup:s m ~entry ~args))
+    train;
+  profile
+
+let lower_to_machine ?(orig_first = false) (m : Ir.modul) ~arch : Asm.program =
+  let image = Memimage.create m in
+  let addr_of_global = Memimage.addr_of image in
+  let slices = arch = Bitspec_arch in
+  let funcs =
+    List.map
+      (fun f ->
+        let mf = Isel.lower_func ~slices f in
+        let ra =
+          match arch with
+          | Thumb -> Regalloc.run ~regs:Thumb.thumb_regs ~orig_first mf
+          | Baseline | Bitspec_arch -> Regalloc.run ~orig_first mf
+        in
+        (mf, ra))
+      m.Ir.funcs
+  in
+  let p = Asm.assemble ~addr_of_global funcs in
+  match arch with Thumb -> Thumb.expand p | Baseline | Bitspec_arch -> p
+
+(** [compile ~config ~source ~train] runs the full pipeline on MiniC
+    source.  [train] supplies the profiling runs (ignored by the baseline
+    pipeline). *)
+let compile ~config ~source ?setup ~train () : compiled =
+  let m = Lower.compile source in
+  ignore (Expander.run m config.expander);
+  Verifier.verify_exn m;
+  ignore (Cfg_prep.run m);
+  Verifier.verify_exn m;
+  let profile, squeeze_stats =
+    if config.arch = Bitspec_arch && config.speculate then begin
+      let profile = profile_module m ?setup ~train () in
+      let stats = Squeezer.run m ~profile ~heuristic:config.heuristic in
+      if config.compare_elim then ignore (Compare_elim.run m);
+      if config.bitmask_elide then ignore (Bitmask_elide.run m);
+      ignore (Bs_opt.Constfold.run m);
+      ignore (Bs_opt.Dce.run m);
+      Verifier.verify_exn m;
+      (Some profile, Some stats)
+    end
+    else (None, None)
+  in
+  let program =
+    lower_to_machine ~orig_first:config.orig_first m ~arch:config.arch
+  in
+  { ir = m; program; config; profile; squeeze_stats }
+
+(** Run the compiled binary on the machine model. *)
+let run_machine ?setup ?(fuel = 1_000_000_000) (c : compiled) ~entry ~args =
+  let mem = Memimage.create c.ir in
+  (match setup with Some f -> f mem | None -> ());
+  let mode =
+    if c.config.arch = Bitspec_arch then Bs_isa.Isa.Bitspec
+    else Bs_isa.Isa.Classic
+  in
+  Machine.run ~config:{ Machine.mode; fuel } c.program mem ~entry ~args
+
+(** Run the reference interpreter on the same IR (for differential
+    checks). *)
+let run_reference ?setup (c : compiled) ~entry ~args =
+  let r, _ = Interp.run_fresh ?setup c.ir ~entry ~args in
+  r

@@ -1,0 +1,86 @@
+(** The BITSPEC compilation driver (the paper's Figure 4 pipeline).
+
+    [compile] takes MiniC source through the front-end, the expander
+    (§3.2.1), CFG preparation (§3.2.3 pass ①), profile-guided squeezing
+    (passes ②③), the BITSPEC-specific optimisations, and the back-end to a
+    linked binary image; [run_machine] executes that image on the
+    cycle-level machine model. *)
+
+(** Target architectures: the paper's BASELINE processor, the processor
+    with the BITSPEC ISA/microarchitecture extensions, and the
+    compact-ISA comparison point of RQ9. *)
+type arch = Baseline | Bitspec_arch | Thumb
+
+type config = {
+  arch : arch;
+  heuristic : Bs_interp.Profile.heuristic;  (** T = MAX / AVG / MIN (§3.2.2) *)
+  expander : Expander.config;               (** inlining/unrolling budgets *)
+  speculate : bool;  (** [false] = RQ2's no-speculation variant *)
+  compare_elim : bool;   (** §3.2.4 *)
+  bitmask_elide : bool;  (** RQ3's second ablation *)
+  orig_first : bool;
+      (** RQ5: invert the allocator's handler branch weights so CFG_orig
+          gets first pick of registers *)
+}
+
+val bitspec_config : config
+(** The paper's default BITSPEC build: T = MAX, expander on, both
+    optimisations enabled. *)
+
+val baseline_config : config
+(** The BASELINE build: conventional ISA, no speculation. *)
+
+val thumb_config : config
+(** RQ9's compact-ISA build: 8 registers, 2-address operations. *)
+
+type compiled = {
+  ir : Bs_ir.Ir.modul;                      (** the final (squeezed) SIR *)
+  program : Bs_backend.Asm.program;         (** linked binary image *)
+  config : config;
+  profile : Bs_interp.Profile.t option;     (** the training profile used *)
+  squeeze_stats : Squeezer.stats option;
+}
+
+val profile_module :
+  Bs_ir.Ir.modul ->
+  ?setup:(Bs_ir.Ir.modul -> Bs_interp.Memimage.t -> unit) ->
+  train:(string * int64 list) list ->
+  unit ->
+  Bs_interp.Profile.t
+(** [profile_module m ~train ()] interprets [m] on each [(entry, args)]
+    training run, recording per-variable bitwidth statistics (§3.2.2).
+    [setup] initialises workload input data in each run's memory image. *)
+
+val lower_to_machine :
+  ?orig_first:bool -> Bs_ir.Ir.modul -> arch:arch -> Bs_backend.Asm.program
+(** Back-end only: instruction selection, register allocation, layout and
+    linking of an already-prepared module. *)
+
+val compile :
+  config:config ->
+  source:string ->
+  ?setup:(Bs_ir.Ir.modul -> Bs_interp.Memimage.t -> unit) ->
+  train:(string * int64 list) list ->
+  unit ->
+  compiled
+(** Full pipeline from MiniC source.  [train] and [setup] drive the
+    profiler; they are ignored by non-speculative configurations. *)
+
+val run_machine :
+  ?setup:(Bs_interp.Memimage.t -> unit) ->
+  ?fuel:int ->
+  compiled ->
+  entry:string ->
+  args:int64 list ->
+  Bs_sim.Machine.result
+(** Simulate the compiled binary on a fresh memory image.  [setup] fills
+    workload inputs; [fuel] bounds dynamic instructions. *)
+
+val run_reference :
+  ?setup:(Bs_interp.Memimage.t -> unit) ->
+  compiled ->
+  entry:string ->
+  args:int64 list ->
+  Bs_interp.Interp.result
+(** Execute the compiled module's IR on the reference interpreter (the
+    differential-testing oracle). *)

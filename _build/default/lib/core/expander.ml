@@ -1,0 +1,72 @@
+open Bs_ir
+open Bs_opt
+
+(* The expander (§3.2.1): aggressive function inlining and loop unrolling,
+   instantiating dynamic code paths as static control flow to widen the
+   optimisation space that BITSPEC's register packing then exploits.
+
+   The search space matches the paper's autotuner: unrolling factor,
+   maximum function size and maximum loop size; [autotune] grid-searches it
+   for the configuration minimising dynamic instructions on the baseline
+   (the paper tuned against BASELINE with OpenTuner over 10 days; the grid
+   here covers the same axes in seconds). *)
+
+type config = {
+  unroll_factor : int;   (* max times any loop is unrolled *)
+  max_fn_size : int;     (* static instruction budget per function *)
+  max_loop_size : int;   (* static instruction budget per unrolled loop *)
+}
+
+let default = { unroll_factor = 4; max_fn_size = 2000; max_loop_size = 600 }
+
+let disabled = { unroll_factor = 1; max_fn_size = 0; max_loop_size = 0 }
+
+(** [run m config] applies inlining then unrolling then cleanup.  Returns
+    (functions inlined, loops unrolled). *)
+let run (m : Ir.modul) (config : config) =
+  let inlined =
+    if config.max_fn_size > 0 then
+      Inline.run m ~max_callee_size:(config.max_fn_size / 4)
+        ~max_size:config.max_fn_size ()
+    else 0
+  in
+  let unrolled =
+    if config.unroll_factor > 1 then
+      List.fold_left
+        (fun n f ->
+          n
+          + Unroll.run_func f ~factor:config.unroll_factor
+              ~max_loop_size:config.max_loop_size)
+        0 m.funcs
+    else 0
+  in
+  ignore (Constfold.run m);
+  ignore (Simplify_cfg.run m);
+  ignore (Dce.run m);
+  (inlined, unrolled)
+
+(** Grid search over the expander's knobs: [compile ()] must produce a
+    fresh module, [measure m] its dynamic instruction count on the target
+    workload.  Returns the best configuration. *)
+let autotune ~compile ~measure =
+  let grid =
+    List.concat_map
+      (fun uf ->
+        List.concat_map
+          (fun mfs ->
+            List.map
+              (fun mls -> { unroll_factor = uf; max_fn_size = mfs; max_loop_size = mls })
+              [ 300; 600 ])
+          [ 1000; 2000 ])
+      [ 1; 2; 4; 8 ]
+  in
+  let best = ref (default, max_int) in
+  List.iter
+    (fun cfg ->
+      let m = compile () in
+      ignore (run m cfg);
+      match measure m with
+      | cost when cost < snd !best -> best := (cfg, cost)
+      | _ -> ())
+    grid;
+  fst !best

@@ -1,0 +1,26 @@
+(** The expander (§3.2.1): aggressive inlining and loop unrolling that
+    instantiate dynamic code paths as static control flow, widening the
+    optimisation space BITSPEC's register packing then exploits. *)
+
+type config = {
+  unroll_factor : int;   (** max times any loop is unrolled *)
+  max_fn_size : int;     (** static instruction budget per function *)
+  max_loop_size : int;   (** static instruction budget per unrolled loop *)
+}
+
+val default : config
+(** The configuration used throughout the evaluation (the analogue of the
+    paper's autotuned setting). *)
+
+val disabled : config
+(** No inlining, no unrolling — Figure 13's ablation. *)
+
+val run : Bs_ir.Ir.modul -> config -> int * int
+(** [run m config] applies inlining, unrolling and cleanup in place;
+    returns (calls inlined, loops unrolled). *)
+
+val autotune :
+  compile:(unit -> Bs_ir.Ir.modul) -> measure:(Bs_ir.Ir.modul -> int) -> config
+(** Grid search over the expander's knobs minimising [measure] (dynamic
+    instructions on the baseline, as in the paper's OpenTuner setup).
+    [compile] must produce a fresh module for each trial. *)

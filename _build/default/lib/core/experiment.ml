@@ -1,0 +1,83 @@
+open Bs_interp
+open Bs_sim
+open Bs_energy
+open Bs_workloads
+
+(* The experiment harness: compile a workload under a configuration,
+   simulate it on its test input, and collect every metric the paper's
+   figures report.  All relative numbers are against the BASELINE build of
+   the same workload, as in §4. *)
+
+type metrics = {
+  checksum : int64;
+  instrs : int;
+  cycles : int;
+  misspecs : int;
+  energy : Energy.breakdown;
+  total_energy : float;
+  epi : float;
+  spill_loads : int;
+  spill_stores : int;
+  copies : int;
+  reg_accesses_32 : int;
+  reg_accesses_8 : int;
+  icache_accesses : int;
+  dcache_accesses : int;
+}
+
+let metrics_of_run (r : Machine.result) : metrics =
+  let b = Energy.of_result r in
+  let c = r.Machine.ctr in
+  { checksum = r.Machine.r0;
+    instrs = c.Counters.instrs;
+    cycles = c.Counters.cycles;
+    misspecs = c.Counters.misspecs;
+    energy = b;
+    total_energy = Energy.total b;
+    epi = Energy.epi b c;
+    spill_loads = c.Counters.spill_loads;
+    spill_stores = c.Counters.spill_stores;
+    copies = c.Counters.copies;
+    reg_accesses_32 = c.Counters.reg_read32 + c.Counters.reg_write32;
+    reg_accesses_8 = c.Counters.reg_read8 + c.Counters.reg_write8;
+    icache_accesses = Cache.accesses r.Machine.icache;
+    dcache_accesses = Cache.accesses r.Machine.dcache }
+
+(** [compile_workload config w] compiles [w] under [config], profiling on
+    the train input (or [profile_input] when given — RQ6 swaps in the
+    alternate input here). *)
+let compile_workload ?(profile_input : Workload.input option)
+    (config : Driver.config) (w : Workload.t) : Driver.compiled =
+  let pi = Option.value profile_input ~default:w.train in
+  Driver.compile ~config ~source:w.source ~setup:pi.Workload.setup
+    ~train:[ (w.entry, pi.Workload.args) ] ()
+
+(** [run_compiled c w ~input] simulates and collects metrics. *)
+let run_compiled (c : Driver.compiled) (w : Workload.t)
+    ~(input : Workload.input) : metrics =
+  let r =
+    Driver.run_machine ~setup:(input.Workload.setup c.Driver.ir) c
+      ~entry:w.entry ~args:input.Workload.args
+  in
+  metrics_of_run r
+
+(** One-call experiment: compile under [config] and measure on the test
+    input. *)
+let run ?profile_input (config : Driver.config) (w : Workload.t) : metrics =
+  let c = compile_workload ?profile_input config w in
+  run_compiled c w ~input:w.test
+
+(** Reference-interpreter checksum on the test input (correctness oracle:
+    any simulated build must reproduce it). *)
+let reference_checksum (w : Workload.t) : int64 =
+  let m = Bs_frontend.Lower.compile w.source in
+  let r, _ =
+    Interp.run_fresh ~setup:(w.test.Workload.setup m) m ~entry:w.entry
+      ~args:w.test.Workload.args
+  in
+  match r.Interp.ret with
+  | Some v -> Int64.logand v 0xFFFFFFFFL
+  | None -> 0L
+
+(** Relative value helper: [rel v base] = v / base. *)
+let rel v base = if base = 0.0 then 1.0 else v /. base

@@ -1,0 +1,54 @@
+(** The experiment harness: compile a workload under a configuration,
+    simulate it on its test input, and collect every metric the paper's
+    figures report.  Relative numbers are always against the BASELINE
+    build of the same workload, as in §4. *)
+
+type metrics = {
+  checksum : int64;          (** the workload's result (correctness oracle) *)
+  instrs : int;              (** dynamic instructions *)
+  cycles : int;
+  misspecs : int;            (** Table 2 *)
+  energy : Bs_energy.Energy.breakdown;  (** Figure 9 components *)
+  total_energy : float;      (** Figure 8 *)
+  epi : float;               (** energy per instruction *)
+  spill_loads : int;         (** Figure 10 *)
+  spill_stores : int;
+  copies : int;
+  reg_accesses_32 : int;     (** Figure 11 *)
+  reg_accesses_8 : int;
+  icache_accesses : int;
+  dcache_accesses : int;
+}
+
+val metrics_of_run : Bs_sim.Machine.result -> metrics
+(** Collect metrics from one simulation. *)
+
+val compile_workload :
+  ?profile_input:Bs_workloads.Workload.input ->
+  Driver.config ->
+  Bs_workloads.Workload.t ->
+  Driver.compiled
+(** Compile a workload, profiling on its train input (or [profile_input] —
+    RQ6 passes the alternate input here). *)
+
+val run_compiled :
+  Driver.compiled ->
+  Bs_workloads.Workload.t ->
+  input:Bs_workloads.Workload.input ->
+  metrics
+(** Simulate an already-compiled workload on an arbitrary input. *)
+
+val run :
+  ?profile_input:Bs_workloads.Workload.input ->
+  Driver.config ->
+  Bs_workloads.Workload.t ->
+  metrics
+(** One-call experiment: compile under the configuration, measure on the
+    workload's test input. *)
+
+val reference_checksum : Bs_workloads.Workload.t -> int64
+(** The reference interpreter's checksum on the test input; every
+    simulated build must reproduce it. *)
+
+val rel : float -> float -> float
+(** [rel v base] = v / base (1 when base is 0). *)

@@ -1,0 +1,45 @@
+open Bs_ir
+
+(* The Speculative? and Idempotent? relations of §3.2.2.
+
+   Table 1 provides 8-bit speculative hardware for addition, subtraction,
+   logic, comparison, loads/stores, extension and truncation — but not for
+   multiplication, division or shifts, so those operations are never
+   squeezed.  Signed comparisons are excluded because byte slices compare
+   unsigned. *)
+
+(** The hardware slice width: speculative operations exist at 8 bits
+    only. *)
+let slice_width = 8
+
+(** [speculative_op op] — does a speculative (slice) variant of this
+    operation exist in the ISA? *)
+let speculative_op (op : Ir.op) =
+  match op with
+  | Ir.Bin ((Ir.Add | Ir.Sub | Ir.And | Ir.Or | Ir.Xor), _, _) -> true
+  | Ir.Cmp ((Ir.Eq | Ir.Ne | Ir.Ult | Ir.Ule | Ir.Ugt | Ir.Uge), _, _) -> true
+  | Ir.Phi _ -> true  (* a register merge: slices merge like registers *)
+  | _ -> false
+
+(** [idempotent_block b] — equation (5)'s query: a block is idempotent iff
+    it contains no volatile access and no call. *)
+let idempotent_block (b : Ir.block) =
+  List.for_all
+    (fun (i : Ir.instr) ->
+      match i.op with
+      | Ir.Call _ -> false
+      | Ir.Load l -> not l.l_volatile
+      | Ir.Store s -> not s.s_volatile
+      | _ -> true)
+    b.instrs
+
+(** Misspeculation conditions at the machine level mirror
+    {!Bs_interp.Interp.misspeculates}; this predicate tells whether an
+    instruction *can* misspeculate at all (Table 1's Misspec? column). *)
+let can_misspeculate (i : Ir.instr) =
+  i.speculative
+  &&
+  match i.op with
+  | Ir.Bin ((Ir.Add | Ir.Sub), _, _) -> true
+  | Ir.Cast (Ir.TruncCast, _) -> true
+  | _ -> false

@@ -1,0 +1,20 @@
+(** The Speculative? and Idempotent? relations of §3.2.2.
+
+    Table 1 provides 8-bit speculative hardware for addition, subtraction,
+    logic, comparison, loads/stores, extension and truncation — but not
+    multiplication, division or shifts, so those are never squeezed.
+    Signed comparisons are excluded because byte slices compare
+    unsigned. *)
+
+val slice_width : int
+(** The hardware slice width: 8. *)
+
+val speculative_op : Bs_ir.Ir.op -> bool
+(** Does a speculative (slice) variant of this operation exist? *)
+
+val idempotent_block : Bs_ir.Ir.block -> bool
+(** Equation (5)'s query: no volatile access, no call. *)
+
+val can_misspeculate : Bs_ir.Ir.instr -> bool
+(** Table 1's Misspec? column: speculative add/sub (overflow/underflow)
+    and speculative truncates (source exceeds the slice). *)

@@ -1,0 +1,44 @@
+(** The squeezer (§3.2.3): profile-guided speculative bitwidth reduction.
+
+    Expects modules already put through {!Cfg_prep}.  Duplicates each
+    function's CFG into CFG_spec/CFG_orig, retypes squeezable variables at
+    the 8-bit slice width, inserts speculative truncates and extensions at
+    the boundaries, and builds one speculative region + misspeculation
+    handler per block that can misspeculate, with equation (8)'s φ-merge
+    materialised by SSA repair. *)
+
+type stats = {
+  mutable squeezed : int;  (** instructions re-typed to the slice width *)
+  mutable truncs : int;    (** speculative truncates inserted *)
+  mutable exts : int;      (** zero-extensions inserted *)
+  mutable regions : int;   (** speculative regions created *)
+}
+
+val fresh_stats : unit -> stats
+
+val squeezable :
+  Bs_interp.Profile.t ->
+  Bs_interp.Profile.heuristic ->
+  Bs_ir.Ir.func ->
+  Bs_ir.Ir.block ->
+  (int -> bool) ->
+  Bs_ir.Ir.instr ->
+  bool
+(** The Squeezable? relation of equation (3): a speculative machine
+    operation exists, the block is idempotent, and the heuristic's targets
+    for the variable and its operands fit the slice. *)
+
+val run_func :
+  Bs_ir.Ir.modul ->
+  Bs_ir.Ir.func ->
+  profile:Bs_interp.Profile.t ->
+  heuristic:Bs_interp.Profile.heuristic ->
+  stats
+(** Squeeze one function in place. *)
+
+val run :
+  Bs_ir.Ir.modul ->
+  profile:Bs_interp.Profile.t ->
+  heuristic:Bs_interp.Profile.heuristic ->
+  stats
+(** Squeeze every function of the module; returns aggregate statistics. *)

@@ -1,0 +1,1 @@
+lib/energy/dts.ml: Bs_sim Counters Energy

@@ -1,0 +1,1 @@
+lib/energy/dts.mli: Bs_sim Energy

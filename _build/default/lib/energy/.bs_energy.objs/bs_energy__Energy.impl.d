@@ -1,0 +1,1 @@
+lib/energy/energy.ml: Bs_sim Cache Counters Machine

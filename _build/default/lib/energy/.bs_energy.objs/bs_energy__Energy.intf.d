@@ -1,0 +1,1 @@
+lib/energy/energy.mli: Bs_sim

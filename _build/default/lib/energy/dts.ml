@@ -1,0 +1,96 @@
+open Bs_sim
+
+(* Dynamic Timing Slack (RQ8): a model of time squeezing (Fan et al.,
+   ISCA'19) as the paper applies it.
+
+   Each instruction class has a critical-path fraction d ∈ (0,1]: the part
+   of the clock period its longest logic path actually needs.  The
+   compiler's per-instruction clock hint lets the hardware reclaim the
+   slack by lowering the supply voltage until the path fills the period.
+   Voltage is found by inverting the alpha-power-law delay model
+   (Sakurai-Newton),  delay ∝ V / (V - Vt)^α,  and dynamic energy scales
+   as (V/V0)² (Mudge) — the same "well-established power and delay
+   equations" the paper cites.  Razor-style recovery charges a small
+   replay penalty.
+
+   Two estimators are provided:
+   - [Conservative] is the paper's: the compiler estimate is unaware of
+     operand bitwidth, so slice operations get the same class delay as
+     32-bit ALU operations.  This makes DTS and BITSPEC compose
+     multiplicatively (the paper's Figure 17 finding).
+   - [Width_aware] is the future work §4/RQ8 sketches: 8-bit slices induce
+     shorter carry chains, so slice ops expose more slack. *)
+
+type estimator = Conservative | Width_aware
+
+let v0 = 1.2      (* nominal supply, paper's synthesis point *)
+let vt = 0.35
+let alpha = 1.3
+let margin = 0.05 (* guard band on every hint *)
+let razor_error_rate = 0.001
+let razor_penalty_cycles = 6.0
+
+(* relative delay of the circuit at voltage [v], vs nominal *)
+let rel_delay v = v /. ((v -. vt) ** alpha) /. (v0 /. ((v0 -. vt) ** alpha))
+
+(* Lowest voltage at which the circuit still meets a period stretched by
+   1/d (bisection; rel_delay is monotonically decreasing in v). *)
+let voltage_for_slack d =
+  let target = 1.0 /. d in
+  let lo = ref (vt +. 0.05) and hi = ref v0 in
+  for _ = 1 to 40 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if rel_delay mid > target then lo := mid else hi := mid
+  done;
+  !hi
+
+(* energy scale factor for an instruction class with path fraction d *)
+let energy_factor d =
+  let d = min 1.0 (d +. margin) in
+  let v = voltage_for_slack d in
+  (v /. v0) ** 2.0
+
+(* critical-path fractions per class *)
+let d_mem = 1.0
+let d_div = 1.0
+let d_mul = 1.0
+let d_alu32 = 0.85
+let d_branch = 0.75
+let d_alu8_aware = 0.55
+let d_other = 0.6
+
+(** [scale estimator ctr breakdown] returns the DTS-scaled breakdown and
+    the average core energy factor applied. *)
+let scale (est : estimator) (ctr : Counters.t) (b : Energy.breakdown) :
+    Energy.breakdown * float =
+  let f = float_of_int in
+  let d_alu8 =
+    match est with Conservative -> d_alu32 | Width_aware -> d_alu8_aware
+  in
+  let mem = ctr.loads + ctr.stores in
+  let branches = ctr.branch_stalls / 2 in
+  let classified = ctr.alu32 + ctr.alu8 + ctr.mul_ops + ctr.div_ops + mem + branches in
+  let other = max 0 (ctr.instrs - classified) in
+  let weighted =
+    (f ctr.alu32 *. energy_factor d_alu32)
+    +. (f ctr.alu8 *. energy_factor d_alu8)
+    +. (f ctr.mul_ops *. energy_factor d_mul)
+    +. (f ctr.div_ops *. energy_factor d_div)
+    +. (f mem *. energy_factor d_mem)
+    +. (f branches *. energy_factor d_branch)
+    +. (f other *. energy_factor d_other)
+  in
+  let denom = f (max 1 ctr.instrs) in
+  let avg_factor = weighted /. denom in
+  (* Razor recovery: replayed instructions burn pipeline cycles *)
+  let razor =
+    razor_error_rate *. f ctr.instrs *. razor_penalty_cycles *. 1.2
+  in
+  let scaled =
+    { Energy.alu = b.Energy.alu *. avg_factor;
+      regfile = b.Energy.regfile *. avg_factor;
+      dcache = b.Energy.dcache *. avg_factor;
+      icache = b.Energy.icache *. avg_factor;
+      pipeline = (b.Energy.pipeline *. avg_factor) +. razor }
+  in
+  (scaled, avg_factor)

@@ -1,0 +1,32 @@
+(** Dynamic Timing Slack (RQ8): a model of time squeezing as the paper
+    applies it.
+
+    Each instruction class exposes a critical-path fraction; the reclaimed
+    slack lowers the supply voltage via the inverted alpha-power-law delay
+    model, and dynamic energy scales as (V/V0)².  Razor-style recovery
+    charges a small replay penalty. *)
+
+type estimator =
+  | Conservative
+      (** The paper's estimator: unaware of operand bitwidth, so slice
+          operations get the 32-bit ALU class delay.  This makes DTS and
+          BITSPEC compose multiplicatively (Figure 17's finding). *)
+  | Width_aware
+      (** The future work §4/RQ8 sketches: 8-bit slices have shorter carry
+          chains and expose more slack. *)
+
+val voltage_for_slack : float -> float
+(** Lowest supply voltage at which the circuit still meets a period
+    stretched by [1/d], by bisection on the Sakurai-Newton delay model. *)
+
+val energy_factor : float -> float
+(** Energy scale factor for an instruction class whose critical path uses
+    fraction [d] of the cycle (guard band included). *)
+
+val scale :
+  estimator ->
+  Bs_sim.Counters.t ->
+  Energy.breakdown ->
+  Energy.breakdown * float
+(** [scale est ctr b] applies per-class voltage scaling to the breakdown
+    and returns it with the average core energy factor used. *)

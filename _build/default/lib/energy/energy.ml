@@ -1,0 +1,79 @@
+open Bs_sim
+
+(* The per-component energy model.
+
+   The paper derives energy from a synthesized 45 nm gate-level
+   implementation; absolute joules are not reproducible without that
+   netlist, so this model assigns a fixed energy cost to each
+   architectural event counted by the simulator and reports everything
+   relative to BASELINE, as the paper does.  One constant is anchored to a
+   measurement the paper reports explicitly (§4 RQ1): an 8-bit register
+   slice access costs 1/4 of a 32-bit register access.  The remaining
+   constants encode standard embedded-core proportions: cache accesses
+   dominate register accesses, DRAM dominates everything, and stall cycles
+   burn pipeline power without doing work. *)
+
+type breakdown = {
+  alu : float;
+  regfile : float;
+  dcache : float;
+  icache : float;
+  pipeline : float;      (* everything else, incl. stalls — Figure 9 *)
+}
+
+let total b = b.alu +. b.regfile +. b.dcache +. b.icache +. b.pipeline
+
+(* Energy units per event.  Calibrated so the BASELINE per-component split
+   approximates the paper's Figure 9 (register file and instruction cache
+   as leading consumers, ALU and D$ next, the residual pipeline clocking
+   last), with the single hard anchor from RQ1: an 8-bit register slice
+   access costs 1/4 of a 32-bit access. *)
+let e_reg32 = 1.2
+let e_reg8 = 0.3           (* the paper's gate-level 1/4 measurement *)
+let e_alu32 = 2.2
+let e_alu8 = 0.6           (* shorter carry chain, narrower operand latch *)
+let e_mul = 6.0
+let e_div = 20.0
+let e_icache_access = 2.5
+let e_dcache_access = 6.0
+let e_l2_access = 20.0
+let e_dram_access = 120.0
+let e_pipe_cycle = 0.9     (* clocking, fetch/decode latches *)
+let e_stall_cycle = 0.7    (* stalled pipeline still burns clock power *)
+
+(** [of_run ~ctr ~icache ~dcache ~l2] converts one simulation's activity
+    counters into a per-component energy breakdown. *)
+let of_run ~(ctr : Counters.t) ~(icache : Cache.t) ~(dcache : Cache.t)
+    ~(l2 : Cache.t) : breakdown =
+  let f = float_of_int in
+  let alu =
+    (f ctr.alu32 *. e_alu32)
+    +. (f ctr.alu8 *. e_alu8)
+    +. (f ctr.mul_ops *. e_mul)
+    +. (f ctr.div_ops *. e_div)
+  in
+  let regfile =
+    (f (ctr.reg_read32 + ctr.reg_write32) *. e_reg32)
+    +. (f (ctr.reg_read8 + ctr.reg_write8) *. e_reg8)
+  in
+  let dcache = f (Cache.accesses dcache) *. e_dcache_access in
+  let icache = f (Cache.accesses icache) *. e_icache_access in
+  let shared =
+    (f (Cache.accesses l2) *. e_l2_access)
+    +. (f l2.Cache.misses *. e_dram_access)
+  in
+  let pipeline =
+    (f ctr.cycles *. e_pipe_cycle)
+    +. (f ctr.stall_cycles *. e_stall_cycle)
+    +. shared
+  in
+  { alu; regfile; dcache; icache; pipeline }
+
+(** Energy per instruction. *)
+let epi b (ctr : Counters.t) =
+  if ctr.instrs = 0 then 0.0 else total b /. float_of_int ctr.instrs
+
+(** Convenience: breakdown straight from a machine result. *)
+let of_result (r : Machine.result) =
+  of_run ~ctr:r.Machine.ctr ~icache:r.Machine.icache ~dcache:r.Machine.dcache
+    ~l2:r.Machine.l2

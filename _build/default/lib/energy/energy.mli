@@ -1,0 +1,35 @@
+(** The per-component energy model.
+
+    Converts the simulator's activity counters into the paper's Figure 9
+    components.  Absolute values are model units — the paper's gate-level
+    netlist is not reproducible — and every reported result is relative to
+    BASELINE.  The constants are calibrated so the BASELINE split
+    approximates Figure 9, with one hard anchor from RQ1: an 8-bit
+    register slice access costs 1/4 of a 32-bit access. *)
+
+type breakdown = {
+  alu : float;
+  regfile : float;
+  dcache : float;
+  icache : float;
+  pipeline : float;  (** clocking, stalls, and the shared L2/DRAM path *)
+}
+
+val total : breakdown -> float
+
+val e_reg32 : float
+val e_reg8 : float
+(** The paper-anchored 1/4 ratio: [e_reg8 = e_reg32 /. 4.0]. *)
+
+val of_run :
+  ctr:Bs_sim.Counters.t ->
+  icache:Bs_sim.Cache.t ->
+  dcache:Bs_sim.Cache.t ->
+  l2:Bs_sim.Cache.t ->
+  breakdown
+(** Energy of one simulation from its raw activity. *)
+
+val of_result : Bs_sim.Machine.result -> breakdown
+
+val epi : breakdown -> Bs_sim.Counters.t -> float
+(** Energy per dynamic instruction (Figure 8's third panel). *)

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Bs_ir Builder Hashtbl Ir List Option Parser Tast Typecheck Verifier

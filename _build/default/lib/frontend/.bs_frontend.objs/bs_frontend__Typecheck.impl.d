@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Array Ast Bs_ir Char Hashtbl Int64 List Printf String Tast Width

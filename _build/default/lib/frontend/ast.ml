@@ -1,0 +1,76 @@
+(* Abstract syntax of MiniC, the C-like input language of the BITSPEC
+   compiler.  MiniC covers the integer/array/control-flow subset of C that
+   the MiBench kernels use: sized integer types, global and local arrays,
+   functions, and structured control flow.  There are no structs and no
+   general pointers; arrays decay to addresses when passed to functions
+   ([u32 a\[\]] parameters). *)
+
+type ity = { w : int; signed : bool }
+
+let u8 = { w = 8; signed = false }
+let u16 = { w = 16; signed = false }
+let u32 = { w = 32; signed = false }
+let u64 = { w = 64; signed = false }
+let i8 = { w = 8; signed = true }
+let i16 = { w = 16; signed = true }
+let i32 = { w = 32; signed = true }
+let i64 = { w = 64; signed = true }
+let bool_ty = { w = 1; signed = false }
+
+let ity_name t =
+  Printf.sprintf "%c%d" (if t.signed then 'i' else 'u') t.w
+
+type binop =
+  | BAdd | BSub | BMul | BDiv | BMod
+  | BAnd | BOr | BXor | BShl | BShr
+  | BEq | BNe | BLt | BLe | BGt | BGe
+  | BLogAnd | BLogOr
+
+type unop = UNeg | UNot (* bitwise ~ *) | ULogNot
+
+type expr = { e : expr_desc; eline : int }
+
+and expr_desc =
+  | Int of int64                        (* literal; type chosen by checker *)
+  | Ident of string
+  | Index of string * expr              (* a[i] *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Cond of expr * expr * expr          (* c ? a : b *)
+  | CastE of ity * expr
+  | CallE of string * expr list
+
+type lvalue = Lid of string | Lindex of string * expr
+
+type stmt = { s : stmt_desc; sline : int }
+
+and stmt_desc =
+  | Decl of ity * string * expr option
+  | DeclArr of ity * string * int       (* local array: elem type, name, count *)
+  | Assign of lvalue * expr
+  | OpAssign of binop * lvalue * expr   (* x += e, a[i] <<= e, ... *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | DoWhile of stmt list * expr
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | ExprStmt of expr
+  | Block of stmt list
+
+type param =
+  | Pscalar of ity * string
+  | Parray of ity * string              (* T name[] — an address parameter *)
+
+type ginit =
+  | Gnone
+  | Gscalar of int64
+  | Glist of int64 list
+  | Gstring of string
+
+type top =
+  | Gdecl of { gty : ity; gname : string; count : int; init : ginit; volatile : bool }
+  | Fdecl of { rty : ity option; fnname : string; fparams : param list; body : stmt list }
+
+type program = top list

@@ -1,0 +1,157 @@
+(* Hand-written lexer for MiniC. *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | STRING of string
+  | KW of string          (* type names, control keywords, volatile, void *)
+  | PUNCT of string       (* operators and delimiters *)
+  | EOF
+
+type lexed = { tok : token; line : int }
+
+exception Error of string * int
+
+let keywords =
+  [ "u8"; "u16"; "u32"; "u64"; "i8"; "i16"; "i32"; "i64"; "void"; "volatile";
+    "if"; "else"; "while"; "do"; "for"; "return"; "break"; "continue" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let emit t = toks := { tok = t; line = !line } :: !toks in
+  let escape c =
+    match c with
+    | 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | '0' -> '\000'
+    | '\\' -> '\\' | '\'' -> '\'' | '"' -> '"'
+    | c -> raise (Error (Printf.sprintf "bad escape \\%c" c, !line))
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin incr line; incr pos end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while not !closed do
+        if !pos >= n then raise (Error ("unterminated comment", !line));
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do incr pos done;
+      let s = String.sub src start (!pos - start) in
+      emit (if List.mem s keywords then KW s else IDENT s)
+    end
+    else if is_digit c then begin
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        pos := !pos + 2;
+        let start = !pos in
+        while !pos < n && is_hex src.[!pos] do incr pos done;
+        if !pos = start then raise (Error ("bad hex literal", !line));
+        let s = String.sub src start (!pos - start) in
+        emit (INT (Int64.of_string ("0x" ^ s)))
+      end
+      else begin
+        let start = !pos in
+        while !pos < n && is_digit src.[!pos] do incr pos done;
+        emit (INT (Int64.of_string (String.sub src start (!pos - start))))
+      end;
+      (* C-style suffixes are accepted and ignored: sizing comes from the
+         declared types. *)
+      while !pos < n && (let c = src.[!pos] in c = 'u' || c = 'U' || c = 'l' || c = 'L') do
+        incr pos
+      done
+    end
+    else if c = '\'' then begin
+      incr pos;
+      if !pos >= n then raise (Error ("unterminated char", !line));
+      let v =
+        if src.[!pos] = '\\' then begin
+          incr pos;
+          if !pos >= n then raise (Error ("unterminated char", !line));
+          let e = escape src.[!pos] in
+          incr pos;
+          e
+        end
+        else begin
+          let ch = src.[!pos] in
+          incr pos;
+          ch
+        end
+      in
+      if !pos >= n || src.[!pos] <> '\'' then
+        raise (Error ("unterminated char", !line));
+      incr pos;
+      emit (INT (Int64.of_int (Char.code v)))
+    end
+    else if c = '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !pos >= n then raise (Error ("unterminated string", !line));
+        if src.[!pos] = '"' then begin closed := true; incr pos end
+        else if src.[!pos] = '\\' then begin
+          incr pos;
+          if !pos >= n then raise (Error ("unterminated string", !line));
+          Buffer.add_char buf (escape src.[!pos]);
+          incr pos
+        end
+        else begin
+          Buffer.add_char buf src.[!pos];
+          incr pos
+        end
+      done;
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      (* Longest-match punctuation. *)
+      let try3 =
+        if !pos + 2 < n then Some (String.sub src !pos 3) else None
+      in
+      let try2 =
+        if !pos + 1 < n then Some (String.sub src !pos 2) else None
+      in
+      let three = [ "<<="; ">>=" ] in
+      let two =
+        [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+          "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^=" ]
+      in
+      match try3 with
+      | Some s when List.mem s three ->
+          emit (PUNCT s);
+          pos := !pos + 3
+      | _ -> (
+          match try2 with
+          | Some s when List.mem s two ->
+              emit (PUNCT s);
+              pos := !pos + 2
+          | _ ->
+              let one = "+-*/%&|^~!<>=(){}[];,?:" in
+              if String.contains one c then begin
+                emit (PUNCT (String.make 1 c));
+                incr pos
+              end
+              else raise (Error (Printf.sprintf "unexpected character %c" c, !line)))
+    end
+  done;
+  emit EOF;
+  List.rev !toks

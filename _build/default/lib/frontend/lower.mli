@@ -1,0 +1,15 @@
+(** TAST → SIR lowering with on-the-fly SSA construction (Braun et al.,
+    CC 2013): local scalars never touch memory; phis are created lazily
+    when blocks are sealed and trivial phis are removed with forwarding. *)
+
+exception Error of string
+
+val lower_func : Tast.tfunc -> Bs_ir.Ir.func
+(** Lower one checked function to SSA. *)
+
+val lower_program : Tast.tprogram -> Bs_ir.Ir.modul
+
+val compile : string -> Bs_ir.Ir.modul
+(** The whole front-end: lex, parse, check, lower, verify.
+    @raise Lexer.Error, Parser.Error, Typecheck.Error or Error on
+    malformed input; the returned module always passes the verifier. *)

@@ -1,0 +1,427 @@
+open Bs_ir
+
+(* Recursive-descent parser for MiniC, following C operator precedence. *)
+
+exception Error of string * int
+
+type state = { mutable toks : Lexer.lexed list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> { Lexer.tok = Lexer.EOF; line = 0 }
+
+let line st = (peek st).Lexer.line
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let fail st msg = raise (Error (msg, line st))
+
+let expect_punct st p =
+  match (peek st).Lexer.tok with
+  | Lexer.PUNCT q when q = p -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" p)
+
+let accept_punct st p =
+  match (peek st).Lexer.tok with
+  | Lexer.PUNCT q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_kw st k =
+  match (peek st).Lexer.tok with
+  | Lexer.KW q when q = k ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_ident st =
+  match (peek st).Lexer.tok with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+let ity_of_kw = function
+  | "u8" -> Some Ast.u8 | "u16" -> Some Ast.u16
+  | "u32" -> Some Ast.u32 | "u64" -> Some Ast.u64
+  | "i8" -> Some Ast.i8 | "i16" -> Some Ast.i16
+  | "i32" -> Some Ast.i32 | "i64" -> Some Ast.i64
+  | _ -> None
+
+let peek_type st =
+  match (peek st).Lexer.tok with
+  | Lexer.KW k -> ity_of_kw k
+  | _ -> None
+
+let parse_type st =
+  match peek_type st with
+  | Some t ->
+      advance st;
+      t
+  | None -> fail st "expected type"
+
+(* --- expressions ------------------------------------------------------ *)
+
+let mk st e = { Ast.e; eline = line st }
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_logor st in
+  if accept_punct st "?" then begin
+    let a = parse_expr st in
+    expect_punct st ":";
+    let b = parse_ternary st in
+    mk st (Ast.Cond (c, a, b))
+  end
+  else c
+
+and parse_binlevel st ops next =
+  let rec loop lhs =
+    match (peek st).Lexer.tok with
+    | Lexer.PUNCT p when List.mem_assoc p ops ->
+        advance st;
+        let rhs = next st in
+        loop (mk st (Ast.Bin (List.assoc p ops, lhs, rhs)))
+    | _ -> lhs
+  in
+  loop (next st)
+
+and parse_logor st = parse_binlevel st [ ("||", Ast.BLogOr) ] parse_logand
+and parse_logand st = parse_binlevel st [ ("&&", Ast.BLogAnd) ] parse_bitor
+and parse_bitor st = parse_binlevel st [ ("|", Ast.BOr) ] parse_bitxor
+and parse_bitxor st = parse_binlevel st [ ("^", Ast.BXor) ] parse_bitand
+and parse_bitand st = parse_binlevel st [ ("&", Ast.BAnd) ] parse_equality
+
+and parse_equality st =
+  parse_binlevel st [ ("==", Ast.BEq); ("!=", Ast.BNe) ] parse_relational
+
+and parse_relational st =
+  parse_binlevel st
+    [ ("<", Ast.BLt); ("<=", Ast.BLe); (">", Ast.BGt); (">=", Ast.BGe) ]
+    parse_shift
+
+and parse_shift st =
+  parse_binlevel st [ ("<<", Ast.BShl); (">>", Ast.BShr) ] parse_additive
+
+and parse_additive st =
+  parse_binlevel st [ ("+", Ast.BAdd); ("-", Ast.BSub) ] parse_multiplicative
+
+and parse_multiplicative st =
+  parse_binlevel st
+    [ ("*", Ast.BMul); ("/", Ast.BDiv); ("%", Ast.BMod) ]
+    parse_unary
+
+and parse_unary st =
+  match (peek st).Lexer.tok with
+  | Lexer.PUNCT "-" ->
+      advance st;
+      mk st (Ast.Un (Ast.UNeg, parse_unary st))
+  | Lexer.PUNCT "~" ->
+      advance st;
+      mk st (Ast.Un (Ast.UNot, parse_unary st))
+  | Lexer.PUNCT "!" ->
+      advance st;
+      mk st (Ast.Un (Ast.ULogNot, parse_unary st))
+  | Lexer.PUNCT "(" -> (
+      (* Either a cast or a parenthesised expression. *)
+      match st.toks with
+      | _ :: { Lexer.tok = Lexer.KW k; _ } :: { Lexer.tok = Lexer.PUNCT ")"; _ } :: _
+        when ity_of_kw k <> None ->
+          advance st;
+          let t = parse_type st in
+          expect_punct st ")";
+          mk st (Ast.CastE (t, parse_unary st))
+      | _ ->
+          advance st;
+          let e = parse_expr st in
+          expect_punct st ")";
+          e)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  match (peek st).Lexer.tok with
+  | Lexer.INT v ->
+      advance st;
+      mk st (Ast.Int v)
+  | Lexer.IDENT name -> (
+      advance st;
+      match (peek st).Lexer.tok with
+      | Lexer.PUNCT "(" ->
+          advance st;
+          let args = ref [] in
+          if not (accept_punct st ")") then begin
+            args := [ parse_expr st ];
+            while accept_punct st "," do
+              args := parse_expr st :: !args
+            done;
+            expect_punct st ")"
+          end;
+          mk st (Ast.CallE (name, List.rev !args))
+      | Lexer.PUNCT "[" ->
+          advance st;
+          let idx = parse_expr st in
+          expect_punct st "]";
+          mk st (Ast.Index (name, idx))
+      | _ -> mk st (Ast.Ident name))
+  | _ -> fail st "expected expression"
+
+(* --- statements ------------------------------------------------------- *)
+
+let op_assign_table =
+  [ ("+=", Ast.BAdd); ("-=", Ast.BSub); ("*=", Ast.BMul); ("/=", Ast.BDiv);
+    ("%=", Ast.BMod); ("&=", Ast.BAnd); ("|=", Ast.BOr); ("^=", Ast.BXor);
+    ("<<=", Ast.BShl); (">>=", Ast.BShr) ]
+
+
+let rec parse_stmt st : Ast.stmt =
+  let l = line st in
+  match (peek st).Lexer.tok with
+  | Lexer.PUNCT "{" ->
+      advance st;
+      let body = parse_stmts_until st "}" in
+      { Ast.s = Ast.Block body; sline = l }
+  | Lexer.KW "if" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      let thn = parse_branch st in
+      let els = if accept_kw st "else" then parse_branch st else [] in
+      { Ast.s = Ast.If (c, thn, els); sline = l }
+  | Lexer.KW "while" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      let body = parse_branch st in
+      { Ast.s = Ast.While (c, body); sline = l }
+  | Lexer.KW "do" ->
+      advance st;
+      let body = parse_branch st in
+      if not (accept_kw st "while") then fail st "expected 'while'";
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      { Ast.s = Ast.DoWhile (body, c); sline = l }
+  | Lexer.KW "for" ->
+      advance st;
+      expect_punct st "(";
+      let init =
+        if accept_punct st ";" then None
+        else begin
+          let s = parse_simple_stmt st in
+          expect_punct st ";";
+          Some s
+        end
+      in
+      let cond = if accept_punct st ";" then None
+        else begin
+          let e = parse_expr st in
+          expect_punct st ";";
+          Some e
+        end
+      in
+      let step =
+        match (peek st).Lexer.tok with
+        | Lexer.PUNCT ")" -> None
+        | _ -> Some (parse_simple_stmt st)
+      in
+      expect_punct st ")";
+      let body = parse_branch st in
+      { Ast.s = Ast.For (init, cond, step, body); sline = l }
+  | Lexer.KW "return" ->
+      advance st;
+      let v = if accept_punct st ";" then None
+        else begin
+          let e = parse_expr st in
+          expect_punct st ";";
+          Some e
+        end
+      in
+      { Ast.s = Ast.Return v; sline = l }
+  | Lexer.KW "break" ->
+      advance st;
+      expect_punct st ";";
+      { Ast.s = Ast.Break; sline = l }
+  | Lexer.KW "continue" ->
+      advance st;
+      expect_punct st ";";
+      { Ast.s = Ast.Continue; sline = l }
+  | _ ->
+      let s = parse_simple_stmt st in
+      expect_punct st ";";
+      s
+
+(* A branch body: a braced block or a single statement. *)
+and parse_branch st =
+  if accept_punct st "{" then parse_stmts_until st "}" else [ parse_stmt st ]
+
+and parse_stmts_until st closer =
+  let acc = ref [] in
+  while not (accept_punct st closer) do
+    if (peek st).Lexer.tok = Lexer.EOF then fail st "unexpected end of file";
+    acc := parse_stmt st :: !acc
+  done;
+  List.rev !acc
+
+(* Declarations, assignments and expression statements (no trailing ';'). *)
+and parse_simple_stmt st : Ast.stmt =
+  let l = line st in
+  match peek_type st with
+  | Some t -> (
+      advance st;
+      let name = expect_ident st in
+      if accept_punct st "[" then begin
+        let count =
+          match (peek st).Lexer.tok with
+          | Lexer.INT v ->
+              advance st;
+              Int64.to_int v
+          | _ -> fail st "expected array size"
+        in
+        expect_punct st "]";
+        { Ast.s = Ast.DeclArr (t, name, count); sline = l }
+      end
+      else
+        let init = if accept_punct st "=" then Some (parse_expr st) else None in
+        { Ast.s = Ast.Decl (t, name, init); sline = l })
+  | None -> (
+      (* assignment / op-assignment / expression *)
+      let e = parse_expr st in
+      let as_lvalue () =
+        match e.Ast.e with
+        | Ast.Ident n -> Ast.Lid n
+        | Ast.Index (n, i) -> Ast.Lindex (n, i)
+        | _ -> fail st "invalid assignment target"
+      in
+      match (peek st).Lexer.tok with
+      | Lexer.PUNCT "=" ->
+          advance st;
+          let rhs = parse_expr st in
+          { Ast.s = Ast.Assign (as_lvalue (), rhs); sline = l }
+      | Lexer.PUNCT p when List.mem_assoc p op_assign_table ->
+          advance st;
+          let rhs = parse_expr st in
+          { Ast.s = Ast.OpAssign (List.assoc p op_assign_table, as_lvalue (), rhs);
+            sline = l }
+      | _ -> { Ast.s = Ast.ExprStmt e; sline = l })
+
+(* --- top level -------------------------------------------------------- *)
+
+let parse_param st =
+  let t = parse_type st in
+  let name = expect_ident st in
+  if accept_punct st "[" then begin
+    expect_punct st "]";
+    Ast.Parray (t, name)
+  end
+  else Ast.Pscalar (t, name)
+
+let parse_global_init st (t : Ast.ity) =
+  if accept_punct st "=" then begin
+    match (peek st).Lexer.tok with
+    | Lexer.STRING s ->
+        advance st;
+        Ast.Gstring s
+    | Lexer.PUNCT "{" ->
+        advance st;
+        let items = ref [] in
+        if not (accept_punct st "}") then begin
+          let item () =
+            let neg = accept_punct st "-" in
+            match (peek st).Lexer.tok with
+            | Lexer.INT v ->
+                advance st;
+                let v = if neg then Int64.neg v else v in
+                items := Width.trunc t.Ast.w v :: !items
+            | _ -> fail st "expected integer in initializer"
+          in
+          item ();
+          while accept_punct st "," do
+            item ()
+          done;
+          expect_punct st "}"
+        end;
+        Ast.Glist (List.rev !items)
+    | _ ->
+        let neg = accept_punct st "-" in
+        (match (peek st).Lexer.tok with
+        | Lexer.INT v ->
+            advance st;
+            let v = if neg then Int64.neg v else v in
+            Ast.Gscalar (Width.trunc t.Ast.w v)
+        | _ -> fail st "expected initializer")
+  end
+  else Ast.Gnone
+
+let parse_top st : Ast.top =
+  let volatile = accept_kw st "volatile" in
+  let rty =
+    if accept_kw st "void" then None
+    else Some (parse_type st)
+  in
+  let name = expect_ident st in
+  if accept_punct st "(" then begin
+    if volatile then fail st "'volatile' is only valid on globals";
+    let params = ref [] in
+    if not (accept_punct st ")") then begin
+      params := [ parse_param st ];
+      while accept_punct st "," do
+        params := parse_param st :: !params
+      done;
+      expect_punct st ")"
+    end;
+    expect_punct st "{";
+    let body = parse_stmts_until st "}" in
+    Ast.Fdecl { rty; fnname = name; fparams = List.rev !params; body }
+  end
+  else begin
+    let t =
+      match rty with
+      | Some t -> t
+      | None -> fail st "global cannot have type void"
+    in
+    let count =
+      if accept_punct st "[" then begin
+        match (peek st).Lexer.tok with
+        | Lexer.INT v ->
+            advance st;
+            expect_punct st "]";
+            Int64.to_int v
+        | Lexer.PUNCT "]" ->
+            (* size inferred from the initializer *)
+            advance st;
+            -1
+        | _ -> fail st "expected array size"
+      end
+      else 0 (* scalar *)
+    in
+    let init = parse_global_init st t in
+    expect_punct st ";";
+    let count =
+      if count >= 0 then count
+      else
+        match init with
+        | Ast.Gstring s -> String.length s + 1
+        | Ast.Glist l -> List.length l
+        | _ -> fail st "cannot infer array size"
+    in
+    Ast.Gdecl { gty = t; gname = name; count; init; volatile }
+  end
+
+(** [parse src] lexes and parses a MiniC compilation unit.
+    @raise Error or {!Lexer.Error} on malformed input. *)
+let parse src : Ast.program =
+  let st = { toks = Lexer.tokenize src } in
+  let tops = ref [] in
+  while (peek st).Lexer.tok <> Lexer.EOF do
+    tops := parse_top st :: !tops
+  done;
+  List.rev !tops

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for MiniC, following C operator precedence. *)
+
+exception Error of string * int
+(** Message and source line. *)
+
+val parse : string -> Ast.program
+(** [parse src] lexes and parses a compilation unit.
+    @raise Error or {!Lexer.Error} on malformed input. *)

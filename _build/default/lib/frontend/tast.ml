@@ -1,0 +1,69 @@
+(* Typed, resolved AST produced by {!Typecheck} and consumed by {!Lower}.
+
+   Every expression carries its integer type; all implicit conversions of
+   MiniC's C-style rules have been made explicit [TCast] nodes; every local
+   variable has been alpha-renamed to a unique symbol so SSA construction
+   never sees shadowing. *)
+
+type ity = Ast.ity
+
+type sym = { sid : int; sname : string; sty : ity }
+
+(** Where an array's storage lives. *)
+type arr_ref =
+  | Aglobal of string * ity * bool      (* name, element type, volatile *)
+  | Alocal of sym * ity * int           (* local array symbol, elem type, count *)
+  | Aparam of sym * ity                 (* T name[] parameter *)
+
+type texpr = { te : texpr_desc; tty : ity }
+
+and texpr_desc =
+  | TConst of int64
+  | TVar of sym
+  | TLoadArr of arr_ref * texpr         (* element read; index is u32 *)
+  | TBin of Ast.binop * texpr * texpr   (* arithmetic/bitwise, same-type operands *)
+  | TCmp of Ast.binop * bool * texpr * texpr  (* predicate, signed?, operands *)
+  | TLogAnd of texpr * texpr            (* short-circuit; operands are bool *)
+  | TLogOr of texpr * texpr
+  | TLogNot of texpr
+  | TCast of texpr * ity                (* from te.tty to tty *)
+  | TCall of string * texpr list
+  | TArrayAddr of arr_ref               (* array decayed to its address (u32) *)
+  | TCond of texpr * texpr * texpr
+
+type tlvalue =
+  | TLvar of sym
+  | TLarr of arr_ref * texpr
+
+type tstmt =
+  | TDecl of sym * texpr
+  | TDeclArr of sym * ity * int
+  | TAssign of tlvalue * texpr
+  | TIf of texpr * tstmt list * tstmt list
+  | TWhile of texpr * tstmt list
+  | TFor of texpr * tstmt list * tstmt list  (* cond, body, step; continue -> step *)
+  | TDoWhile of tstmt list * texpr
+  | TReturn of texpr option
+  | TBreak
+  | TContinue
+  | TExpr of texpr
+
+type tparam = { p_sym : sym; p_array : bool; p_elem : ity }
+
+type tfunc = {
+  tf_name : string;
+  tf_ret : ity option;
+  tf_params : tparam list;
+  tf_body : tstmt list;
+}
+
+type tglobal = {
+  tg_name : string;
+  tg_ty : ity;
+  tg_count : int;       (* 1 for scalars *)
+  tg_scalar : bool;
+  tg_volatile : bool;
+  tg_init : int64 array;
+}
+
+type tprogram = { tfuncs : tfunc list; tglobals : tglobal list }

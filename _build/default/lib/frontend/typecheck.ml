@@ -1,0 +1,412 @@
+open Bs_ir
+
+(* Type checking and resolution: AST -> TAST.
+
+   MiniC follows simplified C conversion rules:
+   - integer promotion: operands of arithmetic narrower than 32 bits are
+     promoted to 32 bits, keeping their signedness (this mirrors what
+     clang-generated LLVM IR looks like, which is what Figure 1b of the
+     paper measures);
+   - usual arithmetic conversion: the common type of two operands is the
+     wider one; at equal width unsigned wins;
+   - assignment converts the value to the destination type (truncating or
+     extending according to the source's signedness);
+   - conditions are booleans; integers used as conditions compare != 0. *)
+
+exception Error of string * int
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Error (s, line))) fmt
+
+type entry =
+  | Escalar of Tast.sym
+  | Earray of Tast.arr_ref
+  | Egscalar of string * Ast.ity * bool   (* scalar global: name, type, volatile *)
+  | Efunc of Ast.ity option * Tast.tparam list
+
+type env = {
+  mutable scopes : (string, entry) Hashtbl.t list;
+  globals : (string, entry) Hashtbl.t;
+  mutable next_sid : int;
+}
+
+let fresh_sym env name ty =
+  let sid = env.next_sid in
+  env.next_sid <- sid + 1;
+  { Tast.sid; sname = name; sty = ty }
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> ()
+
+let define env line name entry =
+  match env.scopes with
+  | scope :: _ ->
+      if Hashtbl.mem scope name then fail line "redefinition of %s" name;
+      Hashtbl.replace scope name entry
+  | [] -> Hashtbl.replace env.globals name entry
+
+let lookup env line name =
+  let rec go = function
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some e -> e
+        | None -> go rest)
+    | [] -> (
+        match Hashtbl.find_opt env.globals name with
+        | Some e -> e
+        | None -> fail line "undefined identifier %s" name)
+  in
+  go env.scopes
+
+(* --- conversions ------------------------------------------------------ *)
+
+let is_bool (t : Ast.ity) = t.w = 1
+
+let cast_to (e : Tast.texpr) (ty : Ast.ity) : Tast.texpr =
+  if e.tty = ty then e else { te = TCast (e, ty); tty = ty }
+
+(* Promote to at least 32 bits for arithmetic, C-style. *)
+let promote (e : Tast.texpr) : Tast.texpr =
+  if is_bool e.tty then cast_to e Ast.u32
+  else if e.tty.w < 32 then cast_to e { Ast.w = 32; signed = e.tty.signed }
+  else e
+
+let common_type (a : Ast.ity) (b : Ast.ity) : Ast.ity =
+  if a.w > b.w then a
+  else if b.w > a.w then b
+  else { Ast.w = a.w; signed = a.signed && b.signed }
+
+let arith_pair a b =
+  let a = promote a and b = promote b in
+  let t = common_type a.Tast.tty b.Tast.tty in
+  (cast_to a t, cast_to b t, t)
+
+let as_condition (e : Tast.texpr) : Tast.texpr =
+  if is_bool e.tty then e
+  else
+    { te = TCmp (Ast.BNe, false, e, { te = TConst 0L; tty = e.tty });
+      tty = Ast.bool_ty }
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec check_expr env (e : Ast.expr) : Tast.texpr =
+  let line = e.eline in
+  match e.e with
+  | Ast.Int v ->
+      (* Literals default to u32 unless they need 64 bits; negative
+         literals arrive via unary minus. *)
+      (* C-style: decimal literals are signed when they fit *)
+      let bits = Width.required_bits v in
+      let ty =
+        if bits <= 31 then Ast.i32
+        else if bits <= 32 then Ast.u32
+        else if bits <= 63 then Ast.i64
+        else Ast.u64
+      in
+      { te = TConst (Width.trunc ty.w v); tty = ty }
+  | Ast.Ident name -> (
+      match lookup env line name with
+      | Escalar s -> { te = TVar s; tty = s.sty }
+      | Earray a -> { te = TArrayAddr a; tty = Ast.u32 }
+      | Egscalar (g, ty, vol) ->
+          let zero = { Tast.te = TConst 0L; tty = Ast.u32 } in
+          { te = TLoadArr (Aglobal (g, ty, vol), zero); tty = ty }
+      | Efunc _ -> fail line "%s is a function" name)
+  | Ast.Index (name, idx) -> (
+      let idx = cast_to (promote (check_expr env idx)) Ast.u32 in
+      match lookup env line name with
+      | Earray a ->
+          let elem =
+            match a with
+            | Aglobal (_, t, _) | Alocal (_, t, _) | Aparam (_, t) -> t
+          in
+          { te = TLoadArr (a, idx); tty = elem }
+      | Escalar _ | Egscalar _ -> fail line "%s is not an array" name
+      | Efunc _ -> fail line "%s is a function" name)
+  | Ast.Bin (op, a, b) -> check_bin env line op a b
+  | Ast.Un (Ast.UNeg, a) ->
+      let a = promote (check_expr env a) in
+      let zero = { Tast.te = TConst 0L; tty = a.tty } in
+      { te = TBin (Ast.BSub, zero, a); tty = a.tty }
+  | Ast.Un (Ast.UNot, a) ->
+      let a = promote (check_expr env a) in
+      let ones = { Tast.te = TConst (Width.mask a.tty.w); tty = a.tty } in
+      { te = TBin (Ast.BXor, a, ones); tty = a.tty }
+  | Ast.Un (Ast.ULogNot, a) ->
+      { te = TLogNot (as_condition (check_expr env a)); tty = Ast.bool_ty }
+  | Ast.Cond (c, a, b) ->
+      let c = as_condition (check_expr env c) in
+      let a, b, t = arith_pair (check_expr env a) (check_expr env b) in
+      { te = TCond (c, a, b); tty = t }
+  | Ast.CastE (ty, a) -> cast_to (check_expr env a) ty
+  | Ast.CallE (name, args) -> (
+      match lookup env line name with
+      | Efunc (rty, params) ->
+          if List.length args <> List.length params then
+            fail line "%s expects %d argument(s)" name (List.length params);
+          let targs =
+            List.map2
+              (fun arg (p : Tast.tparam) ->
+                let a = check_expr env arg in
+                if p.p_array then begin
+                  (* must be an address: an array decay or a u32 value *)
+                  cast_to a Ast.u32
+                end
+                else cast_to a p.p_sym.sty)
+              args params
+          in
+          let rty =
+            match rty with
+            | Some t -> t
+            | None -> fail line "void function %s used as value" name
+          in
+          { te = TCall (name, targs); tty = rty }
+      | _ -> fail line "%s is not a function" name)
+
+and check_bin env _line op a b : Tast.texpr =
+  match op with
+  | Ast.BLogAnd ->
+      let a = as_condition (check_expr env a) in
+      let b = as_condition (check_expr env b) in
+      { te = TLogAnd (a, b); tty = Ast.bool_ty }
+  | Ast.BLogOr ->
+      let a = as_condition (check_expr env a) in
+      let b = as_condition (check_expr env b) in
+      { te = TLogOr (a, b); tty = Ast.bool_ty }
+  | Ast.BEq | Ast.BNe | Ast.BLt | Ast.BLe | Ast.BGt | Ast.BGe ->
+      let a, b, t = arith_pair (check_expr env a) (check_expr env b) in
+      { te = TCmp (op, t.signed, a, b); tty = Ast.bool_ty }
+  | Ast.BShl | Ast.BShr ->
+      (* Shift result takes the promoted left operand's type. *)
+      let a = promote (check_expr env a) in
+      let b = cast_to (promote (check_expr env b)) a.Tast.tty in
+      { te = TBin (op, a, b); tty = a.Tast.tty }
+  | Ast.BAdd | Ast.BSub | Ast.BMul | Ast.BDiv | Ast.BMod
+  | Ast.BAnd | Ast.BOr | Ast.BXor ->
+      let a, b, t = arith_pair (check_expr env a) (check_expr env b) in
+      { te = TBin (op, a, b); tty = t }
+
+(* --- statements ------------------------------------------------------- *)
+
+type fctx = { ret : Ast.ity option; in_loop : bool }
+
+let rec check_stmts env fctx stmts = List.concat_map (check_stmt env fctx) stmts
+
+and check_stmt env fctx (s : Ast.stmt) : Tast.tstmt list =
+  let line = s.sline in
+  match s.s with
+  | Ast.Decl (ty, name, init) ->
+      let sym = fresh_sym env name ty in
+      define env line name (Escalar sym);
+      let v =
+        match init with
+        | Some e -> cast_to (check_expr env e) ty
+        | None -> { Tast.te = TConst 0L; tty = ty }
+      in
+      [ TDecl (sym, v) ]
+  | Ast.DeclArr (ty, name, count) ->
+      if count <= 0 then fail line "array %s must have positive size" name;
+      let sym = fresh_sym env name Ast.u32 in
+      define env line name (Earray (Alocal (sym, ty, count)));
+      [ TDeclArr (sym, ty, count) ]
+  | Ast.Assign (lv, e) ->
+      let tlv, ty = check_lvalue env line lv in
+      [ TAssign (tlv, cast_to (check_expr env e) ty) ]
+  | Ast.OpAssign (op, lv, e) ->
+      let tlv, ty = check_lvalue env line lv in
+      let cur : Tast.texpr =
+        match tlv with
+        | TLvar s -> { te = TVar s; tty = s.sty }
+        | TLarr (a, idx) -> { te = TLoadArr (a, idx); tty = ty }
+      in
+      let rhs = check_bin_t line op cur (check_expr env e) in
+      [ TAssign (tlv, cast_to rhs ty) ]
+  | Ast.If (c, thn, els) ->
+      let c = as_condition (check_expr env c) in
+      push_scope env;
+      let thn = check_stmts env fctx thn in
+      pop_scope env;
+      push_scope env;
+      let els = check_stmts env fctx els in
+      pop_scope env;
+      [ TIf (c, thn, els) ]
+  | Ast.While (c, body) ->
+      let c = as_condition (check_expr env c) in
+      push_scope env;
+      let body = check_stmts env { fctx with in_loop = true } body in
+      pop_scope env;
+      [ TWhile (c, body) ]
+  | Ast.DoWhile (body, c) ->
+      push_scope env;
+      let body = check_stmts env { fctx with in_loop = true } body in
+      pop_scope env;
+      let c = as_condition (check_expr env c) in
+      [ TDoWhile (body, c) ]
+  | Ast.For (init, cond, step, body) ->
+      push_scope env;
+      let init = match init with Some s -> check_stmt env fctx s | None -> [] in
+      let cond =
+        match cond with
+        | Some c -> as_condition (check_expr env c)
+        | None -> { Tast.te = TConst 1L; tty = Ast.bool_ty }
+      in
+      push_scope env;
+      let body = check_stmts env { fctx with in_loop = true } body in
+      let step = match step with Some s -> check_stmt env { fctx with in_loop = true } s | None -> [] in
+      pop_scope env;
+      pop_scope env;
+      init @ [ Tast.TFor (cond, body, step) ]
+  | Ast.Return None ->
+      if fctx.ret <> None then fail line "missing return value";
+      [ TReturn None ]
+  | Ast.Return (Some e) -> (
+      match fctx.ret with
+      | None -> fail line "void function returns a value"
+      | Some ty -> [ TReturn (Some (cast_to (check_expr env e) ty)) ])
+  | Ast.Break ->
+      if not fctx.in_loop then fail line "break outside loop";
+      [ TBreak ]
+  | Ast.Continue ->
+      if not fctx.in_loop then fail line "continue outside loop";
+      [ TContinue ]
+  | Ast.ExprStmt e -> (
+      (* Permit void calls. *)
+      match e.e with
+      | Ast.CallE (name, args) -> (
+          match lookup env line name with
+          | Efunc (None, params) ->
+              if List.length args <> List.length params then
+                fail line "%s expects %d argument(s)" name (List.length params);
+              let targs =
+                List.map2
+                  (fun arg (p : Tast.tparam) ->
+                    let a = check_expr env arg in
+                    if p.p_array then cast_to a Ast.u32
+                    else cast_to a p.p_sym.sty)
+                  args params
+              in
+              [ TExpr { te = TCall (name, targs); tty = { Ast.w = 0; signed = false } } ]
+          | _ -> [ TExpr (check_expr env e) ])
+      | _ -> [ TExpr (check_expr env e) ])
+  | Ast.Block body ->
+      push_scope env;
+      let body = check_stmts env fctx body in
+      pop_scope env;
+      body
+
+and check_bin_t _line op (a : Tast.texpr) (b : Tast.texpr) : Tast.texpr =
+  (* binop on already-typed operands, used by OpAssign *)
+
+  match op with
+  | Ast.BShl | Ast.BShr ->
+      let a = promote a in
+      let b = cast_to (promote b) a.Tast.tty in
+      { te = TBin (op, a, b); tty = a.Tast.tty }
+  | _ ->
+      let a, b, t = arith_pair a b in
+      { te = TBin (op, a, b); tty = t }
+
+and check_lvalue env line (lv : Ast.lvalue) : Tast.tlvalue * Ast.ity =
+  match lv with
+  | Ast.Lid name -> (
+      match lookup env line name with
+      | Escalar s -> (TLvar s, s.sty)
+      | Egscalar (g, ty, vol) ->
+          let zero = { Tast.te = TConst 0L; tty = Ast.u32 } in
+          (TLarr (Aglobal (g, ty, vol), zero), ty)
+      | Earray _ -> fail line "cannot assign to array %s" name
+      | Efunc _ -> fail line "cannot assign to function %s" name)
+  | Ast.Lindex (name, idx) -> (
+      let idx = cast_to (promote (check_expr env idx)) Ast.u32 in
+      match lookup env line name with
+      | Earray a ->
+          let elem =
+            match a with
+            | Aglobal (_, t, _) | Alocal (_, t, _) | Aparam (_, t) -> t
+          in
+          (TLarr (a, idx), elem)
+      | _ -> fail line "%s is not an array" name)
+
+(* --- top level -------------------------------------------------------- *)
+
+let check_program (prog : Ast.program) : Tast.tprogram =
+  let env = { scopes = []; globals = Hashtbl.create 32; next_sid = 0 } in
+  let tglobals = ref [] and tfuncs = ref [] in
+  (* First pass: register signatures and globals so order doesn't matter. *)
+  List.iter
+    (fun top ->
+      match top with
+      | Ast.Gdecl g ->
+          let scalar = g.count = 0 in
+          let count = if scalar then 1 else g.count in
+          let init =
+            match g.init with
+            | Ast.Gnone -> [||]
+            | Ast.Gscalar v -> [| v |]
+            | Ast.Glist l -> Array.of_list l
+            | Ast.Gstring s ->
+                Array.init count (fun i ->
+                    if i < String.length s then Int64.of_int (Char.code s.[i])
+                    else 0L)
+          in
+          if Array.length init > count then
+            fail 0 "initializer for %s exceeds its size" g.gname;
+          let entry =
+            if scalar then Egscalar (g.gname, g.gty, g.volatile)
+            else Earray (Aglobal (g.gname, g.gty, g.volatile))
+          in
+          if Hashtbl.mem env.globals g.gname then
+            fail 0 "redefinition of global %s" g.gname;
+          Hashtbl.replace env.globals g.gname entry;
+          tglobals :=
+            { Tast.tg_name = g.gname; tg_ty = g.gty; tg_count = count;
+              tg_scalar = scalar; tg_volatile = g.volatile; tg_init = init }
+            :: !tglobals
+      | Ast.Fdecl f ->
+          let params =
+            List.map
+              (fun p ->
+                match p with
+                | Ast.Pscalar (t, n) ->
+                    { Tast.p_sym = fresh_sym env n t; p_array = false; p_elem = t }
+                | Ast.Parray (t, n) ->
+                    { Tast.p_sym = fresh_sym env n Ast.u32; p_array = true;
+                      p_elem = t })
+              f.fparams
+          in
+          if Hashtbl.mem env.globals f.fnname then
+            fail 0 "redefinition of %s" f.fnname;
+          Hashtbl.replace env.globals f.fnname (Efunc (f.rty, params)))
+    prog;
+  (* Second pass: check function bodies. *)
+  List.iter
+    (fun top ->
+      match top with
+      | Ast.Gdecl _ -> ()
+      | Ast.Fdecl f ->
+          let params =
+            match Hashtbl.find_opt env.globals f.fnname with
+            | Some (Efunc (_, ps)) -> ps
+            | _ -> assert false
+          in
+          push_scope env;
+          List.iter
+            (fun (p : Tast.tparam) ->
+              let entry =
+                if p.p_array then Earray (Aparam (p.p_sym, p.p_elem))
+                else Escalar p.p_sym
+              in
+              define env 0 p.p_sym.sname entry)
+            params;
+          let body =
+            check_stmts env { ret = f.rty; in_loop = false } f.body
+          in
+          pop_scope env;
+          tfuncs :=
+            { Tast.tf_name = f.fnname; tf_ret = f.rty; tf_params = params;
+              tf_body = body }
+            :: !tfuncs)
+    prog;
+  { tfuncs = List.rev !tfuncs; tglobals = List.rev !tglobals }

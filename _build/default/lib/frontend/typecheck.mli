@@ -1,0 +1,13 @@
+(** Type checking and resolution: AST → TAST.
+
+    MiniC follows simplified C rules: integer promotion to 32 bits for
+    arithmetic (keeping signedness — this is what makes Figure 1b's
+    programmer-width distribution look like clang output), usual
+    arithmetic conversions, value-converting assignment, and truthiness
+    conditions.  Locals are alpha-renamed to unique symbols so SSA
+    construction never sees shadowing. *)
+
+exception Error of string * int
+(** Message and source line. *)
+
+val check_program : Ast.program -> Tast.tprogram

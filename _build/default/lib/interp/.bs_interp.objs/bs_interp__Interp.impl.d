@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Bs_ir Hashtbl Int64 Ir List Memimage Option Printf Profile Width

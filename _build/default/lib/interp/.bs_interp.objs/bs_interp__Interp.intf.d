@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Bs_ir Memimage Profile

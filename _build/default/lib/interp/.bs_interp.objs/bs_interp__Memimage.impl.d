@@ -1,0 +1,1 @@
+lib/interp/memimage.ml: Array Bs_ir Bytes Char Hashtbl Int64 Ir List Printf Width

@@ -1,0 +1,1 @@
+lib/interp/memimage.mli: Bs_ir Bytes Hashtbl

@@ -1,0 +1,1 @@
+lib/interp/profile.ml: Array Bs_ir Hashtbl Width

@@ -1,0 +1,317 @@
+open Bs_ir
+
+(* Reference interpreter for SIR.
+
+   Executes modules directly on an in-memory image.  Three roles:
+   - reference semantics for differential testing of the whole pipeline;
+   - the bitwidth profiler of §3.2.2 (via the [profile] option);
+   - speculative execution of squeezed code: a [!speculative] instruction
+     inside a speculative region that violates its misspeculation
+     condition (Table 1) redirects control to the region's handler without
+     writing its result, exactly like the hardware. *)
+
+exception Trap of string
+exception Out_of_fuel
+
+type opts = {
+  profile : Profile.t option;
+  fuel : int;
+}
+
+let default_opts = { profile = None; fuel = 2_000_000_000 }
+
+type counters = {
+  mutable steps : int;        (* dynamic IR instructions executed *)
+  mutable misspecs : int;     (* misspeculation events *)
+  mutable calls : int;
+}
+
+type result = {
+  ret : int64 option;
+  steps : int;
+  misspecs : int;
+  calls : int;
+}
+
+type state = {
+  m : Ir.modul;
+  mem : Memimage.t;
+  opts : opts;
+  ctr : counters;
+  mutable sp : int;           (* stack pointer for Salloc frames *)
+}
+
+let eval_binop op w a b =
+  let open Int64 in
+  let t = Width.trunc w in
+  match (op : Ir.binop) with
+  | Add -> t (add a b)
+  | Sub -> t (sub a b)
+  | Mul -> t (mul a b)
+  | Udiv ->
+      if b = 0L then raise (Trap "division by zero")
+      else t (unsigned_div a b)
+  | Urem ->
+      if b = 0L then raise (Trap "remainder by zero")
+      else t (unsigned_rem a b)
+  | Sdiv ->
+      if b = 0L then raise (Trap "division by zero")
+      else t (div (Width.sext w a) (Width.sext w b))
+  | Srem ->
+      if b = 0L then raise (Trap "remainder by zero")
+      else t (rem (Width.sext w a) (Width.sext w b))
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Shl ->
+      let amt = to_int b land (w - 1) in
+      t (shift_left a amt)
+  | Lshr ->
+      let amt = to_int b land (w - 1) in
+      t (shift_right_logical (Width.trunc w a) amt)
+  | Ashr ->
+      let amt = to_int b land (w - 1) in
+      t (shift_right (Width.sext w a) amt)
+
+let eval_cmp op w a b =
+  let unsigned c = Int64.unsigned_compare (Width.trunc w a) (Width.trunc w b) |> c in
+  let signed c = Int64.compare (Width.sext w a) (Width.sext w b) |> c in
+  let r =
+    match (op : Ir.cmpop) with
+    | Eq -> Width.trunc w a = Width.trunc w b
+    | Ne -> Width.trunc w a <> Width.trunc w b
+    | Ult -> unsigned (fun c -> c < 0)
+    | Ule -> unsigned (fun c -> c <= 0)
+    | Ugt -> unsigned (fun c -> c > 0)
+    | Uge -> unsigned (fun c -> c >= 0)
+    | Slt -> signed (fun c -> c < 0)
+    | Sle -> signed (fun c -> c <= 0)
+    | Sgt -> signed (fun c -> c > 0)
+    | Sge -> signed (fun c -> c >= 0)
+  in
+  if r then 1L else 0L
+
+(* Misspeculation conditions of Table 1, at the IR level. *)
+let misspeculates (i : Ir.instr) operand_values result =
+  match i.op with
+  | Ir.Bin (Ir.Add, _, _) | Ir.Bin (Ir.Sub, _, _) -> (
+      (* Overflow/underflow beyond the slice: exact result does not fit. *)
+      match operand_values with
+      | [ a; b ] ->
+          let exact =
+            match i.op with
+            | Ir.Bin (Ir.Add, _, _) -> Int64.add a b
+            | _ -> Int64.sub a b
+          in
+          Int64.compare exact 0L < 0 || not (Width.fits i.width exact)
+      | _ -> false)
+  | Ir.Cast (Ir.TruncCast, _) -> (
+      (* Speculative truncate: source value must fit the slice. *)
+      match operand_values with
+      | [ a ] -> not (Width.fits i.width a)
+      | _ -> false)
+  | _ -> ignore result; false
+
+let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
+  let st =
+    { m; mem; opts; ctr = { steps = 0; misspecs = 0; calls = 0 };
+      sp = Memimage.size mem }
+  in
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.fname f) m.funcs;
+  let get_func name =
+    match Hashtbl.find_opt funcs name with
+    | Some f -> f
+    | None -> raise (Trap ("call to unknown function " ^ name))
+  in
+  let rec exec_func (f : Ir.func) (args : int64 list) : int64 option =
+    st.ctr.calls <- st.ctr.calls + 1;
+    let env : (int, int64) Hashtbl.t = Hashtbl.create 64 in
+    (* bind parameters; a call assigns them, so the profiler records them
+       like any other dynamic assignment (their bitwidth gates squeezing
+       of compares and arithmetic against parameters) *)
+    (try
+       List.iter2
+         (fun (i : Ir.instr) v ->
+           let v = Width.trunc i.width v in
+           Hashtbl.replace env i.iid v;
+           match st.opts.profile with
+           | Some p ->
+               Profile.record p ~func:f.fname ~iid:i.iid ~width:i.width v
+           | None -> ())
+         f.param_instrs args
+     with Invalid_argument _ ->
+       raise (Trap ("arity mismatch calling " ^ f.fname)));
+    (* allocate the static stack frame *)
+    let sallocs =
+      List.concat_map
+        (fun (b : Ir.block) ->
+          List.filter_map
+            (fun (i : Ir.instr) ->
+              match i.op with Ir.Salloc n -> Some (i.iid, n) | _ -> None)
+            b.instrs)
+        f.blocks
+    in
+    let frame_size =
+      List.fold_left (fun acc (_, n) -> acc + ((n + 7) / 8 * 8)) 0 sallocs
+    in
+    let saved_sp = st.sp in
+    st.sp <- st.sp - frame_size;
+    if st.sp < st.mem.Memimage.globals_end then raise (Trap "stack overflow");
+    let salloc_addr = Hashtbl.create 4 in
+    let cursor = ref st.sp in
+    List.iter
+      (fun (iid, n) ->
+        Hashtbl.replace salloc_addr iid !cursor;
+        cursor := !cursor + ((n + 7) / 8 * 8))
+      sallocs;
+    let region_of = Hashtbl.create 8 in
+    List.iter
+      (fun (r : Ir.region) ->
+        List.iter (fun bid -> Hashtbl.replace region_of bid r) r.rblocks)
+      f.regions;
+    let value = function
+      | Ir.Const c -> c.Ir.cval
+      | Ir.Var v -> (
+          match Hashtbl.find_opt env v with
+          | Some x -> x
+          | None -> raise (Trap (Printf.sprintf "read of unset %%%d in %s" v f.fname)))
+    in
+    let record (i : Ir.instr) v =
+      match st.opts.profile with
+      | Some p when i.width > 0 ->
+          Profile.record p ~func:f.fname ~iid:i.iid ~width:i.width v
+      | _ -> ()
+    in
+    let ret_val = ref None in
+    let finished = ref false in
+    let cur = ref (Ir.entry f) and prev = ref (-1) in
+    while not !finished do
+      let b = !cur in
+      (* Phase 1: evaluate all phis w.r.t. the incoming edge, then commit
+         simultaneously. *)
+      let phis = List.filter Ir.is_phi b.instrs in
+      let phi_values =
+        List.map
+          (fun (i : Ir.instr) ->
+            match i.op with
+            | Ir.Phi incoming -> (
+                match List.assoc_opt !prev incoming with
+                | Some v -> (i, Width.trunc i.width (value v))
+                | None ->
+                    raise
+                      (Trap
+                         (Printf.sprintf "phi %%%d has no incoming for block %d"
+                            i.iid !prev)))
+            | _ -> assert false)
+          phis
+      in
+      List.iter
+        (fun ((i : Ir.instr), v) ->
+          st.ctr.steps <- st.ctr.steps + 1;
+          Hashtbl.replace env i.iid v;
+          record i v)
+        phi_values;
+      (* Phase 2: straight-line execution with misspeculation checks. *)
+      let rec run = function
+        | [] -> ()
+        | (i : Ir.instr) :: rest ->
+            st.ctr.steps <- st.ctr.steps + 1;
+            if st.ctr.steps > st.opts.fuel then raise Out_of_fuel;
+            let commit v =
+              let v = Width.trunc i.width v in
+              Hashtbl.replace env i.iid v;
+              record i v
+            in
+            let misspec_check ops result =
+              if i.speculative && misspeculates i ops result then begin
+                match Hashtbl.find_opt region_of b.bid with
+                | Some r ->
+                    st.ctr.misspecs <- st.ctr.misspecs + 1;
+                    prev := b.bid;
+                    cur := Ir.block f r.rhandler;
+                    true
+                | None ->
+                    raise (Trap "speculative instruction outside a region")
+              end
+              else false
+            in
+            (match i.op with
+            | Ir.Param _ -> raise (Trap "param instruction in block")
+            | Ir.Bin (op, a, c) ->
+                let va = value a and vc = value c in
+                let r = eval_binop op i.width va vc in
+                if not (misspec_check [ va; vc ] r) then begin
+                  commit r;
+                  run rest
+                end
+            | Ir.Cmp (op, a, c) ->
+                let va = value a and vc = value c in
+                let w = Ir.operand_width f a in
+                commit (eval_cmp op w va vc);
+                run rest
+            | Ir.Cast (op, a) ->
+                let va = value a in
+                let src_w = Ir.operand_width f a in
+                let r =
+                  match op with
+                  | Ir.Zext -> Width.zext src_w va
+                  | Ir.Sext -> Width.trunc i.width (Width.sext src_w va)
+                  | Ir.TruncCast -> Width.trunc i.width va
+                in
+                if not (misspec_check [ va ] r) then begin
+                  commit r;
+                  run rest
+                end
+            | Ir.Select (c, a, d) ->
+                commit (if value c <> 0L then value a else value d);
+                run rest
+            | Ir.Phi _ -> raise (Trap "phi after non-phi")
+            | Ir.Load l ->
+                let addr = Int64.to_int (value l.l_addr) in
+                commit (Memimage.read st.mem ~width:i.width addr);
+                run rest
+            | Ir.Store s ->
+                let addr = Int64.to_int (value s.s_addr) in
+                Memimage.write st.mem ~width:s.s_width addr (value s.s_value);
+                run rest
+            | Ir.Gaddr g ->
+                commit (Int64.of_int (Memimage.addr_of st.mem g));
+                run rest
+            | Ir.Salloc _ ->
+                commit (Int64.of_int (Hashtbl.find salloc_addr i.iid));
+                run rest
+            | Ir.Call c ->
+                let vargs = List.map value c.args in
+                let r = exec_func (get_func c.callee) vargs in
+                (match r with
+                | Some v when i.width > 0 -> commit v
+                | _ -> ());
+                run rest
+            | Ir.Br t ->
+                prev := b.bid;
+                cur := Ir.block f t
+            | Ir.Cbr (c, t, e) ->
+                prev := b.bid;
+                cur := Ir.block f (if value c <> 0L then t else e)
+            | Ir.Ret v ->
+                ret_val := Option.map value v;
+                finished := true
+            | Ir.Unreachable -> raise (Trap "reached unreachable"));
+            ()
+      in
+      run (List.filter (fun i -> not (Ir.is_phi i)) b.instrs)
+    done;
+    st.sp <- saved_sp;
+    !ret_val
+  in
+  let f = get_func entry in
+  let ret = exec_func f args in
+  { ret; steps = st.ctr.steps; misspecs = st.ctr.misspecs; calls = st.ctr.calls }
+
+(** [run_fresh m ~entry ~args] builds a fresh memory image for [m],
+    optionally letting [setup] fill workload inputs, and executes. *)
+let run_fresh ?(opts = default_opts) ?setup ?mem_size (m : Ir.modul) ~entry ~args =
+  let mem = Memimage.create ?size:mem_size m in
+  (match setup with Some f -> f mem | None -> ());
+  (exec ~opts m ~entry ~args mem, mem)

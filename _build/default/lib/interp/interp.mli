@@ -1,0 +1,66 @@
+(** Reference interpreter for SIR.
+
+    Three roles: reference semantics for differential testing of the whole
+    pipeline; the bitwidth profiler of §3.2.2 (via [profile]); and
+    speculative execution of squeezed code — a [!speculative] instruction
+    inside a speculative region that violates its Table 1 misspeculation
+    condition redirects control to the region's handler without committing
+    its result, exactly like the hardware. *)
+
+exception Trap of string
+(** Undefined behaviour at run time: division by zero, out-of-bounds
+    access, unknown callee, arity mismatch, … *)
+
+exception Out_of_fuel
+
+type opts = {
+  profile : Profile.t option;  (** record per-variable bitwidth statistics *)
+  fuel : int;                  (** dynamic IR instruction budget *)
+}
+
+val default_opts : opts
+
+type counters = {
+  mutable steps : int;
+  mutable misspecs : int;
+  mutable calls : int;
+}
+
+type result = {
+  ret : int64 option;  (** the entry function's return value *)
+  steps : int;         (** dynamic IR instructions executed *)
+  misspecs : int;      (** misspeculation events *)
+  calls : int;         (** function invocations *)
+}
+
+val eval_binop : Bs_ir.Ir.binop -> int -> int64 -> int64 -> int64
+(** [eval_binop op width a b] — the IR's arithmetic, exposed so constant
+    folding can never disagree with execution.
+    @raise Trap on division by zero. *)
+
+val eval_cmp : Bs_ir.Ir.cmpop -> int -> int64 -> int64 -> int64
+(** Comparison at the given operand width; returns 0 or 1. *)
+
+val misspeculates : Bs_ir.Ir.instr -> int64 list -> int64 -> bool
+(** Table 1's misspeculation conditions at the IR level, given the
+    instruction, its operand values, and its (truncated) result. *)
+
+val exec :
+  ?opts:opts ->
+  Bs_ir.Ir.modul ->
+  entry:string ->
+  args:int64 list ->
+  Memimage.t ->
+  result
+(** Execute [entry] on an existing memory image (mutating it). *)
+
+val run_fresh :
+  ?opts:opts ->
+  ?setup:(Memimage.t -> unit) ->
+  ?mem_size:int ->
+  Bs_ir.Ir.modul ->
+  entry:string ->
+  args:int64 list ->
+  result * Memimage.t
+(** Build a fresh memory image for the module, apply [setup], execute, and
+    return the result together with the final memory. *)

@@ -1,0 +1,104 @@
+open Bs_ir
+
+(* Flat little-endian memory image shared by the IR interpreter and the
+   machine simulator.  Globals are laid out from [globals_base] upward;
+   the stack grows down from the top. *)
+
+exception Fault of string
+
+type t = {
+  bytes : Bytes.t;
+  layout : (string, int) Hashtbl.t;   (* global name -> address *)
+  globals_end : int;
+}
+
+let globals_base = 0x1000
+
+let align a n = (n + a - 1) / a * a
+
+(** [create ?size m] lays out the globals of [m] and returns a zeroed
+    memory image with initialisers applied. *)
+let create ?(size = 8 * 1024 * 1024) (m : Ir.modul) =
+  let layout = Hashtbl.create 16 in
+  let cursor = ref globals_base in
+  List.iter
+    (fun (g : Ir.global) ->
+      let esz = max 1 (g.elem_width / 8) in
+      cursor := align esz !cursor;
+      Hashtbl.replace layout g.gname !cursor;
+      cursor := !cursor + (esz * g.count))
+    m.globals;
+  let t =
+    { bytes = Bytes.make size '\000'; layout; globals_end = !cursor }
+  in
+  if !cursor >= size then raise (Fault "memory too small for globals");
+  (* Apply initialisers. *)
+  List.iter
+    (fun (g : Ir.global) ->
+      let base = Hashtbl.find layout g.gname in
+      let esz = max 1 (g.elem_width / 8) in
+      Array.iteri
+        (fun i v ->
+          let addr = base + (i * esz) in
+          for b = 0 to esz - 1 do
+            Bytes.set t.bytes (addr + b)
+              (Char.chr
+                 (Int64.to_int
+                    (Int64.logand
+                       (Int64.shift_right_logical v (8 * b))
+                       0xFFL)))
+          done)
+        g.ginit)
+    m.globals;
+  t
+
+let size t = Bytes.length t.bytes
+
+let addr_of t name =
+  match Hashtbl.find_opt t.layout name with
+  | Some a -> a
+  | None -> raise (Fault ("unknown global " ^ name))
+
+let check t addr width =
+  let bytes = max 1 (width / 8) in
+  if addr < 0 || addr + bytes > Bytes.length t.bytes then
+    raise (Fault (Printf.sprintf "out-of-bounds access at 0x%x (i%d)" addr width))
+
+(** [read t ~width addr] loads a [width]-bit little-endian value. *)
+let read t ~width addr =
+  check t addr width;
+  let n = max 1 (width / 8) in
+  let v = ref 0L in
+  for b = n - 1 downto 0 do
+    v :=
+      Int64.logor
+        (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (Bytes.get t.bytes (addr + b))))
+  done;
+  Width.trunc width !v
+
+(** [write t ~width addr v] stores a [width]-bit little-endian value. *)
+let write t ~width addr v =
+  check t addr width;
+  let n = max 1 (width / 8) in
+  for b = 0 to n - 1 do
+    Bytes.set t.bytes (addr + b)
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * b)) 0xFFL)))
+  done
+
+(** Convenience accessors used by workload input generators. *)
+
+let set_global t m ~name ~index v =
+  match Ir.find_global m name with
+  | Some g ->
+      let esz = max 1 (g.elem_width / 8) in
+      write t ~width:g.elem_width (addr_of t name + (index * esz)) v
+  | None -> raise (Fault ("unknown global " ^ name))
+
+let get_global t m ~name ~index =
+  match Ir.find_global m name with
+  | Some g ->
+      let esz = max 1 (g.elem_width / 8) in
+      read t ~width:g.elem_width (addr_of t name + (index * esz))
+  | None -> raise (Fault ("unknown global " ^ name))

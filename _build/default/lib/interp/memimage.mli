@@ -1,0 +1,35 @@
+(** Flat little-endian memory image shared by the IR interpreter and the
+    machine simulator: globals laid out from {!globals_base} upward, the
+    simulated stack growing down from the top. *)
+
+exception Fault of string
+(** Out-of-bounds access or unknown global. *)
+
+type t = {
+  bytes : Bytes.t;
+  layout : (string, int) Hashtbl.t;  (** global name -> base address *)
+  globals_end : int;                 (** first address above the globals *)
+}
+
+val globals_base : int
+
+val create : ?size:int -> Bs_ir.Ir.modul -> t
+(** [create m] lays the module's globals out and applies their
+    initialisers.  Default size 8 MiB. *)
+
+val size : t -> int
+
+val addr_of : t -> string -> int
+(** Base address of a global. *)
+
+val read : t -> width:int -> int -> int64
+(** Little-endian load of [width] bits. *)
+
+val write : t -> width:int -> int -> int64 -> unit
+(** Little-endian store of [width] bits. *)
+
+val set_global : t -> Bs_ir.Ir.modul -> name:string -> index:int -> int64 -> unit
+(** Write one element of a global array (workload input setup). *)
+
+val get_global : t -> Bs_ir.Ir.modul -> name:string -> index:int -> int64
+(** Read one element of a global array (result inspection). *)

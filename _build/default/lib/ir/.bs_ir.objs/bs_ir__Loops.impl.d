@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Dom Hashtbl Int Ir List Set

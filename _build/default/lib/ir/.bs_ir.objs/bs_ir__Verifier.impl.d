@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Dom Hashtbl Ir List Liveness Printer Printf String

@@ -1,0 +1,73 @@
+(* Dominator computation via the Cooper-Harvey-Kennedy iterative algorithm.
+   Handlers participate through the SIR predecessor relation so that the
+   verifier can check SSA dominance inside handlers too. *)
+
+type t = {
+  idom : (int, int) Hashtbl.t;  (* block id -> immediate dominator id *)
+  order : int array;            (* reverse postorder of block ids *)
+  index : (int, int) Hashtbl.t; (* block id -> RPO index *)
+}
+
+let compute ?preds (f : Ir.func) =
+  let preds = match preds with Some p -> p | None -> Ir.preds_sir f in
+  let order = Array.of_list (Ir.reverse_postorder f) in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i bid -> Hashtbl.replace index bid i) order;
+  let idom = Hashtbl.create 16 in
+  (match f.blocks with
+  | [] -> ()
+  | e :: _ ->
+      Hashtbl.replace idom e.Ir.bid e.Ir.bid;
+      let intersect b1 b2 =
+        let rec walk b1 b2 =
+          if b1 = b2 then b1
+          else
+            let i1 = Hashtbl.find index b1 and i2 = Hashtbl.find index b2 in
+            if i1 > i2 then walk (Hashtbl.find idom b1) b2
+            else walk b1 (Hashtbl.find idom b2)
+        in
+        walk b1 b2
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Array.iter
+          (fun bid ->
+            if bid <> e.Ir.bid then begin
+              let ps =
+                match Hashtbl.find_opt preds bid with Some l -> l | None -> []
+              in
+              let processed =
+                List.filter (fun p -> Hashtbl.mem idom p) ps
+              in
+              match processed with
+              | [] -> ()
+              | first :: rest ->
+                  let new_idom = List.fold_left intersect first rest in
+                  if Hashtbl.find_opt idom bid <> Some new_idom then begin
+                    Hashtbl.replace idom bid new_idom;
+                    changed := true
+                  end
+            end)
+          order
+      done);
+  { idom; order; index }
+
+let idom t bid = Hashtbl.find_opt t.idom bid
+
+(** [dominates t a b] is true iff block [a] dominates block [b]. *)
+let dominates t a b =
+  let rec walk b =
+    if a = b then true
+    else
+      match Hashtbl.find_opt t.idom b with
+      | Some p when p <> b -> walk p
+      | _ -> false
+  in
+  walk b
+
+(** [strictly_dominates t a b] is [dominates t a b && a <> b]. *)
+let strictly_dominates t a b = a <> b && dominates t a b
+
+(** Blocks in reverse postorder. *)
+let rpo t = Array.to_list t.order

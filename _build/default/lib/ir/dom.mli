@@ -1,0 +1,24 @@
+(** Dominator computation (Cooper-Harvey-Kennedy iterative algorithm).
+
+    Handlers participate through the SIR predecessor relation by default,
+    so dominance queries are valid inside misspeculation handlers too. *)
+
+type t = {
+  idom : (int, int) Hashtbl.t;   (** block id -> immediate dominator *)
+  order : int array;             (** reverse postorder of block ids *)
+  index : (int, int) Hashtbl.t;  (** block id -> RPO index *)
+}
+
+val compute : ?preds:(int, int list) Hashtbl.t -> Ir.func -> t
+(** [compute f] builds the dominator tree; [preds] overrides the
+    predecessor relation (default {!Ir.preds_sir}). *)
+
+val idom : t -> int -> int option
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — block [a] dominates block [b] (reflexive). *)
+
+val strictly_dominates : t -> int -> int -> bool
+
+val rpo : t -> int list
+(** Blocks in reverse postorder. *)

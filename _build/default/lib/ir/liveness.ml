@@ -1,0 +1,113 @@
+(* Backward liveness dataflow over SSA variables.
+
+   The predecessor relation is a parameter: passing {!Ir.preds_sir} gives
+   the SIR semantics of §3.1.2 (handlers see values live at the region
+   entry); {!Ir.preds_smir} gives the machine-level relation of equation
+   (2) used by the register allocator. *)
+
+module IntSet = Set.Make (Int)
+
+type t = {
+  live_in : (int, IntSet.t) Hashtbl.t;
+  live_out : (int, IntSet.t) Hashtbl.t;
+}
+
+(* A phi use of [v] along edge (p -> b) is live-out of p, not live-in of b.
+   SSA liveness handles this by seeding the phi's operands into the
+   predecessors' live-out sets. *)
+
+let compute ?preds (f : Ir.func) =
+  let preds = match preds with Some p -> p | None -> Ir.preds_sir f in
+  (* successor map derived from preds so the two relations stay duals *)
+  let succs_tbl : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (b : Ir.block) -> Hashtbl.replace succs_tbl b.bid []) f.blocks;
+  Hashtbl.iter
+    (fun b ps ->
+      List.iter
+        (fun p ->
+          let cur = try Hashtbl.find succs_tbl p with Not_found -> [] in
+          if not (List.mem b cur) then Hashtbl.replace succs_tbl p (b :: cur))
+        ps)
+    preds;
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      Hashtbl.replace live_in b.bid IntSet.empty;
+      Hashtbl.replace live_out b.bid IntSet.empty)
+    f.blocks;
+  (* Per-block gen (upward-exposed non-phi uses + phi presence handled at
+     edges) and kill (definitions). *)
+  let block_flow (b : Ir.block) out =
+    List.fold_right
+      (fun (i : Ir.instr) live ->
+        let live =
+          if Ir.has_result i then IntSet.remove i.iid live else live
+        in
+        if Ir.is_phi i then live
+        else
+          List.fold_left
+            (fun acc o ->
+              match o with Ir.Var v -> IntSet.add v acc | Ir.Const _ -> acc)
+            live (Ir.operands i))
+      b.instrs out
+  in
+  (* Values flowing along a phi edge: for successor s reached from p, the phi
+     operands of s selected for p are live-out of p; phi defs of s are not
+     live across the edge (they are killed by the phi). *)
+  let phi_out_of (p : int) (s : Ir.block) =
+    List.fold_left
+      (fun acc (i : Ir.instr) ->
+        match i.op with
+        | Phi incoming -> (
+            match List.assoc_opt p incoming with
+            | Some (Ir.Var v) -> IntSet.add v acc
+            | _ -> acc)
+        | _ -> acc)
+      IntSet.empty s.instrs
+  in
+  let phi_defs (s : Ir.block) =
+    List.fold_left
+      (fun acc (i : Ir.instr) ->
+        if Ir.is_phi i then IntSet.add i.iid acc else acc)
+      IntSet.empty s.instrs
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Ir.block) ->
+        let succ_ids =
+          match Hashtbl.find_opt succs_tbl b.bid with Some l -> l | None -> []
+        in
+        let out =
+          List.fold_left
+            (fun acc s ->
+              let sb = Ir.block f s in
+              let s_in = Hashtbl.find live_in s in
+              let via = IntSet.diff s_in (phi_defs sb) in
+              IntSet.union acc (IntSet.union via (phi_out_of b.bid sb)))
+            IntSet.empty succ_ids
+        in
+        let inn = block_flow b out in
+        if
+          not
+            (IntSet.equal out (Hashtbl.find live_out b.bid)
+            && IntSet.equal inn (Hashtbl.find live_in b.bid))
+        then begin
+          Hashtbl.replace live_out b.bid out;
+          Hashtbl.replace live_in b.bid inn;
+          changed := true
+        end)
+      (List.rev f.blocks)
+  done;
+  { live_in; live_out }
+
+let live_in t bid =
+  match Hashtbl.find_opt t.live_in bid with
+  | Some s -> s
+  | None -> IntSet.empty
+
+let live_out t bid =
+  match Hashtbl.find_opt t.live_out bid with
+  | Some s -> s
+  | None -> IntSet.empty

@@ -1,0 +1,20 @@
+(** Backward liveness over SSA variables.
+
+    The predecessor relation is a parameter: {!Ir.preds_sir} gives §3.1.2's
+    semantics (a handler sees the values live at its region's entry),
+    {!Ir.preds_smir} gives equation (2)'s machine-level relation used by
+    the register allocator.  Phi uses are live-out of the corresponding
+    predecessor, not live-in of the phi's block. *)
+
+module IntSet : Set.S with type elt = int
+
+type t = {
+  live_in : (int, IntSet.t) Hashtbl.t;
+  live_out : (int, IntSet.t) Hashtbl.t;
+}
+
+val compute : ?preds:(int, int list) Hashtbl.t -> Ir.func -> t
+(** Fixed-point dataflow; [preds] defaults to {!Ir.preds_sir}. *)
+
+val live_in : t -> int -> IntSet.t
+val live_out : t -> int -> IntSet.t

@@ -1,0 +1,95 @@
+(* Natural-loop detection from back edges in the dominator tree, providing
+   the loop structure the expander's unroller needs (header, latch, body,
+   exits, nesting depth). *)
+
+module IntSet = Set.Make (Int)
+
+type loop = {
+  header : int;
+  latches : int list;          (* blocks with a back edge to the header *)
+  body : IntSet.t;             (* all blocks of the loop, header included *)
+  depth : int;                 (* 1 = outermost *)
+}
+
+type t = loop list
+
+let compute (f : Ir.func) =
+  let dom = Dom.compute ~preds:(Ir.preds_map f) f in
+  let preds = Ir.preds_map f in
+  (* Back edge: (n -> h) where h dominates n. *)
+  let back_edges =
+    List.concat_map
+      (fun (b : Ir.block) ->
+        List.filter_map
+          (fun s -> if Dom.dominates dom s b.bid then Some (b.bid, s) else None)
+          (Ir.succs b))
+      f.blocks
+  in
+  (* Natural loop of a back edge: h plus all blocks that reach n without
+     passing through h. *)
+  let loop_of (n, h) =
+    let body = ref (IntSet.add h (IntSet.singleton n)) in
+    let rec visit m =
+      if m <> h then
+        let ps = match Hashtbl.find_opt preds m with Some l -> l | None -> [] in
+        List.iter
+          (fun p ->
+            if not (IntSet.mem p !body) then begin
+              body := IntSet.add p !body;
+              visit p
+            end)
+          ps
+    in
+    visit n;
+    (h, n, !body)
+  in
+  let raw = List.map loop_of back_edges in
+  (* Merge loops sharing a header (multiple latches). *)
+  let tbl : (int, int list * IntSet.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (h, n, body) ->
+      match Hashtbl.find_opt tbl h with
+      | Some (ns, acc) -> Hashtbl.replace tbl h (n :: ns, IntSet.union acc body)
+      | None -> Hashtbl.replace tbl h ([ n ], body))
+    raw;
+  let loops =
+    Hashtbl.fold
+      (fun h (latches, body) acc ->
+        { header = h; latches; body; depth = 0 } :: acc)
+      tbl []
+  in
+  (* Depth: number of loops containing this loop's header. *)
+  let with_depth =
+    List.map
+      (fun l ->
+        let d =
+          List.length
+            (List.filter (fun l' -> IntSet.mem l.header l'.body) loops)
+        in
+        { l with depth = d })
+      loops
+  in
+  List.sort (fun a b -> compare a.header b.header) with_depth
+
+let innermost (loops : t) =
+  List.filter
+    (fun l ->
+      not
+        (List.exists
+           (fun l' ->
+             l'.header <> l.header && IntSet.subset l'.body l.body)
+           loops))
+    loops
+
+(** Blocks outside the loop that a loop block branches to. *)
+let exits (f : Ir.func) (l : loop) =
+  IntSet.fold
+    (fun bid acc ->
+      List.fold_left
+        (fun acc s -> if IntSet.mem s l.body then acc else IntSet.add s acc)
+        acc
+        (Ir.succs (Ir.block f bid)))
+    l.body IntSet.empty
+
+let size (f : Ir.func) (l : loop) =
+  IntSet.fold (fun bid n -> n + List.length (Ir.block f bid).instrs) l.body 0

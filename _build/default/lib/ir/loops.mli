@@ -1,0 +1,25 @@
+(** Natural-loop detection from back edges in the dominator tree — the
+    loop structure the expander's unroller consumes. *)
+
+module IntSet : Set.S with type elt = int
+
+type loop = {
+  header : int;
+  latches : int list;  (** blocks with a back edge to the header *)
+  body : IntSet.t;     (** all blocks of the loop, header included *)
+  depth : int;         (** 1 = outermost *)
+}
+
+type t = loop list
+
+val compute : Ir.func -> t
+(** All natural loops (loops sharing a header are merged). *)
+
+val innermost : t -> t
+(** Loops containing no other loop. *)
+
+val exits : Ir.func -> loop -> IntSet.t
+(** Blocks outside the loop targeted from inside it. *)
+
+val size : Ir.func -> loop -> int
+(** Static instruction count of the loop body. *)

@@ -1,0 +1,104 @@
+(* Textual rendering of SIR modules, in an LLVM-flavoured syntax.  Used by
+   golden tests, the CLI's [--emit-ir], and error reporting. *)
+
+let binop_name : Ir.binop -> string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul"
+  | Udiv -> "udiv" | Sdiv -> "sdiv" | Urem -> "urem" | Srem -> "srem"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let cmpop_name : Ir.cmpop -> string = function
+  | Eq -> "eq" | Ne -> "ne"
+  | Ult -> "ult" | Ule -> "ule" | Ugt -> "ugt" | Uge -> "uge"
+  | Slt -> "slt" | Sle -> "sle" | Sgt -> "sgt" | Sge -> "sge"
+
+let castop_name : Ir.castop -> string = function
+  | Zext -> "zext" | Sext -> "sext" | TruncCast -> "trunc"
+
+let operand_str f (o : Ir.operand) =
+  match o with
+  | Var v ->
+      let i = Ir.instr f v in
+      if i.iname <> "" then Printf.sprintf "%%%s.%d" i.iname v
+      else Printf.sprintf "%%%d" v
+  | Const c -> Printf.sprintf "%Ld:i%d" c.cval c.cwidth
+
+let block_str f bid = (Ir.block f bid).bname ^ "." ^ string_of_int bid
+
+let def_str (i : Ir.instr) =
+  if i.iname <> "" then Printf.sprintf "%%%s.%d" i.iname i.iid
+  else Printf.sprintf "%%%d" i.iid
+
+let instr_str f (i : Ir.instr) =
+  let o = operand_str f in
+  let b = block_str f in
+  let body =
+    match i.op with
+    | Param k -> Printf.sprintf "param %d" k
+    | Bin (op, a, c) ->
+        Printf.sprintf "%s i%d %s, %s" (binop_name op) i.width (o a) (o c)
+    | Cmp (op, a, c) -> Printf.sprintf "cmp %s %s, %s" (cmpop_name op) (o a) (o c)
+    | Cast (op, a) -> Printf.sprintf "%s %s to i%d" (castop_name op) (o a) i.width
+    | Select (c, a, d) -> Printf.sprintf "select %s, %s, %s" (o c) (o a) (o d)
+    | Phi incoming ->
+        let arm (p, v) = Printf.sprintf "[%s, %s]" (o v) (b p) in
+        Printf.sprintf "phi i%d %s" i.width
+          (String.concat ", " (List.map arm incoming))
+    | Load l ->
+        Printf.sprintf "load%s i%d, %s"
+          (if l.l_volatile then " volatile" else "") i.width (o l.l_addr)
+    | Store s ->
+        Printf.sprintf "store%s i%d %s, %s"
+          (if s.s_volatile then " volatile" else "") s.s_width (o s.s_value)
+          (o s.s_addr)
+    | Gaddr g -> Printf.sprintf "gaddr @%s" g
+    | Salloc n -> Printf.sprintf "salloc %d" n
+    | Call c ->
+        Printf.sprintf "call i%d @%s(%s)" i.width c.callee
+          (String.concat ", " (List.map o c.args))
+    | Br t -> Printf.sprintf "br %s" (b t)
+    | Cbr (c, t, e) -> Printf.sprintf "br %s, %s, %s" (o c) (b t) (b e)
+    | Ret None -> "ret void"
+    | Ret (Some v) -> Printf.sprintf "ret %s" (o v)
+    | Unreachable -> "unreachable"
+  in
+  let prefix = if Ir.has_result i then def_str i ^ " = " else "" in
+  let suffix = if i.speculative then " !speculative" else "" in
+  prefix ^ body ^ suffix
+
+let func_str (f : Ir.func) =
+  let buf = Buffer.create 1024 in
+  let params =
+    String.concat ", "
+      (List.map (fun (n, w) -> Printf.sprintf "i%d %%%s" w n) f.params)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "define i%d @%s(%s) {\n" f.ret_width f.fname params);
+  List.iter
+    (fun (bl : Ir.block) ->
+      let annot =
+        match Ir.region_of_block f bl.bid with
+        | Some r ->
+            Printf.sprintf "  ; region %d, handler %s" r.rid
+              (block_str f r.rhandler)
+        | None ->
+            if Ir.is_handler f bl.bid then "  ; handler" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s.%d:%s\n" bl.bname bl.bid annot);
+      List.iter
+        (fun i -> Buffer.add_string buf ("  " ^ instr_str f i ^ "\n"))
+        bl.instrs)
+    f.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let module_str (m : Ir.modul) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (g : Ir.global) ->
+      Buffer.add_string buf
+        (Printf.sprintf "@%s = global [%d x i%d]\n" g.gname g.count g.elem_width))
+    m.globals;
+  List.iter (fun f -> Buffer.add_string buf ("\n" ^ func_str f)) m.funcs;
+  Buffer.contents buf

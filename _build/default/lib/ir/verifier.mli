@@ -1,0 +1,25 @@
+(** Structural and semantic validation of SIR.
+
+    Classic SSA checks (definitions dominate uses, operand widths agree,
+    phis are block prefixes with one incoming per predecessor, terminators
+    close every block) plus the speculative-region rules of §3.1.1:
+    a block handles at most one region, handlers are outside all regions
+    and are never branch targets, and — Theorem 3.1, checked through
+    SIR-relation liveness — every variable defined inside a region is dead
+    at its handler's entry.  Unreachable blocks are exempt from dominance
+    checks, as in LLVM. *)
+
+exception Invalid of string
+
+val check_func : Ir.func -> unit
+(** @raise Invalid with a diagnostic on the first violation. *)
+
+val check_module : Ir.modul -> unit
+(** [check_func] on every function, plus call-target and global-reference
+    resolution. *)
+
+val verify_exn : Ir.modul -> unit
+(** Alias of {!check_module}. *)
+
+val verify : Ir.modul -> (unit, string) result
+(** Non-raising variant. *)

@@ -1,0 +1,38 @@
+let valid = [ 1; 8; 16; 32; 64 ]
+
+let is_valid w = List.mem w valid
+
+let mask w =
+  if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+let trunc w v = Int64.logand v (mask w)
+
+let zext = trunc
+
+let sext w v =
+  if w >= 64 then v
+  else
+    let v = trunc w v in
+    let sign = Int64.shift_left 1L (w - 1) in
+    if Int64.logand v sign <> 0L then Int64.logor v (Int64.lognot (mask w))
+    else v
+
+let required_bits a =
+  if a = 0L then 1
+  else if Int64.compare a 0L < 0 then 64
+  else
+    let rec go n acc =
+      if n = 0L then acc else go (Int64.shift_right_logical n 1) (acc + 1)
+    in
+    go a 0
+
+let fits w v = required_bits v <= w
+
+let class_of_bits b =
+  if b <= 8 then 8 else if b <= 16 then 16 else if b <= 32 then 32 else 64
+
+let signed_min w = Int64.shift_left 1L (w - 1) |> trunc w
+
+let signed_max w = Int64.sub (Int64.shift_left 1L (w - 1)) 1L
+
+let to_signed = sext

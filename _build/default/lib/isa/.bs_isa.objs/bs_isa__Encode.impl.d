@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Int32 Isa List Printf

@@ -1,0 +1,312 @@
+open Isa
+
+(* Binary encoding of BSARM into 32-bit words.
+
+   Layout: [31:26] opcode, then fixed fields per format.  Registers take 4
+   bits, slices 6 (register ++ byte index), conditions 4.  Branch targets
+   are 26-bit absolute instruction indices; MOVW/MOVT carry 16-bit
+   immediates; memory offsets are 14-bit unsigned.  The format is not
+   ARM-compatible — it exists so the toolchain is a real assembler/loader
+   pair and the code image has a concrete footprint (the I$ model indexes
+   it by byte address). *)
+
+exception Encode_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Encode_error s)) fmt
+
+(* field builders *)
+let check_range name v lo hi =
+  if v < lo || v > hi then err "%s out of range: %d" name v
+
+let reg_f r = check_range "reg" r 0 15; r
+let slice_f s =
+  check_range "slice reg" s.sl_reg 0 15;
+  check_range "slice byte" s.sl_byte 0 3;
+  (s.sl_reg lsl 2) lor s.sl_byte
+
+let cond_code = function
+  | CEq -> 0 | CNe -> 1 | CUlt -> 2 | CUle -> 3 | CUgt -> 4 | CUge -> 5
+  | CSlt -> 6 | CSle -> 7 | CSgt -> 8 | CSge -> 9
+
+let cond_of_code = function
+  | 0 -> CEq | 1 -> CNe | 2 -> CUlt | 3 -> CUle | 4 -> CUgt | 5 -> CUge
+  | 6 -> CSlt | 7 -> CSle | 8 -> CSgt | 9 -> CSge
+  | c -> err "bad cond code %d" c
+
+let aluop_code = function
+  | OpAdd -> 0 | OpSub -> 1 | OpAnd -> 2 | OpOrr -> 3 | OpEor -> 4
+  | OpLsl -> 5 | OpLsr -> 6 | OpAsr -> 7
+
+let aluop_of_code = function
+  | 0 -> OpAdd | 1 -> OpSub | 2 -> OpAnd | 3 -> OpOrr | 4 -> OpEor
+  | 5 -> OpLsl | 6 -> OpLsr | 7 -> OpAsr
+  | c -> err "bad aluop %d" c
+
+let baluop_code = function
+  | BAdd -> 0 | BSub -> 1 | BAnd -> 2 | BOrr -> 3 | BEor -> 4
+
+let baluop_of_code = function
+  | 0 -> BAdd | 1 -> BSub | 2 -> BAnd | 3 -> BOrr | 4 -> BEor
+  | c -> err "bad baluop %d" c
+
+let width_code = function W8 -> 0 | W16 -> 1 | W32 -> 2
+let width_of_code = function
+  | 0 -> W8 | 1 -> W16 | 2 -> W32 | c -> err "bad width %d" c
+
+let sign_code = function Unsigned -> 0 | Signed -> 1
+let sign_of_code = function 0 -> Unsigned | 1 -> Signed | c -> err "bad sign %d" c
+
+(* opcodes *)
+let op_mov = 1
+let op_movw = 2
+let op_movt = 3
+let op_alu_r = 4
+let op_alu_i = 5
+let op_mul = 6
+let op_div = 7
+let op_cmp_r = 8
+let op_cmp_i = 9
+let op_cset = 10
+let op_b = 11
+let op_bc = 12
+let op_bl = 13
+let op_bx_lr = 14
+let op_ldr = 15
+let op_str = 16
+let op_sxt = 17
+let op_uxt = 18
+let op_balu_r = 19
+let op_balu_i = 20
+let op_bcmp_r = 21
+let op_bcmp_i = 22
+let op_bldrs = 23
+let op_bldrb = 24
+let op_bstrb = 25
+let op_bext = 26
+let op_btrn = 27
+let op_bmov = 28
+let op_bmovi = 29
+let op_setdelta = 30
+let op_setmode = 31
+let op_nop = 32
+let op_halt = 33
+
+let word ~op fields =
+  (* fields: list of (value, bits) packed low-to-high after the opcode *)
+  let v = ref 0 and shift = ref 0 in
+  List.iter
+    (fun (value, bits) ->
+      if value < 0 || value >= 1 lsl bits then
+        err "field %d does not fit %d bits" value bits;
+      v := !v lor (value lsl !shift);
+      shift := !shift + bits)
+    fields;
+  if !shift > 26 then err "fields exceed 26 bits";
+  Int32.logor
+    (Int32.shift_left (Int32.of_int op) 26)
+    (Int32.of_int !v)
+
+(* slice memory form: mode bit selects imm8 offset vs slice index *)
+let mem_slice ~op sl n (x : bindex) =
+  match x with
+  | BOff off ->
+      check_range "offset" off 0 0xFF;
+      word ~op [ (0, 1); (slice_f sl, 6); (reg_f n, 4); (off, 8) ]
+  | BIdx i -> word ~op [ (1, 1); (slice_f sl, 6); (reg_f n, 4); (slice_f i, 6) ]
+
+(** [encode insn] packs one instruction into a 32-bit word.
+    @raise Encode_error on out-of-range fields. *)
+let encode (i : insn) : int32 =
+  match i with
+  | MOV (d, s) -> word ~op:op_mov [ (reg_f d, 4); (reg_f s, 4) ]
+  | MOVW (d, v) ->
+      check_range "imm16" v 0 0xFFFF;
+      word ~op:op_movw [ (reg_f d, 4); (v, 16) ]
+  | MOVT (d, v) ->
+      check_range "imm16" v 0 0xFFFF;
+      word ~op:op_movt [ (reg_f d, 4); (v, 16) ]
+  | ALU (op, d, n, Reg m) ->
+      word ~op:op_alu_r [ (aluop_code op, 3); (reg_f d, 4); (reg_f n, 4); (reg_f m, 4) ]
+  | ALU (op, d, n, Imm v) ->
+      check_range "alu imm" v 0 0x7FFF;
+      word ~op:op_alu_i [ (aluop_code op, 3); (reg_f d, 4); (reg_f n, 4); (v, 15) ]
+  | MUL (d, n, m) ->
+      word ~op:op_mul [ (reg_f d, 4); (reg_f n, 4); (reg_f m, 4) ]
+  | DIV (s, d, n, m) ->
+      word ~op:op_div [ (sign_code s, 1); (reg_f d, 4); (reg_f n, 4); (reg_f m, 4) ]
+  | CMP (n, Reg m) -> word ~op:op_cmp_r [ (reg_f n, 4); (reg_f m, 4) ]
+  | CMP (n, Imm v) ->
+      check_range "cmp imm" v 0 0x3FFFFF;
+      word ~op:op_cmp_i [ (reg_f n, 4); (v, 22) ]
+  | CSET (c, d) -> word ~op:op_cset [ (cond_code c, 4); (reg_f d, 4) ]
+  | B t -> check_range "target" t 0 0x3FFFFFF; word ~op:op_b [ (t, 26) ]
+  | BC (c, t) ->
+      check_range "target" t 0 0x3FFFFF;
+      word ~op:op_bc [ (cond_code c, 4); (t, 22) ]
+  | BL t -> check_range "target" t 0 0x3FFFFFF; word ~op:op_bl [ (t, 26) ]
+  | BX_LR -> word ~op:op_bx_lr []
+  | LDR (w, s, d, n, off) ->
+      check_range "offset" off 0 0x3FFF;
+      word ~op:op_ldr
+        [ (width_code w, 2); (sign_code s, 1); (reg_f d, 4); (reg_f n, 4); (off, 14) ]
+  | STR (w, s, n, off) ->
+      check_range "offset" off 0 0x3FFF;
+      word ~op:op_str [ (width_code w, 2); (reg_f s, 4); (reg_f n, 4); (off, 14) ]
+  | SXT (w, d, s) ->
+      word ~op:op_sxt [ (width_code w, 2); (reg_f d, 4); (reg_f s, 4) ]
+  | UXT (w, d, s) ->
+      word ~op:op_uxt [ (width_code w, 2); (reg_f d, 4); (reg_f s, 4) ]
+  | BALU (op, d, n, Sl m) ->
+      word ~op:op_balu_r
+        [ (baluop_code op, 3); (slice_f d, 6); (slice_f n, 6); (slice_f m, 6) ]
+  | BALU (op, d, n, BImm v) ->
+      check_range "imm4" v 0 15;
+      word ~op:op_balu_i
+        [ (baluop_code op, 3); (slice_f d, 6); (slice_f n, 6); (v, 4) ]
+  | BCMPS (n, Sl m) -> word ~op:op_bcmp_r [ (slice_f n, 6); (slice_f m, 6) ]
+  | BCMPS (n, BImm v) ->
+      check_range "imm8" v 0 255;
+      word ~op:op_bcmp_i [ (slice_f n, 6); (v, 8) ]
+  | BLDRS (d, n, x) -> mem_slice ~op:op_bldrs d n x
+  | BLDRB (d, n, x) -> mem_slice ~op:op_bldrb d n x
+  | BSTRB (s, n, x) -> mem_slice ~op:op_bstrb s n x
+  | BEXT (sg, d, s) ->
+      word ~op:op_bext [ (sign_code sg, 1); (reg_f d, 4); (slice_f s, 6) ]
+  | BTRN (d, s) -> word ~op:op_btrn [ (slice_f d, 6); (reg_f s, 4) ]
+  | BMOV (d, s) -> word ~op:op_bmov [ (slice_f d, 6); (slice_f s, 6) ]
+  | BMOVI (d, v) ->
+      check_range "imm8" v 0 255;
+      word ~op:op_bmovi [ (slice_f d, 6); (v, 8) ]
+  | SETDELTA v -> check_range "delta" v 0 0x3FFFFFF; word ~op:op_setdelta [ (v, 26) ]
+  | SETMODE Classic -> word ~op:op_setmode [ (0, 1) ]
+  | SETMODE Bitspec -> word ~op:op_setmode [ (1, 1) ]
+  | NOP -> word ~op:op_nop []
+  | HALT -> word ~op:op_halt []
+
+(* field extractors for decode *)
+type cursor = { w : int; mutable pos : int }
+
+let take c bits =
+  let v = (c.w lsr c.pos) land ((1 lsl bits) - 1) in
+  c.pos <- c.pos + bits;
+  v
+
+let slice_of_f v = { sl_reg = v lsr 2; sl_byte = v land 3 }
+
+(** [decode w] reverses {!encode}. *)
+let decode (w32 : int32) : insn =
+  let op = Int32.to_int (Int32.shift_right_logical w32 26) land 0x3F in
+  let c = { w = Int32.to_int (Int32.logand w32 0x03FF_FFFFl); pos = 0 } in
+  match op with
+  | o when o = op_mov ->
+      let d = take c 4 in
+      MOV (d, take c 4)
+  | o when o = op_movw ->
+      let d = take c 4 in
+      MOVW (d, take c 16)
+  | o when o = op_movt ->
+      let d = take c 4 in
+      MOVT (d, take c 16)
+  | o when o = op_alu_r ->
+      let a = aluop_of_code (take c 3) in
+      let d = take c 4 in
+      let n = take c 4 in
+      ALU (a, d, n, Reg (take c 4))
+  | o when o = op_alu_i ->
+      let a = aluop_of_code (take c 3) in
+      let d = take c 4 in
+      let n = take c 4 in
+      ALU (a, d, n, Imm (take c 15))
+  | o when o = op_mul ->
+      let d = take c 4 in
+      let n = take c 4 in
+      MUL (d, n, take c 4)
+  | o when o = op_div ->
+      let s = sign_of_code (take c 1) in
+      let d = take c 4 in
+      let n = take c 4 in
+      DIV (s, d, n, take c 4)
+  | o when o = op_cmp_r ->
+      let n = take c 4 in
+      CMP (n, Reg (take c 4))
+  | o when o = op_cmp_i ->
+      let n = take c 4 in
+      CMP (n, Imm (take c 22))
+  | o when o = op_cset ->
+      let cc = cond_of_code (take c 4) in
+      CSET (cc, take c 4)
+  | o when o = op_b -> B (take c 26)
+  | o when o = op_bc ->
+      let cc = cond_of_code (take c 4) in
+      BC (cc, take c 22)
+  | o when o = op_bl -> BL (take c 26)
+  | o when o = op_bx_lr -> BX_LR
+  | o when o = op_ldr ->
+      let w = width_of_code (take c 2) in
+      let s = sign_of_code (take c 1) in
+      let d = take c 4 in
+      let n = take c 4 in
+      LDR (w, s, d, n, take c 14)
+  | o when o = op_str ->
+      let w = width_of_code (take c 2) in
+      let s = take c 4 in
+      let n = take c 4 in
+      STR (w, s, n, take c 14)
+  | o when o = op_sxt ->
+      let w = width_of_code (take c 2) in
+      let d = take c 4 in
+      SXT (w, d, take c 4)
+  | o when o = op_uxt ->
+      let w = width_of_code (take c 2) in
+      let d = take c 4 in
+      UXT (w, d, take c 4)
+  | o when o = op_balu_r ->
+      let b = baluop_of_code (take c 3) in
+      let d = slice_of_f (take c 6) in
+      let n = slice_of_f (take c 6) in
+      BALU (b, d, n, Sl (slice_of_f (take c 6)))
+  | o when o = op_balu_i ->
+      let b = baluop_of_code (take c 3) in
+      let d = slice_of_f (take c 6) in
+      let n = slice_of_f (take c 6) in
+      BALU (b, d, n, BImm (take c 4))
+  | o when o = op_bcmp_r ->
+      let n = slice_of_f (take c 6) in
+      BCMPS (n, Sl (slice_of_f (take c 6)))
+  | o when o = op_bcmp_i ->
+      let n = slice_of_f (take c 6) in
+      BCMPS (n, BImm (take c 8))
+  | o when o = op_bldrs ->
+      let mode = take c 1 in
+      let d = slice_of_f (take c 6) in
+      let n = take c 4 in
+      BLDRS (d, n, if mode = 0 then BOff (take c 8) else BIdx (slice_of_f (take c 6)))
+  | o when o = op_bldrb ->
+      let mode = take c 1 in
+      let d = slice_of_f (take c 6) in
+      let n = take c 4 in
+      BLDRB (d, n, if mode = 0 then BOff (take c 8) else BIdx (slice_of_f (take c 6)))
+  | o when o = op_bstrb ->
+      let mode = take c 1 in
+      let s = slice_of_f (take c 6) in
+      let n = take c 4 in
+      BSTRB (s, n, if mode = 0 then BOff (take c 8) else BIdx (slice_of_f (take c 6)))
+  | o when o = op_bext ->
+      let sg = sign_of_code (take c 1) in
+      let d = take c 4 in
+      BEXT (sg, d, slice_of_f (take c 6))
+  | o when o = op_btrn ->
+      let d = slice_of_f (take c 6) in
+      BTRN (d, take c 4)
+  | o when o = op_bmov ->
+      let d = slice_of_f (take c 6) in
+      BMOV (d, slice_of_f (take c 6))
+  | o when o = op_bmovi ->
+      let d = slice_of_f (take c 6) in
+      BMOVI (d, take c 8)
+  | o when o = op_setdelta -> SETDELTA (take c 26)
+  | o when o = op_setmode ->
+      SETMODE (if take c 1 = 1 then Bitspec else Classic)
+  | o when o = op_nop -> NOP
+  | o when o = op_halt -> HALT
+  | o -> err "unknown opcode %d" o

@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Bs_interp Bs_ir Dce Interp Ir List Width

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Bs_ir Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Bs_ir Hashtbl Ir List Loops Printf

@@ -1,0 +1,1 @@
+lib/opt/inline.mli: Bs_ir

@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.ml: Bs_ir Hashtbl Ir List

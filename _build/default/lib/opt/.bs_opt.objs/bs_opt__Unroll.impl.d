@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Bs_ir Hashtbl Ir List Loops Printf

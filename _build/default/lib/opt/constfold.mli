@@ -1,0 +1,9 @@
+(** Constant folding and trivial algebraic simplification.  Evaluation
+    reuses the interpreter's own arithmetic, so folding can never disagree
+    with execution. *)
+
+val run_func : Bs_ir.Ir.func -> int
+(** Returns the number of instructions folded (DCE is run between
+    rounds). *)
+
+val run : Bs_ir.Ir.modul -> int

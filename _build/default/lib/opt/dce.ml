@@ -1,0 +1,45 @@
+open Bs_ir
+
+(* Dead-code elimination: iteratively removes pure instructions whose
+   results are unused.  Speculative instructions are retained even when
+   unused — compare elimination (§3.2.4) makes control flow depend on their
+   speculation outcome, so removing them would change behaviour. *)
+
+let is_pure (i : Ir.instr) =
+  match i.op with
+  | Ir.Bin _ | Ir.Cmp _ | Ir.Cast _ | Ir.Select _ | Ir.Phi _ | Ir.Gaddr _
+  | Ir.Param _ -> true
+  | Ir.Load l -> not l.l_volatile
+  | Ir.Salloc _ ->
+      (* address identity matters only through uses *)
+      true
+  | Ir.Store _ | Ir.Call _ | Ir.Br _ | Ir.Cbr _ | Ir.Ret _ | Ir.Unreachable ->
+      false
+
+(** [run_func f] removes dead instructions; returns the number removed. *)
+let run_func (f : Ir.func) =
+  let removed = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let use_tbl = Ir.uses f in
+    List.iter
+      (fun (b : Ir.block) ->
+        let keep, drop =
+          List.partition
+            (fun (i : Ir.instr) ->
+              not
+                (Ir.has_result i && is_pure i && (not i.speculative)
+                && not (Hashtbl.mem use_tbl i.iid)))
+            b.instrs
+        in
+        if drop <> [] then begin
+          b.instrs <- keep;
+          removed := !removed + List.length drop;
+          progress := true
+        end)
+      f.blocks
+  done;
+  !removed
+
+let run (m : Ir.modul) = List.fold_left (fun n f -> n + run_func f) 0 m.funcs

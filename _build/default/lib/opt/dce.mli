@@ -1,0 +1,11 @@
+(** Dead-code elimination: iteratively removes pure instructions whose
+    results are unused.  Speculative instructions are retained even when
+    unused — compare elimination (§3.2.4) makes control flow depend on
+    their speculation outcome. *)
+
+val is_pure : Bs_ir.Ir.instr -> bool
+
+val run_func : Bs_ir.Ir.func -> int
+(** Returns the number of instructions removed. *)
+
+val run : Bs_ir.Ir.modul -> int

@@ -1,0 +1,233 @@
+open Bs_ir
+
+(* Function inlining.  Call sites are replaced by a full copy of the callee
+   body; the call block is split, callee returns become branches to the
+   tail, and multiple returns merge through a phi. *)
+
+exception Cannot_inline of string
+
+let func_size (f : Ir.func) =
+  List.fold_left (fun n (b : Ir.block) -> n + List.length b.instrs) 0 f.blocks
+
+(* Callees containing loops are not inlined: pulling a loop into the
+   caller merges their speculative blast radii — one misspeculation in the
+   merged function abandons speculation for everything that follows
+   (the paper's "large functions" pitfall, §3), and real inliners avoid
+   loop-into-loop inlining for locality reasons anyway. *)
+let has_loops (f : Ir.func) = Loops.compute f <> []
+
+(** Functions that (transitively) call themselves. *)
+let recursive_functions (m : Ir.modul) =
+  let callees_of f =
+    List.concat_map
+      (fun (b : Ir.block) ->
+        List.filter_map
+          (fun (i : Ir.instr) ->
+            match i.op with Ir.Call c -> Some c.callee | _ -> None)
+          b.instrs)
+      f.Ir.blocks
+  in
+  let reach = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.func) -> Hashtbl.replace reach f.fname (callees_of f))
+    m.funcs;
+  let transitively_self name =
+    let visited = Hashtbl.create 8 in
+    let rec go n =
+      if Hashtbl.mem visited n then false
+      else begin
+        Hashtbl.replace visited n ();
+        match Hashtbl.find_opt reach n with
+        | None -> false
+        | Some cs -> List.exists (fun c -> c = name || go c) cs
+      end
+    in
+    match Hashtbl.find_opt reach name with
+    | None -> false
+    | Some cs -> List.exists (fun c -> c = name || go c) cs
+  in
+  List.filter_map
+    (fun (f : Ir.func) ->
+      if transitively_self f.fname then Some f.fname else None)
+    m.funcs
+
+(** [inline_call f b call_i callee] expands the given call site in place.
+    The callee must not contain speculative regions (inlining runs before
+    the squeezer). *)
+let inline_call (f : Ir.func) (b : Ir.block) (call_i : Ir.instr) (callee : Ir.func) =
+  if callee.regions <> [] then raise (Cannot_inline "callee has regions");
+  let args = match call_i.op with Ir.Call c -> c.args | _ -> assert false in
+  (* 1. Split the call block. *)
+  let rec split acc = function
+    | [] -> raise (Cannot_inline "call not found in block")
+    | (i : Ir.instr) :: rest when i.iid = call_i.iid -> (List.rev acc, rest)
+    | i :: rest -> split (i :: acc) rest
+  in
+  let before, after = split [] b.instrs in
+  let tail = Ir.insert_block_after f b (b.bname ^ ".tail") in
+  tail.instrs <- after;
+  b.instrs <- before;
+  (* successors of the moved terminator now come from tail *)
+  List.iter
+    (fun succ ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.Phi incoming ->
+              i.op <-
+                Ir.Phi
+                  (List.map
+                     (fun (p, v) -> ((if p = b.bid then tail.bid else p), v))
+                     incoming)
+          | _ -> ())
+        (Ir.block f succ).instrs)
+    (Ir.succs tail);
+  (* 2. Clone the callee with a complete value map. *)
+  let vmap : (int, Ir.operand) Hashtbl.t = Hashtbl.create 64 in
+  let bmap : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (try
+     List.iter2
+       (fun (p : Ir.instr) arg -> Hashtbl.replace vmap p.iid arg)
+       callee.param_instrs args
+   with Invalid_argument _ -> raise (Cannot_inline "arity mismatch"));
+  let clones =
+    List.map
+      (fun (cb : Ir.block) ->
+        let nb =
+          { Ir.bid = Ir.fresh_id f;
+            bname = callee.fname ^ "." ^ cb.bname;
+            instrs = [] }
+        in
+        Hashtbl.replace f.btbl nb.Ir.bid nb;
+        Hashtbl.replace bmap cb.bid nb.Ir.bid;
+        (cb, nb))
+      callee.blocks
+  in
+  List.iter
+    (fun ((cb : Ir.block), (nb : Ir.block)) ->
+      nb.instrs <-
+        List.map
+          (fun (i : Ir.instr) ->
+            let ni =
+              { Ir.iid = Ir.fresh_id f; op = i.op; width = i.width;
+                speculative = i.speculative; iname = i.iname }
+            in
+            Hashtbl.replace f.itbl ni.Ir.iid ni;
+            Hashtbl.replace vmap i.iid (Ir.Var ni.Ir.iid);
+            ni)
+          cb.instrs)
+    clones;
+  let sub_operand = function
+    | Ir.Var v -> (
+        match Hashtbl.find_opt vmap v with
+        | Some o -> o
+        | None -> raise (Cannot_inline (Printf.sprintf "unmapped value %%%d" v)))
+    | Ir.Const _ as o -> o
+  in
+  let sub_block t =
+    match Hashtbl.find_opt bmap t with
+    | Some t' -> t'
+    | None -> raise (Cannot_inline "unmapped block")
+  in
+  List.iter
+    (fun ((_ : Ir.block), (nb : Ir.block)) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          Ir.map_operands sub_operand i;
+          Ir.map_block_targets sub_block i)
+        nb.instrs)
+    clones;
+  (* place clones between the split halves in layout order *)
+  let clone_blocks = List.map snd clones in
+  let rec insert = function
+    | [] -> clone_blocks
+    | (x : Ir.block) :: rest when x.bid = b.bid -> (x :: clone_blocks) @ rest
+    | x :: rest -> x :: insert rest
+  in
+  f.blocks <-
+    insert (List.filter (fun (x : Ir.block) -> not (List.memq x clone_blocks)) f.blocks);
+  (* 3. Entry edge. *)
+  let entry_clone = Hashtbl.find bmap (Ir.entry callee).bid in
+  Ir.append_instr b (Ir.mk_instr f ~width:0 (Ir.Br entry_clone));
+  (* 4. Returns become branches to the tail; collect returned values. *)
+  let returns = ref [] in
+  List.iter
+    (fun (nb : Ir.block) ->
+      match (Ir.terminator nb).op with
+      | Ir.Ret v ->
+          returns := (nb.Ir.bid, v) :: !returns;
+          (Ir.terminator nb).op <- Ir.Br tail.Ir.bid
+      | _ -> ())
+    clone_blocks;
+  (* 5. Merge the return value. *)
+  (if Ir.has_result call_i then
+     match !returns with
+     | [] -> raise (Cannot_inline "callee never returns")
+     | [ (_, Some v) ] -> Ir.replace_all_uses f ~old_id:call_i.iid ~by:v
+     | rets ->
+         let incoming =
+           List.map
+             (fun (bid, v) ->
+               match v with
+               | Some v -> (bid, v)
+               | None -> raise (Cannot_inline "void return in non-void callee"))
+             rets
+         in
+         let phi = Ir.mk_instr f ~name:(callee.fname ^ ".ret") ~width:call_i.width
+             (Ir.Phi incoming) in
+         tail.instrs <- phi :: tail.instrs;
+         Ir.replace_all_uses f ~old_id:call_i.iid ~by:(Ir.Var phi.Ir.iid));
+  (* call_i was dropped when b.instrs was rebuilt from [before] *)
+  Hashtbl.remove f.itbl call_i.iid
+
+(** One inlining sweep over [f]: expand every call to a function in
+    [eligible] (bounded by the caller growing past [max_size]).  Returns
+    the number of calls inlined. *)
+let run_func (m : Ir.modul) (f : Ir.func) ~eligible ~max_size =
+  let inlined = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let site =
+      List.find_map
+        (fun (b : Ir.block) ->
+          List.find_map
+            (fun (i : Ir.instr) ->
+              match i.op with
+              | Ir.Call c when List.mem c.callee eligible && c.callee <> f.fname -> (
+                  match Ir.find_func m c.callee with
+                  | Some callee
+                    when func_size f + func_size callee <= max_size ->
+                      Some (b, i, callee)
+                  | _ -> None)
+              | _ -> None)
+            b.instrs)
+        f.blocks
+    in
+    match site with
+    | Some (b, i, callee) ->
+        inline_call f b i callee;
+        incr inlined;
+        progress := true
+    | None -> ()
+  done;
+  !inlined
+
+(** Module-wide inlining driver: inlines non-recursive callees no larger
+    than [max_callee_size], stopping when callers reach [max_size]. *)
+let run (m : Ir.modul) ?(max_callee_size = 200) ?(max_size = 2000) () =
+  let recursive = recursive_functions m in
+  let eligible =
+    List.filter_map
+      (fun (f : Ir.func) ->
+        if
+          (not (List.mem f.fname recursive))
+          && func_size f <= max_callee_size
+          && not (has_loops f)
+        then Some f.fname
+        else None)
+      m.funcs
+  in
+  List.fold_left
+    (fun n f -> n + run_func m f ~eligible ~max_size)
+    0 m.funcs

@@ -1,0 +1,31 @@
+(** Function inlining: the call block is split, the callee body is cloned
+    with a complete value map, returns become branches to the tail
+    (merging through a phi), and the call disappears.
+
+    Recursive callees and callees containing loops are never inlined — the
+    latter keeps speculative blast radii separate (one misspeculation in a
+    merged function would abandon speculation for everything that follows,
+    the paper's §3 "large functions" pitfall). *)
+
+exception Cannot_inline of string
+
+val func_size : Bs_ir.Ir.func -> int
+(** Static instruction count. *)
+
+val has_loops : Bs_ir.Ir.func -> bool
+
+val recursive_functions : Bs_ir.Ir.modul -> string list
+(** Functions that transitively call themselves. *)
+
+val inline_call :
+  Bs_ir.Ir.func -> Bs_ir.Ir.block -> Bs_ir.Ir.instr -> Bs_ir.Ir.func -> unit
+(** Expand one call site in place.  The callee must contain no speculative
+    regions (inlining runs before the squeezer). *)
+
+val run_func :
+  Bs_ir.Ir.modul -> Bs_ir.Ir.func -> eligible:string list -> max_size:int -> int
+(** Inline every eligible call in one function, bounded by caller growth;
+    returns the number of calls inlined. *)
+
+val run : Bs_ir.Ir.modul -> ?max_callee_size:int -> ?max_size:int -> unit -> int
+(** Module-wide driver. *)

@@ -1,0 +1,152 @@
+open Bs_ir
+
+(* CFG cleanup: constant-branch folding, unreachable-block removal, and
+   straight-line block merging.  Region blocks and handlers are left
+   untouched by the merge step so speculative-region structure survives. *)
+
+let in_region f bid = Ir.region_of_block f bid <> None || Ir.is_handler f bid
+
+(* Remove [pred] from the incoming lists of phis in [b]. *)
+let drop_phi_incoming (b : Ir.block) pred =
+  List.iter
+    (fun (i : Ir.instr) ->
+      match i.op with
+      | Ir.Phi incoming ->
+          i.op <- Ir.Phi (List.filter (fun (p, _) -> p <> pred) incoming)
+      | _ -> ())
+    b.instrs
+
+let fold_constant_branches (f : Ir.func) =
+  let changed = ref false in
+  List.iter
+    (fun (b : Ir.block) ->
+      match (Ir.terminator b).op with
+      | Ir.Cbr (Ir.Const c, t, e) ->
+          let taken, dropped = if c.cval <> 0L then (t, e) else (e, t) in
+          (Ir.terminator b).op <- Ir.Br taken;
+          if dropped <> taken then drop_phi_incoming (Ir.block f dropped) b.bid;
+          changed := true
+      | Ir.Cbr (_, t, e) when t = e ->
+          (Ir.terminator b).op <- Ir.Br t;
+          changed := true
+      | _ -> ())
+    f.blocks;
+  !changed
+
+let remove_unreachable (f : Ir.func) =
+  let reachable = Hashtbl.create 16 in
+  let rec dfs bid =
+    if not (Hashtbl.mem reachable bid) then begin
+      Hashtbl.replace reachable bid ();
+      List.iter dfs (Ir.succs (Ir.block f bid));
+      (* handlers are reachable through misspeculation *)
+      match Ir.region_of_block f bid with
+      | Some r -> dfs r.rhandler
+      | None -> ()
+    end
+  in
+  (match f.blocks with [] -> () | b :: _ -> dfs b.bid);
+  let dead =
+    List.filter (fun (b : Ir.block) -> not (Hashtbl.mem reachable b.bid)) f.blocks
+  in
+  if dead = [] then false
+  else begin
+    let dead_ids = List.map (fun (b : Ir.block) -> b.Ir.bid) dead in
+    f.blocks <-
+      List.filter (fun (b : Ir.block) -> Hashtbl.mem reachable b.bid) f.blocks;
+    List.iter (fun bid -> Hashtbl.remove f.btbl bid) dead_ids;
+    (* prune phi incomings referencing dead blocks *)
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun (i : Ir.instr) ->
+            match i.op with
+            | Ir.Phi incoming ->
+                i.op <-
+                  Ir.Phi (List.filter (fun (p, _) -> not (List.mem p dead_ids)) incoming)
+            | _ -> ())
+          b.instrs)
+      f.blocks;
+    (* prune regions that lost blocks *)
+    f.regions <-
+      List.filter_map
+        (fun (r : Ir.region) ->
+          let blocks = List.filter (fun bid -> not (List.mem bid dead_ids)) r.rblocks in
+          if blocks = [] || List.mem r.rhandler dead_ids then None
+          else Some { r with rblocks = blocks })
+        f.regions;
+    true
+  end
+
+(* Merge [b] with its unique successor [s] when [s] has a unique
+   predecessor. *)
+let merge_blocks (f : Ir.func) =
+  let changed = ref false in
+  let preds = Ir.preds_map f in
+  let merged = Hashtbl.create 4 in
+  List.iter
+    (fun (b : Ir.block) ->
+      if not (Hashtbl.mem merged b.bid) then
+        match Ir.succs b with
+        | [ s ]
+          when (not (in_region f b.bid)) && (not (in_region f s))
+               && s <> b.bid
+               && (match Hashtbl.find_opt preds s with
+                  | Some [ p ] -> p = b.bid
+                  | _ -> false) ->
+            let sb = Ir.block f s in
+            if not (Hashtbl.mem merged s) then begin
+              (* single predecessor: phis in s are trivial *)
+              List.iter
+                (fun (i : Ir.instr) ->
+                  match i.op with
+                  | Ir.Phi [ (_, v) ] -> Ir.replace_all_uses f ~old_id:i.iid ~by:v
+                  | Ir.Phi _ -> ()
+                  | _ -> ())
+                sb.instrs;
+              let body =
+                List.filter
+                  (fun (i : Ir.instr) ->
+                    match i.op with Ir.Phi [ _ ] -> false | _ -> true)
+                  sb.instrs
+              in
+              b.instrs <- Ir.body_instrs b @ body;
+              (* successors of s now flow from b *)
+              List.iter
+                (fun succ ->
+                  List.iter
+                    (fun (i : Ir.instr) ->
+                      match i.op with
+                      | Ir.Phi incoming ->
+                          i.op <-
+                            Ir.Phi
+                              (List.map
+                                 (fun (p, v) -> ((if p = s then b.bid else p), v))
+                                 incoming)
+                      | _ -> ())
+                    (Ir.block f succ).instrs)
+                (Ir.succs sb);
+              f.blocks <- List.filter (fun (x : Ir.block) -> x.bid <> s) f.blocks;
+              Hashtbl.remove f.btbl s;
+              Hashtbl.replace merged s ();
+              Hashtbl.replace merged b.bid ();
+              changed := true
+            end
+        | _ -> ())
+    f.blocks;
+  !changed
+
+let run_func (f : Ir.func) =
+  let any = ref false in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    if fold_constant_branches f then progress := true;
+    if remove_unreachable f then progress := true;
+    if merge_blocks f then progress := true;
+    if !progress then any := true
+  done;
+  !any
+
+let run (m : Ir.modul) =
+  List.fold_left (fun acc f -> run_func f || acc) false m.funcs

@@ -1,0 +1,8 @@
+(** CFG cleanup: constant-branch folding, unreachable-block removal, and
+    straight-line block merging.  Speculative-region blocks and handlers
+    are never merged, so region structure survives. *)
+
+val run_func : Bs_ir.Ir.func -> bool
+(** [true] if anything changed. *)
+
+val run : Bs_ir.Ir.modul -> bool

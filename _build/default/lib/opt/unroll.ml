@@ -1,0 +1,287 @@
+open Bs_ir
+
+(* Loop unrolling with retained exit tests.
+
+   A loop is replicated [factor] times; each replica keeps its own exit
+   branch, the back edge of replica j enters replica j+1's header, and the
+   last replica closes the cycle back to the original header.  This is
+   semantics-preserving for any trip count (no prologue/epilogue needed)
+   while amortising header phis and enabling downstream folding — the shape
+   the expander (§3.2.1) relies on.
+
+   Restrictions (checked, not assumed): single latch, a single exit edge to
+   a block whose only predecessor is the exiting block, innermost loop. *)
+
+module IntSet = Loops.IntSet
+
+type candidate = {
+  loop : Loops.loop;
+  latch : int;
+  exit_block : int;
+  exiting : int;
+}
+
+let find_candidate (f : Ir.func) (l : Loops.loop) : candidate option =
+  match l.latches with
+  | [ latch ] -> (
+      let exit_edges =
+        IntSet.fold
+          (fun bid acc ->
+            List.fold_left
+              (fun acc s ->
+                if IntSet.mem s l.body then acc else (bid, s) :: acc)
+              acc
+              (Ir.succs (Ir.block f bid)))
+          l.body []
+      in
+      match exit_edges with
+      | [ (exiting, exit_block) ] ->
+          let preds = Ir.preds_map f in
+          (match Hashtbl.find_opt preds exit_block with
+          | Some [ p ] when p = exiting ->
+              Some { loop = l; latch; exit_block; exiting }
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Values defined inside the loop and used outside it. *)
+let escaping_values (f : Ir.func) body =
+  let defs_in =
+    List.concat_map
+      (fun bid ->
+        List.filter_map
+          (fun (i : Ir.instr) -> if Ir.has_result i then Some i.iid else None)
+          (Ir.block f bid).instrs)
+      (IntSet.elements body)
+  in
+  let def_set = IntSet.of_list defs_in in
+  let escapes = ref IntSet.empty in
+  List.iter
+    (fun (b : Ir.block) ->
+      if not (IntSet.mem b.bid body) then
+        List.iter
+          (fun (i : Ir.instr) ->
+            List.iter
+              (fun o ->
+                match o with
+                | Ir.Var v when IntSet.mem v def_set ->
+                    escapes := IntSet.add v !escapes
+                | _ -> ())
+              (Ir.operands i))
+          b.instrs)
+    f.blocks;
+  !escapes
+
+(** [unroll_loop f cand ~factor] unrolls; returns [true] on success. *)
+let unroll_loop (f : Ir.func) (cand : candidate) ~factor =
+  if factor < 2 then false
+  else begin
+    let { loop; latch; exit_block; exiting } = cand in
+    let header = loop.header in
+    let body_blocks =
+      List.filter (fun (b : Ir.block) -> IntSet.mem b.bid loop.body) f.blocks
+    in
+    (* LCSSA-style: route escaping values through phis in the exit block.
+       The exit block's only predecessor is [exiting], so a fresh phi there
+       is well-formed; replicas will add their own incomings. *)
+    let escapes = escaping_values f loop.body in
+    let exit_b = Ir.block f exit_block in
+    let lcssa =
+      IntSet.fold
+        (fun v acc ->
+          let vi = Ir.instr f v in
+          let phi =
+            Ir.mk_instr f ~name:(vi.iname ^ ".lcssa") ~width:vi.width
+              (Ir.Phi [ (exiting, Ir.Var v) ])
+          in
+          (v, phi) :: acc)
+        escapes []
+    in
+    (* Replace outside uses with the lcssa phi (not inside the loop, not the
+       phi itself). *)
+    List.iter
+      (fun (v, (phi : Ir.instr)) ->
+        List.iter
+          (fun (b : Ir.block) ->
+            if not (IntSet.mem b.bid loop.body) then
+              List.iter
+                (fun (i : Ir.instr) ->
+                  if i.iid <> phi.Ir.iid then
+                    Ir.map_operands
+                      (fun o ->
+                        match o with
+                        | Ir.Var x when x = v -> Ir.Var phi.Ir.iid
+                        | o -> o)
+                      i)
+                b.instrs)
+          f.blocks)
+      lcssa;
+    List.iter
+      (fun ((_ : int), phi) -> exit_b.instrs <- phi :: exit_b.instrs)
+      lcssa;
+    (* Header phi bookkeeping: remember (phi, latch value). *)
+    let header_b = Ir.block f header in
+    let header_phis =
+      List.filter_map
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.Phi incoming -> (
+              match List.assoc_opt latch incoming with
+              | Some latch_v -> Some (i, latch_v)
+              | None -> None)
+          | _ -> None)
+        header_b.instrs
+    in
+    (* Clone factor-1 replicas. *)
+    let replicas =
+      List.init (factor - 1) (fun j ->
+          let cm, blocks =
+            Ir.clone_blocks f body_blocks ~suffix:(Printf.sprintf ".u%d" (j + 1))
+          in
+          (cm, blocks))
+    in
+    (* Exit-block phis: add incoming from each replica's exiting block. *)
+    List.iter
+      (fun ((cm : Ir.clone_maps), _) ->
+        let rep_exiting = Hashtbl.find cm.cm_block exiting in
+        List.iter
+          (fun (i : Ir.instr) ->
+            match i.op with
+            | Ir.Phi incoming -> (
+                match List.assoc_opt exiting incoming with
+                | Some v ->
+                    let v' =
+                      match v with
+                      | Ir.Var x -> (
+                          match Hashtbl.find_opt cm.cm_instr x with
+                          | Some x' -> Ir.Var x'
+                          | None -> v)
+                      | Ir.Const _ -> v
+                    in
+                    i.op <- Ir.Phi ((rep_exiting, v') :: incoming)
+                | None -> ())
+            | _ -> ())
+          exit_b.instrs)
+      replicas;
+    (* Wire back edges through the replica chain. *)
+    let retarget_latch latch_bid ~from_header ~to_header =
+      let lb = Ir.block f latch_bid in
+      Ir.map_block_targets
+        (fun t -> if t = from_header then to_header else t)
+        (Ir.terminator lb)
+    in
+    let replica_header j =
+      let cm, _ = List.nth replicas j in
+      Hashtbl.find cm.Ir.cm_block header
+    in
+    let replica_latch j =
+      let cm, _ = List.nth replicas j in
+      Hashtbl.find cm.Ir.cm_block latch
+    in
+    let map_v (cm : Ir.clone_maps) v =
+      match v with
+      | Ir.Var x -> (
+          match Hashtbl.find_opt cm.cm_instr x with
+          | Some x' -> Ir.Var x'
+          | None -> v)
+      | Ir.Const _ -> v
+    in
+    (* Original latch now enters replica 0's header. *)
+    retarget_latch latch ~from_header:header ~to_header:(replica_header 0);
+    for j = 0 to factor - 3 do
+      retarget_latch (replica_latch j) ~from_header:(replica_header j)
+        ~to_header:(replica_header (j + 1))
+    done;
+    retarget_latch (replica_latch (factor - 2))
+      ~from_header:(replica_header (factor - 2))
+      ~to_header:header;
+    (* Header phis of each replica: the incoming that pointed at the
+       replica's own latch must instead come from the previous stage. *)
+    List.iteri
+      (fun j ((cm : Ir.clone_maps), _) ->
+        let prev_latch = if j = 0 then latch else replica_latch (j - 1) in
+        let prev_cm_opt =
+          if j = 0 then None else Some (fst (List.nth replicas (j - 1)))
+        in
+        List.iter
+          (fun ((orig_phi : Ir.instr), latch_v) ->
+            let phi = Ir.instr f (Hashtbl.find cm.cm_instr orig_phi.iid) in
+            let prev_value =
+              match prev_cm_opt with
+              | None -> latch_v                 (* from the original body *)
+              | Some pcm -> map_v pcm latch_v   (* from the previous replica *)
+            in
+            match phi.op with
+            | Ir.Phi incoming ->
+                let rep_latch = Hashtbl.find cm.cm_block latch in
+                let incoming =
+                  List.map
+                    (fun (p, v) ->
+                      if p = rep_latch then (prev_latch, prev_value) else (p, v))
+                    incoming
+                in
+                (* drop stale non-latch incomings (preheader edges cloned
+                   verbatim) *)
+                let incoming =
+                  List.filter (fun (p, _) -> p = prev_latch) incoming
+                in
+                phi.op <- Ir.Phi incoming
+            | _ -> assert false)
+          header_phis)
+      replicas;
+    (* Original header phis: latch incoming now arrives from the last
+       replica's latch carrying the last replica's value. *)
+    let last_cm = fst (List.nth replicas (factor - 2)) in
+    let last_latch = replica_latch (factor - 2) in
+    List.iter
+      (fun ((phi : Ir.instr), latch_v) ->
+        match phi.op with
+        | Ir.Phi incoming ->
+            phi.op <-
+              Ir.Phi
+                (List.map
+                   (fun (p, v) ->
+                     if p = latch then (last_latch, map_v last_cm latch_v)
+                     else (p, v))
+                   incoming)
+        | _ -> assert false)
+      header_phis;
+    true
+  end
+
+(** Unroll every eligible innermost loop of [f] by [factor], skipping loops
+    whose unrolled size would exceed [max_loop_size].  Returns the number
+    of loops unrolled. *)
+let run_func (f : Ir.func) ~factor ~max_loop_size =
+  if factor < 2 then 0
+  else begin
+    let count = ref 0 in
+    (* After unrolling, the replica chain is re-detected as one large loop
+       with the same header; tracking processed headers prevents
+       re-unrolling it exponentially. *)
+    let done_headers = ref IntSet.empty in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let inner = Loops.innermost (Loops.compute f) in
+      let todo =
+        List.find_map
+          (fun (l : Loops.loop) ->
+            if IntSet.mem l.header !done_headers then None
+            else
+              match find_candidate f l with
+              | Some c when Loops.size f l * factor <= max_loop_size -> Some c
+              | _ ->
+                  done_headers := IntSet.add l.header !done_headers;
+                  None)
+          inner
+      in
+      match todo with
+      | Some c ->
+          done_headers := IntSet.add c.loop.header !done_headers;
+          if unroll_loop f c ~factor then incr count;
+          progress := true
+      | None -> ()
+    done;
+    !count
+  end

@@ -1,0 +1,12 @@
+(** Loop unrolling with retained exit tests: the loop is replicated
+    [factor] times, each replica keeps its own exit branch, and the back
+    edge threads the replica chain.  Semantics-preserving for any trip
+    count (no prologue/epilogue); escaping values are routed through
+    LCSSA-style phis in the single exit block.
+
+    Eligibility (checked): single latch, a single exit edge whose target
+    has no other predecessors, innermost loop. *)
+
+val run_func : Bs_ir.Ir.func -> factor:int -> max_loop_size:int -> int
+(** Unroll every eligible innermost loop once; returns how many were
+    unrolled.  [max_loop_size] bounds the unrolled static size. *)

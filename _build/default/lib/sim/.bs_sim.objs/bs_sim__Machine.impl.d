@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Bs_backend Bs_interp Bs_isa Cache Counters Hashtbl Int64 Isa List Memimage Printf

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Bs_backend Bs_interp Bs_isa Cache Counters

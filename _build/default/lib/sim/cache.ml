@@ -1,0 +1,70 @@
+(* Set-associative LRU cache model.
+
+   The configuration mirrors the paper's platform: 8 KiB 4-way L1
+   instruction and data caches with 32-byte lines, backed by a 256 KiB
+   8-way L2 and fixed-latency DRAM. *)
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  tags : int array array;        (* [set].[way] = tag, -1 empty *)
+  stamp : int array array;       (* LRU timestamps *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~name ~size_bytes ~ways ~line_bytes =
+  let lines = size_bytes / line_bytes in
+  let sets = lines / ways in
+  { name; sets; ways; line_bytes;
+    tags = Array.make_matrix sets ways (-1);
+    stamp = Array.make_matrix sets ways 0;
+    tick = 0; hits = 0; misses = 0 }
+
+(** [access t addr] looks the address up, updating LRU state and filling on
+    miss.  Returns [true] on hit. *)
+let access t addr =
+  t.tick <- t.tick + 1;
+  let line = addr / t.line_bytes in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let ways_tags = t.tags.(set) and ways_stamp = t.stamp.(set) in
+  let hit = ref false in
+  for w = 0 to t.ways - 1 do
+    if ways_tags.(w) = tag then begin
+      hit := true;
+      ways_stamp.(w) <- t.tick
+    end
+  done;
+  if !hit then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* evict LRU *)
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if ways_stamp.(w) < ways_stamp.(!victim) then victim := w
+    done;
+    ways_tags.(!victim) <- tag;
+    ways_stamp.(!victim) <- t.tick;
+    false
+  end
+
+let accesses t = t.hits + t.misses
+
+let reset t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1)) t.tags;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.stamp;
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0
+
+(** The paper's memory hierarchy, fresh. *)
+let l1i () = create ~name:"I$" ~size_bytes:(8 * 1024) ~ways:4 ~line_bytes:32
+let l1d () = create ~name:"D$" ~size_bytes:(8 * 1024) ~ways:4 ~line_bytes:32
+let l2 () = create ~name:"L2" ~size_bytes:(256 * 1024) ~ways:8 ~line_bytes:32

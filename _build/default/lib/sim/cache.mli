@@ -1,0 +1,30 @@
+(** Set-associative LRU cache model.  The preset constructors mirror the
+    paper's platform: 8 KiB 4-way L1 instruction and data caches with
+    32-byte lines, backed by a 256 KiB 8-way L2. *)
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  tags : int array array;
+  stamp : int array array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
+
+val access : t -> int -> bool
+(** [access t addr] updates LRU state (filling on miss) and returns
+    [true] on hit. *)
+
+val accesses : t -> int
+(** Total accesses (hits + misses). *)
+
+val reset : t -> unit
+
+val l1i : unit -> t
+val l1d : unit -> t
+val l2 : unit -> t

@@ -1,0 +1,42 @@
+(* Activity counters — the simulator's equivalent of the paper's
+   gate-level activity tracking, consumed by the energy model (Figure 9)
+   and the microarchitectural breakdowns (Figures 10 and 11). *)
+
+type t = {
+  mutable cycles : int;
+  mutable instrs : int;                (* dynamic instructions *)
+  mutable misspecs : int;
+  (* register file (Figure 11) *)
+  mutable reg_read32 : int;
+  mutable reg_read8 : int;
+  mutable reg_write32 : int;
+  mutable reg_write8 : int;
+  (* ALU activity *)
+  mutable alu32 : int;
+  mutable alu8 : int;
+  mutable mul_ops : int;
+  mutable div_ops : int;
+  (* memory *)
+  mutable loads : int;
+  mutable stores : int;
+  (* spill traffic (Figure 10) *)
+  mutable spill_loads : int;
+  mutable spill_stores : int;
+  mutable copies : int;
+  (* stalls *)
+  mutable stall_cycles : int;
+  mutable branch_stalls : int;
+  mutable load_use_stalls : int;
+}
+
+let create () =
+  { cycles = 0; instrs = 0; misspecs = 0;
+    reg_read32 = 0; reg_read8 = 0; reg_write32 = 0; reg_write8 = 0;
+    alu32 = 0; alu8 = 0; mul_ops = 0; div_ops = 0;
+    loads = 0; stores = 0;
+    spill_loads = 0; spill_stores = 0; copies = 0;
+    stall_cycles = 0; branch_stalls = 0; load_use_stalls = 0 }
+
+let reg_reads t = t.reg_read32 + t.reg_read8
+let reg_writes t = t.reg_write32 + t.reg_write8
+let reg_accesses t = reg_reads t + reg_writes t

@@ -1,0 +1,366 @@
+open Bs_isa
+open Isa
+open Bs_interp
+
+(* The BSARM machine model: a 32-bit, single-issue, in-order 6-stage
+   pipeline with the BITSPEC misspeculation hardware (§3.5).
+
+   Register slices alias register bytes exactly as in hardware: reading
+   slice (r, k) extracts byte k of Rr, writing it replaces that byte only.
+   The slice ALU detects misspeculation from carry/overflow at the slice
+   boundary; on misspeculation the result is not written and the PC is
+   displaced by the Δ special register, landing on the skeleton branch
+   that enters the current region's handler.
+
+   Timing: 1 cycle per instruction, +2 for taken branches (fetch
+   redirect), +1 for load-use hazards, +2 for MUL, +10 for DIV, plus the
+   memory hierarchy (L1 hit 0, L2 8, DRAM 60 extra cycles).  Misspeculation
+   costs the redirect plus the skeleton branch. *)
+
+exception Sim_trap of string
+
+type config = {
+  mode : Isa.mode;
+  fuel : int;                 (* max dynamic instructions *)
+}
+
+let default_config = { mode = Bitspec; fuel = 1_000_000_000 }
+
+type result = {
+  r0 : int64;
+  ctr : Counters.t;
+  icache : Cache.t;
+  dcache : Cache.t;
+  l2 : Cache.t;
+}
+
+(* latencies (cycles) *)
+let l2_latency = 8
+let dram_latency = 60
+let branch_penalty = 2
+let mul_penalty = 2
+let div_penalty = 10
+
+type state = {
+  regs : int array;            (* 32-bit values *)
+  mutable pc : int;
+  mutable delta : int;
+  mutable mode : Isa.mode;
+  mutable halted : bool;
+  (* compare state (condition evaluation without explicit flag bits) *)
+  mutable cmp_a : int;
+  mutable cmp_b : int;
+  mutable cmp_width8 : bool;
+  mutable last_load_dest : int; (* reg written by the previous load, -1 none *)
+}
+
+let mask32 v = v land 0xFFFFFFFF
+
+let read_reg st ctr r =
+  ctr.Counters.reg_read32 <- ctr.Counters.reg_read32 + 1;
+  st.regs.(r)
+
+let write_reg st ctr r v =
+  ctr.Counters.reg_write32 <- ctr.Counters.reg_write32 + 1;
+  st.regs.(r) <- mask32 v
+
+let read_slice st ctr (s : slice) =
+  ctr.Counters.reg_read8 <- ctr.Counters.reg_read8 + 1;
+  (st.regs.(s.sl_reg) lsr (8 * s.sl_byte)) land 0xFF
+
+let write_slice st ctr (s : slice) v =
+  ctr.Counters.reg_write8 <- ctr.Counters.reg_write8 + 1;
+  let shift = 8 * s.sl_byte in
+  let keep = lnot (0xFF lsl shift) land 0xFFFFFFFF in
+  st.regs.(s.sl_reg) <- st.regs.(s.sl_reg) land keep lor ((v land 0xFF) lsl shift)
+
+let eval_cond st (c : cond) =
+  let a = st.cmp_a and b = st.cmp_b in
+  let ua = a land 0xFFFFFFFF and ub = b land 0xFFFFFFFF in
+  let sa = if st.cmp_width8 then ua else if ua land 0x80000000 <> 0 then ua - 0x100000000 else ua in
+  let sb = if st.cmp_width8 then ub else if ub land 0x80000000 <> 0 then ub - 0x100000000 else ub in
+  match c with
+  | CEq -> ua = ub
+  | CNe -> ua <> ub
+  | CUlt -> ua < ub
+  | CUle -> ua <= ub
+  | CUgt -> ua > ub
+  | CUge -> ua >= ub
+  | CSlt -> sa < sb
+  | CSle -> sa <= sb
+  | CSgt -> sa > sb
+  | CSge -> sa >= sb
+
+(* Misspeculation: redirect the in-flight PC (the [next] ref) by Δ. *)
+let misspeculate_via ctr st next =
+  ctr.Counters.misspecs <- ctr.Counters.misspecs + 1;
+  next := st.pc + st.delta;
+  ctr.Counters.cycles <- ctr.Counters.cycles + branch_penalty;
+  ctr.Counters.stall_cycles <- ctr.Counters.stall_cycles + branch_penalty;
+  ctr.Counters.branch_stalls <- ctr.Counters.branch_stalls + branch_penalty
+
+let run ?(config = default_config) (p : Bs_backend.Asm.program)
+    (mem : Memimage.t) ~entry ~(args : int64 list) : result =
+  let ctr = Counters.create () in
+  let icache = Cache.l1i () and dcache = Cache.l1d () and l2 = Cache.l2 () in
+  let st =
+    { regs = Array.make num_regs 0; pc = 0; delta = p.Bs_backend.Asm.delta;
+      mode = config.mode; halted = false; cmp_a = 0; cmp_b = 0;
+      cmp_width8 = false; last_load_dest = -1 }
+  in
+  let entry_pc =
+    match Hashtbl.find_opt p.Bs_backend.Asm.entries entry with
+    | Some e -> e
+    | None -> raise (Sim_trap ("unknown entry " ^ entry))
+  in
+  (* stack and arguments (stack-args convention) *)
+  let sp_top = Memimage.size mem - 64 in
+  let n = List.length args in
+  let sp0 = sp_top - (4 * n) in
+  List.iteri
+    (fun k a -> Memimage.write mem ~width:32 (sp0 + (4 * k)) a)
+    args;
+  st.regs.(sp) <- sp0;
+  st.regs.(lr) <- p.Bs_backend.Asm.halt_pc;
+  st.pc <- entry_pc;
+  let stall n kind =
+    ctr.Counters.cycles <- ctr.Counters.cycles + n;
+    ctr.Counters.stall_cycles <- ctr.Counters.stall_cycles + n;
+    match kind with
+    | `Branch -> ctr.Counters.branch_stalls <- ctr.Counters.branch_stalls + n
+    | `LoadUse -> ctr.Counters.load_use_stalls <- ctr.Counters.load_use_stalls + n
+    | `Other -> ()
+  in
+  let mem_access addr =
+    (* D$ -> L2 -> DRAM *)
+    ctr.Counters.cycles <- ctr.Counters.cycles + 0;
+    if not (Cache.access dcache addr) then
+      if Cache.access l2 addr then stall l2_latency `Other
+      else stall (l2_latency + dram_latency) `Other
+  in
+  let fetch pcv =
+    if not (Cache.access icache (pcv * 4)) then
+      if Cache.access l2 (0x40_0000 + (pcv * 4)) then stall l2_latency `Other
+      else stall (l2_latency + dram_latency) `Other
+  in
+  let alu32_count () = ctr.Counters.alu32 <- ctr.Counters.alu32 + 1 in
+  let alu8_count () = ctr.Counters.alu8 <- ctr.Counters.alu8 + 1 in
+  let check_load_use uses =
+    if st.last_load_dest >= 0 && List.mem st.last_load_dest uses then
+      stall 1 `LoadUse
+  in
+  while not st.halted do
+    if st.pc < 0 || st.pc >= Array.length p.Bs_backend.Asm.code then
+      raise (Sim_trap (Printf.sprintf "PC out of range: %d" st.pc));
+    let insn = p.Bs_backend.Asm.code.(st.pc) in
+    let prov = p.Bs_backend.Asm.prov.(st.pc) in
+    if st.mode = Classic && is_slice_insn insn then
+      raise (Sim_trap "slice instruction in classic mode");
+    fetch st.pc;
+    ctr.Counters.instrs <- ctr.Counters.instrs + 1;
+    ctr.Counters.cycles <- ctr.Counters.cycles + 1;
+    if ctr.Counters.instrs > config.fuel then raise (Sim_trap "out of fuel");
+    (match prov with
+    | PSpillLoad -> ctr.Counters.spill_loads <- ctr.Counters.spill_loads + 1
+    | PSpillStore -> ctr.Counters.spill_stores <- ctr.Counters.spill_stores + 1
+    | PCopy -> ctr.Counters.copies <- ctr.Counters.copies + 1
+    | _ -> ());
+    let next = ref (st.pc + 1) in
+    let loaded_dest = ref (-1) in
+    (match insn with
+    | MOV (d, s) ->
+        check_load_use [ s ];
+        write_reg st ctr d (read_reg st ctr s)
+    | MOVW (d, v) -> write_reg st ctr d v
+    | MOVT (d, v) ->
+        check_load_use [ d ];
+        write_reg st ctr d ((st.regs.(d) land 0xFFFF) lor (v lsl 16))
+    | ALU (op, d, n, o) ->
+        let uses = n :: (match o with Reg m -> [ m ] | Imm _ -> []) in
+        check_load_use uses;
+        alu32_count ();
+        let a = read_reg st ctr n in
+        let b = match o with Reg m -> read_reg st ctr m | Imm v -> v in
+        let r =
+          match op with
+          | OpAdd -> a + b
+          | OpSub -> a - b
+          | OpAnd -> a land b
+          | OpOrr -> a lor b
+          | OpEor -> a lxor b
+          | OpLsl -> a lsl (b land 31)
+          | OpLsr -> (a land 0xFFFFFFFF) lsr (b land 31)
+          | OpAsr ->
+              let sa = if a land 0x80000000 <> 0 then a - 0x100000000 else a in
+              sa asr (b land 31)
+        in
+        write_reg st ctr d r
+    | MUL (d, n, m) ->
+        check_load_use [ n; m ];
+        ctr.Counters.mul_ops <- ctr.Counters.mul_ops + 1;
+        stall mul_penalty `Other;
+        write_reg st ctr d (read_reg st ctr n * read_reg st ctr m)
+    | DIV (sg, d, n, m) ->
+        check_load_use [ n; m ];
+        ctr.Counters.div_ops <- ctr.Counters.div_ops + 1;
+        stall div_penalty `Other;
+        let a = read_reg st ctr n and b = read_reg st ctr m in
+        if b = 0 then raise (Sim_trap "division by zero");
+        let r =
+          match sg with
+          | Unsigned -> a / b
+          | Signed ->
+              let s v = if v land 0x80000000 <> 0 then v - 0x100000000 else v in
+              s a / s b
+        in
+        write_reg st ctr d r
+    | CMP (n, o) ->
+        let uses = n :: (match o with Reg m -> [ m ] | Imm _ -> []) in
+        check_load_use uses;
+        alu32_count ();
+        st.cmp_a <- read_reg st ctr n;
+        st.cmp_b <- (match o with Reg m -> read_reg st ctr m | Imm v -> v);
+        st.cmp_width8 <- false
+    | CSET (c, d) ->
+        alu32_count ();
+        write_reg st ctr d (if eval_cond st c then 1 else 0)
+    | B t ->
+        next := t;
+        stall branch_penalty `Branch
+    | BC (c, t) ->
+        alu32_count ();
+        if eval_cond st c then begin
+          next := t;
+          stall branch_penalty `Branch
+        end
+    | BL t ->
+        write_reg st ctr lr (st.pc + 1);
+        next := t;
+        stall branch_penalty `Branch
+    | BX_LR ->
+        next := read_reg st ctr lr;
+        stall branch_penalty `Branch
+    | LDR (w, sg, d, n, off) ->
+        check_load_use [ n ];
+        let addr = (read_reg st ctr n + off) land 0xFFFFFFFF in
+        ctr.Counters.loads <- ctr.Counters.loads + 1;
+        mem_access addr;
+        let width = match w with W8 -> 8 | W16 -> 16 | W32 -> 32 in
+        let v = Int64.to_int (Memimage.read mem ~width addr) in
+        let v =
+          match (sg, w) with
+          | Signed, W8 -> if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
+          | Signed, W16 -> if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v
+          | _ -> v
+        in
+        write_reg st ctr d v;
+        loaded_dest := d
+    | STR (w, s, n, off) ->
+        check_load_use [ s; n ];
+        let addr = (read_reg st ctr n + off) land 0xFFFFFFFF in
+        ctr.Counters.stores <- ctr.Counters.stores + 1;
+        mem_access addr;
+        let width = match w with W8 -> 8 | W16 -> 16 | W32 -> 32 in
+        Memimage.write mem ~width addr (Int64.of_int (read_reg st ctr s))
+    | SXT (w, d, s) ->
+        check_load_use [ s ];
+        alu32_count ();
+        let v = read_reg st ctr s in
+        let r =
+          match w with
+          | W8 -> if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v land 0xFF
+          | W16 -> if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v land 0xFFFF
+          | W32 -> v
+        in
+        write_reg st ctr d r
+    | UXT (w, d, s) ->
+        check_load_use [ s ];
+        alu32_count ();
+        let v = read_reg st ctr s in
+        let r = match w with W8 -> v land 0xFF | W16 -> v land 0xFFFF | W32 -> v in
+        write_reg st ctr d r
+    | BALU (op, d, n, o) -> (
+        check_load_use [ n.sl_reg ];
+        alu8_count ();
+        let a = read_slice st ctr n in
+        let b =
+          match o with Sl s -> read_slice st ctr s | BImm v -> v land 0xFF
+        in
+        match op with
+        | BAdd ->
+            let r = a + b in
+            if r > 0xFF then misspeculate_via ctr st next
+            else write_slice st ctr d r
+        | BSub ->
+            let r = a - b in
+            if r < 0 then misspeculate_via ctr st next
+            else write_slice st ctr d r
+        | BAnd -> write_slice st ctr d (a land b)
+        | BOrr -> write_slice st ctr d (a lor b)
+        | BEor -> write_slice st ctr d (a lxor b))
+    | BCMPS (n, o) ->
+        alu8_count ();
+        st.cmp_a <- read_slice st ctr n;
+        st.cmp_b <- (match o with Sl s -> read_slice st ctr s | BImm v -> v land 0xFF);
+        st.cmp_width8 <- true
+    | BLDRS (d, n, x) ->
+        check_load_use [ n ];
+        let off =
+          match x with BOff o -> o | BIdx i -> read_slice st ctr i
+        in
+        let addr = (read_reg st ctr n + off) land 0xFFFFFFFF in
+        ctr.Counters.loads <- ctr.Counters.loads + 1;
+        mem_access addr;
+        let v = Int64.to_int (Memimage.read mem ~width:32 addr) in
+        if v land 0xFFFFFF00 <> 0 then misspeculate_via ctr st next
+        else begin
+          write_slice st ctr d v;
+          loaded_dest := d.sl_reg
+        end
+    | BLDRB (d, n, x) ->
+        check_load_use [ n ];
+        let off =
+          match x with BOff o -> o | BIdx i -> read_slice st ctr i
+        in
+        let addr = (read_reg st ctr n + off) land 0xFFFFFFFF in
+        ctr.Counters.loads <- ctr.Counters.loads + 1;
+        mem_access addr;
+        write_slice st ctr d (Int64.to_int (Memimage.read mem ~width:8 addr));
+        loaded_dest := d.sl_reg
+    | BSTRB (s, n, x) ->
+        check_load_use [ s.sl_reg; n ];
+        let off =
+          match x with BOff o -> o | BIdx i -> read_slice st ctr i
+        in
+        let addr = (read_reg st ctr n + off) land 0xFFFFFFFF in
+        ctr.Counters.stores <- ctr.Counters.stores + 1;
+        mem_access addr;
+        Memimage.write mem ~width:8 addr (Int64.of_int (read_slice st ctr s))
+    | BEXT (sg, d, s) ->
+        check_load_use [ s.sl_reg ];
+        alu8_count ();
+        let v = read_slice st ctr s in
+        let r =
+          match sg with
+          | Unsigned -> v
+          | Signed -> if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
+        in
+        write_reg st ctr d r
+    | BTRN (d, s) ->
+        check_load_use [ s ];
+        alu8_count ();
+        let v = read_reg st ctr s in
+        if v land 0xFFFFFF00 <> 0 then misspeculate_via ctr st next
+        else write_slice st ctr d v
+    | BMOV (d, s) ->
+        check_load_use [ s.sl_reg ];
+        write_slice st ctr d (read_slice st ctr s)
+    | BMOVI (d, v) -> write_slice st ctr d v
+    | SETDELTA v -> st.delta <- v
+    | SETMODE m -> st.mode <- m
+    | NOP -> ()
+    | HALT -> st.halted <- true);
+    st.last_load_dest <- !loaded_dest;
+    if not st.halted then st.pc <- !next
+  done;
+  { r0 = Int64.of_int (st.regs.(0) land 0xFFFFFFFF); ctr; icache; dcache; l2 }

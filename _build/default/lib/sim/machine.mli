@@ -1,0 +1,42 @@
+(** The BSARM machine model (§3.5): a 32-bit, single-issue, in-order
+    6-stage pipeline with the BITSPEC misspeculation hardware.
+
+    Register slices alias register bytes exactly as in hardware.  The
+    slice ALU detects misspeculation from carry/overflow at the slice
+    boundary; on misspeculation the result is not written and the PC is
+    displaced by the Δ special register, landing on the skeleton branch
+    that reaches the current region's handler (§3.3.4).
+
+    Timing: 1 cycle per instruction, +2 for taken branches, +1 for
+    load-use hazards, +2 MUL, +10 DIV, plus the memory hierarchy (L1 hit
+    0, L2 8, DRAM 60 extra cycles). *)
+
+exception Sim_trap of string
+
+type config = {
+  mode : Bs_isa.Isa.mode;  (** Classic disables the slice extension (§3.4) *)
+  fuel : int;              (** dynamic instruction budget *)
+}
+
+val default_config : config
+
+type result = {
+  r0 : int64;          (** the return register after HALT *)
+  ctr : Counters.t;    (** activity counters (figures 8-11) *)
+  icache : Cache.t;
+  dcache : Cache.t;
+  l2 : Cache.t;
+}
+
+val run :
+  ?config:config ->
+  Bs_backend.Asm.program ->
+  Bs_interp.Memimage.t ->
+  entry:string ->
+  args:int64 list ->
+  result
+(** Execute [entry] with the stack-args calling convention until the
+    bootstrap HALT.  Arguments are pushed onto the simulated stack; the
+    result is read from R0.
+    @raise Sim_trap on division by zero, PC escapes, classic-mode slice
+    use, or fuel exhaustion. *)

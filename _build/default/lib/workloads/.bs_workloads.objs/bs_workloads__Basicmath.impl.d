@@ -1,0 +1,1 @@
+lib/workloads/basicmath.ml: Bs_support Int64 Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/bitcount.ml: Int64 Workload

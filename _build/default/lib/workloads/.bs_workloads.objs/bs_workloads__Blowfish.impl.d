@@ -1,0 +1,1 @@
+lib/workloads/blowfish.ml: Bs_support Int64 Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/dijkstra.ml: Bs_interp Bs_support Int64 Printf Rng Workload

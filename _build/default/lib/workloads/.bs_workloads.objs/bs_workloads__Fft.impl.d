@@ -1,0 +1,1 @@
+lib/workloads/fft.ml: Bs_interp Bs_support Float Int64 Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/patricia.ml: Bs_interp Bs_support Int64 Rng Workload

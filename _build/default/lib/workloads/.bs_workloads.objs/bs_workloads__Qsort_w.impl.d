@@ -1,0 +1,1 @@
+lib/workloads/qsort_w.ml: Bs_support Int64 Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Basicmath Bitcount Blowfish Crc32 Dijkstra Fft List Patricia Qsort_w Rijndael Sha Stringsearch Susan Workload

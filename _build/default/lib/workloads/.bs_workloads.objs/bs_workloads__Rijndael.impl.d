@@ -1,0 +1,1 @@
+lib/workloads/rijndael.ml: Array Bs_support Int64 Printf Rng String Workload

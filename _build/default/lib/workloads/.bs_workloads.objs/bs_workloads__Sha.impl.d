@@ -1,0 +1,1 @@
+lib/workloads/sha.ml: Bs_support Int64 Rng Workload

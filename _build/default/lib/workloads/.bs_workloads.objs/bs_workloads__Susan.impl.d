@@ -1,0 +1,1 @@
+lib/workloads/susan.ml: Bs_interp Bs_support Int64 Printf Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Bs_interp Bs_ir Bs_support Int64 Ir Memimage Rng

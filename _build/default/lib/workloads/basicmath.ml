@@ -1,0 +1,86 @@
+open Bs_support
+
+(* basicmath: integer square roots, cube-root iteration, GCDs and
+   degree/radian conversions in fixed point.
+
+   Substitution note: MiBench's basicmath is double-precision; tiny
+   devices run it in fixed point, and integer arithmetic is what the
+   BITSPEC hardware speculates on, so this port computes the same
+   functions in Q12/integer arithmetic. *)
+
+let source =
+  {|
+u32 vals[2048];
+
+u32 isqrt(u32 x) {
+  u32 res = 0;
+  u32 bit = 1 << 30;
+  while (bit > x) bit = bit >> 2;
+  while (bit != 0) {
+    if (x >= res + bit) {
+      x -= res + bit;
+      res = (res >> 1) + bit;
+    } else {
+      res = res >> 1;
+    }
+    bit = bit >> 2;
+  }
+  return res;
+}
+
+u32 icbrt(u32 x) {
+  u32 y = 0;
+  for (i32 s = 30; s >= 0; s -= 3) {
+    y = 2 * y;
+    u32 b = (3 * y * (y + 1) + 1) << (u32)s;
+    if (x >= b) {
+      x -= b;
+      y += 1;
+    }
+  }
+  return y;
+}
+
+u32 gcd(u32 a, u32 b) {
+  while (b != 0) {
+    u32 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+u32 deg_to_rad_q12(u32 deg) {
+  return (deg * 71) / 4068;
+}
+
+u32 run(u32 n) {
+  u32 acc = 0;
+  for (u32 i = 0; i < n; i += 1) {
+    u32 v = vals[i];
+    acc += isqrt(v);
+    acc += icbrt(v);
+    acc += gcd(v | 1, (v >> 3) + 7);
+    acc += deg_to_rad_q12(v & 1023);
+    acc &= 0xFFFFFF;
+  }
+  return acc;
+}
+|}
+
+let gen_input ~seed ~n : Workload.input =
+  { args = [ Int64.of_int n ];
+    setup =
+      (fun m mem ->
+        let rng = Rng.create seed in
+        Workload.fill_words rng m mem ~name:"vals" ~count:n ~bound:1_000_000) }
+
+let workload : Workload.t =
+  { name = "basicmath";
+    description = "integer sqrt/cbrt/gcd and fixed-point conversions";
+    source;
+    entry = "run";
+    train = gen_input ~seed:91L ~n:300;
+    test = gen_input ~seed:92L ~n:512;
+    alt = gen_input ~seed:93L ~n:128;
+    narrow_source = None }

@@ -1,0 +1,70 @@
+(* Population-count microbenchmark: MiBench's bitcount runs several
+   counting strategies over a pseudo-random stream; counts per word are
+   at most 32, so nearly everything fits 8 bits. *)
+
+let source =
+  {|
+u8 btbl[256];
+
+void btbl_init() {
+  btbl[0] = 0;
+  for (u32 i = 1; i < 256; i += 1) {
+    btbl[i] = (u8)(btbl[i / 2] + (i & 1));
+  }
+}
+
+u32 count_kernighan(u32 x) {
+  u32 n = 0;
+  while (x != 0) { x = x & (x - 1); n += 1; }
+  return n;
+}
+
+u32 count_table(u32 x) {
+  return btbl[x & 0xFF] + btbl[(x >> 8) & 0xFF]
+       + btbl[(x >> 16) & 0xFF] + btbl[(x >> 24) & 0xFF];
+}
+
+u32 count_shift(u32 x) {
+  u32 n = 0;
+  for (u32 i = 0; i < 32; i += 1) {
+    n += (x >> i) & 1;
+  }
+  return n;
+}
+
+u32 count_nibble(u32 x) {
+  u32 n = 0;
+  while (x != 0) {
+    n += btbl[x & 15];
+    x = x >> 4;
+  }
+  return n;
+}
+
+u32 run(u32 iters) {
+  btbl_init();
+  u32 seed = 0x1234567;
+  u32 total = 0;
+  for (u32 i = 0; i < iters; i += 1) {
+    seed = seed * 1103515245 + 12345;
+    total += count_kernighan(seed);
+    total += count_table(seed);
+    total += count_shift(seed);
+    total += count_nibble(seed);
+  }
+  return total;
+}
+|}
+
+let gen_input ~iters : Workload.input =
+  { args = [ Int64.of_int iters ]; setup = Workload.no_setup }
+
+let workload : Workload.t =
+  { name = "bitcount";
+    description = "four population-count strategies over an LCG stream";
+    source;
+    entry = "run";
+    train = gen_input ~iters:500;
+    test = gen_input ~iters:1500;
+    alt = gen_input ~iters:350;
+    narrow_source = None }

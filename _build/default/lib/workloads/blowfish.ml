@@ -1,0 +1,83 @@
+open Bs_support
+
+(* Blowfish-style Feistel cipher.
+
+   Substitution note (recorded in DESIGN.md): real Blowfish seeds its
+   P-array and S-boxes with 4168 bytes of π digits; we generate the tables
+   with an in-program LCG instead.  The compute structure the paper's
+   results depend on — 16 Feistel rounds of S-box lookups indexed by
+   `(x >> k) & 0xFF` byte extractions — is identical, and those masks are
+   the bitmask-elision pattern RQ3 measures on blowfish. *)
+
+let source =
+  {|
+u32 P[18];
+u32 S[1024];
+u8 data[8192];
+
+void bf_init() {
+  u32 seed = 0x243F6A88;
+  for (u32 i = 0; i < 18; i += 1) {
+    seed = seed * 1103515245 + 12345;
+    P[i] = seed;
+  }
+  for (u32 i = 0; i < 1024; i += 1) {
+    seed = seed * 1103515245 + 12345;
+    S[i] = seed;
+  }
+}
+
+u32 feistel(u32 x) {
+  u32 a = (x >> 24) & 0xFF;
+  u32 b = (x >> 16) & 0xFF;
+  u32 c = (x >> 8) & 0xFF;
+  u32 d = x & 0xFF;
+  return ((S[a] + S[256 + b]) ^ S[512 + c]) + S[768 + d];
+}
+
+u32 hi = 0;
+u32 lo = 0;
+
+void encrypt_pair(u32 xl, u32 xr) {
+  for (u32 i = 0; i < 16; i += 1) {
+    xl = xl ^ P[i];
+    xr = feistel(xl) ^ xr;
+    u32 t = xl; xl = xr; xr = t;
+  }
+  u32 t = xl; xl = xr; xr = t;
+  xr = xr ^ P[16];
+  xl = xl ^ P[17];
+  hi = xl;
+  lo = xr;
+}
+
+u32 run(u32 npairs) {
+  bf_init();
+  u32 acc = 0;
+  for (u32 p = 0; p < npairs; p += 1) {
+    u32 off = p * 8;
+    u32 xl = (data[off] << 24) | (data[off+1] << 16) | (data[off+2] << 8) | data[off+3];
+    u32 xr = (data[off+4] << 24) | (data[off+5] << 16) | (data[off+6] << 8) | data[off+7];
+    encrypt_pair(xl, xr);
+    acc = acc ^ hi ^ (lo * 7);
+  }
+  return acc;
+}
+|}
+
+let gen_input ~seed ~npairs : Workload.input =
+  { args = [ Int64.of_int npairs ];
+    setup =
+      (fun m mem ->
+        let rng = Rng.create seed in
+        Workload.fill_bytes rng m mem ~name:"data" ~count:(npairs * 8)) }
+
+let workload : Workload.t =
+  { name = "blowfish";
+    description = "16-round Feistel cipher with byte-indexed S-boxes";
+    source;
+    entry = "run";
+    train = gen_input ~seed:51L ~npairs:300;
+    test = gen_input ~seed:52L ~npairs:384;
+    alt = gen_input ~seed:53L ~npairs:64;
+    narrow_source = None }

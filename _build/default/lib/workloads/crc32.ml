@@ -1,0 +1,71 @@
+open Bs_support
+
+(* CRC32 over newline-delimited records, as MiBench drives it: the paper
+   notes line lengths in the provided input range 0..2729 with mean 145.8,
+   so most length arithmetic fits 8 bits while outliers exercise
+   misspeculation.  The training ("small") input has short lines only; the
+   test ("large") input includes >255-byte outliers. *)
+
+let source =
+  {|
+u32 crctab[256];
+u8 data[32768];
+u32 linelen[512];
+
+void crc_init() {
+  for (u32 i = 0; i < 256; i += 1) {
+    u32 c = i;
+    for (u32 j = 0; j < 8; j += 1) {
+      if (c & 1) c = (c >> 1) ^ 0xEDB88320;
+      else c = c >> 1;
+    }
+    crctab[i] = c;
+  }
+}
+
+u32 crc_line(u32 off, u32 len) {
+  u32 c = 0xFFFFFFFF;
+  for (u32 i = 0; i < len; i += 1) {
+    c = crctab[(c ^ data[off + i]) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+u32 run(u32 nlines) {
+  crc_init();
+  u32 acc = 0;
+  u32 off = 0;
+  for (u32 l = 0; l < nlines; l += 1) {
+    u32 len = linelen[l];
+    acc = acc ^ crc_line(off, len);
+    off = (off + len) & 16383;
+  }
+  return acc;
+}
+|}
+
+let gen_input ~seed ~nlines ~outliers : Workload.input =
+  { args = [ Int64.of_int nlines ];
+    setup =
+      (fun m mem ->
+        let rng = Rng.create seed in
+        Workload.fill_bytes rng m mem ~name:"data" ~count:16384;
+        for l = 0 to nlines - 1 do
+          (* mean near the paper's 145.8; occasional long records *)
+          let len =
+            if outliers && Rng.int rng 16 = 0 then Rng.int_in rng 256 2729
+            else Rng.int_in rng 20 230
+          in
+          Bs_interp.Memimage.set_global mem m ~name:"linelen" ~index:l
+            (Int64.of_int len)
+        done) }
+
+let workload : Workload.t =
+  { name = "CRC32";
+    description = "table-driven CRC-32 over variable-length records";
+    source;
+    entry = "run";
+    train = gen_input ~seed:11L ~nlines:320 ~outliers:false;
+    test = gen_input ~seed:12L ~nlines:256 ~outliers:true;
+    alt = gen_input ~seed:13L ~nlines:96 ~outliers:false;
+    narrow_source = None }

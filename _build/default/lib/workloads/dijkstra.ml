@@ -1,0 +1,80 @@
+open Bs_support
+
+(* Dijkstra single-source shortest paths over a dense adjacency matrix.
+   Edge weights are small (< 64), so distances stay in 8–16 bits for the
+   paper's graph sizes; queries sweep several sources. *)
+
+let body ~dist_ty =
+  Printf.sprintf
+    {|
+u32 adj[16384];
+%s dist[128];
+u8 visited[128];
+u32 nnodes = 0;
+
+u32 shortest(u32 src, u32 dst) {
+  u32 n = nnodes;
+  for (u32 i = 0; i < n; i += 1) { dist[i] = (%s)65535; visited[i] = 0; }
+  dist[src] = 0;
+  for (u32 iter = 0; iter < n; iter += 1) {
+    u32 best = 65535;
+    u32 u = n;
+    for (u32 i = 0; i < n; i += 1) {
+      if (visited[i] == 0 && dist[i] < best) { best = dist[i]; u = i; }
+    }
+    if (u == n) break;
+    visited[u] = 1;
+    for (u32 v = 0; v < n; v += 1) {
+      u32 w = adj[u * 128 + v];
+      if (w != 0 && w < 4096 && visited[v] == 0) {
+        u32 nd = dist[u] + w;
+        if (nd < dist[v]) dist[v] = (%s)nd;
+      }
+    }
+  }
+  return dist[dst];
+}
+
+u32 run(u32 queries) {
+  u32 acc = 0;
+  for (u32 q = 0; q < queries; q += 1) {
+    u32 src = q * 7 %% nnodes;
+    u32 dst = (q * 13 + 5) %% nnodes;
+    acc += shortest(src, dst);
+  }
+  return acc;
+}
+|}
+    dist_ty dist_ty dist_ty
+
+let source = body ~dist_ty:"u32"
+let narrow = body ~dist_ty:"u16"
+
+let gen_input ~seed ~nodes ~queries : Workload.input =
+  { args = [ Int64.of_int queries ];
+    setup =
+      (fun m mem ->
+        let rng = Rng.create seed in
+        Workload.set m mem ~name:"nnodes" (Int64.of_int nodes);
+        for u = 0 to nodes - 1 do
+          for v = 0 to nodes - 1 do
+            let w =
+              if u = v then 0
+              else if Rng.int rng 4 = 0 then Rng.int_in rng 1 60
+              else 0
+            in
+            Bs_interp.Memimage.set_global mem m ~name:"adj"
+              ~index:((u * 128) + v)
+              (Int64.of_int w)
+          done
+        done) }
+
+let workload : Workload.t =
+  { name = "dijkstra";
+    description = "dense-graph single-source shortest paths";
+    source;
+    entry = "run";
+    train = gen_input ~seed:71L ~nodes:32 ~queries:4;
+    test = gen_input ~seed:72L ~nodes:96 ~queries:12;
+    alt = gen_input ~seed:73L ~nodes:48 ~queries:6;
+    narrow_source = Some narrow }

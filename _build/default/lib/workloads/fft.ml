@@ -1,0 +1,105 @@
+open Bs_support
+
+(* Radix-2 iterative FFT in Q14 fixed point, N = 256.
+
+   Substitution note: MiBench's FFT uses doubles; the fixed-point port
+   keeps the same butterfly structure and twiddle-table accesses while
+   staying inside the integer datapath the paper speculates on.  Twiddle
+   tables are provided as input data (computed by the host, as a real
+   deployment would bake them into ROM). *)
+
+let n_fft = 256
+
+let source =
+  {|
+i32 re[256];
+i32 im[256];
+i32 cos_tab[128];
+i32 sin_tab[128];
+
+u32 bitrev(u32 x, u32 bits) {
+  u32 r = 0;
+  for (u32 i = 0; i < bits; i += 1) {
+    r = (r << 1) | ((x >> i) & 1);
+  }
+  return r;
+}
+
+void fft() {
+  u32 n = 256;
+  u32 bits = 8;
+  for (u32 i = 0; i < n; i += 1) {
+    u32 j = bitrev(i, bits);
+    if (j > i) {
+      i32 tr = re[i]; re[i] = re[j]; re[j] = tr;
+      i32 ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+  }
+  for (u32 len = 2; len <= n; len = len << 1) {
+    u32 half = len >> 1;
+    u32 step = n / len;
+    for (u32 base = 0; base < n; base += len) {
+      for (u32 k = 0; k < half; k += 1) {
+        u32 tw = k * step;
+        i32 c = cos_tab[tw];
+        i32 s = sin_tab[tw];
+        u32 a = base + k;
+        u32 b = a + half;
+        i32 xr = (re[b] * c - im[b] * s) >> 14;
+        i32 xi = (re[b] * s + im[b] * c) >> 14;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] = re[a] + xr;
+        im[a] = im[a] + xi;
+      }
+    }
+  }
+}
+
+u32 run(u32 reps) {
+  u32 acc = 0;
+  for (u32 r = 0; r < reps; r += 1) {
+    fft();
+    acc = acc ^ ((u32)re[1] & 0xFFFF) ^ (((u32)im[2] & 0xFFFF) << 8);
+  }
+  return acc;
+}
+|}
+
+let gen_input ~seed ~reps : Workload.input =
+  { args = [ Int64.of_int reps ];
+    setup =
+      (fun m mem ->
+        let rng = Rng.create seed in
+        (* Q14 twiddle tables *)
+        for k = 0 to (n_fft / 2) - 1 do
+          let angle = -2.0 *. Float.pi *. float_of_int k /. float_of_int n_fft in
+          let q14 x = Int64.of_int (int_of_float (Float.round (x *. 16384.0))) in
+          Bs_interp.Memimage.set_global mem m ~name:"cos_tab" ~index:k
+            (q14 (cos angle));
+          Bs_interp.Memimage.set_global mem m ~name:"sin_tab" ~index:k
+            (q14 (sin angle))
+        done;
+        (* small-amplitude signal: a few tones plus noise *)
+        for i = 0 to n_fft - 1 do
+          let t = float_of_int i in
+          let signal =
+            (* amplitudes bounded so Q14 butterflies stay within 32 bits *)
+            (200.0 *. sin (2.0 *. Float.pi *. 5.0 *. t /. 256.0))
+            +. (80.0 *. sin (2.0 *. Float.pi *. 31.0 *. t /. 256.0))
+            +. float_of_int (Rng.int rng 16)
+          in
+          Bs_interp.Memimage.set_global mem m ~name:"re" ~index:i
+            (Int64.of_int (int_of_float signal));
+          Bs_interp.Memimage.set_global mem m ~name:"im" ~index:i 0L
+        done) }
+
+let workload : Workload.t =
+  { name = "FFT";
+    description = "radix-2 fixed-point FFT (Q14, N=256)";
+    source;
+    entry = "run";
+    train = gen_input ~seed:101L ~reps:1;
+    test = gen_input ~seed:102L ~reps:6;
+    alt = gen_input ~seed:103L ~reps:2;
+    narrow_source = None }

@@ -1,0 +1,108 @@
+open Bs_support
+
+(* Patricia-style radix trie over 32-bit keys (MiBench uses it for IP
+   routing tables).  Nodes live in parallel index arrays rather than
+   heap-allocated structs (MiniC has no pointers); the access pattern —
+   bit tests steering pointer-chasing descents — is the same.  The paper
+   notes MIN misspeculates heavily here (Table 2) and is the one benchmark
+   where MIN wins (Figure 14). *)
+
+let source =
+  {|
+u32 node_key[2048];
+u32 node_bit[2048];
+u32 node_left[2048];
+u32 node_right[2048];
+u32 nnodes = 0;
+u32 keys[1024];
+u32 nkeys = 0;
+
+u32 bit_of(u32 key, u32 b) {
+  return (key >> (31 - b)) & 1;
+}
+
+u32 trie_find(u32 key) {
+  if (nnodes == 0) return 0;
+  u32 cur = 0;
+  u32 prev = 0;
+  do {
+    prev = cur;
+    if (bit_of(key, node_bit[cur]) != 0) cur = node_right[cur];
+    else cur = node_left[cur];
+  } while (node_bit[cur] > node_bit[prev]);
+  return cur;
+}
+
+void trie_insert(u32 key) {
+  if (nnodes == 0) {
+    node_key[0] = key; node_bit[0] = 0;
+    node_left[0] = 0; node_right[0] = 0;
+    nnodes = 1;
+    return;
+  }
+  u32 found = trie_find(key);
+  if (node_key[found] == key) return;
+  u32 diff = node_key[found] ^ key;
+  u32 b = 0;
+  while (bit_of(diff, b) == 0) b += 1;
+  u32 idx = nnodes;
+  nnodes += 1;
+  node_key[idx] = key;
+  node_bit[idx] = b;
+  u32 cur = 0;
+  u32 prev = 0;
+  do {
+    prev = cur;
+    if (node_bit[cur] >= b) break;
+    if (bit_of(key, node_bit[cur]) != 0) cur = node_right[cur];
+    else cur = node_left[cur];
+  } while (node_bit[cur] > node_bit[prev]);
+  if (bit_of(key, b) != 0) { node_right[idx] = cur; node_left[idx] = idx; }
+  else { node_left[idx] = cur; node_right[idx] = idx; }
+  if (cur == 0 && prev == 0) {
+    if (bit_of(key, node_bit[0]) != 0) node_right[0] = idx;
+    else node_left[0] = idx;
+  }
+  else if (bit_of(key, node_bit[prev]) != 0) node_right[prev] = idx;
+  else node_left[prev] = idx;
+}
+
+u32 run(u32 lookups) {
+  for (u32 i = 0; i < nkeys; i += 1) trie_insert(keys[i]);
+  u32 hits = 0;
+  u32 seed = 0xACE1;
+  for (u32 i = 0; i < lookups; i += 1) {
+    u32 key = keys[(seed >> 3) % nkeys];
+    seed = seed * 1103515245 + 12345;
+    u32 f = trie_find(key);
+    if (node_key[f] == key) hits += 1;
+  }
+  return hits * 1000 + nnodes;
+}
+|}
+
+let gen_input ~seed ~nkeys ~lookups : Workload.input =
+  { args = [ Int64.of_int lookups ];
+    setup =
+      (fun m mem ->
+        let rng = Rng.create seed in
+        Workload.set m mem ~name:"nkeys" (Int64.of_int nkeys);
+        for i = 0 to nkeys - 1 do
+          (* IP-like keys: clustered high octets *)
+          let key =
+            (Rng.int rng 8 lsl 24) lor (Rng.int rng 32 lsl 16)
+            lor (Rng.int rng 256 lsl 8) lor Rng.int rng 256
+          in
+          Bs_interp.Memimage.set_global mem m ~name:"keys" ~index:i
+            (Int64.of_int key)
+        done) }
+
+let workload : Workload.t =
+  { name = "patricia";
+    description = "radix trie insert/lookup over IP-like keys";
+    source;
+    entry = "run";
+    train = gen_input ~seed:81L ~nkeys:300 ~lookups:700;
+    test = gen_input ~seed:82L ~nkeys:512 ~lookups:4096;
+    alt = gen_input ~seed:83L ~nkeys:128 ~lookups:512;
+    narrow_source = None }

@@ -1,0 +1,73 @@
+open Bs_support
+
+(* Iterative quicksort with an out-of-line comparison function, matching
+   MiBench's qsort shape.  The paper observes speculation *hurting* here:
+   a misspeculation inside the comparator re-executes it, effectively
+   running it twice per invocation (RQ2's qsort inversion). *)
+
+let source =
+  {|
+u32 arr[4096];
+u32 stk_lo[64];
+u32 stk_hi[64];
+
+u32 cmp_le(u32 a, u32 b) {
+  u32 ka = a & 0xFFF;
+  u32 kb = b & 0xFFF;
+  if (ka < kb) return 1;
+  if (ka == kb && a <= b) return 1;
+  return 0;
+}
+
+u32 partition(u32 lo, u32 hi) {
+  u32 pivot = arr[hi];
+  u32 i = lo;
+  for (u32 j = lo; j < hi; j += 1) {
+    if (cmp_le(arr[j], pivot)) {
+      u32 t = arr[i]; arr[i] = arr[j]; arr[j] = t;
+      i += 1;
+    }
+  }
+  u32 t = arr[i]; arr[i] = arr[hi]; arr[hi] = t;
+  return i;
+}
+
+u32 run(u32 n) {
+  u32 sp = 0;
+  stk_lo[0] = 0;
+  stk_hi[0] = n - 1;
+  sp = 1;
+  while (sp > 0) {
+    sp -= 1;
+    u32 lo = stk_lo[sp];
+    u32 hi = stk_hi[sp];
+    if (lo < hi) {
+      u32 p = partition(lo, hi);
+      if (p > 0) {
+        stk_lo[sp] = lo; stk_hi[sp] = p - 1; sp += 1;
+      }
+      stk_lo[sp] = p + 1; stk_hi[sp] = hi; sp += 1;
+    }
+  }
+  u32 acc = 0;
+  for (u32 i = 0; i < n; i += 1) acc = acc * 31 + arr[i];
+  return acc;
+}
+|}
+
+let gen_input ~seed ~n : Workload.input =
+  { args = [ Int64.of_int n ];
+    setup =
+      (fun m mem ->
+        let rng = Rng.create seed in
+        Workload.fill_words rng m mem ~name:"arr" ~count:n ~bound:0xFFFF) }
+
+let workload : Workload.t =
+  { name = "qsort";
+    description = "iterative quicksort with an out-of-line comparator";
+    source;
+    entry = "run";
+    train = gen_input ~seed:61L ~n:500;
+    test = gen_input ~seed:62L ~n:2048;
+    alt = gen_input ~seed:63L ~n:512;
+    narrow_source = None }

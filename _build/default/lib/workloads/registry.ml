@@ -1,0 +1,24 @@
+(* All benchmarks, in the paper's Figure 8 order. *)
+
+let all : Workload.t list =
+  [ Crc32.workload;
+    Fft.workload;
+    Basicmath.workload;
+    Bitcount.workload;
+    Blowfish.workload;
+    Dijkstra.workload;
+    Patricia.workload;
+    Qsort_w.workload;
+    Rijndael.workload;
+    Sha.workload;
+    Stringsearch.workload;
+    Susan.edges;
+    Susan.corners;
+    Susan.smoothing ]
+
+let find name =
+  match List.find_opt (fun (w : Workload.t) -> w.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("unknown workload " ^ name)
+
+let names = List.map (fun (w : Workload.t) -> w.name) all

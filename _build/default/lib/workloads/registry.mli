@@ -1,0 +1,8 @@
+(** All benchmarks, in the paper's Figure 8 order. *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t
+(** @raise Invalid_argument for unknown names. *)
+
+val names : string list

@@ -1,0 +1,67 @@
+open Bs_support
+
+(* SHA-1 over a message buffer (whole 64-byte blocks).  Dominated by 32-bit
+   rotate/xor chains — the benchmark where the paper shows demanded-bits
+   analysis recovering nothing (§2.2). *)
+
+let source =
+  {|
+u8 msg[16448];
+u32 W[80];
+u32 H[5];
+
+u32 rol(u32 x, u32 s) {
+  return (x << s) | (x >> (32 - s));
+}
+
+void sha_block(u32 off) {
+  for (u32 t = 0; t < 16; t += 1) {
+    u32 b0 = msg[off + 4 * t];
+    u32 b1 = msg[off + 4 * t + 1];
+    u32 b2 = msg[off + 4 * t + 2];
+    u32 b3 = msg[off + 4 * t + 3];
+    W[t] = (b0 << 24) | (b1 << 16) | (b2 << 8) | b3;
+  }
+  for (u32 t = 16; t < 80; t += 1) {
+    W[t] = rol(W[t - 3] ^ W[t - 8] ^ W[t - 14] ^ W[t - 16], 1);
+  }
+  u32 a = H[0]; u32 b = H[1]; u32 c = H[2]; u32 d = H[3]; u32 e = H[4];
+  for (u32 t = 0; t < 80; t += 1) {
+    u32 f = 0;
+    u32 k = 0;
+    if (t < 20) { f = (b & c) | ((~b) & d); k = 0x5A827999; }
+    else if (t < 40) { f = b ^ c ^ d; k = 0x6ED9EBA1; }
+    else if (t < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8F1BBCDC; }
+    else { f = b ^ c ^ d; k = 0xCA62C1D6; }
+    u32 tmp = rol(a, 5) + f + e + k + W[t];
+    e = d; d = c; c = rol(b, 30); b = a; a = tmp;
+  }
+  H[0] += a; H[1] += b; H[2] += c; H[3] += d; H[4] += e;
+}
+
+u32 run(u32 nblocks) {
+  H[0] = 0x67452301; H[1] = 0xEFCDAB89; H[2] = 0x98BADCFE;
+  H[3] = 0x10325476; H[4] = 0xC3D2E1F0;
+  for (u32 i = 0; i < nblocks; i += 1) {
+    sha_block(i * 64);
+  }
+  return H[0] ^ H[1] ^ H[2] ^ H[3] ^ H[4];
+}
+|}
+
+let gen_input ~seed ~nblocks : Workload.input =
+  { args = [ Int64.of_int nblocks ];
+    setup =
+      (fun m mem ->
+        let rng = Rng.create seed in
+        Workload.fill_bytes rng m mem ~name:"msg" ~count:(nblocks * 64)) }
+
+let workload : Workload.t =
+  { name = "sha";
+    description = "SHA-1 digest over whole message blocks";
+    source;
+    entry = "run";
+    train = gen_input ~seed:21L ~nblocks:20;
+    test = gen_input ~seed:22L ~nblocks:96;
+    alt = gen_input ~seed:23L ~nblocks:24;
+    narrow_source = None }

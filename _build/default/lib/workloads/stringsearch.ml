@@ -1,0 +1,86 @@
+open Bs_support
+
+(* Boyer-Moore-Horspool string search, the paper's Listing 1: pattern
+   lengths are at most 12 and skip-table entries at most the pattern
+   length, so nearly the whole hot loop runs at 8 bits once speculated.
+
+   [narrow_source] is the RQ7 hand-tuned variant where the programmer
+   declared every quantity at its narrowest safe width. *)
+
+let body ~idx_ty =
+  Printf.sprintf
+    {|
+u8 text[8192];
+u8 pats[512];
+u32 pat_off[40];
+u32 pat_len[40];
+u32 text_len = 0;
+u32 shtab[256];
+
+u32 search(u32 po, u32 plen) {
+  if (plen == 0 || plen > 1024) return 0;
+  u32 n = text_len;
+  for (u32 i = 0; i < 256; i += 1) shtab[i] = plen;
+  for (%s i = 0; i + 1 < plen; i += 1) shtab[pats[po + i]] = plen - 1 - i;
+  u32 found = 0;
+  u32 pos = 0;
+  while (pos + plen <= n) {
+    %s j = (%s)plen;
+    while (j > 0 && text[pos + j - 1] == pats[po + j - 1]) j -= 1;
+    if (j == 0) found += 1;
+    pos += shtab[text[pos + plen - 1]];
+  }
+  return found;
+}
+
+u32 run(u32 npats) {
+  u32 total = 0;
+  for (u32 p = 0; p < npats; p += 1) {
+    total += search(pat_off[p], pat_len[p]);
+  }
+  return total;
+}
+|}
+    idx_ty idx_ty idx_ty
+
+(* default: worst-case widths, as unoptimised C would have them *)
+let source = body ~idx_ty:"u32"
+
+(* the hand-tuned variant: indices that provably fit 8 bits *)
+let narrow = body ~idx_ty:"u8"
+
+let gen_input ~seed ~npats ~text_len : Workload.input =
+  { args = [ Int64.of_int npats ];
+    setup =
+      (fun m mem ->
+        let rng = Rng.create seed in
+        (* text over a small alphabet so matches actually occur *)
+        for i = 0 to text_len - 1 do
+          Bs_interp.Memimage.set_global mem m ~name:"text" ~index:i
+            (Int64.of_int (97 + Rng.int rng 6))
+        done;
+        Workload.set m mem ~name:"text_len" (Int64.of_int text_len);
+        let off = ref 0 in
+        for p = 0 to npats - 1 do
+          (* pattern lengths <= 12, as in the paper's input *)
+          let len = Rng.int_in rng 2 12 in
+          Bs_interp.Memimage.set_global mem m ~name:"pat_off" ~index:p
+            (Int64.of_int !off);
+          Bs_interp.Memimage.set_global mem m ~name:"pat_len" ~index:p
+            (Int64.of_int len);
+          for i = 0 to len - 1 do
+            Bs_interp.Memimage.set_global mem m ~name:"pats" ~index:(!off + i)
+              (Int64.of_int (97 + Rng.int rng 6))
+          done;
+          off := !off + len
+        done) }
+
+let workload : Workload.t =
+  { name = "stringsearch";
+    description = "Boyer-Moore-Horspool over multiple short patterns";
+    source;
+    entry = "run";
+    train = gen_input ~seed:31L ~npats:8 ~text_len:2048;
+    test = gen_input ~seed:32L ~npats:32 ~text_len:8192;
+    alt = gen_input ~seed:33L ~npats:12 ~text_len:4096;
+    narrow_source = Some narrow }

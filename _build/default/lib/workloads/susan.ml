@@ -1,0 +1,158 @@
+open Bs_support
+
+(* The SUSAN image-processing trio (smoothing, edges, corners) on 64×64
+   8-bit images with a brightness-similarity LUT, structurally following
+   MiBench's susan (masks reduced from the 37-pixel disc to 3×3/5×5
+   neighbourhoods to fit tiny-device image sizes).
+
+   Image pixels and the USAN running sums live in 8–16 bits, which is why
+   the paper calls out susan as the case where basic-block coercion
+   collapses (Figure 1d: few wide accumulators drag every pixel variable
+   to 32 bits, where per-variable speculation does not). *)
+
+let dim = 64
+let stride = dim + 2 (* one-pixel border *)
+
+let common =
+  Printf.sprintf
+    {|
+u8 img[%d];
+u8 blut[512];
+u32 out_acc = 0;
+
+void build_lut(u32 threshold) {
+  for (u32 i = 0; i < 512; i += 1) {
+    u32 d = i > 255 ? i - 255 : 255 - i;
+    u32 num = d * 100 / threshold;
+    if (num > 100) blut[i] = 0;
+    else blut[i] = (u8)(100 - num);
+  }
+}
+|}
+    (stride * stride)
+
+let smoothing_source =
+  common
+  ^ Printf.sprintf
+      {|
+u32 run(u32 threshold) {
+  build_lut(threshold);
+  u32 acc = 0;
+  for (u32 y = 1; y <= %d; y += 1) {
+    for (u32 x = 1; x <= %d; x += 1) {
+      u32 c = img[y * %d + x];
+      u32 total = 0;
+      u32 wsum = 0;
+      for (u32 dy = 0; dy < 3; dy += 1) {
+        for (u32 dx = 0; dx < 3; dx += 1) {
+          u32 p = img[(y + dy - 1) * %d + (x + dx - 1)];
+          u32 w = blut[255 + p - c];
+          total += w * p;
+          wsum += w;
+        }
+      }
+      u32 sm = wsum != 0 ? total / wsum : c;
+      acc = (acc + sm) & 0xFFFFFF;
+    }
+  }
+  return acc;
+}
+|}
+      dim dim stride stride
+
+let edges_source =
+  common
+  ^ Printf.sprintf
+      {|
+u32 run(u32 threshold) {
+  build_lut(threshold);
+  u32 g = 600;
+  u32 edges = 0;
+  u32 acc = 0;
+  for (u32 y = 1; y <= %d; y += 1) {
+    for (u32 x = 1; x <= %d; x += 1) {
+      u32 c = img[y * %d + x];
+      u32 usan = 0;
+      for (u32 dy = 0; dy < 3; dy += 1) {
+        for (u32 dx = 0; dx < 3; dx += 1) {
+          u32 p = img[(y + dy - 1) * %d + (x + dx - 1)];
+          usan += blut[255 + p - c];
+        }
+      }
+      if (usan < g) {
+        edges += 1;
+        acc += g - usan;
+      }
+    }
+  }
+  return edges * 65536 + (acc & 0xFFFF);
+}
+|}
+      dim dim stride stride
+
+let corners_source =
+  common
+  ^ Printf.sprintf
+      {|
+u32 run(u32 threshold) {
+  build_lut(threshold);
+  u32 g = 350;
+  u32 corners = 0;
+  u32 acc = 0;
+  for (u32 y = 2; y <= %d; y += 1) {
+    for (u32 x = 2; x <= %d; x += 1) {
+      u32 c = img[y * %d + x];
+      u32 usan = 0;
+      for (u32 dy = 0; dy < 5; dy += 1) {
+        for (u32 dx = 0; dx < 5; dx += 1) {
+          u32 yy = y + dy - 2;
+          u32 xx = x + dx - 2;
+          u32 p = img[yy * %d + xx];
+          usan += blut[255 + p - c];
+        }
+      }
+      if (usan < g) {
+        corners += 1;
+        acc += g - usan;
+      }
+    }
+  }
+  return corners * 65536 + (acc & 0xFFFF);
+}
+|}
+      (dim - 1) (dim - 1) stride stride
+
+(** Synthetic textured image: gradients, blobs and noise with a controlled
+    intensity range (the BSDS500 substitution for Figure 16). *)
+let write_image ~seed ~range m mem =
+  let rng = Rng.create seed in
+  let cx = Rng.int rng dim and cy = Rng.int rng dim in
+  for y = 0 to stride - 1 do
+    for x = 0 to stride - 1 do
+      let gradient = (x * range / stride) + (y * range / (2 * stride)) in
+      let dx = x - cx and dy = y - cy in
+      let blob = if (dx * dx) + (dy * dy) < 150 then range / 3 else 0 in
+      let noise = Rng.int rng 24 in
+      let v = min 255 (gradient + blob + noise) in
+      Bs_interp.Memimage.set_global mem m ~name:"img" ~index:((y * stride) + x)
+        (Int64.of_int v)
+    done
+  done
+
+let gen_input ~seed ~range ~threshold : Workload.input =
+  { args = [ Int64.of_int threshold ];
+    setup = (fun m mem -> write_image ~seed ~range m mem) }
+
+let make name description source : Workload.t =
+  { name;
+    description;
+    source;
+    entry = "run";
+    train = gen_input ~seed:111L ~range:160 ~threshold:20;
+    test = gen_input ~seed:112L ~range:200 ~threshold:20;
+    alt = gen_input ~seed:113L ~range:120 ~threshold:20;
+    narrow_source = None }
+
+let smoothing = make "susan-smoothing" "USAN-weighted 3x3 smoothing" smoothing_source
+let edges = make "susan-edges" "USAN edge response" edges_source
+let corners = make "susan-corners" "USAN corner response (5x5)" corners_source

@@ -1,0 +1,46 @@
+open Bs_ir
+open Bs_interp
+open Bs_support
+
+(* A benchmark: MiniC source, an entry point returning a checksum, and
+   deterministic input generators.
+
+   Three input sets reproduce MiBench's structure:
+   - [train]: the profiling input ("small");
+   - [test]: the measured input ("large");
+   - [alt]: an alternate input from the same generator family, used by the
+     RQ6 sensitivity study to profile with. *)
+
+type input = {
+  args : int64 list;
+  setup : Ir.modul -> Memimage.t -> unit;
+}
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  entry : string;
+  train : input;
+  test : input;
+  alt : input;
+  narrow_source : string option;
+      (* RQ7: a hand-tuned variant using the narrowest safe declarations,
+         against which the default (worst-case-width) source is compared *)
+}
+
+let no_setup : Ir.modul -> Memimage.t -> unit = fun _ _ -> ()
+
+(* Shared helpers for input generators. *)
+
+let fill_bytes rng m mem ~name ~count =
+  for i = 0 to count - 1 do
+    Memimage.set_global mem m ~name ~index:i (Int64.of_int (Rng.int rng 256))
+  done
+
+let fill_words rng m mem ~name ~count ~bound =
+  for i = 0 to count - 1 do
+    Memimage.set_global mem m ~name ~index:i (Int64.of_int (Rng.int rng bound))
+  done
+
+let set m mem ~name v = Memimage.set_global mem m ~name ~index:0 v

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Block_coerce Bs_analysis Bs_frontend Bs_interp Bs_ir Demanded_bits Hashtbl Interp Ir List Lower Option Printf Profile

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Bitspec Bs_backend Bs_interp Bs_isa Bs_sim Counters Driver Int64 Interp List Machine Memimage Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Bs_frontend Bs_interp Bs_ir Int64 Interp Lexer Lower Parser Printer Printf QCheck QCheck_alcotest String Typecheck

@@ -1,0 +1,1 @@
+test/test_frontend2.ml: Alcotest Bitspec Bs_frontend Bs_interp Bs_sim Driver Int64 Interp List Lower Option Printf

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bitspec Bs_frontend Bs_interp Bs_sim Bs_support Buffer Driver Int64 Interp List Option Printf Profile QCheck QCheck_alcotest Rng String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Bs_frontend Bs_interp Bs_ir Int64 Interp Ir List Memimage QCheck QCheck_alcotest Width

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Bs_ir Builder Dom Hashtbl Ir List Liveness Loops Printer Str_exists String Verifier

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bitspec Bs_backend Bs_energy Bs_interp Bs_isa Bs_sim Bs_workloads Cache Encode Isa List QCheck QCheck_alcotest Str_exists

@@ -1,0 +1,1 @@
+test/test_known_answers.ml: Alcotest Array Bitspec Bs_frontend Bs_interp Bs_sim Bs_workloads Bytes Char Int64 Interp List Lower Memimage Option Printf Registry String Workload

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bs_backend Bs_interp Bs_ir Bs_isa Bs_sim Counters Hashtbl Isa Machine

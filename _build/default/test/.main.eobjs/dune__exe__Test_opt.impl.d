@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Bitspec Bs_frontend Bs_interp Bs_ir Bs_opt Constfold Dce Inline Int64 Interp Ir List Lower Option Printf QCheck QCheck_alcotest Simplify_cfg String Unroll Verifier

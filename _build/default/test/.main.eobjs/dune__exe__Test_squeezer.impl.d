@@ -1,0 +1,1 @@
+test/test_squeezer.ml: Alcotest Bitspec Bs_frontend Bs_interp Bs_ir Cfg_prep Int64 Interp List Lower Memimage Printf Profile QCheck QCheck_alcotest Squeezer String Verifier

@@ -1,0 +1,1 @@
+test/test_width.ml: Alcotest Bs_ir Int64 QCheck QCheck_alcotest Width

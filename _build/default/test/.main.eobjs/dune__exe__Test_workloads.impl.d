@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bitspec Bs_interp Bs_workloads Driver Experiment List Registry Workload

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "bitspec"
+    [ ("width", Test_width.suite);
+      ("ir", Test_ir.suite);
+      ("frontend", Test_frontend.suite);
+      ("frontend-2", Test_frontend2.suite);
+      ("interp", Test_interp.suite);
+      ("opt", Test_opt.suite);
+      ("analysis", Test_analysis.suite);
+      ("squeezer", Test_squeezer.suite);
+      ("passes", Test_passes.suite);
+      ("isa", Test_isa.suite);
+      ("machine", Test_machine.suite);
+      ("backend", Test_backend.suite);
+      ("workloads", Test_workloads.suite);
+      ("known-answers", Test_known_answers.suite);
+      ("fuzz", Test_fuzz.suite) ]

@@ -1,0 +1,197 @@
+open Bs_ir
+open Bs_frontend
+open Bs_interp
+open Bs_analysis
+
+(* Tests for the bitwidth analyses behind Figure 1: the profiler's
+   statistics, demanded-bits, and basic-block coercion. *)
+
+let profile_of src ~entry ~args =
+  let m = Lower.compile src in
+  let profile = Profile.create () in
+  let opts = { Interp.default_opts with profile = Some profile } in
+  ignore (Interp.run_fresh ~opts m ~entry ~args);
+  (m, profile)
+
+let test_profile_stats () =
+  let m, p =
+    profile_of
+      "u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s += i; return s; }"
+      ~entry:"f" ~args:[ 10L ]
+  in
+  let f = List.hd m.Ir.funcs in
+  (* find the add defining s (+= i): its max value is 45 -> 6 bits *)
+  let adds =
+    List.concat_map
+      (fun (b : Ir.block) ->
+        List.filter
+          (fun (i : Ir.instr) ->
+            match i.Ir.op with Ir.Bin (Ir.Add, _, _) -> true | _ -> false)
+          b.Ir.instrs)
+      f.Ir.blocks
+  in
+  Alcotest.(check bool) "adds profiled" true
+    (List.for_all
+       (fun (i : Ir.instr) ->
+         Profile.stats p ~func:"f" ~iid:i.Ir.iid <> None)
+       adds);
+  List.iter
+    (fun (i : Ir.instr) ->
+      match Profile.stats p ~func:"f" ~iid:i.Ir.iid with
+      | Some s ->
+          Alcotest.(check bool) "max sane" true (s.Profile.s_max <= 6);
+          Alcotest.(check bool) "min <= max" true (s.Profile.s_min <= s.Profile.s_max);
+          Alcotest.(check bool) "count > 0" true (s.Profile.s_count > 0)
+      | None -> ())
+    adds
+
+let test_heuristic_targets () =
+  let _, p =
+    profile_of
+      "u32 f(u32 n) { u32 x = 1; for (u32 i = 0; i < n; i += 1) x = x * 2; return x; }"
+      ~entry:"f" ~args:[ 12L ]
+  in
+  (* x takes values 2..4096: MIN class 8, MAX class 16 *)
+  let found = ref false in
+  Hashtbl.iter
+    (fun (fn, iid) (s : Profile.var_stats) ->
+      if fn = "f" && s.Profile.s_max >= 13 then begin
+        found := true;
+        let t h = Option.get (Profile.target p h ~func:fn ~iid) in
+        Alcotest.(check int) "MAX class" 16 (t Profile.Hmax);
+        Alcotest.(check int) "MIN class" 8 (t Profile.Hmin);
+        Alcotest.(check bool) "AVG between" true
+          (t Profile.Havg >= t Profile.Hmin && t Profile.Havg <= t Profile.Hmax)
+      end)
+    p.Profile.vars;
+  Alcotest.(check bool) "found the doubling variable" true !found
+
+let test_distributions_sum () =
+  let _, p =
+    profile_of
+      "u8 buf[64];\n\
+       u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) { buf[i & 63] = (u8)i; s += buf[i & 63]; } return s; }"
+      ~entry:"f" ~args:[ 100L ]
+  in
+  let close_to_one a =
+    let s = Array.fold_left ( +. ) 0.0 a in
+    abs_float (s -. 1.0) < 1e-9
+  in
+  Alcotest.(check bool) "required sums to 1" true
+    (close_to_one (Profile.required_distribution p));
+  Alcotest.(check bool) "programmer sums to 1" true
+    (close_to_one (Profile.programmer_distribution p));
+  List.iter
+    (fun h ->
+      Alcotest.(check bool)
+        (Profile.heuristic_name h ^ " sums to 1")
+        true
+        (close_to_one (Profile.heuristic_distribution p h)))
+    [ Profile.Hmax; Profile.Havg; Profile.Hmin ]
+
+let test_required_le_programmer () =
+  (* the share of dynamic instructions classified <= 8 bits can only grow
+     when moving from programmer width to required width (Fig 1a vs 1b) *)
+  let _, p =
+    profile_of
+      "u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s = (s + i) & 63; return s; }"
+      ~entry:"f" ~args:[ 50L ]
+  in
+  let req = Profile.required_distribution p in
+  let prog = Profile.programmer_distribution p in
+  Alcotest.(check bool) "more 8-bit under required" true (req.(0) >= prog.(0))
+
+let test_demanded_bits () =
+  (* the masked value demands only its low 4 bits; the analysis must see
+     through the add chain *)
+  let m =
+    Lower.compile
+      "u8 out[4];\nu32 f(u32 x) { u32 y = x + 123; out[0] = (u8)(y & 15); return 0; }"
+  in
+  let f = Option.get (Ir.find_func m "f") in
+  let db = Demanded_bits.compute f in
+  let add =
+    List.find_map
+      (fun (b : Ir.block) ->
+        List.find_map
+          (fun (i : Ir.instr) ->
+            match i.Ir.op with
+            | Ir.Bin (Ir.Add, _, Ir.Const c) when c.Ir.cval = 123L -> Some i
+            | _ -> None)
+          b.Ir.instrs)
+      f.Ir.blocks
+  in
+  (match add with
+  | Some i ->
+      let sel = Demanded_bits.selection db f ~iid:i.Ir.iid in
+      Alcotest.(check int) "narrowed to 8-bit class" 8 sel
+  | None -> Alcotest.fail "add not found");
+  (* a returned value demands everything *)
+  let m2 = Lower.compile "u32 f(u32 x) { return x + 1; }" in
+  let f2 = Option.get (Ir.find_func m2 "f") in
+  let db2 = Demanded_bits.compute f2 in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.Ir.op with
+          | Ir.Bin (Ir.Add, _, _) ->
+              Alcotest.(check int) "full width demanded" 32
+                (Demanded_bits.selection db2 f2 ~iid:i.Ir.iid)
+          | _ -> ())
+        b.Ir.instrs)
+    f2.Ir.blocks
+
+let test_demanded_bits_shifts () =
+  (* (x << 8) & 0xFF00 stored as u16: x demands its low byte only *)
+  let m =
+    Lower.compile
+      "u16 out[2];\nu32 f(u32 x) { out[0] = (u16)((x << 8) & 0xFF00); return 0; }"
+  in
+  let f = Option.get (Ir.find_func m "f") in
+  let db = Demanded_bits.compute f in
+  (* the parameter's demand must not exceed 8 bits *)
+  let p0 = List.hd f.Ir.param_instrs in
+  match Hashtbl.find_opt db p0.Ir.iid with
+  | Some mask ->
+      Alcotest.(check bool) "param demands <= 8 bits" true
+        (Bs_ir.Width.required_bits mask <= 8)
+  | None -> Alcotest.fail "parameter has no demand"
+
+let test_block_coerce_worst_case () =
+  (* one wide variable in the block drags every narrow one with it
+     (the paper's susan-corners observation, Fig 1d) *)
+  let src =
+    "u32 f(u32 n) {\n\
+     u32 s = 0;\n\
+     u32 wide = 0;\n\
+     for (u32 i = 0; i < n; i += 1) {\n\
+     u32 narrow = i & 7;\n\
+     wide = wide + 100000;\n\
+     s += narrow;\n\
+     }\n\
+     return s + (wide >> 16); }"
+  in
+  let m, p = profile_of src ~entry:"f" ~args:[ 30L ] in
+  let sel = Block_coerce.selection m p in
+  let req = Profile.required_distribution p in
+  let coerced = Profile.selection_distribution p ~select:sel in
+  (* coercion must lose 8-bit share relative to required bits *)
+  Alcotest.(check bool)
+    (Printf.sprintf "coerced 8-bit share (%.2f) < required (%.2f)" coerced.(0)
+       req.(0))
+    true
+    (coerced.(0) < req.(0))
+
+let suite =
+  [ Alcotest.test_case "profiler statistics" `Quick test_profile_stats;
+    Alcotest.test_case "MAX/AVG/MIN targets" `Quick test_heuristic_targets;
+    Alcotest.test_case "distributions sum to 1" `Quick test_distributions_sum;
+    Alcotest.test_case "required >= programmer at 8 bits" `Quick
+      test_required_le_programmer;
+    Alcotest.test_case "demanded bits narrows masked chains" `Quick
+      test_demanded_bits;
+    Alcotest.test_case "demanded bits through shifts" `Quick
+      test_demanded_bits_shifts;
+    Alcotest.test_case "block coercion worst case (Fig 1d)" `Quick
+      test_block_coerce_worst_case ]

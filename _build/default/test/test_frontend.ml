@@ -1,0 +1,183 @@
+open Bs_ir
+open Bs_frontend
+open Bs_interp
+
+(* End-to-end front-end tests: compile MiniC sources, verify the IR, run
+   them through the interpreter and check results against hand-computed
+   values (which mirror C semantics). *)
+
+let run ?(args = []) ?setup src entry =
+  let m = Lower.compile src in
+  let r, _mem = Interp.run_fresh ?setup m ~entry ~args in
+  match r.Interp.ret with
+  | Some v -> v
+  | None -> Alcotest.fail "expected return value"
+
+let check_ret msg expected src entry ?(args = []) () =
+  Alcotest.(check int64) msg expected (run ~args src entry)
+
+let test_arith () =
+  check_ret "add" 7L "u32 f() { return 3 + 4; }" "f" ();
+  check_ret "precedence" 14L "u32 f() { return 2 + 3 * 4; }" "f" ();
+  check_ret "sub wrap u32" 0xFFFFFFFFL "u32 f() { return 0 - 1; }" "f" ();
+  check_ret "div" 5L "u32 f() { return 17 / 3; }" "f" ();
+  check_ret "mod" 2L "u32 f() { return 17 % 3; }" "f" ();
+  check_ret "sdiv" 0xFFFFFFFBL "i32 f() { return -17 / 3; }" "f" ();
+  check_ret "shl" 40L "u32 f() { return 5 << 3; }" "f" ();
+  check_ret "lshr" 5L "u32 f() { return 40 >> 3; }" "f" ();
+  check_ret "ashr" 0xFFFFFFFEL "i32 f() { i32 x = -8; return x >> 2; }" "f" ();
+  check_ret "bitops" 10L "u32 f() { return (12 & 10) | (5 ^ 7) & 2; }" "f" ()
+
+let test_types () =
+  (* u8 arithmetic promotes to 32 bits, truncates on assignment *)
+  check_ret "u8 wrap" 4L "u32 f() { u8 x = 250; x = x + 10; return x; }" "f" ();
+  check_ret "u8 promoted" 260L "u32 f() { u8 x = 250; return x + 10; }" "f" ();
+  check_ret "i8 sext" 0xFFFFFFF8L "i32 f() { i8 x = -8; return x; }" "f" ();
+  check_ret "u16 trunc" 0x2345L "u32 f() { u16 x = (u16)0x12345; return x; }" "f" ();
+  check_ret "u64 lit" 0x1_0000_0000L "u64 f() { u64 x = 0x100000000; return x; }" "f" ();
+  check_ret "cast narrow" 0x34L "u32 f() { return (u8)0x1234; }" "f" ()
+
+let test_control () =
+  check_ret "if" 1L "u32 f(u32 x) { if (x > 5) return 1; return 0; }" "f"
+    ~args:[ 9L ] ();
+  check_ret "if else" 0L "u32 f(u32 x) { if (x > 5) { return 1; } else { return 0; } }"
+    "f" ~args:[ 3L ] ();
+  check_ret "while sum" 55L
+    "u32 f() { u32 s = 0; u32 i = 1; while (i <= 10) { s += i; i += 1; } return s; }"
+    "f" ();
+  check_ret "for sum" 55L
+    "u32 f() { u32 s = 0; for (u32 i = 1; i <= 10; i += 1) s += i; return s; }"
+    "f" ();
+  check_ret "do while" 256L
+    "u32 f() { u32 x = 0; do { x += 1; } while (x <= 255); return x; }" "f" ();
+  check_ret "break" 5L
+    "u32 f() { u32 i = 0; while (1) { if (i == 5) break; i += 1; } return i; }"
+    "f" ();
+  check_ret "continue" 25L
+    "u32 f() { u32 s = 0; for (u32 i = 0; i < 10; i += 1) { if (i % 2 == 0) continue; s += i; } return s; }"
+    "f" ();
+  check_ret "nested loops" 100L
+    "u32 f() { u32 s = 0; for (u32 i = 0; i < 10; i += 1) for (u32 j = 0; j < 10; j += 1) s += 1; return s; }"
+    "f" ()
+
+let test_logic () =
+  check_ret "logand shortcircuit" 0L
+    "u32 g() { return 1; } u32 f() { u32 x = 0; if (x != 0 && g() == 1) return 1; return 0; }"
+    "f" ();
+  check_ret "logor" 1L "u32 f(u32 x) { return x == 0 || x > 10; }" "f"
+    ~args:[ 0L ] ();
+  check_ret "lognot" 1L "u32 f(u32 x) { return !x; }" "f" ~args:[ 0L ] ();
+  check_ret "ternary" 7L "u32 f(u32 x) { return x > 2 ? 7 : 9; }" "f"
+    ~args:[ 3L ] ()
+
+let test_arrays () =
+  check_ret "local array" 30L
+    "u32 f() { u32 a[4]; a[0] = 10; a[1] = 20; return a[0] + a[1]; }" "f" ();
+  check_ret "global array" 3L "u32 tab[8]; u32 f() { tab[3] = 3; return tab[3]; }"
+    "f" ();
+  check_ret "global init list" 6L
+    "u32 tab[] = {1, 2, 3}; u32 f() { return tab[0] + tab[1] + tab[2]; }" "f" ();
+  check_ret "string init" 104L
+    "u8 s[] = \"hi\"; u32 f() { return s[0] + 0 * s[1]; }" "f" ();
+  check_ret "u8 array elems" 255L
+    "u8 b[4]; u32 f() { b[1] = 255; return b[1]; }" "f" ();
+  check_ret "u16 array stride" 0xBEEFL
+    "u16 h[4]; u32 f() { h[2] = 0xBEEF; h[1] = 1; return h[2]; }" "f" ();
+  check_ret "scalar global" 42L
+    "u32 g = 40; u32 f() { g = g + 2; return g; }" "f" ()
+
+let test_functions () =
+  check_ret "call" 13L
+    "u32 add(u32 a, u32 b) { return a + b; } u32 f() { return add(6, 7); }" "f" ();
+  check_ret "recursion fib" 55L
+    "u32 fib(u32 n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } u32 f() { return fib(10); }"
+    "f" ();
+  check_ret "array param" 60L
+    "u32 sum(u32 a[], u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s += a[i]; return s; }\n\
+     u32 buf[3] = {10, 20, 30};\n\
+     u32 f() { return sum(buf, 3); }"
+    "f" ();
+  check_ret "local array param" 6L
+    "u32 sum(u8 a[], u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s += a[i]; return s; }\n\
+     u32 f() { u8 b[4]; b[0] = 1; b[1] = 2; b[2] = 3; return sum(b, 3); }"
+    "f" ();
+  check_ret "void fn" 5L
+    "u32 g = 0; void setg(u32 v) { g = v; } u32 f() { setg(5); return g; }" "f" ()
+
+let test_comments_and_literals () =
+  check_ret "comments" 3L
+    "// line comment\nu32 f() { /* block\ncomment */ return 3; }" "f" ();
+  check_ret "hex" 255L "u32 f() { return 0xFF; }" "f" ();
+  check_ret "char lit" 65L "u32 f() { return 'A'; }" "f" ();
+  check_ret "escape" 10L "u32 f() { return '\\n'; }" "f" ()
+
+let test_errors () =
+  let expect_error src =
+    match Lower.compile src with
+    | exception (Typecheck.Error _ | Parser.Error _ | Lexer.Error _) -> ()
+    | _ -> Alcotest.fail ("expected error for: " ^ src)
+  in
+  expect_error "u32 f() { return x; }";
+  expect_error "u32 f() { break; }";
+  expect_error "u32 f() { u32 x = 1; u32 x = 2; return x; }";
+  expect_error "u32 f(u32 a) { return a(3); }";
+  expect_error "u32 f() { return g(1); }";
+  expect_error "u32 f() { if (1) return 1 }";
+  expect_error "void f() { return 3; }"
+
+let test_shadowing () =
+  (* Inner scopes shadow; alpha-renaming keeps SSA construction sound. *)
+  check_ret "shadow" 11L
+    "u32 f() { u32 x = 1; { u32 x = 10; x += 1; return x; } }" "f" ();
+  check_ret "shadow in loop" 45L
+    "u32 f() { u32 s = 0; for (u32 i = 0; i < 10; i += 1) { u32 t = i; s += t; } return s; }"
+    "f" ()
+
+let test_verifier_accepts () =
+  (* Every compiled module passes the verifier (Lower.compile runs it);
+     additionally, printing must not raise. *)
+  let m =
+    Lower.compile
+      "u32 tab[4] = {1,2,3,4};\n\
+       u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s += tab[i & 3]; return s; }"
+  in
+  let s = Printer.module_str m in
+  Alcotest.(check bool) "prints" true (String.length s > 0)
+
+(* Differential property: MiniC expression evaluation matches a direct
+   OCaml model for random small programs over u32 arithmetic. *)
+let prop_expr_diff =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun a b c -> (Int64.of_int a, Int64.of_int b, Int64.of_int c))
+        (int_bound 10000) (int_bound 10000) (int_range 1 10000))
+  in
+  QCheck.Test.make ~name:"u32 expression semantics" ~count:200
+    (QCheck.make gen)
+    (fun (a, b, c) ->
+      let src =
+        Printf.sprintf
+          "u32 f() { return (%Ld + %Ld) * 3 - %Ld / 2 + (%Ld %% %Ld); }" a b c a c
+      in
+      let t32 x = Int64.logand x 0xFFFFFFFFL in
+      let expected =
+        t32
+          (Int64.add
+             (Int64.sub (t32 (Int64.mul (t32 (Int64.add a b)) 3L)) (Int64.div c 2L))
+             (Int64.rem a c))
+      in
+      run src "f" = expected)
+
+let suite =
+  [ Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "types and promotion" `Quick test_types;
+    Alcotest.test_case "control flow" `Quick test_control;
+    Alcotest.test_case "logical operators" `Quick test_logic;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "comments and literals" `Quick test_comments_and_literals;
+    Alcotest.test_case "front-end errors" `Quick test_errors;
+    Alcotest.test_case "shadowing" `Quick test_shadowing;
+    Alcotest.test_case "verifier and printer" `Quick test_verifier_accepts;
+    QCheck_alcotest.to_alcotest prop_expr_diff ]

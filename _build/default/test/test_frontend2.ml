@@ -1,0 +1,91 @@
+open Bs_frontend
+open Bs_interp
+
+(* Second front-end batch: operator precedence against C, every
+   op-assignment form, global initialiser forms, and volatile handling. *)
+
+let run ?setup src entry args =
+  let m = Lower.compile src in
+  let r, _ = Interp.run_fresh ?setup m ~entry ~args in
+  Option.get r.Interp.ret
+
+let check msg expected src =
+  Alcotest.(check int64) msg expected (run src "f" [])
+
+let test_precedence_table () =
+  (* each case would differ under a wrong precedence *)
+  check "mul over add" 14L "u32 f() { return 2 + 3 * 4; }";
+  check "shift below add" 32L "u32 f() { return 2 + 6 << 2; }";
+  check "relational below shift" 1L "u32 f() { return 1 << 3 > 7; }";
+  check "equality below relational" 1L "u32 f() { return 3 > 2 == 1; }";
+  check "band below equality" 1L "u32 f() { return 7 & 3 == 3; }";
+  check "bxor between and/or" 7L "u32 f() { return 4 | 2 ^ 1; }";
+  check "bor above logand" 1L "u32 f() { return 4 | 2 && 1; }";
+  check "unary tightest" 0xFFFFFFF5L "u32 f() { return ~10; }";
+  check "cast binds unary" 6L "u32 f() { return (u8)260 + 2; }";
+  check "ternary lowest" 9L "u32 f() { return 1 ? 4 + 5 : 0; }";
+  check "nested ternary" 2L "u32 f() { return 0 ? 1 : 0 ? 3 : 2; }"
+
+let test_op_assign_forms () =
+  let forms =
+    [ ("+=", 15L); ("-=", 5L); ("*=", 50L); ("/=", 2L); ("%=", 0L);
+      ("&=", 0L); ("|=", 15L); ("^=", 15L); ("<<=", 320L); (">>=", 0L) ]
+  in
+  List.iter
+    (fun (op, expected) ->
+      let src = Printf.sprintf "u32 f() { u32 x = 10; x %s 5; return x; }" op in
+      check op expected src)
+    forms;
+  (* on array elements too *)
+  check "array +=" 12L "u32 a[2];\nu32 f() { a[1] = 5; a[1] += 7; return a[1]; }"
+
+let test_global_initialisers () =
+  check "scalar init" 7L "u32 g = 7; u32 f() { return g; }";
+  check "negative init" 0xFFFFFFFFL "i32 g = -1; u32 f() { return (u32)g; }";
+  check "list init" 60L
+    "u32 t[] = {10, 20, 30}; u32 f() { return t[0] + t[1] + t[2]; }";
+  check "sized list" 30L
+    "u32 t[8] = {10, 20}; u32 f() { return t[0] + t[1] + t[7]; }";
+  check "string init length" 6L
+    "u8 s[] = \"hello\"; u32 f() { u32 n = 0; while (s[n] != 0) n += 1; return n + 1; }";
+  check "u16 negative list" 0xFFFEL
+    "u16 t[] = {-2}; u32 f() { return t[0]; }"
+
+let test_volatile_blocks_speculation () =
+  (* volatile accesses mark blocks non-idempotent, so nothing in them is
+     squeezed — and the program still runs correctly *)
+  let src =
+    "volatile u32 mmio = 0;\n\
+     u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) { mmio = i; s += i & 7; } return s + mmio; }"
+  in
+  let open Bitspec in
+  let c =
+    Driver.compile ~config:Driver.bitspec_config ~source:src
+      ~train:[ ("f", [ 20L ]) ] ()
+  in
+  let r = Driver.run_machine c ~entry:"f" ~args:[ 40L ] in
+  let m = Lower.compile src in
+  let expect, _ = Interp.run_fresh m ~entry:"f" ~args:[ 40L ] in
+  Alcotest.(check int64) "volatile program correct"
+    (Int64.logand (Option.get expect.Interp.ret) 0xFFFFFFFFL)
+    r.Bs_sim.Machine.r0
+
+let test_comparison_chains () =
+  check "le/ge" 1L "u32 f() { return (5 <= 5) + 0 * (5 >= 6); }";
+  check "signed lt" 1L "u32 f() { i32 a = -3; i32 b = 2; return a < b; }";
+  check "unsigned lt" 0L "u32 f() { u32 a = 0xFFFFFFFD; u32 b = 2; return a < b; }";
+  check "signed div round" 0xFFFFFFFEL "u32 f() { i32 a = -5; return (u32)(a / 2); }"
+
+let test_u16_semantics () =
+  check "u16 wraps" 0L "u32 f() { u16 x = 65535; x = (u16)(x + 1); return x; }";
+  check "u16 promote" 65536L "u32 f() { u16 x = 65535; return x + 1; }";
+  check "i16 sext" 0xFFFF8000L "u32 f() { i16 x = (i16)0x8000; return (u32)(i32)x; }"
+
+let suite =
+  [ Alcotest.test_case "operator precedence" `Quick test_precedence_table;
+    Alcotest.test_case "op-assignment forms" `Quick test_op_assign_forms;
+    Alcotest.test_case "global initialisers" `Quick test_global_initialisers;
+    Alcotest.test_case "volatile blocks speculation" `Quick
+      test_volatile_blocks_speculation;
+    Alcotest.test_case "comparison semantics" `Quick test_comparison_chains;
+    Alcotest.test_case "u16/i16 semantics" `Quick test_u16_semantics ]

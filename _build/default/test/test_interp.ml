@@ -1,0 +1,180 @@
+open Bs_ir
+open Bs_interp
+
+(* Semantics of the IR evaluator, operator by operator: each binop and
+   cast is checked against an independent OCaml model over random values
+   and widths, plus targeted edge cases (division by zero traps, shift
+   masking, phi two-phase evaluation, memory endianness, misspeculation
+   conditions). *)
+
+let widths = [ 8; 16; 32; 64 ]
+
+let gen_w_ab =
+  QCheck.make
+    QCheck.Gen.(
+      let* w = oneofl widths in
+      let* a = map Int64.of_int (int_bound 0x3FFFFFFF) in
+      let* b = map Int64.of_int (int_bound 0x3FFFFFFF) in
+      return (w, Width.trunc w a, Width.trunc w b))
+
+let model op w a b =
+  let t = Width.trunc w in
+  let sa = Width.sext w a and sb = Width.sext w b in
+  match op with
+  | Ir.Add -> Some (t (Int64.add a b))
+  | Ir.Sub -> Some (t (Int64.sub a b))
+  | Ir.Mul -> Some (t (Int64.mul a b))
+  | Ir.And -> Some (Int64.logand a b)
+  | Ir.Or -> Some (Int64.logor a b)
+  | Ir.Xor -> Some (Int64.logxor a b)
+  | Ir.Udiv -> if b = 0L then None else Some (t (Int64.unsigned_div a b))
+  | Ir.Urem -> if b = 0L then None else Some (t (Int64.unsigned_rem a b))
+  | Ir.Sdiv -> if b = 0L then None else Some (t (Int64.div sa sb))
+  | Ir.Srem -> if b = 0L then None else Some (t (Int64.rem sa sb))
+  | Ir.Shl -> Some (t (Int64.shift_left a (Int64.to_int b land (w - 1))))
+  | Ir.Lshr ->
+      Some (t (Int64.shift_right_logical (Width.trunc w a) (Int64.to_int b land (w - 1))))
+  | Ir.Ashr -> Some (t (Int64.shift_right sa (Int64.to_int b land (w - 1))))
+
+let prop_of_binop op name =
+  QCheck.Test.make ~name:("eval_binop " ^ name) ~count:200 gen_w_ab
+    (fun (w, a, b) ->
+      match model op w a b with
+      | Some expected -> Interp.eval_binop op w a b = expected
+      | None -> (
+          match Interp.eval_binop op w a b with
+          | exception Interp.Trap _ -> true
+          | _ -> false))
+
+let binop_props =
+  List.map
+    (fun (op, n) -> prop_of_binop op n)
+    [ (Ir.Add, "add"); (Ir.Sub, "sub"); (Ir.Mul, "mul"); (Ir.And, "and");
+      (Ir.Or, "or"); (Ir.Xor, "xor"); (Ir.Udiv, "udiv"); (Ir.Urem, "urem");
+      (Ir.Sdiv, "sdiv"); (Ir.Srem, "srem"); (Ir.Shl, "shl");
+      (Ir.Lshr, "lshr"); (Ir.Ashr, "ashr") ]
+
+let prop_cmp =
+  QCheck.Test.make ~name:"eval_cmp all predicates" ~count:200 gen_w_ab
+    (fun (w, a, b) ->
+      let sa = Width.sext w a and sb = Width.sext w b in
+      let ua = Width.trunc w a and ub = Width.trunc w b in
+      let expect op =
+        let r =
+          match op with
+          | Ir.Eq -> ua = ub
+          | Ir.Ne -> ua <> ub
+          | Ir.Ult -> Int64.unsigned_compare ua ub < 0
+          | Ir.Ule -> Int64.unsigned_compare ua ub <= 0
+          | Ir.Ugt -> Int64.unsigned_compare ua ub > 0
+          | Ir.Uge -> Int64.unsigned_compare ua ub >= 0
+          | Ir.Slt -> sa < sb
+          | Ir.Sle -> sa <= sb
+          | Ir.Sgt -> sa > sb
+          | Ir.Sge -> sa >= sb
+        in
+        if r then 1L else 0L
+      in
+      List.for_all
+        (fun op -> Interp.eval_cmp op w a b = expect op)
+        [ Ir.Eq; Ir.Ne; Ir.Ult; Ir.Ule; Ir.Ugt; Ir.Uge; Ir.Slt; Ir.Sle;
+          Ir.Sgt; Ir.Sge ])
+
+let test_div_zero_traps () =
+  List.iter
+    (fun op ->
+      match Interp.eval_binop op 32 5L 0L with
+      | exception Interp.Trap _ -> ()
+      | _ -> Alcotest.fail "division by zero must trap")
+    [ Ir.Udiv; Ir.Sdiv; Ir.Urem; Ir.Srem ]
+
+let test_shift_masking () =
+  (* shift amounts are masked to width-1 bits, as on the machine *)
+  Alcotest.(check int64) "shl by 32 == shl by 0" 5L
+    (Interp.eval_binop Ir.Shl 32 5L 32L);
+  Alcotest.(check int64) "shl by 33 == shl by 1" 10L
+    (Interp.eval_binop Ir.Shl 32 5L 33L)
+
+let test_misspec_conditions () =
+  let f = Ir.create_func ~name:"t" ~params:[] ~ret_width:0 in
+  let add = Ir.mk_instr f ~width:8 (Ir.Bin (Ir.Add, Ir.const ~width:8 0L, Ir.const ~width:8 0L)) in
+  add.Ir.speculative <- true;
+  Alcotest.(check bool) "200+100 overflows" true
+    (Interp.misspeculates add [ 200L; 100L ] 44L);
+  Alcotest.(check bool) "100+100 fits" false
+    (Interp.misspeculates add [ 100L; 100L ] 200L);
+  let sub = Ir.mk_instr f ~width:8 (Ir.Bin (Ir.Sub, Ir.const ~width:8 0L, Ir.const ~width:8 0L)) in
+  sub.Ir.speculative <- true;
+  Alcotest.(check bool) "3-5 underflows" true
+    (Interp.misspeculates sub [ 3L; 5L ] 254L);
+  let trunc = Ir.mk_instr f ~width:8 (Ir.Cast (Ir.TruncCast, Ir.const ~width:32 0L)) in
+  trunc.Ir.speculative <- true;
+  Alcotest.(check bool) "trunc 256" true (Interp.misspeculates trunc [ 256L ] 0L);
+  Alcotest.(check bool) "trunc 255" false (Interp.misspeculates trunc [ 255L ] 255L);
+  let logic = Ir.mk_instr f ~width:8 (Ir.Bin (Ir.Xor, Ir.const ~width:8 0L, Ir.const ~width:8 0L)) in
+  logic.Ir.speculative <- true;
+  Alcotest.(check bool) "logic never misspeculates" false
+    (Interp.misspeculates logic [ 255L; 255L ] 0L)
+
+let test_memimage_endianness () =
+  let m = { Ir.funcs = []; globals = [] } in
+  let mem = Memimage.create ~size:65536 m in
+  Memimage.write mem ~width:32 256 0xDEADBEEFL;
+  Alcotest.(check int64) "byte 0" 0xEFL (Memimage.read mem ~width:8 256);
+  Alcotest.(check int64) "byte 3" 0xDEL (Memimage.read mem ~width:8 259);
+  Alcotest.(check int64) "halfword" 0xBEEFL (Memimage.read mem ~width:16 256);
+  Alcotest.(check int64) "word" 0xDEADBEEFL (Memimage.read mem ~width:32 256)
+
+let test_memimage_bounds () =
+  let m = { Ir.funcs = []; globals = [] } in
+  let mem = Memimage.create ~size:65536 m in
+  (match Memimage.read mem ~width:32 65534 with
+  | exception Memimage.Fault _ -> ()
+  | _ -> Alcotest.fail "straddling read must fault");
+  match Memimage.write mem ~width:8 (-1) 0L with
+  | exception Memimage.Fault _ -> ()
+  | _ -> Alcotest.fail "negative write must fault"
+
+let test_globals_layout () =
+  (* globals are aligned to their element size and non-overlapping *)
+  let m =
+    Bs_frontend.Lower.compile
+      "u8 a[3];\nu32 b[2];\nu16 c[5];\nu32 f() { return 0; }"
+  in
+  let mem = Memimage.create m in
+  let addr n = Memimage.addr_of mem n in
+  Alcotest.(check bool) "b is 4-aligned" true (addr "b" mod 4 = 0);
+  Alcotest.(check bool) "c is 2-aligned" true (addr "c" mod 2 = 0);
+  Alcotest.(check bool) "disjoint" true
+    (addr "b" >= addr "a" + 3 && addr "c" >= addr "b" + 8)
+
+let test_interp_call_counting () =
+  let m =
+    Bs_frontend.Lower.compile
+      "u32 g(u32 x) { return x + 1; }\n\
+       u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s += g(i); return s; }"
+  in
+  let r, _ = Interp.run_fresh m ~entry:"f" ~args:[ 7L ] in
+  Alcotest.(check int) "1 + 7 calls" 8 r.Interp.calls
+
+let test_fuel_exhaustion () =
+  let m =
+    Bs_frontend.Lower.compile "u32 f() { u32 x = 1; while (x) { x = 1; } return x; }"
+  in
+  let opts = { Interp.default_opts with fuel = 1000 } in
+  match Interp.run_fresh ~opts m ~entry:"f" ~args:[] with
+  | exception Interp.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest binop_props
+  @ [ QCheck_alcotest.to_alcotest prop_cmp;
+      Alcotest.test_case "division by zero traps" `Quick test_div_zero_traps;
+      Alcotest.test_case "shift amount masking" `Quick test_shift_masking;
+      Alcotest.test_case "Table 1 misspec conditions" `Quick
+        test_misspec_conditions;
+      Alcotest.test_case "little-endian memory" `Quick test_memimage_endianness;
+      Alcotest.test_case "memory bounds faults" `Quick test_memimage_bounds;
+      Alcotest.test_case "global layout alignment" `Quick test_globals_layout;
+      Alcotest.test_case "call counting" `Quick test_interp_call_counting;
+      Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion ]

@@ -1,0 +1,281 @@
+open Bs_isa
+open Bs_sim
+open Isa
+
+(* Machine-level unit tests: hand-assembled programs exercising individual
+   instruction semantics, slice aliasing, condition codes, memory widths,
+   the Δ-redirect misspeculation mechanism, and calling convention
+   plumbing — independent of the compiler. *)
+
+let sl r b = { sl_reg = r; sl_byte = b }
+
+(* Build a runnable program from raw instructions; entry at 0, HALT
+   appended.  [delta] positions a skeleton area when testing
+   misspeculation. *)
+let program ?(delta = 0) insns : Bs_backend.Asm.program =
+  let code = Array.of_list (insns @ [ HALT ]) in
+  { Bs_backend.Asm.code;
+    prov = Array.make (Array.length code) PNormal;
+    entries = (let t = Hashtbl.create 1 in Hashtbl.replace t "main" 0; t);
+    delta;
+    halt_pc = Array.length code - 1;
+    handler_pcs = Hashtbl.create 1 }
+
+let exec ?(mode = Bitspec) ?mem insns =
+  let m = { Bs_ir.Ir.funcs = []; globals = [] } in
+  let memory =
+    match mem with Some m -> m | None -> Bs_interp.Memimage.create ~size:65536 m
+  in
+  Machine.run ~config:{ Machine.mode; fuel = 100000 } (program insns) memory
+    ~entry:"main" ~args:[]
+
+let r0_of insns = (exec insns).Machine.r0
+
+let check64 = Alcotest.(check int64)
+
+let test_mov_movw_movt () =
+  check64 "movw" 0xBEEFL (r0_of [ MOVW (0, 0xBEEF) ]);
+  check64 "movw+movt" 0xDEADBEEFL
+    (r0_of [ MOVW (0, 0xBEEF); MOVT (0, 0xDEAD) ]);
+  check64 "mov" 42L (r0_of [ MOVW (1, 42); MOV (0, 1) ])
+
+let test_alu () =
+  let binop op a b =
+    r0_of [ MOVW (1, a); MOVW (2, b); ALU (op, 0, 1, Reg 2) ]
+  in
+  check64 "add" 30L (binop OpAdd 10 20);
+  check64 "sub wrap" 0xFFFFFFFFL (binop OpSub 10 11);
+  check64 "and" 8L (binop OpAnd 12 10);
+  check64 "orr" 14L (binop OpOrr 12 10);
+  check64 "eor" 6L (binop OpEor 12 10);
+  check64 "lsl" 48L (binop OpLsl 12 2);
+  check64 "lsr" 3L (binop OpLsr 12 2);
+  check64 "imm" 112L (r0_of [ MOVW (1, 100); ALU (OpAdd, 0, 1, Imm 12) ]);
+  (* asr on a negative value *)
+  check64 "asr sign" 0xFFFFFFFEL
+    (r0_of
+       [ MOVW (1, 0xFFF8); MOVT (1, 0xFFFF); MOVW (2, 2);
+         ALU (OpAsr, 0, 1, Reg 2) ])
+
+let test_mul_div () =
+  check64 "mul" 391L (r0_of [ MOVW (1, 17); MOVW (2, 23); MUL (0, 1, 2) ]);
+  check64 "udiv" 5L
+    (r0_of [ MOVW (1, 17); MOVW (2, 3); DIV (Unsigned, 0, 1, 2) ]);
+  check64 "sdiv" 0xFFFFFFFBL
+    (r0_of
+       [ MOVW (1, 0xFFEF); MOVT (1, 0xFFFF); (* -17 *)
+         MOVW (2, 3); DIV (Signed, 0, 1, 2) ])
+
+let test_cset_conditions () =
+  let cmp_cset c a b =
+    r0_of [ MOVW (1, a); MOVW (2, b); CMP (1, Reg 2); CSET (c, 0) ]
+  in
+  check64 "eq" 1L (cmp_cset CEq 5 5);
+  check64 "ne" 0L (cmp_cset CNe 5 5);
+  check64 "ult" 1L (cmp_cset CUlt 3 5);
+  check64 "uge" 0L (cmp_cset CUge 3 5);
+  (* signed: 0xFFFFFFFF is -1 < 1 *)
+  check64 "slt negative" 1L
+    (r0_of
+       [ MOVW (1, 0xFFFF); MOVT (1, 0xFFFF); MOVW (2, 1); CMP (1, Reg 2);
+         CSET (CSlt, 0) ]);
+  check64 "ult unsigned-max" 0L
+    (r0_of
+       [ MOVW (1, 0xFFFF); MOVT (1, 0xFFFF); MOVW (2, 1); CMP (1, Reg 2);
+         CSET (CUlt, 0) ])
+
+let test_branches () =
+  (* skip over the poisoning instruction *)
+  check64 "b skips" 1L (r0_of [ MOVW (0, 1); B 3; MOVW (0, 99); NOP ]);
+  check64 "bc taken" 1L
+    (r0_of
+       [ MOVW (0, 1); MOVW (1, 3); CMP (1, Imm 3); BC (CEq, 5); MOVW (0, 99);
+         NOP ]);
+  check64 "bc not taken" 99L
+    (r0_of
+       [ MOVW (0, 1); MOVW (1, 4); CMP (1, Imm 3); BC (CEq, 6); MOVW (0, 99);
+         NOP ])
+
+let test_slices_alias_register_bytes () =
+  (* writing byte 1 of r1 must leave other bytes intact; reading slices
+     extracts exactly one byte *)
+  let r =
+    exec
+      [ MOVW (1, 0x3344); MOVT (1, 0x1122);   (* r1 = 0x11223344 *)
+        BMOVI (sl 1 1, 0xAB);                 (* r1 = 0x1122AB44 *)
+        BEXT (Unsigned, 0, sl 1 1) ]
+  in
+  check64 "slice write+read" 0xABL r.Machine.r0;
+  let r2 =
+    exec
+      [ MOVW (1, 0x3344); MOVT (1, 0x1122); BMOVI (sl 1 1, 0xAB); MOV (0, 1) ]
+  in
+  check64 "rest of register intact" 0x1122AB44L r2.Machine.r0
+
+let test_balu_and_bext_sign () =
+  check64 "badd" 30L
+    (r0_of
+       [ BMOVI (sl 1 0, 10); BMOVI (sl 2 0, 20);
+         BALU (BAdd, sl 0 0, sl 1 0, Sl (sl 2 0)); BEXT (Unsigned, 0, sl 0 0) ]);
+  check64 "bsext negative" 0xFFFFFF80L
+    (r0_of [ BMOVI (sl 1 0, 0x80); BEXT (Signed, 0, sl 1 0) ]);
+  check64 "balu imm4" 9L
+    (r0_of
+       [ BMOVI (sl 1 2, 14); BALU (BSub, sl 0 1, sl 1 2, BImm 5);
+         BEXT (Unsigned, 0, sl 0 1) ])
+
+let test_misspec_redirect () =
+  (* layout: [0..2] work, [3] = skeleton branch to handler at [5].
+     BADD of 200+100 overflows the slice: PC := 2 + Δ(1) = 3. *)
+  let insns =
+    [ BMOVI (sl 1 0, 200);                      (* 0 *)
+      BMOVI (sl 2 0, 100);                      (* 1 *)
+      BALU (BAdd, sl 3 0, sl 1 0, Sl (sl 2 0)); (* 2: misspeculates *)
+      B 5;                                      (* 3: skeleton *)
+      NOP;                                      (* 4: fallthrough if no misspec *)
+      MOVW (0, 777) ]                           (* 5: handler *)
+  in
+  let p = program ~delta:1 insns in
+  let m = { Bs_ir.Ir.funcs = []; globals = [] } in
+  let r =
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000 } p
+      (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
+  in
+  check64 "handler ran" 777L r.Machine.r0;
+  Alcotest.(check int) "one misspec" 1 r.Machine.ctr.Counters.misspecs;
+  (* the destination slice must NOT have been written *)
+  check64 "no commit" 777L r.Machine.r0
+
+let test_no_misspec_in_range () =
+  let r =
+    exec
+      [ BMOVI (sl 1 0, 100); BMOVI (sl 2 0, 100);
+        BALU (BAdd, sl 0 0, sl 1 0, Sl (sl 2 0)); BEXT (Unsigned, 0, sl 0 0) ]
+  in
+  check64 "200 fits" 200L r.Machine.r0;
+  Alcotest.(check int) "no misspec" 0 r.Machine.ctr.Counters.misspecs
+
+let test_memory_widths () =
+  let m = { Bs_ir.Ir.funcs = []; globals = [] } in
+  let mem = Bs_interp.Memimage.create ~size:65536 m in
+  let r =
+    Machine.run ~config:Machine.default_config
+      (program
+         [ MOVW (1, 0x1000);
+           MOVW (2, 0xBEEF); MOVT (2, 0xDEAD);
+           STR (W32, 2, 1, 0);
+           LDR (W8, Unsigned, 3, 1, 1);        (* byte 1 = 0xBE *)
+           LDR (W16, Unsigned, 4, 1, 2);       (* half at 2 = 0xDEAD *)
+           LDR (W8, Signed, 5, 1, 3);          (* 0xDE sign-extends *)
+           ALU (OpAdd, 0, 3, Reg 4);
+           ALU (OpAdd, 0, 0, Reg 5) ])
+      mem ~entry:"main" ~args:[]
+  in
+  (* 0xBE + 0xDEAD + 0xFFFFFFDE = 0xDF49 (mod 2^32) *)
+  check64 "mixed widths" 0xDF49L r.Machine.r0
+
+let test_slice_indexed_memory () =
+  let r =
+    exec
+      [ MOVW (1, 0x2000);
+        BMOVI (sl 2 1, 5);                     (* index 5 in a slice *)
+        MOVW (3, 0x77);
+        STR (W8, 3, 1, 5);
+        BLDRB (sl 0 0, 1, BIdx (sl 2 1));
+        BEXT (Unsigned, 0, sl 0 0) ]
+  in
+  check64 "Mem[Rn + Bm]" 0x77L r.Machine.r0
+
+let test_bldrs_misspec_on_wide_value () =
+  let insns =
+    [ MOVW (1, 0x3000);
+      MOVW (2, 0x1FF);                          (* 511 needs 9 bits *)
+      STR (W32, 2, 1, 0);
+      BLDRS (sl 0 0, 1, BOff 0);                (* 3: misspeculates *)
+      B 6;                                      (* 4: skeleton *)
+      NOP;
+      MOVW (0, 555) ]                           (* 6: handler *)
+  in
+  let p = program ~delta:1 insns in
+  let m = { Bs_ir.Ir.funcs = []; globals = [] } in
+  let r =
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000 } p
+      (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
+  in
+  check64 "spec load misspec" 555L r.Machine.r0;
+  Alcotest.(check int) "counted" 1 r.Machine.ctr.Counters.misspecs
+
+let test_btrn () =
+  check64 "fits" 200L
+    (r0_of [ MOVW (1, 200); BTRN (sl 0 0, 1); BEXT (Unsigned, 0, sl 0 0) ]);
+  let insns =
+    [ MOVW (1, 300);
+      BTRN (sl 0 0, 1);                        (* 1: misspeculates *)
+      B 4;                                     (* 2: skeleton *)
+      NOP;
+      MOVW (0, 99) ]                           (* 4 *)
+  in
+  let p = program ~delta:1 insns in
+  let m = { Bs_ir.Ir.funcs = []; globals = [] } in
+  let r =
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000 } p
+      (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
+  in
+  check64 "btrn misspec" 99L r.Machine.r0
+
+let test_call_return () =
+  (* main: BL f; f: r0 := 123; return *)
+  let r =
+    (* 0: call 3; returns to 1; add; branch to HALT (index 5) *)
+    exec [ BL 3; ALU (OpAdd, 0, 0, Imm 1); B 5; MOVW (0, 123); BX_LR ]
+  in
+  check64 "call+return+add" 124L r.Machine.r0
+
+let test_counters_register_widths () =
+  let r =
+    exec
+      [ BMOVI (sl 1 0, 1); BMOVI (sl 2 0, 2);
+        BALU (BAdd, sl 3 0, sl 1 0, Sl (sl 2 0));
+        MOVW (4, 7); MOV (5, 4) ]
+  in
+  Alcotest.(check bool) "8-bit accesses counted" true
+    (r.Machine.ctr.Counters.reg_read8 >= 2
+    && r.Machine.ctr.Counters.reg_write8 >= 3);
+  Alcotest.(check bool) "32-bit accesses counted" true
+    (r.Machine.ctr.Counters.reg_write32 >= 2)
+
+let test_setmode_and_delta () =
+  (* SETMODE/SETDELTA round-trip: switch to classic and back around a
+     conventional sequence (the §3.4 pre-compiled-code protocol) *)
+  let r =
+    exec
+      [ SETMODE Classic; MOVW (0, 5); SETMODE Bitspec; BMOVI (sl 0 1, 9);
+        BEXT (Unsigned, 0, sl 0 1) ]
+  in
+  check64 "mode switch" 9L r.Machine.r0;
+  match
+    exec [ SETMODE Classic; BMOVI (sl 0 0, 1) ]
+  with
+  | exception Machine.Sim_trap _ -> ()
+  | _ -> Alcotest.fail "slice op must trap in classic mode"
+
+let suite =
+  [ Alcotest.test_case "mov/movw/movt" `Quick test_mov_movw_movt;
+    Alcotest.test_case "alu operations" `Quick test_alu;
+    Alcotest.test_case "mul/div" `Quick test_mul_div;
+    Alcotest.test_case "compare + cset conditions" `Quick test_cset_conditions;
+    Alcotest.test_case "branches" `Quick test_branches;
+    Alcotest.test_case "slices alias register bytes" `Quick
+      test_slices_alias_register_bytes;
+    Alcotest.test_case "slice ALU + extension" `Quick test_balu_and_bext_sign;
+    Alcotest.test_case "misspeculation PC+Δ redirect" `Quick test_misspec_redirect;
+    Alcotest.test_case "no misspeculation in range" `Quick test_no_misspec_in_range;
+    Alcotest.test_case "memory widths + sign extension" `Quick test_memory_widths;
+    Alcotest.test_case "slice-indexed addressing" `Quick test_slice_indexed_memory;
+    Alcotest.test_case "speculative load misspeculates" `Quick
+      test_bldrs_misspec_on_wide_value;
+    Alcotest.test_case "speculative truncate" `Quick test_btrn;
+    Alcotest.test_case "call/return" `Quick test_call_return;
+    Alcotest.test_case "register access counters" `Quick
+      test_counters_register_widths;
+    Alcotest.test_case "classic mode protocol (§3.4)" `Quick test_setmode_and_delta ]

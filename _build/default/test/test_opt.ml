@@ -1,0 +1,228 @@
+open Bs_ir
+open Bs_frontend
+open Bs_interp
+open Bs_opt
+
+(* Tests for the generic optimisation passes: every transformation must
+   preserve interpreter-observable behaviour, and each pass must actually
+   do its job on a crafted input. *)
+
+let interp ?setup m ~entry ~args =
+  let r, _ = Interp.run_fresh ?setup m ~entry ~args in
+  (Option.value r.Interp.ret ~default:0L, r.Interp.steps)
+
+let check_preserves ~name transform src ~entry ~inputs =
+  let reference = Lower.compile src in
+  let m = Lower.compile src in
+  transform m;
+  Verifier.verify_exn m;
+  List.iter
+    (fun args ->
+      let expect, _ = interp reference ~entry ~args in
+      let got, _ = interp m ~entry ~args in
+      Alcotest.(check int64)
+        (Printf.sprintf "%s(%s)" name
+           (String.concat "," (List.map Int64.to_string args)))
+        expect got)
+    inputs
+
+let loopy_src =
+  "u32 helper(u32 x) { return (x * 3) ^ (x >> 2); }\n\
+   u32 f(u32 n) {\n\
+   u32 s = 0;\n\
+   for (u32 i = 0; i < n; i += 1) {\n\
+   s += helper(i) & 255;\n\
+   if (s > 10000) s -= 5000;\n\
+   }\n\
+   return s; }"
+
+let test_dce () =
+  let m =
+    Lower.compile
+      "u32 f(u32 a) { u32 dead1 = a * 17; u32 dead2 = dead1 + 3; return a + 1; }"
+  in
+  let removed = Dce.run m in
+  Alcotest.(check bool) "removed dead chain" true (removed >= 2);
+  Verifier.verify_exn m;
+  let r, _ = interp m ~entry:"f" ~args:[ 5L ] in
+  Alcotest.(check int64) "result" 6L r
+
+let test_dce_keeps_effects () =
+  let m =
+    Lower.compile
+      "u32 g = 0;\nvoid set() { g = 7; }\nu32 f() { set(); return g; }"
+  in
+  ignore (Dce.run m);
+  let r, _ = interp m ~entry:"f" ~args:[] in
+  Alcotest.(check int64) "call survived DCE" 7L r
+
+let test_constfold () =
+  let m =
+    Lower.compile "u32 f() { u32 a = 3 * 4; u32 b = a + 5; return b * 2; }"
+  in
+  let folded = Constfold.run m in
+  Alcotest.(check bool) "folded" true (folded > 0);
+  let r, steps = interp m ~entry:"f" ~args:[] in
+  Alcotest.(check int64) "value" 34L r;
+  (* after folding, f is nearly a bare return *)
+  Alcotest.(check bool) "few steps" true (steps <= 3)
+
+let test_constfold_identities () =
+  check_preserves ~name:"identities"
+    (fun m -> ignore (Constfold.run m))
+    "u32 f(u32 x) { return (x + 0) * 1 + (x & 0xFFFFFFFF) + (x ^ 0) + (x | 0); }"
+    ~entry:"f"
+    ~inputs:[ [ 0L ]; [ 7L ]; [ 0xFFFFFFFFL ] ]
+
+let test_simplify_cfg () =
+  let m =
+    Lower.compile
+      "u32 f(u32 x) { if (1) { return x + 1; } else { return x + 2; } }"
+  in
+  ignore (Constfold.run m);
+  ignore (Simplify_cfg.run m);
+  ignore (Dce.run m);
+  Verifier.verify_exn m;
+  let f = List.hd m.Ir.funcs in
+  Alcotest.(check bool) "dead branch removed" true
+    (List.length f.Ir.blocks <= 2);
+  let r, _ = interp m ~entry:"f" ~args:[ 10L ] in
+  Alcotest.(check int64) "value" 11L r
+
+let test_simplify_merges () =
+  let m = Lower.compile loopy_src in
+  let before = List.length (List.hd m.Ir.funcs).Ir.blocks in
+  ignore (Simplify_cfg.run m);
+  Verifier.verify_exn m;
+  let after = List.length (List.hd m.Ir.funcs).Ir.blocks in
+  Alcotest.(check bool) "did not grow" true (after <= before);
+  let r, _ = interp m ~entry:"f" ~args:[ 50L ] in
+  let reference = Lower.compile loopy_src in
+  let e, _ = interp reference ~entry:"f" ~args:[ 50L ] in
+  Alcotest.(check int64) "preserved" e r
+
+let test_inline () =
+  check_preserves ~name:"inline"
+    (fun m -> ignore (Inline.run m ()))
+    loopy_src ~entry:"f"
+    ~inputs:[ [ 0L ]; [ 10L ]; [ 100L ] ];
+  (* helper really got inlined: no call remains in f *)
+  let m = Lower.compile loopy_src in
+  ignore (Inline.run m ());
+  let f = Option.get (Ir.find_func m "f") in
+  let has_call =
+    List.exists
+      (fun (b : Ir.block) ->
+        List.exists
+          (fun (i : Ir.instr) ->
+            match i.Ir.op with Ir.Call _ -> true | _ -> false)
+          b.Ir.instrs)
+      f.Ir.blocks
+  in
+  Alcotest.(check bool) "no calls left" false has_call
+
+let test_inline_respects_recursion () =
+  let src =
+    "u32 fact(u32 n) { if (n < 2) return 1; return n * fact(n - 1); }\n\
+     u32 f(u32 n) { return fact(n); }"
+  in
+  let m = Lower.compile src in
+  ignore (Inline.run m ());
+  Verifier.verify_exn m;
+  let r, _ = interp m ~entry:"f" ~args:[ 6L ] in
+  Alcotest.(check int64) "6! = 720" 720L r
+
+let test_inline_skips_loop_callees () =
+  let src =
+    "u32 inner(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s += i; return s; }\n\
+     u32 f(u32 n) { return inner(n) + inner(n + 1); }"
+  in
+  let m = Lower.compile src in
+  ignore (Inline.run m ());
+  let f = Option.get (Ir.find_func m "f") in
+  let calls =
+    List.concat_map
+      (fun (b : Ir.block) ->
+        List.filter
+          (fun (i : Ir.instr) ->
+            match i.Ir.op with Ir.Call _ -> true | _ -> false)
+          b.Ir.instrs)
+      f.Ir.blocks
+  in
+  Alcotest.(check int) "loopy callee kept out of line" 2 (List.length calls)
+
+let test_unroll () =
+  let src =
+    "u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s = s * 3 + i; return s; }"
+  in
+  List.iter
+    (fun factor ->
+      let m = Lower.compile src in
+      let unrolled =
+        Unroll.run_func (List.hd m.Ir.funcs) ~factor ~max_loop_size:500
+      in
+      Alcotest.(check bool) "unrolled" true (unrolled > 0 || factor < 2);
+      Verifier.verify_exn m;
+      let reference = Lower.compile src in
+      List.iter
+        (fun n ->
+          let e, _ = interp reference ~entry:"f" ~args:[ n ] in
+          let g, _ = interp m ~entry:"f" ~args:[ n ] in
+          Alcotest.(check int64)
+            (Printf.sprintf "factor %d, n=%Ld" factor n)
+            e g)
+        [ 0L; 1L; 2L; 3L; 7L; 64L; 65L ])
+    [ 2; 4; 8 ]
+
+let test_unroll_reduces_header_work () =
+  let src =
+    "u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s += i; return s; }"
+  in
+  let steps_with factor =
+    let m = Lower.compile src in
+    if factor > 1 then
+      ignore (Unroll.run_func (List.hd m.Ir.funcs) ~factor ~max_loop_size:500);
+    ignore (Constfold.run m);
+    let _, steps = interp m ~entry:"f" ~args:[ 1000L ] in
+    steps
+  in
+  (* IR instruction count must fall monotonically with unrolling (Fig 3) *)
+  let s1 = steps_with 1 and s4 = steps_with 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "unrolled executes fewer IR instrs (%d vs %d)" s4 s1)
+    true (s4 < s1)
+
+(* Property: the composed pipeline (inline+unroll+fold+simplify+dce)
+   preserves results on a family of kernels. *)
+let prop_pipeline_preserves =
+  QCheck.Test.make ~name:"expander pipeline preserves semantics" ~count:40
+    QCheck.(pair (int_bound 200) (int_range 1 6))
+    (fun (n, k) ->
+      let src =
+        Printf.sprintf
+          "u32 h(u32 x) { return x %% %d + (x >> 1); }\n\
+           u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) { s += h(i + s %% 7); } return s; }"
+          (k + 1)
+      in
+      let reference = Lower.compile src in
+      let m = Lower.compile src in
+      ignore (Bitspec.Expander.run m Bitspec.Expander.default);
+      Verifier.verify_exn m;
+      let e, _ = interp reference ~entry:"f" ~args:[ Int64.of_int n ] in
+      let g, _ = interp m ~entry:"f" ~args:[ Int64.of_int n ] in
+      e = g)
+
+let suite =
+  [ Alcotest.test_case "dce removes dead chains" `Quick test_dce;
+    Alcotest.test_case "dce keeps side effects" `Quick test_dce_keeps_effects;
+    Alcotest.test_case "constant folding" `Quick test_constfold;
+    Alcotest.test_case "algebraic identities" `Quick test_constfold_identities;
+    Alcotest.test_case "simplifycfg constant branches" `Quick test_simplify_cfg;
+    Alcotest.test_case "simplifycfg merging" `Quick test_simplify_merges;
+    Alcotest.test_case "inliner" `Quick test_inline;
+    Alcotest.test_case "inliner vs recursion" `Quick test_inline_respects_recursion;
+    Alcotest.test_case "inliner keeps loop callees" `Quick test_inline_skips_loop_callees;
+    Alcotest.test_case "unrolling preserves semantics" `Quick test_unroll;
+    Alcotest.test_case "unrolling reduces IR instrs (Fig 3)" `Quick
+      test_unroll_reduces_header_work;
+    QCheck_alcotest.to_alcotest prop_pipeline_preserves ]

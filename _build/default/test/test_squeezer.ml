@@ -1,0 +1,209 @@
+open Bs_ir
+open Bs_frontend
+open Bs_interp
+open Bitspec
+
+(* Differential tests for the squeezer: for each program, profile on a
+   training input, squeeze, then check that the squeezed module computes
+   exactly what the original does on fresh inputs — including inputs that
+   force misspeculation.  This is the executable form of Theorems 3.1/3.2. *)
+
+let interp_run m ~entry ~args =
+  let r, _ = Interp.run_fresh m ~entry ~args in
+  (r.Interp.ret, r.Interp.misspecs)
+
+(* Full mini-pipeline: compile, cfg-prep, profile on [train], squeeze. *)
+let squeeze_pipeline ?(heuristic = Profile.Hmax) src ~entry ~train =
+  let m = Lower.compile src in
+  ignore (Cfg_prep.run m);
+  Verifier.verify_exn m;
+  let profile = Profile.create () in
+  let opts = { Interp.default_opts with profile = Some profile } in
+  List.iter
+    (fun args ->
+      let _ = Interp.run_fresh ~opts m ~entry ~args in
+      ())
+    train;
+  let stats = Squeezer.run m ~profile ~heuristic in
+  Verifier.verify_exn m;
+  (m, stats)
+
+let check_equiv ?heuristic ~name src ~entry ~train ~test () =
+  let reference = Lower.compile src in
+  let squeezed, stats = squeeze_pipeline ?heuristic src ~entry ~train in
+  List.iter
+    (fun args ->
+      let expect, _ = interp_run reference ~entry ~args in
+      let got, _ = interp_run squeezed ~entry ~args in
+      Alcotest.(check (option int64))
+        (Printf.sprintf "%s(%s)" name
+           (String.concat "," (List.map Int64.to_string args)))
+        expect got)
+    test;
+  stats
+
+let paper_example =
+  (* §3's running example: a counter that overflows its 8-bit speculation
+     on the final iteration. *)
+  "u32 f(u32 lim) { u32 x = 0; do { x += 1; } while (x <= lim); return x; }"
+
+let test_paper_example () =
+  let stats =
+    check_equiv ~name:"paper do-while" paper_example ~entry:"f"
+      ~train:[ [ 100L ] ]
+      ~test:[ [ 10L ]; [ 100L ]; [ 255L ]; [ 300L ]; [ 1000L ] ]
+      ()
+  in
+  Alcotest.(check bool) "squeezed something" true (stats.Squeezer.squeezed > 0);
+  Alcotest.(check bool) "created regions" true (stats.Squeezer.regions > 0)
+
+let test_misspec_occurs () =
+  (* Train small so the heuristic picks 8 bits; test past 255 so the
+     hardware must misspeculate and re-execute at 32 bits. *)
+  let squeezed, _ = squeeze_pipeline paper_example ~entry:"f" ~train:[ [ 50L ] ] in
+  let ret, misspecs = interp_run squeezed ~entry:"f" ~args:[ 400L ] in
+  Alcotest.(check (option int64)) "result correct" (Some 401L) ret;
+  Alcotest.(check bool) "misspeculated" true (misspecs > 0);
+  (* small inputs must not misspeculate *)
+  let ret2, misspecs2 = interp_run squeezed ~entry:"f" ~args:[ 50L ] in
+  Alcotest.(check (option int64)) "small input" (Some 51L) ret2;
+  Alcotest.(check int) "no misspec" 0 misspecs2
+
+let test_sum_array () =
+  let src =
+    "u32 data[64];\n\
+     u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s += data[i]; return s; }"
+  in
+  ignore
+    (check_equiv ~name:"sum" src ~entry:"f" ~train:[ [ 16L ] ]
+       ~test:[ [ 0L ]; [ 1L ]; [ 32L ]; [ 64L ] ] ())
+
+let test_branchy () =
+  let src =
+    "u32 f(u32 a, u32 b) {\n\
+     u32 r = 0;\n\
+     for (u32 i = 0; i < a; i += 1) {\n\
+     if (i % 3 == 0) r += b; else r += 1;\n\
+     if (r > 200) r -= 100;\n\
+     }\n\
+     return r; }"
+  in
+  ignore
+    (check_equiv ~name:"branchy" src ~entry:"f"
+       ~train:[ [ 20L; 3L ] ]
+       ~test:[ [ 0L; 0L ]; [ 5L; 7L ]; [ 50L; 2L ]; [ 100L; 9L ]; [ 300L; 250L ] ]
+       ())
+
+let test_calls_not_squeezed_across () =
+  (* calls make blocks non-idempotent; correctness must survive them *)
+  let src =
+    "u32 g(u32 x) { return x * 2 + 1; }\n\
+     u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s += g(i) & 15; return s; }"
+  in
+  ignore
+    (check_equiv ~name:"calls" src ~entry:"f" ~train:[ [ 10L ] ]
+       ~test:[ [ 0L ]; [ 10L ]; [ 40L ] ] ())
+
+let test_memory_kernels () =
+  let src =
+    "u8 buf[256];\n\
+     u32 f(u32 n) {\n\
+     for (u32 i = 0; i < n; i += 1) buf[i] = (u8)(i * 7);\n\
+     u32 s = 0;\n\
+     for (u32 i = 0; i < n; i += 1) s += buf[i];\n\
+     return s; }"
+  in
+  ignore
+    (check_equiv ~name:"memory" src ~entry:"f" ~train:[ [ 32L ] ]
+       ~test:[ [ 0L ]; [ 16L ]; [ 128L ]; [ 256L ] ] ())
+
+let test_heuristics_differ () =
+  (* With a bimodal value distribution, MIN squeezes more aggressively
+     than MAX and misspeculates more (Table 2's trend). *)
+  let src =
+    "u32 data[32];\n\
+     u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) { s = s + data[i]; s = s & 0xFFFF; } return s; }"
+  in
+  let run_with heuristic =
+    let m = Lower.compile src in
+    ignore (Cfg_prep.run m);
+    let profile = Profile.create () in
+    let opts = { Interp.default_opts with profile = Some profile } in
+    (* mostly-small values with rare large outliers *)
+    let setup mem =
+      for i = 0 to 31 do
+        Memimage.set_global mem m ~name:"data" ~index:i
+          (if i = 7 then 5000L else Int64.of_int (i land 63))
+      done
+    in
+    let _ = Interp.run_fresh ~opts ~setup m ~entry:"f" ~args:[ 32L ] in
+    let stats = Squeezer.run m ~profile ~heuristic in
+    Verifier.verify_exn m;
+    let r, _ = Interp.run_fresh ~setup m ~entry:"f" ~args:[ 32L ] in
+    (stats, r)
+  in
+  let stats_max, r_max = run_with Profile.Hmax in
+  let stats_min, r_min = run_with Profile.Hmin in
+  Alcotest.(check (option int64)) "MAX/MIN agree on result" r_max.Interp.ret r_min.Interp.ret;
+  Alcotest.(check bool) "MIN at least as aggressive" true
+    (stats_min.Squeezer.squeezed >= stats_max.Squeezer.squeezed);
+  Alcotest.(check bool) "MIN misspeculates, MAX does not" true
+    (r_min.Interp.misspecs >= r_max.Interp.misspecs)
+
+let test_thm31_verified () =
+  (* The verifier enforces Theorem 3.1 on every squeezed module (dead
+     region definitions at handler entry); squeeze a few programs and let
+     it check. *)
+  List.iter
+    (fun src ->
+      let m, _ = squeeze_pipeline src ~entry:"f" ~train:[ [ 20L ] ] in
+      match Verifier.verify m with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ paper_example;
+      "u32 f(u32 n) { u32 a = 1; u32 b = 1; for (u32 i = 0; i < n; i += 1) { u32 t = a + b; a = b; b = t & 0xFF; } return a; }" ]
+
+(* Property: squeezing never changes results, across random programs from a
+   small kernel family and random inputs. *)
+let prop_squeeze_equiv =
+  let gen = QCheck.Gen.(quad (int_range 0 60) (int_range 0 255) (int_range 1 15) (int_range 0 3)) in
+  QCheck.Test.make ~name:"squeeze preserves semantics" ~count:60 (QCheck.make gen)
+    (fun (n, add, mask, variant) ->
+      let src =
+        match variant with
+        | 0 ->
+            Printf.sprintf
+              "u32 f(u32 n) { u32 s = 0; for (u32 i = 0; i < n; i += 1) s = (s + %d) & %d; return s; }"
+              add (mask * 16 + 15)
+        | 1 ->
+            Printf.sprintf
+              "u32 f(u32 n) { u32 x = %d; u32 c = 0; while (x != 1 && c < 64) { if (x %% 2 == 0) x = x / 2; else x = 3 * x + 1; c += 1; } return c; }"
+              (add + 2)
+        | 2 ->
+            Printf.sprintf
+              "u32 f(u32 n) { u32 a = 0; u32 b = 1; for (u32 i = 0; i < n; i += 1) { u32 t = (a + b) %% %d; a = b; b = t; } return a; }"
+              (add + 2)
+        | _ ->
+            Printf.sprintf
+              "u32 f(u32 n) { u32 s = 0; u32 i = 0; do { s ^= i * %d; i += 1; } while (i < n); return s & 0xFFFF; }"
+              (mask + 1)
+      in
+      let reference = Lower.compile src in
+      let squeezed, _ =
+        squeeze_pipeline src ~entry:"f" ~train:[ [ 10L ]; [ 3L ] ]
+      in
+      let args = [ Int64.of_int n ] in
+      let expect, _ = interp_run reference ~entry:"f" ~args in
+      let got, _ = interp_run squeezed ~entry:"f" ~args in
+      expect = got)
+
+let suite =
+  [ Alcotest.test_case "paper running example" `Quick test_paper_example;
+    Alcotest.test_case "misspeculation fires and recovers" `Quick test_misspec_occurs;
+    Alcotest.test_case "array sum" `Quick test_sum_array;
+    Alcotest.test_case "branchy kernel" `Quick test_branchy;
+    Alcotest.test_case "non-idempotent calls" `Quick test_calls_not_squeezed_across;
+    Alcotest.test_case "memory kernels" `Quick test_memory_kernels;
+    Alcotest.test_case "heuristic aggressiveness (Table 2)" `Quick test_heuristics_differ;
+    Alcotest.test_case "Theorem 3.1 holds" `Quick test_thm31_verified;
+    QCheck_alcotest.to_alcotest prop_squeeze_equiv ]

@@ -1,0 +1,78 @@
+open Bs_ir
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+let test_mask () =
+  check_i64 "mask 8" 0xFFL (Width.mask 8);
+  check_i64 "mask 1" 1L (Width.mask 1);
+  check_i64 "mask 64" (-1L) (Width.mask 64);
+  check_i64 "mask 32" 0xFFFFFFFFL (Width.mask 32)
+
+let test_trunc () =
+  check_i64 "trunc 8" 0x34L (Width.trunc 8 0x1234L);
+  check_i64 "trunc neg" 0xFFL (Width.trunc 8 (-1L));
+  check_i64 "trunc 64 id" (-1L) (Width.trunc 64 (-1L))
+
+let test_sext () =
+  check_i64 "sext 8 pos" 0x7FL (Width.sext 8 0x7FL);
+  check_i64 "sext 8 neg" (-1L) (Width.sext 8 0xFFL);
+  check_i64 "sext 16 neg" (-2L) (Width.sext 16 0xFFFEL);
+  check_i64 "sext 1" (-1L) (Width.sext 1 1L)
+
+let test_required_bits () =
+  check_int "rb 0" 1 (Width.required_bits 0L);
+  check_int "rb 1" 1 (Width.required_bits 1L);
+  check_int "rb 2" 2 (Width.required_bits 2L);
+  check_int "rb 255" 8 (Width.required_bits 255L);
+  check_int "rb 256" 9 (Width.required_bits 256L);
+  check_int "rb neg" 64 (Width.required_bits (-1L));
+  check_int "rb max" 63 (Width.required_bits Int64.max_int)
+
+let test_fits () =
+  Alcotest.(check bool) "255 fits 8" true (Width.fits 8 255L);
+  Alcotest.(check bool) "256 !fits 8" false (Width.fits 8 256L);
+  Alcotest.(check bool) "0 fits 1" true (Width.fits 1 0L)
+
+let test_class () =
+  check_int "class 3" 8 (Width.class_of_bits 3);
+  check_int "class 9" 16 (Width.class_of_bits 9);
+  check_int "class 17" 32 (Width.class_of_bits 17);
+  check_int "class 33" 64 (Width.class_of_bits 33)
+
+let test_signed_bounds () =
+  check_i64 "smin 8" 0x80L (Width.signed_min 8);
+  check_i64 "smax 8" 0x7FL (Width.signed_max 8);
+  check_i64 "smax 32" 0x7FFFFFFFL (Width.signed_max 32)
+
+(* Property: required_bits is the unique n with 2^(n-1) <= v < 2^n. *)
+let prop_required_bits =
+  QCheck.Test.make ~name:"required_bits bounds" ~count:500
+    QCheck.(map Int64.of_int small_nat)
+    (fun v ->
+      let n = Width.required_bits v in
+      let lo = if n = 1 then 0L else Int64.shift_left 1L (n - 1) in
+      Int64.unsigned_compare v lo >= 0
+      && (n >= 64 || Int64.unsigned_compare v (Int64.shift_left 1L n) < 0))
+
+let prop_trunc_idempotent =
+  QCheck.Test.make ~name:"trunc idempotent" ~count:500
+    QCheck.(pair (oneofl [ 1; 8; 16; 32; 64 ]) int64)
+    (fun (w, v) -> Width.trunc w (Width.trunc w v) = Width.trunc w v)
+
+let prop_sext_trunc_roundtrip =
+  QCheck.Test.make ~name:"trunc∘sext = trunc" ~count:500
+    QCheck.(pair (oneofl [ 8; 16; 32 ]) int64)
+    (fun (w, v) -> Width.trunc w (Width.sext w v) = Width.trunc w v)
+
+let suite =
+  [ Alcotest.test_case "mask" `Quick test_mask;
+    Alcotest.test_case "trunc" `Quick test_trunc;
+    Alcotest.test_case "sext" `Quick test_sext;
+    Alcotest.test_case "required_bits" `Quick test_required_bits;
+    Alcotest.test_case "fits" `Quick test_fits;
+    Alcotest.test_case "class_of_bits" `Quick test_class;
+    Alcotest.test_case "signed bounds" `Quick test_signed_bounds;
+    QCheck_alcotest.to_alcotest prop_required_bits;
+    QCheck_alcotest.to_alcotest prop_trunc_idempotent;
+    QCheck_alcotest.to_alcotest prop_sext_trunc_roundtrip ]
