@@ -4,15 +4,22 @@
      compile   compile a MiniC file, print IR / MIR / disassembly
      run       compile and simulate, print result and counters
      bench     run a named built-in workload under a configuration
+     inject    fault-injection campaign against a built-in workload
      list      list built-in workloads
 
    Examples:
      bitspecc compile kernel.mc --emit-ir
      bitspecc run kernel.mc --entry f --args 10,20 --arch bitspec
-     bitspecc bench rijndael --arch bitspec --heuristic max *)
+     bitspecc bench rijndael --arch bitspec --heuristic max
+     bitspecc inject crc32 --trials 200 --seed 42
+
+   Compilation degrades gracefully by default: a function a pass cannot
+   handle falls back to its baseline (non-speculative) form and the
+   diagnostic is printed to stderr.  --strict restores fail-fast. *)
 
 open Cmdliner
 open Bitspec
+open Bs_support
 open Bs_workloads
 open Bs_interp
 open Bs_energy
@@ -24,27 +31,79 @@ let read_file path =
   close_in ic;
   s
 
-let arch_of_string = function
-  | "baseline" -> Driver.Baseline
-  | "bitspec" -> Driver.Bitspec_arch
-  | "thumb" -> Driver.Thumb
-  | s -> failwith ("unknown architecture " ^ s ^ " (baseline|bitspec|thumb)")
+(* --- error reporting --------------------------------------------------- *)
 
-let heuristic_of_string = function
-  | "max" -> Profile.Hmax
-  | "avg" -> Profile.Havg
-  | "min" -> Profile.Hmin
-  | s -> failwith ("unknown heuristic " ^ s ^ " (max|avg|min)")
+(* Run a subcommand body; turn the expected failures into one-line
+   [file:line: message] reports on stderr and exit code 1 instead of an
+   uncaught-exception backtrace. *)
+let with_reporting ?file f =
+  let where line =
+    match (file, line) with
+    | Some p, Some l -> Printf.sprintf "%s:%d: " p l
+    | Some p, None -> p ^ ": "
+    | None, _ -> ""
+  in
+  let fail ?line msg =
+    Printf.eprintf "%serror: %s\n" (where line) msg;
+    exit 1
+  in
+  try f () with
+  | Bs_frontend.Lexer.Error (m, line) -> fail ~line m
+  | Bs_frontend.Parser.Error (m, line) -> fail ~line m
+  | Bs_frontend.Typecheck.Error (m, line) -> fail ~line m
+  | Bs_frontend.Lower.Error m -> fail m
+  | Bs_ir.Verifier.Invalid m ->
+      fail ("internal: verifier rejected output: " ^ m)
+  | Interp.Trap m -> fail ("interpreter trap: " ^ m)
+  | Bs_sim.Machine.Sim_trap k ->
+      fail ("simulator trap: " ^ Outcome.trap_message k)
+  | Memimage.Fault m -> fail ("memory fault: " ^ m)
+  | Invalid_argument m | Failure m -> fail m
+  | Sys_error m -> fail m
+
+let print_diagnostics (c : Driver.compiled) =
+  List.iter
+    (fun d -> prerr_endline (Diag.to_string d))
+    c.Driver.diagnostics
+
+(* --- shared options ---------------------------------------------------- *)
+
+let arch_conv =
+  Arg.enum
+    [ ("baseline", Driver.Baseline);
+      ("bitspec", Driver.Bitspec_arch);
+      ("thumb", Driver.Thumb) ]
+
+let heuristic_conv =
+  Arg.enum [ ("max", Profile.Hmax); ("avg", Profile.Havg); ("min", Profile.Hmin) ]
+
+let arch_arg =
+  Arg.(value & opt arch_conv Driver.Bitspec_arch
+       & info [ "arch" ] ~docv:"ARCH" ~doc:"Target: $(b,baseline), $(b,bitspec) or $(b,thumb).")
+
+let heuristic_arg =
+  Arg.(value & opt heuristic_conv Profile.Hmax
+       & info [ "heuristic" ] ~docv:"T" ~doc:"Profile heuristic: $(b,max), $(b,avg) or $(b,min).")
+
+let no_expander_arg = Arg.(value & flag & info [ "no-expander" ])
+
+let strict_arg =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Fail on the first pass error instead of degrading the \
+                 offending function to its baseline compilation.")
 
 let config_of ~arch ~heuristic ~no_expander =
   let base =
-    match arch_of_string arch with
+    match arch with
     | Driver.Baseline -> Driver.baseline_config
     | Driver.Bitspec_arch -> Driver.bitspec_config
     | Driver.Thumb -> Driver.thumb_config
   in
-  let base = { base with heuristic = heuristic_of_string heuristic } in
+  let base = { base with heuristic } in
   if no_expander then { base with expander = Expander.disabled } else base
+
+let mode_of_strict strict = if strict then Driver.Strict else Driver.Degrade
 
 let parse_args s =
   if s = "" then []
@@ -54,29 +113,31 @@ let parse_args s =
 
 let compile_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let arch = Arg.(value & opt string "bitspec" & info [ "arch" ]) in
-  let heuristic = Arg.(value & opt string "max" & info [ "heuristic" ]) in
   let emit_ir = Arg.(value & flag & info [ "emit-ir" ] ~doc:"print SIR") in
   let emit_asm = Arg.(value & flag & info [ "emit-asm" ] ~doc:"print disassembly") in
   let entry = Arg.(value & opt string "run" & info [ "entry" ]) in
   let train = Arg.(value & opt string "" & info [ "train" ] ~doc:"profiling args, comma-separated") in
-  let no_expander = Arg.(value & flag & info [ "no-expander" ]) in
-  let action file arch heuristic emit_ir emit_asm entry train no_expander =
-    let source = read_file file in
-    let config = config_of ~arch ~heuristic ~no_expander in
-    let c =
-      Driver.compile ~config ~source ~train:[ (entry, parse_args train) ] ()
-    in
-    if emit_ir then print_string (Bs_ir.Printer.module_str c.Driver.ir);
-    if emit_asm then print_string (Bs_backend.Asm.disassemble c.Driver.program);
-    if not (emit_ir || emit_asm) then
-      Printf.printf "compiled %s: %d instructions, Δ = %d\n" file
-        (Array.length c.Driver.program.Bs_backend.Asm.code)
-        c.Driver.program.Bs_backend.Asm.delta
+  let action file arch heuristic emit_ir emit_asm entry train no_expander
+      strict =
+    with_reporting ~file (fun () ->
+        let source = read_file file in
+        let config = config_of ~arch ~heuristic ~no_expander in
+        let c =
+          Driver.compile ~mode:(mode_of_strict strict) ~config ~source
+            ~train:[ (entry, parse_args train) ] ()
+        in
+        print_diagnostics c;
+        if emit_ir then print_string (Bs_ir.Printer.module_str c.Driver.ir);
+        if emit_asm then
+          print_string (Bs_backend.Asm.disassemble c.Driver.program);
+        if not (emit_ir || emit_asm) then
+          Printf.printf "compiled %s: %d instructions, Δ = %d\n" file
+            (Array.length c.Driver.program.Bs_backend.Asm.code)
+            c.Driver.program.Bs_backend.Asm.delta)
   in
   Cmd.v (Cmd.info "compile" ~doc:"compile a MiniC file")
-    Term.(const action $ file $ arch $ heuristic $ emit_ir $ emit_asm $ entry
-          $ train $ no_expander)
+    Term.(const action $ file $ arch_arg $ heuristic_arg $ emit_ir $ emit_asm
+          $ entry $ train $ no_expander_arg $ strict_arg)
 
 (* --- run --------------------------------------------------------------- *)
 
@@ -97,52 +158,85 @@ let print_metrics (m : Experiment.metrics) =
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let arch = Arg.(value & opt string "bitspec" & info [ "arch" ]) in
-  let heuristic = Arg.(value & opt string "max" & info [ "heuristic" ]) in
   let entry = Arg.(value & opt string "run" & info [ "entry" ]) in
   let args = Arg.(value & opt string "" & info [ "args" ]) in
   let train = Arg.(value & opt string "" & info [ "train" ]) in
-  let no_expander = Arg.(value & flag & info [ "no-expander" ]) in
-  let action file arch heuristic entry args train no_expander =
-    let source = read_file file in
-    let config = config_of ~arch ~heuristic ~no_expander in
-    let train_args =
-      if train = "" then parse_args args else parse_args train
-    in
-    let c = Driver.compile ~config ~source ~train:[ (entry, train_args) ] () in
-    let r = Driver.run_machine c ~entry ~args:(parse_args args) in
-    print_metrics (Experiment.metrics_of_run r)
+  let action file arch heuristic entry args train no_expander strict =
+    with_reporting ~file (fun () ->
+        let source = read_file file in
+        let config = config_of ~arch ~heuristic ~no_expander in
+        let train_args =
+          if train = "" then parse_args args else parse_args train
+        in
+        let c =
+          Driver.compile ~mode:(mode_of_strict strict) ~config ~source
+            ~train:[ (entry, train_args) ] ()
+        in
+        print_diagnostics c;
+        let r = Driver.run_machine c ~entry ~args:(parse_args args) in
+        print_metrics (Experiment.metrics_of_run r))
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and simulate a MiniC file")
-    Term.(const action $ file $ arch $ heuristic $ entry $ args $ train
-          $ no_expander)
+    Term.(const action $ file $ arch_arg $ heuristic_arg $ entry $ args
+          $ train $ no_expander_arg $ strict_arg)
 
 (* --- bench ------------------------------------------------------------- *)
 
 let bench_cmd =
   let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
-  let arch = Arg.(value & opt string "bitspec" & info [ "arch" ]) in
-  let heuristic = Arg.(value & opt string "max" & info [ "heuristic" ]) in
-  let no_expander = Arg.(value & flag & info [ "no-expander" ]) in
   let relative = Arg.(value & flag & info [ "relative" ] ~doc:"also print values relative to BASELINE") in
   let action wname arch heuristic no_expander relative =
-    let w = Registry.find wname in
-    let config = config_of ~arch ~heuristic ~no_expander in
-    let m = Experiment.run config w in
-    print_metrics m;
-    let expect = Experiment.reference_checksum w in
-    Printf.printf "reference     = %Ld (%s)\n" expect
-      (if expect = m.Experiment.checksum then "MATCH" else "MISMATCH");
-    if relative then begin
-      let b = Experiment.run Driver.baseline_config w in
-      Printf.printf "vs BASELINE   : energy %.3f, instrs %.3f, EPI %.3f\n"
-        (m.Experiment.total_energy /. b.Experiment.total_energy)
-        (float_of_int m.Experiment.instrs /. float_of_int b.Experiment.instrs)
-        (m.Experiment.epi /. b.Experiment.epi)
-    end
+    with_reporting (fun () ->
+        let w = Registry.find wname in
+        let config = config_of ~arch ~heuristic ~no_expander in
+        let m = Experiment.run config w in
+        print_metrics m;
+        let expect = Experiment.reference_checksum w in
+        Printf.printf "reference     = %Ld (%s)\n" expect
+          (if expect = m.Experiment.checksum then "MATCH" else "MISMATCH");
+        if relative then begin
+          let b = Experiment.run Driver.baseline_config w in
+          Printf.printf "vs BASELINE   : energy %.3f, instrs %.3f, EPI %.3f\n"
+            (m.Experiment.total_energy /. b.Experiment.total_energy)
+            (float_of_int m.Experiment.instrs /. float_of_int b.Experiment.instrs)
+            (m.Experiment.epi /. b.Experiment.epi)
+        end)
   in
   Cmd.v (Cmd.info "bench" ~doc:"run a built-in workload")
-    Term.(const action $ wname $ arch $ heuristic $ no_expander $ relative)
+    Term.(const action $ wname $ arch_arg $ heuristic_arg $ no_expander_arg
+          $ relative)
+
+(* --- inject ------------------------------------------------------------ *)
+
+let inject_cmd =
+  let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  let trials =
+    Arg.(value & opt int 100
+         & info [ "trials" ] ~docv:"N" ~doc:"Number of injection trials.")
+  in
+  let seed =
+    Arg.(value & opt int64 1L
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Campaign seed; a fixed seed reproduces the exact same \
+                   faults and verdicts.")
+  in
+  let max_examples =
+    Arg.(value & opt int 8
+         & info [ "max-examples" ] ~docv:"K"
+             ~doc:"Detected-fault examples to list.")
+  in
+  let action wname arch heuristic no_expander trials seed max_examples =
+    with_reporting (fun () ->
+        let w = Registry.find wname in
+        let config = config_of ~arch ~heuristic ~no_expander in
+        let campaign = Campaign.run ~config ~trials ~seed w in
+        print_string (Campaign.report ~max_examples campaign))
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:"run a seeded fault-injection campaign on a built-in workload")
+    Term.(const action $ wname $ arch_arg $ heuristic_arg $ no_expander_arg
+          $ trials $ seed $ max_examples)
 
 (* --- list -------------------------------------------------------------- *)
 
@@ -160,4 +254,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "bitspecc" ~doc)
-          [ compile_cmd; run_cmd; bench_cmd; list_cmd ]))
+          [ compile_cmd; run_cmd; bench_cmd; inject_cmd; list_cmd ]))

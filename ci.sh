@@ -1,0 +1,6 @@
+#!/bin/sh
+# Minimal CI: build everything, run the full test suite.
+set -eu
+cd "$(dirname "$0")"
+dune build @all
+dune runtest

@@ -1,0 +1,108 @@
+open Bs_support
+open Bs_interp
+open Bs_sim
+open Bs_workloads
+
+(* Fault-injection campaigns over built-in workloads.
+
+   A campaign compiles the workload under a configuration, establishes the
+   fault-free ("golden") machine run and the reference interpreter's
+   checksum (the differential oracle, via Experiment), then replays the
+   test input N times, each with one seeded single-bit flip, and tabulates
+   Faultinject's masked / detected / trapped / sdc / hung classification.
+   Everything downstream of the seed is deterministic. *)
+
+type t = {
+  workload : string;
+  arch : Driver.arch;
+  seed : int64;
+  golden_instrs : int;
+  golden_misspecs : int;
+  expected : int64;            (* the reference interpreter's checksum *)
+  trials : Faultinject.trial list;
+}
+
+let arch_name = function
+  | Driver.Baseline -> "baseline"
+  | Driver.Bitspec_arch -> "bitspec"
+  | Driver.Thumb -> "thumb"
+
+let run ?(config = Driver.bitspec_config) ~trials ~seed (w : Workload.t) : t =
+  let c = Experiment.compile_workload config w in
+  let input = w.Workload.test in
+  let mem () =
+    let mem = Memimage.create c.Driver.ir in
+    input.Workload.setup c.Driver.ir mem;
+    mem
+  in
+  let mode =
+    if config.Driver.arch = Driver.Bitspec_arch then Bs_isa.Isa.Bitspec
+    else Bs_isa.Isa.Classic
+  in
+  let golden =
+    Machine.run ~config:{ Machine.mode; fuel = 1_000_000_000; fault = None }
+      c.Driver.program (mem ()) ~entry:w.Workload.entry
+      ~args:input.Workload.args
+  in
+  let expected = Experiment.reference_checksum w in
+  let golden_instrs = golden.Machine.ctr.Counters.instrs in
+  let golden_misspecs = golden.Machine.ctr.Counters.misspecs in
+  (* a hung run is one that outlives the golden instruction count by 4x *)
+  let fuel = (golden_instrs * 4) + 10_000 in
+  let sample = mem () in
+  let mem_lo = Memimage.globals_base
+  and mem_hi = Memimage.size sample - 1 in
+  let rng = Rng.create seed in
+  let results =
+    List.init trials (fun _ ->
+        let fault =
+          Faultinject.gen_fault rng ~max_instr:golden_instrs ~mem_lo ~mem_hi
+        in
+        Faultinject.run_trial ~mode ~fuel ~program:c.Driver.program ~mem
+          ~entry:w.Workload.entry ~args:input.Workload.args ~expected
+          ~golden_misspecs fault)
+  in
+  { workload = w.Workload.name; arch = config.Driver.arch; seed;
+    golden_instrs; golden_misspecs; expected; trials = results }
+
+let report ?(max_examples = 8) (t : t) : string =
+  let b = Buffer.create 1024 in
+  let n = List.length t.trials in
+  Buffer.add_string b
+    (Printf.sprintf
+       "fault-injection campaign: %s (%s), %d trials, seed %Ld\n"
+       t.workload (arch_name t.arch) n t.seed);
+  Buffer.add_string b
+    (Printf.sprintf
+       "golden run: %d instrs, %d misspecs, checksum %Ld\n\n"
+       t.golden_instrs t.golden_misspecs t.expected);
+  let s = Faultinject.summarize t.trials in
+  Buffer.add_string b (Printf.sprintf "%-10s %6s %7s\n" "verdict" "count" "%");
+  List.iter
+    (fun (name, count) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-10s %6d %6.1f%%\n" name count
+           (if n = 0 then 0.0 else 100.0 *. float_of_int count /. float_of_int n)))
+    (Faultinject.summary_rows s);
+  let detected =
+    List.filter
+      (fun (tr : Faultinject.trial) ->
+        match tr.Faultinject.verdict with
+        | Faultinject.Detected _ -> true
+        | _ -> false)
+      t.trials
+  in
+  if detected <> [] then begin
+    Buffer.add_string b
+      "\nfaults caught by the misspeculation hardware (detected):\n";
+    List.iteri
+      (fun i tr ->
+        if i < max_examples then
+          Buffer.add_string b ("  " ^ Faultinject.describe_trial tr ^ "\n"))
+      detected;
+    if List.length detected > max_examples then
+      Buffer.add_string b
+        (Printf.sprintf "  ... and %d more\n"
+           (List.length detected - max_examples))
+  end;
+  Buffer.contents b

@@ -1,0 +1,32 @@
+(** Fault-injection campaigns over built-in workloads.
+
+    A campaign compiles the workload, establishes the fault-free machine
+    run and the reference interpreter's checksum (the differential
+    oracle), then replays the test input N times, each with one seeded
+    single-bit flip, and tabulates {!Bs_sim.Faultinject}'s
+    masked / detected / trapped / sdc / hung classification.  Fixed seed
+    ⇒ identical trials, bit for bit. *)
+
+type t = {
+  workload : string;
+  arch : Driver.arch;
+  seed : int64;
+  golden_instrs : int;     (** fault-free dynamic instruction count *)
+  golden_misspecs : int;   (** fault-free misspeculation count *)
+  expected : int64;        (** the reference interpreter's checksum *)
+  trials : Bs_sim.Faultinject.trial list;
+}
+
+val run :
+  ?config:Driver.config ->
+  trials:int ->
+  seed:int64 ->
+  Bs_workloads.Workload.t ->
+  t
+(** Run an N-trial campaign (default config: the BITSPEC build). *)
+
+val report : ?max_examples:int -> t -> string
+(** Human-readable classification table, plus the faults the
+    misspeculation hardware caught. *)
+
+val arch_name : Driver.arch -> string

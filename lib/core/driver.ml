@@ -1,3 +1,4 @@
+open Bs_support
 open Bs_ir
 open Bs_frontend
 open Bs_interp
@@ -7,9 +8,20 @@ open Bs_sim
 (* The BITSPEC compilation driver (Figure 4): front-end → expander →
    CFG preparation → profile → squeeze → BITSPEC optimisations → back-end
    → binary, plus the baseline pipeline that skips the speculative
-   stages. *)
+   stages.
+
+   Two failure policies.  [Strict] is fail-fast: the first pass failure
+   propagates as an exception.  [Degrade] isolates faults per function:
+   when the squeezer, the verifier, or the register allocator fails on one
+   function, that function falls back to its baseline (pre-squeeze) form,
+   a structured diagnostic is recorded, and the rest of the module still
+   ships as BITSPEC.  Module-level passes roll back to a snapshot and are
+   skipped on failure.  [compile] returns the accumulated diagnostics next
+   to the binary. *)
 
 type arch = Baseline | Bitspec_arch | Thumb
+
+type mode = Strict | Degrade
 
 type config = {
   arch : arch;
@@ -35,13 +47,39 @@ let baseline_config =
 (** RQ9: the compact-ISA build (Thumb-like: 8 registers, 2-address ops). *)
 let thumb_config = { baseline_config with arch = Thumb }
 
+(* Compiler-level fault injection: force one pass to fail on one function,
+   to exercise the degradation machinery (and prove in tests that a
+   degraded module still runs to the right checksum). *)
+type injected_pass = Fault_squeeze | Fault_regalloc
+
+type pass_fault = { fault_pass : injected_pass; fault_func : string }
+
+exception Injected_fault of string
+
+let maybe_pass_fault pass_fault pass fname =
+  match pass_fault with
+  | Some pf when pf.fault_pass = pass && pf.fault_func = fname ->
+      raise (Injected_fault ("injected pass fault in " ^ fname))
+  | _ -> ()
+
 type compiled = {
   ir : Ir.modul;
   program : Asm.program;
   config : config;
   profile : Profile.t option;
   squeeze_stats : Squeezer.stats option;
+  diagnostics : Diag.t list;
 }
+
+let describe_exn = function
+  | Failure m | Invalid_argument m -> m
+  | Injected_fault m -> m
+  | Lexer.Error (m, _) | Parser.Error (m, _) | Typecheck.Error (m, _) -> m
+  | Lower.Error m -> m
+  | Verifier.Invalid m -> "verifier: " ^ m
+  | Interp.Trap m -> "interpreter trap: " ^ m
+  | Memimage.Fault m -> "memory fault: " ^ m
+  | e -> Printexc.to_string e
 
 (** Profile [m] by interpreting it on the training runs: each run is an
     (entry, args) pair; [setup] (if any) initialises workload inputs given
@@ -57,61 +95,224 @@ let profile_module (m : Ir.modul) ?setup
     train;
   profile
 
-let lower_to_machine ?(orig_first = false) (m : Ir.modul) ~arch : Asm.program =
-  let image = Memimage.create m in
-  let addr_of_global = Memimage.addr_of image in
+(* Back-end for one function: instruction selection + register
+   allocation. *)
+let lower_one_func ~arch ~orig_first (f : Ir.func) =
   let slices = arch = Bitspec_arch in
-  let funcs =
-    List.map
-      (fun f ->
-        let mf = Isel.lower_func ~slices f in
-        let ra =
-          match arch with
-          | Thumb -> Regalloc.run ~regs:Thumb.thumb_regs ~orig_first mf
-          | Baseline | Bitspec_arch -> Regalloc.run ~orig_first mf
-        in
-        (mf, ra))
-      m.Ir.funcs
+  let mf = Isel.lower_func ~slices f in
+  let ra =
+    match arch with
+    | Thumb -> Regalloc.run ~regs:Thumb.thumb_regs ~orig_first mf
+    | Baseline | Bitspec_arch -> Regalloc.run ~orig_first mf
   in
-  let p = Asm.assemble ~addr_of_global funcs in
+  (mf, ra)
+
+let assemble_funcs (m : Ir.modul) ~arch funcs =
+  let image = Memimage.create m in
+  let p = Asm.assemble ~addr_of_global:(Memimage.addr_of image) funcs in
   match arch with Thumb -> Thumb.expand p | Baseline | Bitspec_arch -> p
+
+let lower_to_machine ?(orig_first = false) (m : Ir.modul) ~arch : Asm.program =
+  assemble_funcs m ~arch
+    (List.map (lower_one_func ~arch ~orig_first) m.Ir.funcs)
 
 (** [compile ~config ~source ~train] runs the full pipeline on MiniC
     source.  [train] supplies the profiling runs (ignored by the baseline
-    pipeline). *)
-let compile ~config ~source ?setup ~train () : compiled =
-  let m = Lower.compile source in
-  ignore (Expander.run m config.expander);
-  Verifier.verify_exn m;
-  ignore (Cfg_prep.run m);
-  Verifier.verify_exn m;
+    pipeline).  In [Degrade] mode pass failures are isolated per function
+    (falling back to the baseline compilation of that function) and
+    reported in [diagnostics]; [Strict] (the default) fails fast. *)
+let compile ?(mode = Strict) ?pass_fault ~config ~source ?setup ~train ()
+    : compiled =
+  let degrade = mode = Degrade in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let m = ref (Lower.compile source) in
+  (* Module-level pass with snapshot/rollback: on failure in degrade mode
+     the module is restored and the pass skipped. *)
+  let guarded ~phase ~code name f =
+    if degrade then begin
+      let snap = Ir.copy_module !m in
+      match f () with
+      | () -> true
+      | exception e ->
+          m := snap;
+          add
+            (Diag.error ~code ~phase
+               (Printf.sprintf "%s failed (%s); pass skipped" name
+                  (describe_exn e)));
+          false
+    end
+    else begin f (); true end
+  in
+  ignore
+    (guarded ~phase:Diag.Expand ~code:"BS-EXP-01" "expander" (fun () ->
+         ignore (Expander.run !m config.expander);
+         Verifier.verify_exn !m));
+  let cfg_ok =
+    guarded ~phase:Diag.Cfg_prep ~code:"BS-CFG-01" "CFG preparation"
+      (fun () ->
+        ignore (Cfg_prep.run !m);
+        Verifier.verify_exn !m)
+  in
+  (* The pre-squeeze snapshot: the baseline (non-speculative) form every
+     degraded function falls back to. *)
+  let baseline = lazy (Ir.copy_module !m) in
+  let baseline_func fname =
+    match Ir.find_func (Lazy.force baseline) fname with
+    | Some f -> Ir.copy_func f
+    | None -> invalid_arg ("no baseline form for " ^ fname)
+  in
+  let restore_func fname =
+    let bf = baseline_func fname in
+    (!m).Ir.funcs <-
+      List.map
+        (fun (g : Ir.func) -> if g.Ir.fname = fname then bf else g)
+        (!m).Ir.funcs
+  in
+  if degrade then ignore (Lazy.force baseline);
   let profile, squeeze_stats =
-    if config.arch = Bitspec_arch && config.speculate then begin
-      let profile = profile_module m ?setup ~train () in
-      let stats = Squeezer.run m ~profile ~heuristic:config.heuristic in
-      if config.compare_elim then ignore (Compare_elim.run m);
-      if config.bitmask_elide then ignore (Bitmask_elide.run m);
-      ignore (Bs_opt.Constfold.run m);
-      ignore (Bs_opt.Dce.run m);
-      Verifier.verify_exn m;
-      (Some profile, Some stats)
+    if config.arch = Bitspec_arch && config.speculate && cfg_ok then begin
+      match profile_module !m ?setup ~train () with
+      | exception e when degrade ->
+          add
+            (Diag.error ~code:"BS-PRO-01" ~phase:Diag.Profile
+               (Printf.sprintf
+                  "training run failed (%s); speculation disabled"
+                  (describe_exn e)));
+          (None, None)
+      | profile ->
+          let total = Squeezer.fresh_stats () in
+          List.iter
+            (fun (f : Ir.func) ->
+              let squeeze () =
+                maybe_pass_fault pass_fault Fault_squeeze f.Ir.fname;
+                let s =
+                  Squeezer.run_func !m f ~profile
+                    ~heuristic:config.heuristic
+                in
+                Verifier.check_func f;
+                total.Squeezer.squeezed <-
+                  total.Squeezer.squeezed + s.Squeezer.squeezed;
+                total.Squeezer.truncs <-
+                  total.Squeezer.truncs + s.Squeezer.truncs;
+                total.Squeezer.exts <- total.Squeezer.exts + s.Squeezer.exts;
+                total.Squeezer.regions <-
+                  total.Squeezer.regions + s.Squeezer.regions
+              in
+              if degrade then
+                try squeeze ()
+                with e ->
+                  restore_func f.Ir.fname;
+                  add
+                    (Diag.error ~code:"BS-SQZ-01" ~phase:Diag.Squeeze
+                       ~func:f.Ir.fname
+                       (Printf.sprintf
+                          "squeezing failed (%s); function degraded to \
+                           the baseline pipeline"
+                          (describe_exn e)))
+              else squeeze ())
+            (!m).Ir.funcs;
+          (if config.compare_elim then
+             ignore
+               (guarded ~phase:Diag.Compare_elim ~code:"BS-CEL-01"
+                  "compare elimination" (fun () ->
+                    ignore (Compare_elim.run !m);
+                    Verifier.verify_exn !m)));
+          (if config.bitmask_elide then
+             ignore
+               (guarded ~phase:Diag.Bitmask_elide ~code:"BS-BME-01"
+                  "bitmask elision" (fun () ->
+                    ignore (Bitmask_elide.run !m);
+                    Verifier.verify_exn !m)));
+          ignore
+            (guarded ~phase:Diag.Opt ~code:"BS-OPT-01" "late optimisations"
+               (fun () ->
+                 ignore (Bs_opt.Constfold.run !m);
+                 ignore (Bs_opt.Dce.run !m)));
+          (* final validation; in degrade mode an invalid function falls
+             back to its baseline form instead of aborting the module *)
+          if degrade then
+            List.iter
+              (fun (f : Ir.func) ->
+                try Verifier.check_func f
+                with e ->
+                  restore_func f.Ir.fname;
+                  add
+                    (Diag.error ~code:"BS-VRF-01" ~phase:Diag.Verify
+                       ~func:f.Ir.fname
+                       (Printf.sprintf
+                          "post-squeeze verification failed (%s); function \
+                           degraded to the baseline pipeline"
+                          (describe_exn e))))
+              (!m).Ir.funcs
+          else Verifier.verify_exn !m;
+          (Some profile, Some total)
     end
     else (None, None)
   in
-  let program =
-    lower_to_machine ~orig_first:config.orig_first m ~arch:config.arch
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        let lower f =
+          maybe_pass_fault pass_fault Fault_regalloc f.Ir.fname;
+          lower_one_func ~arch:config.arch ~orig_first:config.orig_first f
+        in
+        if degrade then
+          try lower f
+          with e ->
+            add
+              (Diag.error ~code:"BS-RA-01" ~phase:Diag.Regalloc
+                 ~func:f.Ir.fname
+                 (Printf.sprintf
+                    "back-end failed (%s); function degraded to the \
+                     baseline pipeline"
+                    (describe_exn e)));
+            let bf = baseline_func f.Ir.fname in
+            (!m).Ir.funcs <-
+              List.map
+                (fun (g : Ir.func) ->
+                  if g.Ir.fname = f.Ir.fname then bf else g)
+                (!m).Ir.funcs;
+            (* the baseline form must lower; if it cannot, the failure is
+               not degradable and propagates (try_compile catches it) *)
+            lower_one_func ~arch:config.arch ~orig_first:config.orig_first
+              bf
+        else lower f)
+      (!m).Ir.funcs
   in
-  { ir = m; program; config; profile; squeeze_stats }
+  let program = assemble_funcs !m ~arch:config.arch funcs in
+  { ir = !m; program; config; profile; squeeze_stats;
+    diagnostics = List.rev !diags }
 
-(** Run the compiled binary on the machine model. *)
-let run_machine ?setup ?(fuel = 1_000_000_000) (c : compiled) ~entry ~args =
+(** Total compilation: never raises.  Degrade-mode [compile], with any
+    escaping exception (front-end errors included) converted into
+    diagnostics. *)
+let try_compile ?pass_fault ~config ~source ?setup ~train () :
+    (compiled, Diag.t list) result =
+  match compile ~mode:Degrade ?pass_fault ~config ~source ?setup ~train () with
+  | c -> Ok c
+  | exception e ->
+      let phase, line =
+        match e with
+        | Lexer.Error (_, l) | Parser.Error (_, l) -> (Diag.Parse, Some l)
+        | Typecheck.Error (_, l) -> (Diag.Typecheck, Some l)
+        | Lower.Error _ -> (Diag.Lowering, None)
+        | _ -> (Diag.Other, None)
+      in
+      Error
+        [ Diag.error ?line ~code:"BS-FE-01" ~phase (describe_exn e) ]
+
+(** Run the compiled binary on the machine model.  [fault] injects a
+    single bit flip (see {!Bs_sim.Machine.fault}). *)
+let run_machine ?setup ?(fuel = 1_000_000_000) ?fault (c : compiled) ~entry
+    ~args =
   let mem = Memimage.create c.ir in
   (match setup with Some f -> f mem | None -> ());
   let mode =
     if c.config.arch = Bitspec_arch then Bs_isa.Isa.Bitspec
     else Bs_isa.Isa.Classic
   in
-  Machine.run ~config:{ Machine.mode; fuel } c.program mem ~entry ~args
+  Machine.run ~config:{ Machine.mode; fuel; fault } c.program mem ~entry ~args
 
 (** Run the reference interpreter on the same IR (for differential
     checks). *)

@@ -4,12 +4,22 @@
     (§3.2.1), CFG preparation (§3.2.3 pass ①), profile-guided squeezing
     (passes ②③), the BITSPEC-specific optimisations, and the back-end to a
     linked binary image; [run_machine] executes that image on the
-    cycle-level machine model. *)
+    cycle-level machine model.
+
+    Failure policy: in {!Strict} mode (the default) the first pass failure
+    propagates as an exception.  In {!Degrade} mode pass failures are
+    isolated per function — a function the squeezer, verifier, or register
+    allocator cannot handle falls back to its baseline (non-speculative)
+    compilation, a structured {!Bs_support.Diag.t} is recorded, and the
+    rest of the module still ships as BITSPEC. *)
 
 (** Target architectures: the paper's BASELINE processor, the processor
     with the BITSPEC ISA/microarchitecture extensions, and the
     compact-ISA comparison point of RQ9. *)
 type arch = Baseline | Bitspec_arch | Thumb
+
+(** Failure policy: fail-fast, or per-function graceful degradation. *)
+type mode = Strict | Degrade
 
 type config = {
   arch : arch;
@@ -33,12 +43,23 @@ val baseline_config : config
 val thumb_config : config
 (** RQ9's compact-ISA build: 8 registers, 2-address operations. *)
 
+(** Compiler-level fault injection: force one pass to fail on one
+    function, exercising the degradation machinery end to end. *)
+type injected_pass = Fault_squeeze | Fault_regalloc
+
+type pass_fault = { fault_pass : injected_pass; fault_func : string }
+
+exception Injected_fault of string
+
 type compiled = {
   ir : Bs_ir.Ir.modul;                      (** the final (squeezed) SIR *)
   program : Bs_backend.Asm.program;         (** linked binary image *)
   config : config;
   profile : Bs_interp.Profile.t option;     (** the training profile used *)
   squeeze_stats : Squeezer.stats option;
+  diagnostics : Bs_support.Diag.t list;
+      (** degradations and skipped passes, in pipeline order; empty in a
+          clean strict build *)
 }
 
 val profile_module :
@@ -57,6 +78,8 @@ val lower_to_machine :
     linking of an already-prepared module. *)
 
 val compile :
+  ?mode:mode ->
+  ?pass_fault:pass_fault ->
   config:config ->
   source:string ->
   ?setup:(Bs_ir.Ir.modul -> Bs_interp.Memimage.t -> unit) ->
@@ -64,17 +87,34 @@ val compile :
   unit ->
   compiled
 (** Full pipeline from MiniC source.  [train] and [setup] drive the
-    profiler; they are ignored by non-speculative configurations. *)
+    profiler; they are ignored by non-speculative configurations.
+    [mode] selects the failure policy (default {!Strict}); front-end
+    errors ([Lexer.Error], [Parser.Error], [Typecheck.Error],
+    [Lower.Error]) always raise — there is no module to degrade yet.
+    [pass_fault] injects a compiler fault for testing. *)
+
+val try_compile :
+  ?pass_fault:pass_fault ->
+  config:config ->
+  source:string ->
+  ?setup:(Bs_ir.Ir.modul -> Bs_interp.Memimage.t -> unit) ->
+  train:(string * int64 list) list ->
+  unit ->
+  (compiled, Bs_support.Diag.t list) result
+(** Total degrade-mode compilation: never raises.  [Error] carries at
+    least one diagnostic (front-end failures included). *)
 
 val run_machine :
   ?setup:(Bs_interp.Memimage.t -> unit) ->
   ?fuel:int ->
+  ?fault:Bs_sim.Machine.fault ->
   compiled ->
   entry:string ->
   args:int64 list ->
   Bs_sim.Machine.result
 (** Simulate the compiled binary on a fresh memory image.  [setup] fills
-    workload inputs; [fuel] bounds dynamic instructions. *)
+    workload inputs; [fuel] bounds dynamic instructions; [fault] injects a
+    single bit flip mid-run. *)
 
 val run_reference :
   ?setup:(Bs_interp.Memimage.t -> unit) ->

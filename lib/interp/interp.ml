@@ -11,7 +11,10 @@ open Bs_ir
      writing its result, exactly like the hardware. *)
 
 exception Trap of string
-exception Out_of_fuel
+
+(* internal: unwinds to [exec]'s top level, where it becomes the
+   structured [Out_of_fuel] outcome shared with the machine model *)
+exception Fuel_exhausted
 
 type opts = {
   profile : Profile.t option;
@@ -31,6 +34,7 @@ type result = {
   steps : int;
   misspecs : int;
   calls : int;
+  outcome : Bs_support.Outcome.t;
 }
 
 type state = {
@@ -124,7 +128,13 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
     | Some f -> f
     | None -> raise (Trap ("call to unknown function " ^ name))
   in
+  let depth = ref 0 in
   let rec exec_func (f : Ir.func) (args : int64 list) : int64 option =
+    (* frameless recursion never trips the simulated-SP check, and OCaml 5
+       grows the host fiber stack for gigabytes before Stack_overflow —
+       bound the call depth explicitly so runaway recursion traps fast *)
+    incr depth;
+    if !depth > 100_000 then raise (Trap "stack overflow");
     st.ctr.calls <- st.ctr.calls + 1;
     let env : (int, int64) Hashtbl.t = Hashtbl.create 64 in
     (* bind parameters; a call assigns them, so the profiler records them
@@ -217,7 +227,7 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
         | [] -> ()
         | (i : Ir.instr) :: rest ->
             st.ctr.steps <- st.ctr.steps + 1;
-            if st.ctr.steps > st.opts.fuel then raise Out_of_fuel;
+            if st.ctr.steps > st.opts.fuel then raise Fuel_exhausted;
             let commit v =
               let v = Width.trunc i.width v in
               Hashtbl.replace env i.iid v;
@@ -303,11 +313,21 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
       run (List.filter (fun i -> not (Ir.is_phi i)) b.instrs)
     done;
     st.sp <- saved_sp;
+    decr depth;
     !ret_val
   in
   let f = get_func entry in
-  let ret = exec_func f args in
-  { ret; steps = st.ctr.steps; misspecs = st.ctr.misspecs; calls = st.ctr.calls }
+  let ret, outcome =
+    match exec_func f args with
+    | r -> (r, Bs_support.Outcome.Finished)
+    | exception Fuel_exhausted -> (None, Bs_support.Outcome.Out_of_fuel)
+    | exception Stack_overflow ->
+        (* unbounded simulated recursion without stack frames exhausts the
+           host stack instead of the simulated one; report it uniformly *)
+        raise (Trap "stack overflow")
+  in
+  { ret; steps = st.ctr.steps; misspecs = st.ctr.misspecs;
+    calls = st.ctr.calls; outcome }
 
 (** [run_fresh m ~entry ~args] builds a fresh memory image for [m],
     optionally letting [setup] fill workload inputs, and executes. *)

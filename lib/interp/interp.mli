@@ -9,9 +9,9 @@
 
 exception Trap of string
 (** Undefined behaviour at run time: division by zero, out-of-bounds
-    access, unknown callee, arity mismatch, … *)
-
-exception Out_of_fuel
+    access, unknown callee, arity mismatch, … Fuel exhaustion is NOT an
+    exception: it is reported as [Out_of_fuel] in the result's [outcome],
+    the same {!Bs_support.Outcome.t} variant the machine model uses. *)
 
 type opts = {
   profile : Profile.t option;  (** record per-variable bitwidth statistics *)
@@ -31,6 +31,9 @@ type result = {
   steps : int;         (** dynamic IR instructions executed *)
   misspecs : int;      (** misspeculation events *)
   calls : int;         (** function invocations *)
+  outcome : Bs_support.Outcome.t;
+      (** [Finished], or [Out_of_fuel] when the budget ran out ([ret] is
+          [None] in that case) *)
 }
 
 val eval_binop : Bs_ir.Ir.binop -> int -> int64 -> int64 -> int64

@@ -17,17 +17,32 @@ open Bs_interp
    memory hierarchy (L1 hit 0, L2 8, DRAM 60 extra cycles).  Misspeculation
    costs the redirect plus the skeleton branch. *)
 
-exception Sim_trap of string
+exception Sim_trap of Bs_support.Outcome.trap
+
+(* Fault injection (soft-error model): one single-bit flip, applied just
+   before the [at_instr]-th dynamic instruction executes.  Targets mirror
+   the hardware state the paper's mechanism touches: register (slice)
+   bits, memory bits, and the Δ redirect register. *)
+type fault_target =
+  | Flip_reg of int * int     (* register, bit 0-31 (bits 0-7 of byte k
+                                 alias slice (r, k)) *)
+  | Flip_mem of int * int     (* byte address, bit 0-7 *)
+  | Flip_delta of int         (* bit of the Δ special register *)
+
+type fault = { at_instr : int; target : fault_target }
 
 type config = {
   mode : Isa.mode;
   fuel : int;                 (* max dynamic instructions *)
+  fault : fault option;       (* inject one bit flip during the run *)
 }
 
-let default_config = { mode = Bitspec; fuel = 1_000_000_000 }
+let default_config = { mode = Bitspec; fuel = 1_000_000_000; fault = None }
 
 type result = {
   r0 : int64;
+  outcome : Bs_support.Outcome.t;
+  fault_applied : bool;
   ctr : Counters.t;
   icache : Cache.t;
   dcache : Cache.t;
@@ -111,7 +126,7 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
   let entry_pc =
     match Hashtbl.find_opt p.Bs_backend.Asm.entries entry with
     | Some e -> e
-    | None -> raise (Sim_trap ("unknown entry " ^ entry))
+    | None -> raise (Sim_trap (Bs_support.Outcome.Unknown_entry entry))
   in
   (* stack and arguments (stack-args convention) *)
   let sp_top = Memimage.size mem - 64 in
@@ -149,17 +164,38 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
     if st.last_load_dest >= 0 && List.mem st.last_load_dest uses then
       stall 1 `LoadUse
   in
+  let outcome = ref Bs_support.Outcome.Finished in
+  let fault_applied = ref false in
+  let apply_fault () =
+    match config.fault with
+    | Some f when (not !fault_applied) && ctr.Counters.instrs >= f.at_instr
+      -> (
+        fault_applied := true;
+        match f.target with
+        | Flip_reg (r, b) -> st.regs.(r) <- mask32 (st.regs.(r) lxor (1 lsl b))
+        | Flip_mem (addr, b) ->
+            let v = Memimage.read mem ~width:8 addr in
+            Memimage.write mem ~width:8 addr
+              (Int64.logxor v (Int64.of_int (1 lsl b)))
+        | Flip_delta b -> st.delta <- st.delta lxor (1 lsl b))
+    | _ -> ()
+  in
   while not st.halted do
     if st.pc < 0 || st.pc >= Array.length p.Bs_backend.Asm.code then
-      raise (Sim_trap (Printf.sprintf "PC out of range: %d" st.pc));
+      raise (Sim_trap (Bs_support.Outcome.Pc_out_of_range st.pc));
     let insn = p.Bs_backend.Asm.code.(st.pc) in
     let prov = p.Bs_backend.Asm.prov.(st.pc) in
     if st.mode = Classic && is_slice_insn insn then
-      raise (Sim_trap "slice instruction in classic mode");
+      raise (Sim_trap Bs_support.Outcome.Classic_mode_slice);
     fetch st.pc;
     ctr.Counters.instrs <- ctr.Counters.instrs + 1;
     ctr.Counters.cycles <- ctr.Counters.cycles + 1;
-    if ctr.Counters.instrs > config.fuel then raise (Sim_trap "out of fuel");
+    if ctr.Counters.instrs > config.fuel then begin
+      outcome := Bs_support.Outcome.Out_of_fuel;
+      st.halted <- true
+    end
+    else begin
+    apply_fault ();
     (match prov with
     | PSpillLoad -> ctr.Counters.spill_loads <- ctr.Counters.spill_loads + 1
     | PSpillStore -> ctr.Counters.spill_stores <- ctr.Counters.spill_stores + 1
@@ -205,7 +241,7 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         ctr.Counters.div_ops <- ctr.Counters.div_ops + 1;
         stall div_penalty `Other;
         let a = read_reg st ctr n and b = read_reg st ctr m in
-        if b = 0 then raise (Sim_trap "division by zero");
+        if b = 0 then raise (Sim_trap Bs_support.Outcome.Division_by_zero);
         let r =
           match sg with
           | Unsigned -> a / b
@@ -362,5 +398,7 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
     | HALT -> st.halted <- true);
     st.last_load_dest <- !loaded_dest;
     if not st.halted then st.pc <- !next
+    end
   done;
-  { r0 = Int64.of_int (st.regs.(0) land 0xFFFFFFFF); ctr; icache; dcache; l2 }
+  { r0 = Int64.of_int (st.regs.(0) land 0xFFFFFFFF); outcome = !outcome;
+    fault_applied = !fault_applied; ctr; icache; dcache; l2 }

@@ -11,17 +11,38 @@
     load-use hazards, +2 MUL, +10 DIV, plus the memory hierarchy (L1 hit
     0, L2 8, DRAM 60 extra cycles). *)
 
-exception Sim_trap of string
+exception Sim_trap of Bs_support.Outcome.trap
+(** Structured trap: division by zero, unknown entry, PC escape,
+    classic-mode slice use.  Fuel exhaustion does NOT raise — it is
+    reported as [Out_of_fuel] in the result's [outcome], the same variant
+    the reference interpreter uses. *)
+
+(** Single-bit soft-error injection (the fault model of the resilience
+    harness): one flip, applied just before the [at_instr]-th dynamic
+    instruction executes. *)
+type fault_target =
+  | Flip_reg of int * int
+      (** [(reg, bit)], bit 0-31; bits [8k..8k+7] alias slice [(reg, k)] *)
+  | Flip_mem of int * int   (** [(byte address, bit)], bit 0-7 *)
+  | Flip_delta of int       (** bit of the Δ redirect register *)
+
+type fault = { at_instr : int; target : fault_target }
 
 type config = {
   mode : Bs_isa.Isa.mode;  (** Classic disables the slice extension (§3.4) *)
   fuel : int;              (** dynamic instruction budget *)
+  fault : fault option;    (** inject one bit flip during the run *)
 }
 
 val default_config : config
+(** Bitspec mode, 10^9 fuel, no fault. *)
 
 type result = {
   r0 : int64;          (** the return register after HALT *)
+  outcome : Bs_support.Outcome.t;
+      (** [Finished], or [Out_of_fuel] when the budget ran out ([r0] is
+          then meaningless) *)
+  fault_applied : bool;   (** the configured fault's trigger was reached *)
   ctr : Counters.t;    (** activity counters (figures 8-11) *)
   icache : Cache.t;
   dcache : Cache.t;
@@ -37,6 +58,8 @@ val run :
   result
 (** Execute [entry] with the stack-args calling convention until the
     bootstrap HALT.  Arguments are pushed onto the simulated stack; the
-    result is read from R0.
-    @raise Sim_trap on division by zero, PC escapes, classic-mode slice
-    use, or fuel exhaustion. *)
+    result is read from R0.  Fuel exhaustion is returned as the
+    [Out_of_fuel] outcome.
+    @raise Sim_trap on division by zero, PC escapes, unknown entries, or
+    classic-mode slice use.
+    @raise Bs_interp.Memimage.Fault when an access leaves the image. *)

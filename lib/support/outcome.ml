@@ -1,0 +1,31 @@
+(* Structured execution outcomes shared by the reference interpreter and
+   the machine model, so fuel exhaustion and traps classify identically
+   whichever engine ran the program (the fault-injection harness relies on
+   this to compare the two). *)
+
+type trap =
+  | Division_by_zero
+  | Stack_overflow
+  | Unknown_entry of string
+  | Unknown_function of string
+  | Pc_out_of_range of int
+  | Classic_mode_slice
+  | Memory_fault of string
+  | Trap_message of string
+
+type t = Finished | Out_of_fuel | Trapped of trap
+
+let trap_message = function
+  | Division_by_zero -> "division by zero"
+  | Stack_overflow -> "stack overflow"
+  | Unknown_entry e -> "unknown entry " ^ e
+  | Unknown_function f -> "call to unknown function " ^ f
+  | Pc_out_of_range pc -> Printf.sprintf "PC out of range: %d" pc
+  | Classic_mode_slice -> "slice instruction in classic mode"
+  | Memory_fault m -> "memory fault: " ^ m
+  | Trap_message m -> m
+
+let to_string = function
+  | Finished -> "finished"
+  | Out_of_fuel -> "out of fuel"
+  | Trapped t -> "trap: " ^ trap_message t

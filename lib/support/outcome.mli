@@ -1,0 +1,26 @@
+(** Structured execution outcomes.
+
+    The reference interpreter and the machine model both report how a run
+    ended through this one type, so fuel exhaustion and traps classify
+    identically whichever engine ran the program.  The fault-injection
+    harness compares outcomes across engines when judging injected
+    faults. *)
+
+(** Why an execution stopped abnormally. *)
+type trap =
+  | Division_by_zero
+  | Stack_overflow              (** simulated stack ran into the globals *)
+  | Unknown_entry of string     (** no such entry point *)
+  | Unknown_function of string  (** call target does not resolve *)
+  | Pc_out_of_range of int      (** control escaped the code image *)
+  | Classic_mode_slice          (** slice instruction with the extension off *)
+  | Memory_fault of string      (** out-of-bounds access *)
+  | Trap_message of string      (** anything else, with a diagnostic *)
+
+type t =
+  | Finished                    (** ran to completion; the result is valid *)
+  | Out_of_fuel                 (** dynamic instruction budget exhausted *)
+  | Trapped of trap
+
+val trap_message : trap -> string
+val to_string : t -> string

@@ -14,4 +14,5 @@ let () =
       ("backend", Test_backend.suite);
       ("workloads", Test_workloads.suite);
       ("known-answers", Test_known_answers.suite);
+      ("resilience", Test_resilience.suite);
       ("fuzz", Test_fuzz.suite) ]

@@ -184,6 +184,44 @@ let prop_fuzz =
     QCheck.(int_bound 1_000_000)
     check_seed
 
+(* Robustness: [Driver.try_compile] is total.  For any generated program —
+   including ones corrupted mid-stream to exercise the lexer, parser and
+   typechecker error paths — it must return [Ok] or [Error diags], never
+   raise.  Ok results must carry a program; Error results at least one
+   error-severity diagnostic. *)
+let corrupt rng source =
+  match Rng.int rng 4 with
+  | 0 -> source (* leave well-formed *)
+  | 1 ->
+      (* truncate mid-token: unterminated construct for the parser *)
+      String.sub source 0 (1 + Rng.int rng (String.length source - 1))
+  | 2 ->
+      (* splice in a token no production accepts *)
+      let cut = Rng.int rng (String.length source) in
+      String.sub source 0 cut ^ " @ $ " ^ String.sub source cut (String.length source - cut)
+  | _ ->
+      (* undefined variable: a typechecker error on a well-formed parse *)
+      source ^ "\nu32 g() { return undefined_variable_xyz; }\n"
+
+let try_compile_total seed =
+  let rng = Rng.create (Int64.of_int (seed + 777)) in
+  let source = corrupt rng (gen_program seed) in
+  match
+    Driver.try_compile ~config:Driver.bitspec_config ~source
+      ~train:[ ("f", [ 17L ]) ] ()
+  with
+  | Ok c -> Array.length c.Driver.program.Bs_backend.Asm.code > 0
+  | Error diags -> Diag.errors diags <> []
+  | exception e ->
+      QCheck.Test.fail_reportf "try_compile raised %s on:\n%s"
+        (Printexc.to_string e) source
+
+let prop_try_compile_total =
+  QCheck.Test.make ~name:"try_compile never raises (degraded driver)"
+    ~count:80
+    QCheck.(int_bound 1_000_000)
+    try_compile_total
+
 (* a few pinned seeds so failures reproduce deterministically in CI *)
 let test_pinned_seeds () =
   List.iter
@@ -193,4 +231,5 @@ let test_pinned_seeds () =
 
 let suite =
   [ Alcotest.test_case "pinned fuzz seeds" `Quick test_pinned_seeds;
-    QCheck_alcotest.to_alcotest prop_fuzz ]
+    QCheck_alcotest.to_alcotest prop_fuzz;
+    QCheck_alcotest.to_alcotest prop_try_compile_total ]

@@ -158,13 +158,66 @@ let test_interp_call_counting () =
   Alcotest.(check int) "1 + 7 calls" 8 r.Interp.calls
 
 let test_fuel_exhaustion () =
+  (* fuel exhaustion is a structured outcome — the same Outcome.t variant
+     the machine model reports — not an exception *)
   let m =
     Bs_frontend.Lower.compile "u32 f() { u32 x = 1; while (x) { x = 1; } return x; }"
   in
   let opts = { Interp.default_opts with fuel = 1000 } in
-  match Interp.run_fresh ~opts m ~entry:"f" ~args:[] with
-  | exception Interp.Out_of_fuel -> ()
-  | _ -> Alcotest.fail "expected fuel exhaustion"
+  let r, _ = Interp.run_fresh ~opts m ~entry:"f" ~args:[] in
+  Alcotest.(check bool) "out of fuel" true
+    (r.Interp.outcome = Bs_support.Outcome.Out_of_fuel);
+  Alcotest.(check bool) "no return value" true (r.Interp.ret = None)
+
+let test_normal_outcome_finished () =
+  let m = Bs_frontend.Lower.compile "u32 f() { return 7; }" in
+  let r, _ = Interp.run_fresh m ~entry:"f" ~args:[] in
+  Alcotest.(check bool) "finished" true
+    (r.Interp.outcome = Bs_support.Outcome.Finished)
+
+let test_trap_unknown_entry () =
+  let m = Bs_frontend.Lower.compile "u32 f() { return 7; }" in
+  match Interp.run_fresh m ~entry:"nonexistent" ~args:[] with
+  | exception Interp.Trap msg ->
+      Alcotest.(check bool) "names the entry" true
+        (Str_exists.contains msg "nonexistent")
+  | _ -> Alcotest.fail "unknown entry must trap"
+
+let test_trap_stack_overflow_frames () =
+  (* unbounded recursion with a stack frame: the simulated SP descends
+     into the globals region and the interpreter traps *)
+  let m =
+    Bs_frontend.Lower.compile
+      "u32 f(u32 n) { u8 a[4096]; a[0] = (u8)n; return f(n + 1) + a[0]; }"
+  in
+  match Interp.run_fresh ~mem_size:65536 m ~entry:"f" ~args:[ 0L ] with
+  | exception Interp.Trap msg ->
+      Alcotest.(check bool) "stack overflow" true
+        (Str_exists.contains msg "stack overflow")
+  | _ -> Alcotest.fail "frame recursion must trap"
+
+let test_trap_stack_overflow_frameless () =
+  (* frameless unbounded recursion exhausts the host stack instead; the
+     interpreter still reports the uniform stack-overflow trap *)
+  let m = Bs_frontend.Lower.compile "u32 f(u32 n) { return f(n + 1); }" in
+  match Interp.run_fresh m ~entry:"f" ~args:[ 0L ] with
+  | exception Interp.Trap msg ->
+      Alcotest.(check bool) "stack overflow" true
+        (Str_exists.contains msg "stack overflow")
+  | _ -> Alcotest.fail "frameless recursion must trap"
+
+let test_trap_division_in_program () =
+  let m = Bs_frontend.Lower.compile "u32 f(u32 n) { return 100 / n; }" in
+  (match Interp.run_fresh m ~entry:"f" ~args:[ 0L ] with
+  | exception Interp.Trap msg ->
+      Alcotest.(check bool) "division" true (Str_exists.contains msg "division")
+  | _ -> Alcotest.fail "division by zero must trap");
+  let m2 = Bs_frontend.Lower.compile "u32 g(u32 n) { return 100 % n; }" in
+  match Interp.run_fresh m2 ~entry:"g" ~args:[ 0L ] with
+  | exception Interp.Trap msg ->
+      Alcotest.(check bool) "remainder" true
+        (Str_exists.contains msg "remainder")
+  | _ -> Alcotest.fail "remainder by zero must trap"
 
 let suite =
   List.map QCheck_alcotest.to_alcotest binop_props
@@ -177,4 +230,13 @@ let suite =
       Alcotest.test_case "memory bounds faults" `Quick test_memimage_bounds;
       Alcotest.test_case "global layout alignment" `Quick test_globals_layout;
       Alcotest.test_case "call counting" `Quick test_interp_call_counting;
-      Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion ]
+      Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+      Alcotest.test_case "normal run reports Finished" `Quick
+        test_normal_outcome_finished;
+      Alcotest.test_case "trap: unknown entry" `Quick test_trap_unknown_entry;
+      Alcotest.test_case "trap: stack overflow (frames)" `Quick
+        test_trap_stack_overflow_frames;
+      Alcotest.test_case "trap: stack overflow (frameless)" `Quick
+        test_trap_stack_overflow_frameless;
+      Alcotest.test_case "trap: division and remainder by zero" `Quick
+        test_trap_division_in_program ]

@@ -120,14 +120,15 @@ let test_classic_mode_traps () =
   (* running a squeezed binary with the slice extension disabled traps *)
   match
     Bs_sim.Machine.run
-      ~config:{ Bs_sim.Machine.mode = Isa.Classic; fuel = 10_000_000 }
+      ~config:{ Bs_sim.Machine.mode = Isa.Classic; fuel = 10_000_000;
+                fault = None }
       c.Bitspec.Driver.program
       (Bs_interp.Memimage.create c.Bitspec.Driver.ir)
       ~entry:w.Bs_workloads.Workload.entry ~args:[ 10L ]
   with
-  | exception Bs_sim.Machine.Sim_trap msg ->
-      Alcotest.(check bool) "mentions classic" true
-        (Str_exists.contains msg "classic")
+  | exception Bs_sim.Machine.Sim_trap k ->
+      Alcotest.(check bool) "classic-mode slice trap" true
+        (k = Bs_support.Outcome.Classic_mode_slice)
   | _ -> Alcotest.fail "classic mode executed slice instructions"
 
 (* --- DTS model ---------------------------------------------------------- *)

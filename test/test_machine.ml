@@ -21,13 +21,13 @@ let program ?(delta = 0) insns : Bs_backend.Asm.program =
     halt_pc = Array.length code - 1;
     handler_pcs = Hashtbl.create 1 }
 
-let exec ?(mode = Bitspec) ?mem insns =
+let exec ?(mode = Bitspec) ?(fuel = 100000) ?mem insns =
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let memory =
     match mem with Some m -> m | None -> Bs_interp.Memimage.create ~size:65536 m
   in
-  Machine.run ~config:{ Machine.mode; fuel = 100000 } (program insns) memory
-    ~entry:"main" ~args:[]
+  Machine.run ~config:{ Machine.mode; fuel; fault = None } (program insns)
+    memory ~entry:"main" ~args:[]
 
 let r0_of insns = (exec insns).Machine.r0
 
@@ -138,7 +138,7 @@ let test_misspec_redirect () =
   let p = program ~delta:1 insns in
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let r =
-    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000 } p
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None } p
       (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
   in
   check64 "handler ran" 777L r.Machine.r0;
@@ -199,7 +199,7 @@ let test_bldrs_misspec_on_wide_value () =
   let p = program ~delta:1 insns in
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let r =
-    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000 } p
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None } p
       (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
   in
   check64 "spec load misspec" 555L r.Machine.r0;
@@ -218,7 +218,7 @@ let test_btrn () =
   let p = program ~delta:1 insns in
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let r =
-    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000 } p
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None } p
       (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
   in
   check64 "btrn misspec" 99L r.Machine.r0
@@ -256,8 +256,101 @@ let test_setmode_and_delta () =
   match
     exec [ SETMODE Classic; BMOVI (sl 0 0, 1) ]
   with
-  | exception Machine.Sim_trap _ -> ()
+  | exception Machine.Sim_trap Bs_support.Outcome.Classic_mode_slice -> ()
+  | exception Machine.Sim_trap k ->
+      Alcotest.failf "wrong trap kind: %s" (Bs_support.Outcome.trap_message k)
   | _ -> Alcotest.fail "slice op must trap in classic mode"
+
+(* --- trap paths --------------------------------------------------------- *)
+
+let test_trap_division_by_zero () =
+  match exec [ MOVW (1, 9); MOVW (2, 0); DIV (Unsigned, 0, 1, 2) ] with
+  | exception Machine.Sim_trap Bs_support.Outcome.Division_by_zero -> ()
+  | _ -> Alcotest.fail "division by zero must trap"
+
+let test_trap_unknown_entry () =
+  let m = { Bs_ir.Ir.funcs = []; globals = [] } in
+  match
+    Machine.run (program [ NOP ])
+      (Bs_interp.Memimage.create ~size:65536 m)
+      ~entry:"nonexistent" ~args:[]
+  with
+  | exception Machine.Sim_trap (Bs_support.Outcome.Unknown_entry e) ->
+      Alcotest.(check string) "names the entry" "nonexistent" e
+  | _ -> Alcotest.fail "unknown entry must trap"
+
+let test_trap_pc_out_of_range () =
+  match exec [ B 100 ] with
+  | exception Machine.Sim_trap (Bs_support.Outcome.Pc_out_of_range pc) ->
+      Alcotest.(check int) "escaped pc" 100 pc
+  | _ -> Alcotest.fail "PC escape must trap"
+
+let test_fuel_exhaustion_outcome () =
+  (* a tight infinite loop stops with the structured Out_of_fuel outcome —
+     the same Outcome.t variant the interpreter reports — not an
+     exception *)
+  let r = exec ~fuel:100 [ B 0 ] in
+  Alcotest.(check bool) "out of fuel" true
+    (r.Machine.outcome = Bs_support.Outcome.Out_of_fuel);
+  Alcotest.(check bool) "stopped at the budget" true
+    (r.Machine.ctr.Counters.instrs <= 101)
+
+let test_trap_stack_runaway () =
+  (* runaway recursion: each iteration pushes SP down by 4 KiB and
+     stores; SP leaves the 64 KiB image and the access faults instead of
+     silently corrupting state *)
+  let insns =
+    [ ALU (OpSub, 13, 13, Imm 4096);   (* sp -= 4096 *)
+      STR (W32, 0, 13, 0);             (* touch the frame *)
+      B 0 ]
+  in
+  match exec insns with
+  | exception Bs_interp.Memimage.Fault _ -> ()
+  | _ -> Alcotest.fail "stack runaway must fault"
+
+(* --- fault injection ---------------------------------------------------- *)
+
+let test_injected_flip_changes_register () =
+  (* flip bit 4 of r0 between the MOVW and the HALT: 0x10 XOR 42 = 58 *)
+  let m = { Bs_ir.Ir.funcs = []; globals = [] } in
+  let fault =
+    { Machine.at_instr = 2; target = Machine.Flip_reg (0, 4) }
+  in
+  let r =
+    Machine.run
+      ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = Some fault }
+      (program [ MOVW (0, 42); NOP; NOP ])
+      (Bs_interp.Memimage.create ~size:65536 m)
+      ~entry:"main" ~args:[]
+  in
+  Alcotest.(check bool) "fault applied" true r.Machine.fault_applied;
+  check64 "bit flipped" (Int64.of_int (42 lxor 16)) r.Machine.r0
+
+let test_injected_flip_detected_by_hardware () =
+  (* flip bit 7 of the slice operand before a BADD: 100+100 becomes
+     228+100 > 255, the slice ALU detects the overflow and redirects into
+     the handler — the misspeculation hardware catching a soft error *)
+  let insns =
+    [ BMOVI (sl 1 0, 100);                      (* 0 *)
+      BMOVI (sl 2 0, 100);                      (* 1 *)
+      BALU (BAdd, sl 3 0, sl 1 0, Sl (sl 2 0)); (* 2: overflows post-flip *)
+      B 5;                                      (* 3: skeleton *)
+      NOP;
+      MOVW (0, 777) ]                           (* 5: handler *)
+  in
+  let fault =
+    { Machine.at_instr = 3; target = Machine.Flip_reg (1, 7) }
+  in
+  let m = { Bs_ir.Ir.funcs = []; globals = [] } in
+  let r =
+    Machine.run
+      ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = Some fault }
+      (program ~delta:1 insns)
+      (Bs_interp.Memimage.create ~size:65536 m)
+      ~entry:"main" ~args:[]
+  in
+  Alcotest.(check int) "overflow detected" 1 r.Machine.ctr.Counters.misspecs;
+  check64 "handler ran" 777L r.Machine.r0
 
 let suite =
   [ Alcotest.test_case "mov/movw/movt" `Quick test_mov_movw_movt;
@@ -278,4 +371,15 @@ let suite =
     Alcotest.test_case "call/return" `Quick test_call_return;
     Alcotest.test_case "register access counters" `Quick
       test_counters_register_widths;
-    Alcotest.test_case "classic mode protocol (§3.4)" `Quick test_setmode_and_delta ]
+    Alcotest.test_case "classic mode protocol (§3.4)" `Quick test_setmode_and_delta;
+    Alcotest.test_case "trap: division by zero" `Quick test_trap_division_by_zero;
+    Alcotest.test_case "trap: unknown entry" `Quick test_trap_unknown_entry;
+    Alcotest.test_case "trap: PC out of range" `Quick test_trap_pc_out_of_range;
+    Alcotest.test_case "fuel exhaustion outcome" `Quick
+      test_fuel_exhaustion_outcome;
+    Alcotest.test_case "trap: stack runaway faults" `Quick
+      test_trap_stack_runaway;
+    Alcotest.test_case "fault injection: register flip" `Quick
+      test_injected_flip_changes_register;
+    Alcotest.test_case "fault injection: caught by misspec hardware" `Quick
+      test_injected_flip_detected_by_hardware ]

@@ -1,0 +1,220 @@
+open Bs_support
+open Bs_interp
+open Bs_sim
+open Bs_workloads
+open Bitspec
+
+(* Robustness: the degrading driver, structured diagnostics, unified
+   out-of-fuel outcomes, and the fault-injection campaign machinery. *)
+
+(* A two-function program: [mix] is called from the squeezable hot loop in
+   [f].  Compiler faults are injected into [mix]; [f] must keep its
+   speculative compilation. *)
+let two_func_source =
+  "u8 buf[64];\n\
+   u32 mix(u32 x) {\n\
+   \  u32 s = 0;\n\
+   \  for (u32 i = 0; i < 8; i += 1) { s += (x >> i) & 1; }\n\
+   \  return s;\n\
+   }\n\
+   u32 f(u32 n) {\n\
+   \  u32 acc = 0;\n\
+   \  for (u32 i = 0; i < n; i += 1) {\n\
+   \    acc = (acc + mix(buf[i & 63]) + (i & 255)) & 0xFFFF;\n\
+   \  }\n\
+   \  return acc;\n\
+   }\n"
+
+let checksum_of_machine (c : Driver.compiled) args =
+  Int64.logand (Driver.run_machine c ~entry:"f" ~args).Bs_sim.Machine.r0
+    0xFFFFFFFFL
+
+let checksum_of_reference (c : Driver.compiled) args =
+  let r = Driver.run_reference c ~entry:"f" ~args in
+  Int64.logand (Option.value r.Interp.ret ~default:0L) 0xFFFFFFFFL
+
+let compile_with_fault pass =
+  Driver.compile ~mode:Driver.Degrade
+    ~pass_fault:{ Driver.fault_pass = pass; fault_func = "mix" }
+    ~config:Driver.bitspec_config ~source:two_func_source
+    ~train:[ ("f", [ 60L ]) ] ()
+
+let check_degraded_but_correct pass expected_code =
+  let c = compile_with_fault pass in
+  let diags = c.Driver.diagnostics in
+  Alcotest.(check bool) "carries a diagnostic" true (Diag.errors diags <> []);
+  let d = List.hd (Diag.errors diags) in
+  Alcotest.(check string) "diagnostic code" expected_code d.Diag.code;
+  Alcotest.(check (option string)) "diagnostic names the function"
+    (Some "mix") d.Diag.func;
+  (* the module still compiles and computes the right answer *)
+  let args = [ 100L ] in
+  Alcotest.(check int64) "checksum matches the reference"
+    (checksum_of_reference c args)
+    (checksum_of_machine c args);
+  (* the healthy function kept its speculative compilation *)
+  match c.Driver.squeeze_stats with
+  | Some s -> Alcotest.(check bool) "f still squeezed" true (s.Squeezer.squeezed > 0)
+  | None -> Alcotest.fail "no squeeze stats in a speculative build"
+
+let test_degrade_squeeze () =
+  check_degraded_but_correct Driver.Fault_squeeze "BS-SQZ-01"
+
+let test_degrade_regalloc () =
+  check_degraded_but_correct Driver.Fault_regalloc "BS-RA-01"
+
+let test_strict_fails_fast () =
+  match
+    Driver.compile ~mode:Driver.Strict
+      ~pass_fault:{ Driver.fault_pass = Driver.Fault_squeeze; fault_func = "mix" }
+      ~config:Driver.bitspec_config ~source:two_func_source
+      ~train:[ ("f", [ 60L ]) ] ()
+  with
+  | exception Driver.Injected_fault _ -> ()
+  | _ -> Alcotest.fail "strict mode must propagate the pass failure"
+
+let test_clean_build_has_no_diagnostics () =
+  let c =
+    Driver.compile ~mode:Driver.Degrade ~config:Driver.bitspec_config
+      ~source:two_func_source ~train:[ ("f", [ 60L ]) ] ()
+  in
+  Alcotest.(check int) "no diagnostics" 0 (List.length c.Driver.diagnostics)
+
+let test_try_compile_frontend_error () =
+  match
+    Driver.try_compile ~config:Driver.bitspec_config
+      ~source:"u32 f( { return }" ~train:[] ()
+  with
+  | Error (d :: _) ->
+      Alcotest.(check bool) "error severity" true (Diag.is_error d);
+      Alcotest.(check bool) "parse phase" true (d.Diag.phase = Diag.Parse);
+      Alcotest.(check bool) "has a source line" true (d.Diag.line <> None)
+  | Error [] -> Alcotest.fail "Error with no diagnostics"
+  | Ok _ -> Alcotest.fail "garbage source compiled"
+
+let test_diag_format () =
+  let d =
+    Diag.error ~code:"BS-SQZ-01" ~phase:Diag.Squeeze ~func:"crc32" "boom"
+  in
+  let s = Diag.to_string d in
+  List.iter
+    (fun part ->
+      Alcotest.(check bool) (part ^ " in rendering") true
+        (Str_exists.contains s part))
+    [ "error"; "BS-SQZ-01"; "squeeze"; "crc32"; "boom" ]
+
+(* Out-of-fuel is one structured outcome across both execution engines. *)
+let test_fuel_outcome_unified () =
+  let source = "u32 f() { u32 x = 1; while (x) { x = (x | 1); } return x; }" in
+  let m = Bs_frontend.Lower.compile source in
+  let ir, _ =
+    Interp.run_fresh ~opts:{ Interp.default_opts with fuel = 500 } m
+      ~entry:"f" ~args:[]
+  in
+  let c =
+    Driver.compile ~config:Driver.baseline_config ~source ~train:[] ()
+  in
+  let mr = Driver.run_machine ~fuel:500 c ~entry:"f" ~args:[] in
+  Alcotest.(check bool) "interp ran out of fuel" true
+    (ir.Interp.outcome = Outcome.Out_of_fuel);
+  Alcotest.(check bool) "machine ran out of fuel" true
+    (mr.Bs_sim.Machine.outcome = Outcome.Out_of_fuel);
+  Alcotest.(check bool) "same structured outcome" true
+    (ir.Interp.outcome = mr.Bs_sim.Machine.outcome)
+
+(* --- fault-injection campaigns ----------------------------------------- *)
+
+(* A small, fast workload for campaign tests: byte traffic through a
+   squeezed accumulator loop, every value fitting an 8-bit slice. *)
+let tiny_workload : Workload.t =
+  let source =
+    "u8 buf[64];\n\
+     u32 f(u32 n) {\n\
+     \  u32 acc = 0;\n\
+     \  for (u32 i = 0; i < n; i += 1) {\n\
+     \    u32 x = buf[i & 63];\n\
+     \    acc = ((acc + x) ^ (i & 15)) & 255;\n\
+     \  }\n\
+     \  return acc;\n\
+     }\n"
+  in
+  let input args : Workload.input =
+    { Workload.args;
+      setup =
+        (fun m mem ->
+          Workload.fill_bytes (Rng.create 5L) m mem ~name:"buf" ~count:64) }
+  in
+  { Workload.name = "tiny"; description = "campaign test workload";
+    source; entry = "f"; train = input [ 60L ]; test = input [ 400L ];
+    alt = input [ 100L ]; narrow_source = None }
+
+let verdict_names (c : Campaign.t) =
+  List.map
+    (fun (t : Faultinject.trial) -> Faultinject.describe_trial t)
+    c.Campaign.trials
+
+let test_campaign_deterministic () =
+  let run () = Campaign.run ~trials:25 ~seed:7L tiny_workload in
+  let a = run () and b = run () in
+  Alcotest.(check int) "trial count" 25 (List.length a.Campaign.trials);
+  Alcotest.(check (list string)) "same seed, same trials, bit for bit"
+    (verdict_names a) (verdict_names b)
+
+let test_campaign_seed_sensitivity () =
+  let a = Campaign.run ~trials:25 ~seed:7L tiny_workload in
+  let b = Campaign.run ~trials:25 ~seed:8L tiny_workload in
+  Alcotest.(check bool) "different seeds, different faults" true
+    (verdict_names a <> verdict_names b)
+
+let test_campaign_detects_faults () =
+  (* stringsearch packs many 8-bit slices per register, so some register
+     flips land in a sibling slice the misspeculation hardware then
+     catches; seed 5 yields two such faults within 20 trials *)
+  let w = Registry.find "stringsearch" in
+  let c = Campaign.run ~trials:20 ~seed:5L w in
+  let s = Faultinject.summarize c.Campaign.trials in
+  let total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Faultinject.summary_rows s)
+  in
+  Alcotest.(check int) "every trial classified" 20 total;
+  Alcotest.(check bool)
+    (Printf.sprintf "misspeculation hardware detects some flips (%s)"
+       (String.concat ", "
+          (List.map
+             (fun (n, k) -> Printf.sprintf "%s=%d" n k)
+             (Faultinject.summary_rows s))))
+    true
+    (List.exists
+       (fun (t : Faultinject.trial) ->
+         match t.Faultinject.verdict with
+         | Faultinject.Detected _ -> true
+         | _ -> false)
+       c.Campaign.trials);
+  (* the report renders the table and the detected examples *)
+  let r = Campaign.report c in
+  List.iter
+    (fun part ->
+      Alcotest.(check bool) (part ^ " in report") true
+        (Str_exists.contains r part))
+    [ "stringsearch"; "seed 5"; "verdict"; "detected";
+      "misspeculation hardware" ]
+
+let suite =
+  [ Alcotest.test_case "degrade: squeezer fault isolated" `Quick
+      test_degrade_squeeze;
+    Alcotest.test_case "degrade: regalloc fault isolated" `Quick
+      test_degrade_regalloc;
+    Alcotest.test_case "strict mode fails fast" `Quick test_strict_fails_fast;
+    Alcotest.test_case "clean degrade build: no diagnostics" `Quick
+      test_clean_build_has_no_diagnostics;
+    Alcotest.test_case "try_compile: front-end errors become diagnostics"
+      `Quick test_try_compile_frontend_error;
+    Alcotest.test_case "diagnostic rendering" `Quick test_diag_format;
+    Alcotest.test_case "out-of-fuel outcome unified across engines" `Quick
+      test_fuel_outcome_unified;
+    Alcotest.test_case "campaign: fixed seed is deterministic" `Quick
+      test_campaign_deterministic;
+    Alcotest.test_case "campaign: seed varies the faults" `Quick
+      test_campaign_seed_sensitivity;
+    Alcotest.test_case "campaign: injected faults detected by hardware"
+      `Quick test_campaign_detects_faults ]
