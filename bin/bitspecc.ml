@@ -5,6 +5,8 @@
      run       compile and simulate, print result and counters
      bench     run a named built-in workload under a configuration
      inject    fault-injection campaign against a built-in workload
+     fuzz      differential fuzzing campaign over random programs
+     reduce    minimize (or just replay) a crashing MiniC file
      list      list built-in workloads
 
    Examples:
@@ -12,6 +14,8 @@
      bitspecc run kernel.mc --entry f --args 10,20 --arch bitspec
      bitspecc bench rijndael --arch bitspec --heuristic max
      bitspecc inject crc32 --trials 200 --seed 42
+     bitspecc fuzz --seed 1 --trials 500 --budget 60
+     bitspecc reduce --check test/corpus/crash.mc
 
    Compilation degrades gracefully by default: a function a pass cannot
    handle falls back to its baseline (non-speculative) form and the
@@ -26,10 +30,9 @@ open Bs_energy
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* --- error reporting --------------------------------------------------- *)
 
@@ -238,6 +241,191 @@ let inject_cmd =
     Term.(const action $ wname $ arch_arg $ heuristic_arg $ no_expander_arg
           $ trials $ seed $ max_examples)
 
+(* --- fuzz -------------------------------------------------------------- *)
+
+let fault_conv =
+  let parse s =
+    match Bs_fuzz.Corpus.fault_of_string s with
+    | Some f -> Ok f
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "bad fault %S: expected squeeze:FUNC, regalloc:FUNC or \
+                 miscompile:FUNC"
+                s))
+  in
+  let print ppf f = Format.pp_print_string ppf (Bs_fuzz.Corpus.fault_to_string f) in
+  Arg.conv (parse, print)
+
+let fault_arg =
+  Arg.(value & opt (some fault_conv) None
+       & info [ "fault" ] ~docv:"PASS:FUNC"
+           ~doc:"Plant a compiler fault ($(b,squeeze), $(b,regalloc) or \
+                 $(b,miscompile)) into every compile — the oracle's \
+                 self-test.")
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Campaign seed; equal seeds yield bit-identical campaigns.")
+  in
+  let trials =
+    Arg.(value & opt int 200
+         & info [ "trials" ] ~docv:"K" ~doc:"Number of random programs.")
+  in
+  let budget =
+    Arg.(value & opt (some float) None
+         & info [ "budget" ] ~docv:"SECS"
+             ~doc:"Stop starting new trials after SECS seconds of CPU time.")
+  in
+  let corpus =
+    Arg.(value & opt string "test/corpus"
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Directory minimized reproducers are written to.")
+  in
+  let size =
+    Arg.(value & opt int 10
+         & info [ "size" ] ~docv:"S" ~doc:"Statement budget per program.")
+  in
+  let no_reduce =
+    Arg.(value & flag
+         & info [ "no-reduce" ] ~doc:"Keep crashers as generated (faster).")
+  in
+  let expect_crash =
+    Arg.(value & flag
+         & info [ "expect-crash" ]
+             ~doc:"Invert the exit status: fail when NO crash is found \
+                   (planted-fault self-tests).")
+  in
+  let action seed trials budget corpus size no_reduce fault expect_crash =
+    with_reporting (fun () ->
+        let t =
+          Bs_fuzz.Fuzz.run ?plant:fault ?budget ~reduce:(not no_reduce)
+            ~size ~seed ~trials ()
+        in
+        print_string (Bs_fuzz.Fuzz.report t);
+        if t.Bs_fuzz.Fuzz.crashes <> [] then begin
+          let paths = Bs_fuzz.Fuzz.save_corpus ~dir:corpus t in
+          List.iter (Printf.printf "wrote %s\n") paths
+        end;
+        let crashed = t.Bs_fuzz.Fuzz.crashes <> [] in
+        if crashed <> expect_crash then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"differential fuzzing campaign: random programs, every build \
+             configuration against the reference interpreter")
+    Term.(const action $ seed $ trials $ budget $ corpus $ size $ no_reduce
+          $ fault_arg $ expect_crash)
+
+(* --- reduce ------------------------------------------------------------ *)
+
+let reduce_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Only replay the oracle and print the bucket; don't \
+                   reduce.  Exits non-zero if a header's recorded bucket \
+                   fails to reproduce.")
+  in
+  let entry =
+    Arg.(value & opt (some string) None
+         & info [ "entry" ] ~docv:"F" ~doc:"Entry point (default: header, else f).")
+  in
+  let args_opt =
+    Arg.(value & opt (some string) None
+         & info [ "args" ] ~docv:"A,B" ~doc:"Run arguments (default: header, else 17).")
+  in
+  let train_opt =
+    Arg.(value & opt (some string) None
+         & info [ "train" ] ~docv:"A,B" ~doc:"Profiling arguments (default: header, else 17).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT"
+             ~doc:"Where to write the minimized reproducer (default: \
+                   FILE with a .min.mc suffix).")
+  in
+  let action file check entry args_opt train_opt fault out =
+    with_reporting ~file (fun () ->
+        let meta, source = Bs_fuzz.Corpus.load file in
+        let dfl f d = match meta with Some m -> f m | None -> d in
+        let entry =
+          match entry with
+          | Some e -> e
+          | None -> dfl (fun m -> m.Bs_fuzz.Corpus.entry) "f"
+        in
+        let args =
+          match args_opt with
+          | Some s -> parse_args s
+          | None -> dfl (fun m -> m.Bs_fuzz.Corpus.args) [ 17L ]
+        in
+        let train_args =
+          match train_opt with
+          | Some s -> parse_args s
+          | None -> dfl (fun m -> m.Bs_fuzz.Corpus.train) [ 17L ]
+        in
+        let fault =
+          match fault with
+          | Some _ -> fault
+          | None -> dfl (fun m -> m.Bs_fuzz.Corpus.fault) None
+        in
+        let oracle s =
+          Bs_fuzz.Oracle.run ?plant:fault ~train:[ (entry, train_args) ]
+            ~source:s ~entry ~args ()
+        in
+        let verdict = oracle source in
+        print_endline (Bs_fuzz.Oracle.describe verdict);
+        match verdict with
+        | Bs_fuzz.Oracle.Agree _ | Bs_fuzz.Oracle.Skip _ ->
+            (* nothing to reduce; failing to reproduce a recorded bucket
+               is an error *)
+            if Option.is_some meta then exit 1
+        | Bs_fuzz.Oracle.Crash { bucket; _ } ->
+            let key = Bs_support.Bucket.key bucket in
+            (match meta with
+            | Some m when m.Bs_fuzz.Corpus.bucket_key <> key ->
+                Printf.printf "recorded bucket %s did NOT reproduce\n"
+                  m.Bs_fuzz.Corpus.bucket_key;
+                exit 1
+            | Some _ -> print_endline "recorded bucket reproduced"
+            | None -> ());
+            if not check then begin
+              let pred s =
+                match oracle s with
+                | Bs_fuzz.Oracle.Crash { bucket = b; _ } ->
+                    Bs_support.Bucket.key b = key
+                | _ -> false
+              in
+              let reduced = Bs_fuzz.Reduce.run ~pred source in
+              let out =
+                match out with
+                | Some o -> o
+                | None -> Filename.remove_extension file ^ ".min.mc"
+              in
+              let m =
+                { Bs_fuzz.Corpus.bucket_key = key; entry; args;
+                  train = train_args; fault }
+              in
+              let path =
+                Bs_fuzz.Corpus.save ~dir:(Filename.dirname out)
+                  ~name:(Filename.basename out) m reduced
+              in
+              Printf.printf "minimized to %d lines: %s\nreplay: %s\n"
+                (Bs_fuzz.Reduce.line_count reduced) path
+                (Bs_fuzz.Corpus.replay_command ~file:path m)
+            end)
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"replay the differential oracle on a MiniC file and \
+             delta-debug it to a minimal reproducer")
+    Term.(const action $ file $ check $ entry $ args_opt $ train_opt
+          $ fault_arg $ out)
+
 (* --- list -------------------------------------------------------------- *)
 
 let list_cmd =
@@ -254,4 +442,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "bitspecc" ~doc)
-          [ compile_cmd; run_cmd; bench_cmd; inject_cmd; list_cmd ]))
+          [ compile_cmd; run_cmd; bench_cmd; inject_cmd; fuzz_cmd;
+            reduce_cmd; list_cmd ]))

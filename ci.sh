@@ -1,6 +1,14 @@
 #!/bin/sh
-# Minimal CI: build everything, run the full test suite.
+# Minimal CI: build everything, run the full test suite, then a
+# fixed-seed differential-fuzz smoke: a clean campaign must find no
+# crashes, and a campaign with a planted miscompile must catch it
+# (--expect-crash inverts the exit code).
 set -eu
 cd "$(dirname "$0")"
 dune build @all
 dune runtest
+corpus="$(mktemp -d)"
+trap 'rm -rf "$corpus"' EXIT
+dune exec bin/bitspecc.exe -- fuzz --seed 1 --trials 25 --corpus "$corpus"
+dune exec bin/bitspecc.exe -- fuzz --seed 1 --trials 25 --corpus "$corpus" \
+  --fault miscompile:f --expect-crash

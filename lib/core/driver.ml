@@ -49,8 +49,12 @@ let thumb_config = { baseline_config with arch = Thumb }
 
 (* Compiler-level fault injection: force one pass to fail on one function,
    to exercise the degradation machinery (and prove in tests that a
-   degraded module still runs to the right checksum). *)
-type injected_pass = Fault_squeeze | Fault_regalloc
+   degraded module still runs to the right checksum).  [Fault_miscompile]
+   is different in kind: instead of raising (which degradation would catch
+   and repair) it silently corrupts the function's code after every pass
+   and verification has run — a planted miscompile that only a
+   differential oracle can see. *)
+type injected_pass = Fault_squeeze | Fault_regalloc | Fault_miscompile
 
 type pass_fault = { fault_pass : injected_pass; fault_func : string }
 
@@ -61,6 +65,51 @@ let maybe_pass_fault pass_fault pass fname =
   | Some pf when pf.fault_pass = pass && pf.fault_func = fname ->
       raise (Injected_fault ("injected pass fault in " ^ fname))
   | _ -> ()
+
+(* Silently change the semantics of [fname]: flip the first binary
+   operation (Add<->Sub, And<->Or, ...), or failing that negate the first
+   comparison.  The mutation is type- and SSA-preserving, so the verifier
+   accepts it and nothing downstream can tell — exactly the shape of bug
+   the fuzzer's differential oracle exists to catch.  Division never
+   appears on the right of the table, so the mutation cannot introduce a
+   trap that was not already reachable. *)
+let plant_miscompile (m : Ir.modul) fname =
+  match Ir.find_func m fname with
+  | None -> ()
+  | Some f ->
+      let flip_bin = function
+        | Ir.Add -> Ir.Sub | Ir.Sub -> Ir.Add
+        | Ir.Mul -> Ir.Add
+        | Ir.Udiv -> Ir.Urem | Ir.Sdiv -> Ir.Srem
+        | Ir.Urem -> Ir.And | Ir.Srem -> Ir.And
+        | Ir.And -> Ir.Or | Ir.Or -> Ir.And | Ir.Xor -> Ir.Or
+        | Ir.Shl -> Ir.Lshr | Ir.Lshr -> Ir.Shl | Ir.Ashr -> Ir.Shl
+      in
+      let flip_cmp = function
+        | Ir.Eq -> Ir.Ne | Ir.Ne -> Ir.Eq
+        | Ir.Ult -> Ir.Uge | Ir.Ule -> Ir.Ugt
+        | Ir.Ugt -> Ir.Ule | Ir.Uge -> Ir.Ult
+        | Ir.Slt -> Ir.Sge | Ir.Sle -> Ir.Sgt
+        | Ir.Sgt -> Ir.Sle | Ir.Sge -> Ir.Slt
+      in
+      let instrs =
+        List.concat_map (fun (b : Ir.block) -> b.Ir.instrs) f.Ir.blocks
+      in
+      let first p = List.find_opt p instrs in
+      let is_bin i = match i.Ir.op with Ir.Bin _ -> true | _ -> false in
+      let is_cmp i = match i.Ir.op with Ir.Cmp _ -> true | _ -> false in
+      (match first is_bin with
+      | Some i -> (
+          match i.Ir.op with
+          | Ir.Bin (op, a, b) -> i.Ir.op <- Ir.Bin (flip_bin op, a, b)
+          | _ -> ())
+      | None -> (
+          match first is_cmp with
+          | Some i -> (
+              match i.Ir.op with
+              | Ir.Cmp (op, a, b) -> i.Ir.op <- Ir.Cmp (flip_cmp op, a, b)
+              | _ -> ())
+          | None -> ()))
 
 type compiled = {
   ir : Ir.modul;
@@ -250,6 +299,13 @@ let compile ?(mode = Strict) ?pass_fault ~config ~source ?setup ~train ()
     end
     else (None, None)
   in
+  (* Planted miscompile: applied after all passes and verification so the
+     corruption ships in the binary (and in [ir]); the pristine lowering
+     of the same source is the only witness. *)
+  (match pass_fault with
+  | Some { fault_pass = Fault_miscompile; fault_func } ->
+      plant_miscompile !m fault_func
+  | _ -> ());
   let funcs =
     List.map
       (fun (f : Ir.func) ->

@@ -44,8 +44,13 @@ val thumb_config : config
 (** RQ9's compact-ISA build: 8 registers, 2-address operations. *)
 
 (** Compiler-level fault injection: force one pass to fail on one
-    function, exercising the degradation machinery end to end. *)
-type injected_pass = Fault_squeeze | Fault_regalloc
+    function, exercising the degradation machinery end to end.
+    [Fault_squeeze] and [Fault_regalloc] raise inside the pass (degrade
+    mode recovers them); [Fault_miscompile] silently flips one operation
+    of the function {e after} all passes and verification, planting a
+    genuine miscompile that only differential testing can observe — the
+    fuzz subsystem's self-test. *)
+type injected_pass = Fault_squeeze | Fault_regalloc | Fault_miscompile
 
 type pass_fault = { fault_pass : injected_pass; fault_func : string }
 

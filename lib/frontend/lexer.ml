@@ -67,12 +67,18 @@ let tokenize src =
         while !pos < n && is_hex src.[!pos] do incr pos done;
         if !pos = start then raise (Error ("bad hex literal", !line));
         let s = String.sub src start (!pos - start) in
-        emit (INT (Int64.of_string ("0x" ^ s)))
+        (* adversarial input: a literal too wide for int64 must be a
+           structured error, not an uncaught Failure *)
+        (match Int64.of_string_opt ("0x" ^ s) with
+        | Some v -> emit (INT v)
+        | None -> raise (Error ("integer literal out of range", !line)))
       end
       else begin
         let start = !pos in
         while !pos < n && is_digit src.[!pos] do incr pos done;
-        emit (INT (Int64.of_string (String.sub src start (!pos - start))))
+        match Int64.of_string_opt (String.sub src start (!pos - start)) with
+        | Some v -> emit (INT v)
+        | None -> raise (Error ("integer literal out of range", !line))
       end;
       (* C-style suffixes are accepted and ignored: sizing comes from the
          declared types. *)

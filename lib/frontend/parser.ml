@@ -4,7 +4,16 @@ open Bs_ir
 
 exception Error of string * int
 
-type state = { mutable toks : Lexer.lexed list }
+type state = {
+  mutable toks : Lexer.lexed list;
+  (* combined expression/statement nesting depth: adversarial inputs like
+     100k open parens or braces must produce a structured [Error], not
+     blow the host stack (the typechecker and lowering recurse over the
+     same tree, so the limit protects them too) *)
+  mutable depth : int;
+}
+
+let max_depth = 400
 
 let peek st =
   match st.toks with
@@ -19,6 +28,17 @@ let advance st =
   | [] -> ()
 
 let fail st msg = raise (Error (msg, line st))
+
+(* [nested st f] runs one recursion step of the descent under the depth
+   limit.  [Error] aborts the whole parse, so the counter need not be
+   restored on the failure path. *)
+let nested st f =
+  st.depth <- st.depth + 1;
+  if st.depth > max_depth then
+    fail st (Printf.sprintf "nesting too deep (limit %d)" max_depth);
+  let r = f () in
+  st.depth <- st.depth - 1;
+  r
 
 let expect_punct st p =
   match (peek st).Lexer.tok with
@@ -69,7 +89,7 @@ let parse_type st =
 
 let mk st e = { Ast.e; eline = line st }
 
-let rec parse_expr st = parse_ternary st
+let rec parse_expr st = nested st (fun () -> parse_ternary st)
 
 and parse_ternary st =
   let c = parse_logor st in
@@ -117,7 +137,9 @@ and parse_multiplicative st =
     [ ("*", Ast.BMul); ("/", Ast.BDiv); ("%", Ast.BMod) ]
     parse_unary
 
-and parse_unary st =
+and parse_unary st = nested st (fun () -> parse_unary_inner st)
+
+and parse_unary_inner st =
   match (peek st).Lexer.tok with
   | Lexer.PUNCT "-" ->
       advance st;
@@ -179,7 +201,9 @@ let op_assign_table =
     ("<<=", Ast.BShl); (">>=", Ast.BShr) ]
 
 
-let rec parse_stmt st : Ast.stmt =
+let rec parse_stmt st : Ast.stmt = nested st (fun () -> parse_stmt_inner st)
+
+and parse_stmt_inner st : Ast.stmt =
   let l = line st in
   match (peek st).Lexer.tok with
   | Lexer.PUNCT "{" ->
@@ -419,7 +443,7 @@ let parse_top st : Ast.top =
 (** [parse src] lexes and parses a MiniC compilation unit.
     @raise Error or {!Lexer.Error} on malformed input. *)
 let parse src : Ast.program =
-  let st = { toks = Lexer.tokenize src } in
+  let st = { toks = Lexer.tokenize src; depth = 0 } in
   let tops = ref [] in
   while (peek st).Lexer.tok <> Lexer.EOF do
     tops := parse_top st :: !tops

@@ -1,0 +1,128 @@
+open Bitspec
+
+(* Reproducer files: a //-comment metadata header over plain MiniC.  The
+   header lines are ordinary comments, so a reproducer is also directly
+   compilable by `bitspecc compile`. *)
+
+type meta = {
+  bucket_key : string;
+  entry : string;
+  args : int64 list;
+  train : int64 list;
+  fault : Driver.pass_fault option;
+}
+
+let pass_to_string = function
+  | Driver.Fault_squeeze -> "squeeze"
+  | Driver.Fault_regalloc -> "regalloc"
+  | Driver.Fault_miscompile -> "miscompile"
+
+let fault_to_string (f : Driver.pass_fault) =
+  pass_to_string f.Driver.fault_pass ^ ":" ^ f.Driver.fault_func
+
+let fault_of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+      let pass = String.sub s 0 i in
+      let func = String.sub s (i + 1) (String.length s - i - 1) in
+      let fp =
+        match pass with
+        | "squeeze" -> Some Driver.Fault_squeeze
+        | "regalloc" -> Some Driver.Fault_regalloc
+        | "miscompile" -> Some Driver.Fault_miscompile
+        | _ -> None
+      in
+      Option.map
+        (fun fault_pass -> { Driver.fault_pass; fault_func = func })
+        fp
+
+let args_to_string args =
+  String.concat "," (List.map Int64.to_string args)
+
+let args_of_string s =
+  if String.trim s = "" then []
+  else
+    List.filter_map
+      (fun p -> Int64.of_string_opt (String.trim p))
+      (String.split_on_char ',' s)
+
+let replay_command ?(file = "<file.mc>") m =
+  let fault =
+    match m.fault with
+    | Some f -> Printf.sprintf " --fault %s" (fault_to_string f)
+    | None -> ""
+  in
+  Printf.sprintf
+    "bitspecc reduce --check --entry %s --args %s --train %s%s %s" m.entry
+    (args_to_string m.args) (args_to_string m.train) fault file
+
+let render m source =
+  let b = Buffer.create (String.length source + 256) in
+  Buffer.add_string b "// bs-fuzz reproducer\n";
+  Buffer.add_string b ("// bucket: " ^ m.bucket_key ^ "\n");
+  Buffer.add_string b ("// entry: " ^ m.entry ^ "\n");
+  Buffer.add_string b ("// args: " ^ args_to_string m.args ^ "\n");
+  Buffer.add_string b ("// train: " ^ args_to_string m.train ^ "\n");
+  (match m.fault with
+  | Some f -> Buffer.add_string b ("// fault: " ^ fault_to_string f ^ "\n")
+  | None -> ());
+  Buffer.add_string b ("// replay: " ^ replay_command m ^ "\n\n");
+  Buffer.add_string b source;
+  if source = "" || source.[String.length source - 1] <> '\n' then
+    Buffer.add_char b '\n';
+  Buffer.contents b
+
+let header_value line key =
+  let prefix = "// " ^ key ^ ": " in
+  let n = String.length prefix in
+  if String.length line >= n && String.sub line 0 n = prefix then
+    Some (String.sub line n (String.length line - n))
+  else None
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let bucket = ref None and entry = ref "f" and args = ref [ 17L ] in
+  let train = ref [ 17L ] and fault = ref None in
+  List.iter
+    (fun l ->
+      Option.iter (fun v -> bucket := Some v) (header_value l "bucket");
+      Option.iter (fun v -> entry := v) (header_value l "entry");
+      Option.iter (fun v -> args := args_of_string v) (header_value l "args");
+      Option.iter (fun v -> train := args_of_string v) (header_value l "train");
+      Option.iter (fun v -> fault := fault_of_string v) (header_value l "fault"))
+    lines;
+  let meta =
+    Option.map
+      (fun bucket_key ->
+        { bucket_key; entry = !entry; args = !args; train = !train;
+          fault = !fault })
+      !bucket
+  in
+  (meta, contents)
+
+let save ~dir ~name m source =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render m source));
+  path
+
+let load path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse contents
+
+let list_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mc")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)

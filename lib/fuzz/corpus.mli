@@ -1,0 +1,45 @@
+(** The on-disk reproducer format (test/corpus/).
+
+    A reproducer is a plain MiniC file with a machine-readable
+    [//]-comment header recording everything needed to replay it: the
+    triage bucket it must land in, the entry/arguments, the profiling
+    input and (for planted-bug self-tests) the injected compiler fault.
+    The files double as a regression suite: [test/main.ml] replays every
+    corpus entry through the oracle and checks the bucket key. *)
+
+open Bitspec
+
+type meta = {
+  bucket_key : string;       (** the {!Bs_support.Bucket.key} to reproduce *)
+  entry : string;
+  args : int64 list;
+  train : int64 list;        (** profiling input for the entry *)
+  fault : Driver.pass_fault option;  (** planted compiler fault, if any *)
+}
+
+val fault_to_string : Driver.pass_fault -> string
+(** ["miscompile:f"], ["squeeze:g"], ["regalloc:h"]. *)
+
+val fault_of_string : string -> Driver.pass_fault option
+
+val replay_command : ?file:string -> meta -> string
+(** The one-line shell command that reproduces the bucket. *)
+
+val render : meta -> string -> string
+(** [render meta source] is the file contents: header then source. *)
+
+val parse : string -> meta option * string
+(** Split file contents into the header (if one is present and names a
+    bucket) and the raw source (always compilable: the header is made of
+    comments, so the source part is simply everything). *)
+
+val save : dir:string -> name:string -> meta -> string -> string
+(** Write [render meta source] to [dir/name] (creating [dir] if needed)
+    and return the path. *)
+
+val load : string -> meta option * string
+(** Read and {!parse} one file. *)
+
+val list_dir : string -> string list
+(** The [.mc] files of a directory, sorted; [[]] if the directory does
+    not exist. *)

@@ -1,0 +1,303 @@
+open Bs_support
+
+(* Random MiniC programs for differential fuzzing.
+
+   Grown from the generator that used to live in test/test_fuzz.ml.  The
+   additions all target the squeezer's blind spots:
+
+   - helper functions (u32/u16/u8 parameters, implicit argument casts)
+     called from statements and expressions of the entry function;
+   - u8/u16/u32 global arrays read and written through computed indices;
+   - extra scalar globals seeded with slice-boundary constants;
+   - nested loops whose bodies may [break] out under a data-dependent
+     guard (early exits change which region handlers are reachable);
+   - expression shapes that straddle the 8-bit slice boundary (masked
+     operands summed past 255, boundary constants), so a profile trained
+     on a small input misspeculates on the real one.
+
+   Termination is by construction: every loop has a literal bound and a
+   non-assignable counter, [break] only exits early, and every divisor is
+   or-ed with 1. *)
+
+type genv = {
+  rng : Rng.t;
+  (* (name, type, assignable): loop counters are readable but never
+     assignment targets — clobbering one would unbound its loop *)
+  mutable vars : (string * [ `U8 | `U16 | `U32 ] * bool) list;
+  mutable helpers : (string * int) list;  (* (name, arity), callable *)
+  mutable fresh : int;
+  buf : Buffer.t;
+  mutable depth : int;
+  mutable in_loop : bool;
+}
+
+let ty_name = function `U8 -> "u8" | `U16 -> "u16" | `U32 -> "u32"
+
+let entry = "f"
+let entry_arg seed = Int64.of_int (seed land 1023)
+let train_args = [ 17L ]
+
+(* Constants chosen to sit on (or just past) the 8- and 16-bit
+   boundaries: the values whose widths the MAX/AVG/MIN heuristics
+   disagree about. *)
+let boundary_consts =
+  [ 127; 128; 200; 253; 254; 255; 256; 257; 300; 511; 512; 65535; 65536 ]
+
+let fresh_var ?(assignable = true) g ty =
+  let name = Printf.sprintf "v%d" g.fresh in
+  g.fresh <- g.fresh + 1;
+  g.vars <- (name, ty, assignable) :: g.vars;
+  name
+
+let pick_var g =
+  match g.vars with
+  | [] -> None
+  | vs ->
+      let n, _, _ = List.nth vs (Rng.int g.rng (List.length vs)) in
+      Some n
+
+let pick_assignable g =
+  match List.filter (fun (_, _, a) -> a) g.vars with
+  | [] -> None
+  | vs ->
+      let n, _, _ = List.nth vs (Rng.int g.rng (List.length vs)) in
+      Some n
+
+(* The global arrays every program declares: (name, index mask, element
+   type).  Computed indices are masked to stay in bounds. *)
+let arrays = [ ("buf", 63, `U8); ("tab", 15, `U16); ("wide", 7, `U32) ]
+
+let pick_array g = List.nth arrays (Rng.int g.rng (List.length arrays))
+
+let rec gen_expr g depth =
+  if depth = 0 || Rng.int g.rng 4 = 0 then
+    match Rng.int g.rng 6 with
+    | 0 | 1 -> (
+        match pick_var g with
+        | Some v -> v
+        | None -> string_of_int (Rng.int g.rng 300))
+    | 2 ->
+        string_of_int
+          (List.nth boundary_consts
+             (Rng.int g.rng (List.length boundary_consts)))
+    | 3 -> if Rng.bool g.rng then "acc" else "gw"
+    | _ -> string_of_int (Rng.int g.rng 300)
+  else
+    match Rng.int g.rng 14 with
+    | 0 -> bin g depth "+"
+    | 1 -> bin g depth "-"
+    | 2 -> bin g depth "*"
+    | 3 -> bin g depth "&"
+    | 4 -> bin g depth "|"
+    | 5 -> bin g depth "^"
+    | 6 -> Printf.sprintf "(%s >> %d)" (gen_expr g (depth - 1)) (Rng.int_in g.rng 1 7)
+    | 7 ->
+        Printf.sprintf "((%s << %d) & 0xFFFFFF)" (gen_expr g (depth - 1))
+          (Rng.int_in g.rng 1 4)
+    | 8 ->
+        Printf.sprintf "(%s / (%s | 1))" (gen_expr g (depth - 1))
+          (gen_expr g (depth - 1))
+    | 9 ->
+        Printf.sprintf "(%s %% ((%s & 63) | 1))" (gen_expr g (depth - 1))
+          (gen_expr g (depth - 1))
+    | 10 ->
+        (* slice-boundary straddle: two bytes summed can carry past 255 *)
+        Printf.sprintf "((%s & 255) + (%s & 255))" (gen_expr g (depth - 1))
+          (gen_expr g (depth - 1))
+    | 11 ->
+        (* array read through a computed index *)
+        let name, mask, _ = pick_array g in
+        Printf.sprintf "%s[(%s) & %d]" name (gen_expr g (depth - 1)) mask
+    | 12 when g.helpers <> [] ->
+        (* helper call in expression position; arguments cast implicitly *)
+        let name, arity =
+          List.nth g.helpers (Rng.int g.rng (List.length g.helpers))
+        in
+        let args = List.init arity (fun _ -> gen_expr g (depth - 1)) in
+        Printf.sprintf "%s(%s)" name (String.concat ", " args)
+    | _ -> bin g depth "+"
+
+and bin g depth op =
+  Printf.sprintf "(%s %s %s)" (gen_expr g (depth - 1)) op
+    (gen_expr g (depth - 1))
+
+let gen_cond g =
+  let a = gen_expr g 1 and b = gen_expr g 1 in
+  let op = List.nth [ "<"; "<="; ">"; ">="; "=="; "!=" ] (Rng.int g.rng 6) in
+  Printf.sprintf "%s %s %s" a op b
+
+let indent g = String.make (2 * g.depth) ' '
+
+let rec gen_stmt g budget =
+  if budget <= 0 then ()
+  else begin
+    (match Rng.int g.rng 11 with
+    | 0 | 1 ->
+        (* declaration *)
+        let ty = List.nth [ `U8; `U16; `U32; `U32 ] (Rng.int g.rng 4) in
+        let e = gen_expr g 2 in
+        let v = fresh_var g ty in
+        Buffer.add_string g.buf
+          (Printf.sprintf "%s%s %s = (%s)(%s);\n" (indent g) (ty_name ty) v
+             (ty_name ty) e)
+    | 2 | 3 -> (
+        (* assignment *)
+        match pick_assignable g with
+        | Some v ->
+            let op = List.nth [ "="; "+="; "^="; "&="; "|=" ] (Rng.int g.rng 5) in
+            Buffer.add_string g.buf
+              (Printf.sprintf "%s%s %s %s;\n" (indent g) v op (gen_expr g 2))
+        | None -> ())
+    | 4 when g.depth < 3 ->
+        (* bounded loop over a fresh counter; body declarations go out of
+           scope at the closing brace.  Half the loops open with a
+           guard-driven early exit. *)
+        let saved = g.vars and saved_loop = g.in_loop in
+        let v = fresh_var ~assignable:false g `U32 in
+        let n = Rng.int_in g.rng 1 9 in
+        Buffer.add_string g.buf
+          (Printf.sprintf "%sfor (u32 %s = 0; %s < %d; %s += 1) {\n" (indent g)
+             v v n v);
+        g.depth <- g.depth + 1;
+        g.in_loop <- true;
+        if Rng.bool g.rng then
+          Buffer.add_string g.buf
+            (Printf.sprintf "%sif (%s) break;\n" (indent g) (gen_cond g));
+        gen_stmt g (budget / 2);
+        gen_stmt g (budget / 2);
+        g.in_loop <- saved_loop;
+        g.depth <- g.depth - 1;
+        Buffer.add_string g.buf (indent g ^ "}\n");
+        g.vars <- saved
+    | 5 when g.depth < 3 ->
+        let saved = g.vars in
+        Buffer.add_string g.buf
+          (Printf.sprintf "%sif (%s) {\n" (indent g) (gen_cond g));
+        g.depth <- g.depth + 1;
+        gen_stmt g (budget / 2);
+        g.depth <- g.depth - 1;
+        g.vars <- saved;
+        Buffer.add_string g.buf (indent g ^ "} else {\n");
+        g.depth <- g.depth + 1;
+        gen_stmt g (budget / 2);
+        g.depth <- g.depth - 1;
+        Buffer.add_string g.buf (indent g ^ "}\n");
+        g.vars <- saved
+    | 6 -> (
+        (* array traffic through a computed index *)
+        match pick_assignable g with
+        | Some v ->
+            let name, mask, ty = pick_array g in
+            Buffer.add_string g.buf
+              (Printf.sprintf "%s%s[(%s) & %d] = (%s)(%s);\n" (indent g) name
+                 (gen_expr g 1) mask (ty_name ty) (gen_expr g 1));
+            Buffer.add_string g.buf
+              (Printf.sprintf "%s%s ^= %s[(%s) & %d];\n" (indent g) v name
+                 (gen_expr g 1) mask)
+        | None -> ())
+    | 7 when g.helpers <> [] -> (
+        (* helper call in statement position *)
+        match pick_assignable g with
+        | Some v ->
+            let name, arity =
+              List.nth g.helpers (Rng.int g.rng (List.length g.helpers))
+            in
+            let args = List.init arity (fun _ -> gen_expr g 1) in
+            Buffer.add_string g.buf
+              (Printf.sprintf "%s%s += %s(%s);\n" (indent g) v name
+                 (String.concat ", " args))
+        | None -> ())
+    | 8 -> (
+        (* masked accumulate straddling the slice boundary *)
+        match pick_assignable g with
+        | Some v ->
+            Buffer.add_string g.buf
+              (Printf.sprintf "%s%s = ((%s) & 255) + %d;\n" (indent g) v
+                 (gen_expr g 1) (Rng.int_in g.rng 100 300))
+        | None -> ())
+    | 9 when g.in_loop ->
+        (* guard-driven early exit in the middle of a loop body *)
+        Buffer.add_string g.buf
+          (Printf.sprintf "%sif (%s) break;\n" (indent g) (gen_cond g))
+    | _ -> (
+        (* a guard compare against a constant the slice cannot hold:
+           compare-elimination bait *)
+        match pick_var g with
+        | Some v ->
+            Buffer.add_string g.buf
+              (Printf.sprintf "%sif (%s < %d) acc += %s;\n" (indent g) v
+                 (Rng.int_in g.rng 300 100000) v)
+        | None -> ()));
+    gen_stmt g (budget - 1)
+  end
+
+(* One helper function [u32 hK(...)]: a small loop-free body over its own
+   parameters, so helpers terminate trivially and never recurse (each may
+   only call helpers defined before it). *)
+let gen_helper g k =
+  let arity = Rng.int_in g.rng 1 2 in
+  let ptys =
+    List.init arity (fun _ ->
+        List.nth [ `U8; `U16; `U32 ] (Rng.int g.rng 3))
+  in
+  let name = Printf.sprintf "h%d" k in
+  let params =
+    List.mapi (fun i ty -> Printf.sprintf "%s a%d" (ty_name ty) i) ptys
+  in
+  let saved = g.vars in
+  g.vars <- List.mapi (fun i ty -> (Printf.sprintf "a%d" i, ty, true)) ptys;
+  Buffer.add_string g.buf
+    (Printf.sprintf "u32 %s(%s) {\n" name (String.concat ", " params));
+  g.depth <- 1;
+  gen_stmt g (Rng.int_in g.rng 1 3);
+  Buffer.add_string g.buf
+    (Printf.sprintf "  return (%s) & 0xFFFFFF;\n}\n" (gen_expr g 2));
+  g.vars <- saved;
+  g.helpers <- (name, arity) :: g.helpers
+
+let program ?(size = 10) seed =
+  let g =
+    { rng = Rng.create (Int64.of_int seed); vars = []; helpers = [];
+      fresh = 0; buf = Buffer.create 512; depth = 1; in_loop = false }
+  in
+  Buffer.add_string g.buf "u8 buf[64];\nu16 tab[16];\nu32 wide[8];\n";
+  Buffer.add_string g.buf "u32 acc = 0;\n";
+  Buffer.add_string g.buf
+    (Printf.sprintf "u32 gw = %d;\n"
+       (List.nth boundary_consts
+          (Rng.int g.rng (List.length boundary_consts))));
+  let nhelpers = Rng.int g.rng 3 in
+  for k = 0 to nhelpers - 1 do
+    gen_helper g k
+  done;
+  Buffer.add_string g.buf (Printf.sprintf "u32 %s(u32 p) {\n" entry);
+  g.vars <- [ ("p", `U32, true) ];
+  g.depth <- 1;
+  gen_stmt g size;
+  let parts =
+    List.filter_map
+      (fun (v, _, _) -> if Rng.bool g.rng then Some v else None)
+      g.vars
+  in
+  let result = String.concat " ^ " ("acc + p" :: parts) in
+  Buffer.add_string g.buf
+    (Printf.sprintf "  return (%s) & 0xFFFFFF;\n}\n" result);
+  Buffer.contents g.buf
+
+(* Randomly damage a source string to exercise the front-end error paths;
+   kept with the generator so the robustness property in test/ and any
+   future mutation stage share one definition. *)
+let corrupt rng source =
+  match Rng.int rng 4 with
+  | 0 -> source (* leave well-formed *)
+  | 1 ->
+      (* truncate mid-token: unterminated construct for the parser *)
+      String.sub source 0 (1 + Rng.int rng (String.length source - 1))
+  | 2 ->
+      (* splice in a token no production accepts *)
+      let cut = Rng.int rng (String.length source) in
+      String.sub source 0 cut ^ " @ $ "
+      ^ String.sub source cut (String.length source - cut)
+  | _ ->
+      (* undefined variable: a typechecker error on a well-formed parse *)
+      source ^ "\nu32 g() { return undefined_variable_xyz; }\n"

@@ -1,0 +1,29 @@
+(** Random MiniC program generation for differential fuzzing.
+
+    Programs are deterministic functions of the seed, terminate by
+    construction (loops have literal bounds and only [break] early-exits,
+    divisors are or-ed with 1) and are tuned to stress the squeezer:
+    u8/u16/u32 arrays with computed indices, globals, helper functions
+    called from the entry, nested loops with guard-driven early exits, and
+    expression shapes that straddle the 8-bit slice boundary so the
+    misspeculation handler actually fires. *)
+
+val entry : string
+(** The entry point every generated program defines: [u32 f(u32 p)]. *)
+
+val entry_arg : int -> int64
+(** The differential-run argument derived from a seed.  Distinct from the
+    training argument, so profiles under-estimate runtime widths and
+    speculation is actually exercised. *)
+
+val train_args : int64 list
+(** The fixed profiling input (see {!entry_arg}). *)
+
+val program : ?size:int -> int -> string
+(** [program seed] renders one MiniC compilation unit.  [size] scales the
+    statement budget of the entry function (default 10). *)
+
+val corrupt : Bs_support.Rng.t -> string -> string
+(** Randomly damage a source string (truncation, alien tokens, undefined
+    variables) to exercise front-end error paths.  May also return the
+    input unchanged. *)

@@ -1,0 +1,49 @@
+(** The differential oracle.
+
+    One source program is interpreted pristine (the reference) and
+    compiled + simulated under every build configuration; any disagreement
+    is classified into a stable {!Bs_support.Bucket.t}.  The oracle never
+    raises: traps, fuel exhaustion, front-end rejections and pass
+    degradations all classify. *)
+
+open Bs_support
+open Bitspec
+
+type engine = { ename : string; config : Driver.config }
+
+val engines : engine list
+(** The configurations compared against the reference interpreter, in
+    fixed order: baseline, bitspec-max, bitspec-avg, bitspec-min, thumb.
+    The order makes the first-divergence bucket deterministic. *)
+
+(** How one execution ended, coarsened for comparison. *)
+type exec_obs =
+  | Value of int64      (** finished; result masked to 32 bits *)
+  | Fuel                (** instruction budget exhausted *)
+  | Trap of string      (** trapped; stable {!Outcome.trap_name}-style name *)
+
+type verdict =
+  | Agree of exec_obs
+      (** every configuration matches the reference observation *)
+  | Skip of string
+      (** the reference itself ran out of fuel: no ground truth *)
+  | Crash of { bucket : Bucket.t; details : string }
+      (** a divergence; [details] is a human-readable account (values,
+          traps, diagnostics) — never part of the bucket key *)
+
+val run :
+  ?plant:Driver.pass_fault ->
+  ?fuel:int ->
+  ?train:(string * int64 list) list ->
+  source:string ->
+  entry:string ->
+  args:int64 list ->
+  unit ->
+  verdict
+(** Run the full differential comparison.  [plant] injects a compiler
+    fault into every configuration's compile (the planted-bug self-test);
+    [fuel] bounds both the reference interpreter and each machine run
+    (default 2,000,000); [train] is the profiling input (default: [entry]
+    on {!Gen.train_args}). *)
+
+val describe : verdict -> string

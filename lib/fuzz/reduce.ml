@@ -1,0 +1,103 @@
+(* Delta debugging over MiniC source.
+
+   The predicate abstracts "still reproduces the original bucket", so the
+   same machinery minimises miscompiles, trap divergences and front-end
+   crashes alike.  Structural validity is not tracked: a candidate with
+   unbalanced braces fails to compile, compiles to a different bucket, and
+   is rejected by the predicate like any other bad candidate. *)
+
+let split_lines s = String.split_on_char '\n' s
+let join_lines ls = String.concat "\n" ls
+
+let is_blank l = String.trim l = ""
+
+let line_count s =
+  List.length (List.filter (fun l -> not (is_blank l)) (split_lines s))
+
+(* Partition [items] into [n] contiguous chunks of near-equal length. *)
+let partition items n =
+  let len = List.length items in
+  let arr = Array.of_list items in
+  List.init n (fun i ->
+      let lo = i * len / n and hi = (i + 1) * len / n in
+      Array.to_list (Array.sub arr lo (hi - lo)))
+
+(* Classic ddmin (Zeller & Hildebrandt): try removing each of n chunks;
+   on success restart with the complement at coarser granularity,
+   otherwise refine until single-line granularity is exhausted. *)
+let ddmin ~pred source =
+  let test lines = pred (join_lines lines) in
+  let rec go lines n =
+    let len = List.length lines in
+    if len <= 1 then lines
+    else begin
+      let chunks = partition lines n in
+      let complement_of i =
+        List.concat (List.filteri (fun j _ -> j <> i) chunks)
+      in
+      let rec try_chunks i =
+        if i >= List.length chunks then None
+        else
+          let c = complement_of i in
+          if List.length c < len && test c then Some c else try_chunks (i + 1)
+      in
+      match try_chunks 0 with
+      | Some smaller -> go smaller (max (n - 1) 2)
+      | None -> if n >= len then lines else go lines (min (2 * n) len)
+    end
+  in
+  let lines = List.filter (fun l -> not (is_blank l)) (split_lines source) in
+  if not (test lines) then source (* blank-stripping broke it: keep as-is *)
+  else join_lines (go lines 2)
+
+(* All balanced "(...)" spans of [s] as (start, length), outermost/largest
+   first so one accepted replacement deletes a whole subtree at once. *)
+let paren_spans s =
+  let spans = ref [] in
+  let stack = ref [] in
+  String.iteri
+    (fun i c ->
+      if c = '(' then stack := i :: !stack
+      else if c = ')' then
+        match !stack with
+        | o :: rest ->
+            stack := rest;
+            spans := (o, i - o + 1) :: !spans
+        | [] -> ())
+    s;
+  List.sort (fun (_, a) (_, b) -> compare b a) !spans
+
+let fill_holes ?(max_tests = 400) ~pred source =
+  let budget = ref max_tests in
+  let try_replace s (off, len) =
+    List.find_map
+      (fun filler ->
+        if !budget <= 0 then None
+        else begin
+          decr budget;
+          let cand =
+            String.sub s 0 off ^ filler
+            ^ String.sub s (off + len) (String.length s - off - len)
+          in
+          if pred cand then Some cand else None
+        end)
+      [ "0"; "1" ]
+  in
+  (* restart the scan after every accepted replacement: offsets shift *)
+  let rec pass s =
+    if !budget <= 0 then s
+    else
+      match List.find_map (try_replace s) (paren_spans s) with
+      | Some s' -> pass s'
+      | None -> s
+  in
+  pass source
+
+let run ?(rounds = 3) ~pred source =
+  let rec go s n =
+    if n = 0 then s
+    else
+      let s' = fill_holes ~pred (ddmin ~pred s) in
+      if s' = s then s else go s' (n - 1)
+  in
+  if pred source then go source rounds else source

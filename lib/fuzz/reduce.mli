@@ -1,0 +1,29 @@
+(** Automatic test-case reduction (delta debugging).
+
+    Reduction is driven by a predicate — "this candidate still reproduces
+    the original bucket" — supplied by the caller; the reducer itself
+    knows nothing about compilation.  Candidates that break the program
+    (unbalanced braces, undefined variables) simply fail the predicate and
+    are rejected, so no grammar knowledge is needed.
+
+    Two stages, iterated to a fixpoint: statement-level {!ddmin} over
+    source lines, then {!fill_holes}, which replaces parenthesised
+    subexpressions with the constants [0] and [1]. *)
+
+val ddmin : pred:(string -> bool) -> string -> string
+(** Classic ddmin over the source's lines.  [pred source] must hold; the
+    result is a 1-minimal-by-lines source on which [pred] still holds. *)
+
+val fill_holes : ?max_tests:int -> pred:(string -> bool) -> string -> string
+(** Replace balanced [( ... )] spans by ["0"] or ["1"] wherever the
+    predicate keeps holding, largest spans first, restarting after every
+    accepted replacement.  [max_tests] bounds predicate evaluations
+    (default 400). *)
+
+val run : ?rounds:int -> pred:(string -> bool) -> string -> string
+(** [ddmin] then [fill_holes], repeated until a fixpoint or [rounds]
+    iterations (default 3).  Requires [pred source]; guarantees [pred] on
+    the result. *)
+
+val line_count : string -> int
+(** Non-blank lines — the size metric quoted in fuzz reports. *)

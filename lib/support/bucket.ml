@@ -1,0 +1,79 @@
+(* Crash-triage buckets for differential testing.
+
+   A bucket is the identity of a differential-fuzzing failure: the kind of
+   divergence, the implicated diagnostic code (if a compile-time pass is
+   involved) and a short stable detail such as the configuration or trap
+   name.  The rendered key deliberately contains nothing run-dependent so
+   that the same bug found from two seeds dedups to one corpus entry. *)
+
+type kind =
+  | Result_mismatch
+  | Trap_divergence
+  | Diag_divergence
+  | Verifier_reject
+  | Frontend_reject
+  | Hang
+
+type t = {
+  kind : kind;
+  code : string option;
+  detail : string;
+}
+
+let make ?code ?(detail = "") kind = { kind; code; detail }
+
+let kind_name = function
+  | Result_mismatch -> "result-mismatch"
+  | Trap_divergence -> "trap-divergence"
+  | Diag_divergence -> "diag-divergence"
+  | Verifier_reject -> "verifier-reject"
+  | Frontend_reject -> "frontend-reject"
+  | Hang -> "hang"
+
+let key t =
+  String.concat ":"
+    (kind_name t.kind
+     :: (match t.code with Some c -> [ c ] | None -> [])
+     @ (if t.detail = "" then [] else [ t.detail ]))
+
+let of_diag ~detail (d : Diag.t) =
+  let kind =
+    match d.Diag.phase with
+    | Diag.Verify -> Verifier_reject
+    | Diag.Parse | Diag.Typecheck | Diag.Lowering -> Frontend_reject
+    | _ -> Diag_divergence
+  in
+  { kind; code = Some d.Diag.code; detail }
+
+(* --- tallies ----------------------------------------------------------- *)
+
+(* Association list in first-seen order: campaigns are small (dozens of
+   distinct buckets at most) and the order makes reports reproducible. *)
+type tally = (string * int) list
+
+let empty_tally : tally = []
+
+let add (t : tally) k =
+  let rec go = function
+    | [] -> [ (k, 1) ]
+    | (k', n) :: rest when k' = k -> (k', n + 1) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  go t
+
+let rows (t : tally) = t
+let total (t : tally) = List.fold_left (fun acc (_, n) -> acc + n) 0 t
+
+let report (t : tally) =
+  if t = [] then "(no divergences)\n"
+  else begin
+    let b = Buffer.create 256 in
+    let w =
+      List.fold_left (fun acc (k, _) -> max acc (String.length k)) 6 t
+    in
+    Buffer.add_string b (Printf.sprintf "%-*s %6s\n" w "bucket" "count");
+    List.iter
+      (fun (k, n) -> Buffer.add_string b (Printf.sprintf "%-*s %6d\n" w k n))
+      t;
+    Buffer.contents b
+  end

@@ -25,6 +25,18 @@ let trap_message = function
   | Memory_fault m -> "memory fault: " ^ m
   | Trap_message m -> m
 
+(* Payload-free names: the fuzzer's triage keys must not change with the
+   faulting address or the entry name, only with the trap's kind. *)
+let trap_name = function
+  | Division_by_zero -> "div0"
+  | Stack_overflow -> "stack-overflow"
+  | Unknown_entry _ -> "unknown-entry"
+  | Unknown_function _ -> "unknown-function"
+  | Pc_out_of_range _ -> "pc-out-of-range"
+  | Classic_mode_slice -> "classic-mode-slice"
+  | Memory_fault _ -> "memory-fault"
+  | Trap_message _ -> "trap"
+
 let to_string = function
   | Finished -> "finished"
   | Out_of_fuel -> "out of fuel"

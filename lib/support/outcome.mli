@@ -23,4 +23,9 @@ type t =
   | Trapped of trap
 
 val trap_message : trap -> string
+
+val trap_name : trap -> string
+(** Stable payload-free name for triage keys, e.g. ["div0"],
+    ["memory-fault"]. *)
+
 val to_string : t -> string
