@@ -4,8 +4,15 @@
    machine.
 
    Usage:
-     dune exec bench/main.exe              # everything
-     dune exec bench/main.exe fig8 table2  # selected sections
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe fig8 table2      # selected sections
+     dune exec bench/main.exe -- --jobs 4      # size of the domain pool
+
+   Every experiment is computed through process-wide memo tables (and all
+   compilations through the content-addressed {!Compile_cache}), so the
+   printed bytes are identical whatever the job count: the pool only
+   pre-fills the tables before each section prints in its usual order.
+   A machine-readable timing summary lands in BENCH_pr4.json.
 
    Absolute energy is in model units; every figure reports values relative
    to BASELINE exactly as the paper does.  EXPERIMENTS.md records the
@@ -19,35 +26,36 @@ open Bs_energy
 let benches = Registry.all
 
 (* ---------------------------------------------------------------------- *)
-(* Cached experiment runs                                                  *)
+(* Parallel pre-fill and cached experiment runs                            *)
 (* ---------------------------------------------------------------------- *)
 
-let cache : (string, Experiment.metrics) Hashtbl.t = Hashtbl.create 64
+let jobs = ref (Bs_exec.Pool.default_jobs ())
 
-let cfg_tag (c : Driver.config) =
-  Printf.sprintf "%s-%s-%b-%b-%b-%b-u%d"
-    (match c.arch with
-    | Driver.Baseline -> "base"
-    | Driver.Bitspec_arch -> "spec"
-    | Driver.Thumb -> "thumb")
-    (Profile.heuristic_name c.heuristic)
-    c.speculate c.compare_elim c.bitmask_elide c.orig_first
-    c.expander.Expander.unroll_factor
+let cache : (string, Experiment.metrics) Bs_exec.Memo.t =
+  Bs_exec.Memo.create ()
 
 let run_cached ?profile_input ?tag config (w : Workload.t) =
   let key =
-    cfg_tag config ^ "/" ^ w.name
+    Driver.config_tag config ^ "/" ^ w.name
     ^ match tag with Some t -> "#" ^ t | None -> ""
   in
-  match Hashtbl.find_opt cache key with
-  | Some m -> m
-  | None ->
-      let m = Experiment.run ?profile_input config w in
-      Hashtbl.replace cache key m;
-      m
+  Bs_exec.Memo.find_or_add cache key (fun () ->
+      Experiment.run ?profile_input ?profile_tag:tag config w)
 
 let baseline w = run_cached Driver.baseline_config w
 let bitspec w = run_cached Driver.bitspec_config w
+
+(* [warm cells] fans the section's independent units of work out over the
+   domain pool; the section body then prints from the hot memo tables. *)
+let warm cells =
+  Bs_exec.Pool.run_all ~jobs:!jobs (Array.of_list cells)
+
+let ig f () = ignore (f ())
+
+(* Memoised row strings, for sections whose unit of work is a whole
+   custom-computed row rather than a [run_cached] cell. *)
+let rows : (string, string) Bs_exec.Memo.t = Bs_exec.Memo.create ()
+let row key f = Bs_exec.Memo.find_or_add rows key f
 
 let rel a b = if b = 0.0 then 1.0 else a /. b
 let reli a b = rel (float_of_int a) (float_of_int b)
@@ -63,16 +71,20 @@ let row_header cols =
 (* Figure 1: bitwidth selection techniques                                  *)
 (* ---------------------------------------------------------------------- *)
 
+let profile1_tbl = Bs_exec.Memo.create ()
+
 let profile_for_fig1 (w : Workload.t) =
-  (* IR-level study: profile the expanded module on the test input *)
-  let m = Bs_frontend.Lower.compile w.source in
-  ignore (Expander.run m Expander.default);
-  let profile = Profile.create () in
-  let opts = { Interp.default_opts with profile = Some profile } in
-  ignore
-    (Interp.run_fresh ~opts ~setup:(w.test.Workload.setup m) m ~entry:w.entry
-       ~args:w.test.Workload.args);
-  (m, profile)
+  (* IR-level study: profile the expanded module on the test input.
+     Memoised — fig1 and fig5 share the same profiling run. *)
+  Bs_exec.Memo.find_or_add profile1_tbl w.name (fun () ->
+      let m = Bs_frontend.Lower.compile w.source in
+      ignore (Expander.run m Expander.default);
+      let profile = Profile.create () in
+      let opts = { Interp.default_opts with profile = Some profile } in
+      ignore
+        (Interp.run_fresh ~opts ~setup:(w.test.Workload.setup m) m
+           ~entry:w.entry ~args:w.test.Workload.args);
+      (m, profile))
 
 let print_dist name (d : float array) =
   if Array.length d = 4 then
@@ -80,6 +92,7 @@ let print_dist name (d : float array) =
       (100. *. d.(0)) (100. *. d.(1)) (100. *. d.(2)) (100. *. d.(3))
 
 let fig1 () =
+  warm (List.map (fun w -> ig (fun () -> profile_for_fig1 w)) benches);
   header "Figure 1: dynamic IR integer instructions by bitwidth selection";
   List.iter
     (fun (w : Workload.t) ->
@@ -99,9 +112,7 @@ let fig1 () =
 (* Figure 3: loop unrolling IR vs assembly instructions                     *)
 (* ---------------------------------------------------------------------- *)
 
-let fig3 () =
-  header "Figure 3: unrolling factor vs dynamic IR and assembly instructions";
-  let src =
+let fig3_src =
     (* eight live accumulators with cross-dependencies: unrolled copies
        multiply the simultaneously-live temporaries, pressuring the
        register file exactly as §2.5 describes *)
@@ -119,31 +130,45 @@ let fig3 () =
      acc[i & 63] = sb;\n\
      }\n\
      return s0 ^ s1 ^ s2 ^ s3 ^ s4 ^ s5 ^ s6 ^ s7 ^ s8 ^ s9 ^ sa ^ sb; }"
-  in
-  Printf.printf "%-8s %14s %14s\n" "factor" "IR instrs" "asm instrs";
-  List.iter
-    (fun factor ->
+
+let fig3_factors = [ 1; 2; 4; 8; 16 ]
+
+let fig3_row factor =
+  row (Printf.sprintf "fig3/u%d" factor) (fun () ->
       let expander =
         { Expander.unroll_factor = factor; max_fn_size = 2000;
           max_loop_size = 3000 }
       in
-      let m = Bs_frontend.Lower.compile src in
+      let m = Bs_frontend.Lower.compile fig3_src in
       ignore (Expander.run m expander);
       let r, _ = Interp.run_fresh m ~entry:"f" ~args:[ 3000L ] in
       let cfg = { Driver.baseline_config with expander } in
       let c =
-        Driver.compile ~config:cfg ~source:src ~train:[ ("f", [ 100L ]) ] ()
+        Compile_cache.compile
+          ~key:
+            (Printf.sprintf "fig3|%s|%s|f@100"
+               (Compile_cache.source_key fig3_src)
+               (Driver.config_tag cfg))
+          (fun () ->
+            Driver.compile ~config:cfg ~source:fig3_src
+              ~train:[ ("f", [ 100L ]) ] ())
       in
       let mr = Driver.run_machine c ~entry:"f" ~args:[ 3000L ] in
-      Printf.printf "%-8d %14d %14d\n%!" factor r.Interp.steps
+      Printf.sprintf "%-8d %14d %14d\n" factor r.Interp.steps
         mr.Bs_sim.Machine.ctr.Bs_sim.Counters.instrs)
-    [ 1; 2; 4; 8; 16 ]
+
+let fig3 () =
+  warm (List.map (fun f -> ig (fun () -> fig3_row f)) fig3_factors);
+  header "Figure 3: unrolling factor vs dynamic IR and assembly instructions";
+  Printf.printf "%-8s %14s %14s\n" "factor" "IR instrs" "asm instrs";
+  List.iter (fun f -> Printf.printf "%s%!" (fig3_row f)) fig3_factors
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 5: profiler classification under T = MAX / AVG / MIN              *)
 (* ---------------------------------------------------------------------- *)
 
 let fig5 () =
+  warm (List.map (fun w -> ig (fun () -> profile_for_fig1 w)) benches);
   header "Figure 5: profiler bitwidth classes under each heuristic";
   List.iter
     (fun (w : Workload.t) ->
@@ -161,7 +186,14 @@ let fig5 () =
 (* Figure 8: energy, dynamic instructions, EPI                              *)
 (* ---------------------------------------------------------------------- *)
 
+let warm_base_spec () =
+  warm
+    (List.concat_map
+       (fun w -> [ ig (fun () -> baseline w); ig (fun () -> bitspec w) ])
+       benches)
+
 let fig8 () =
+  warm_base_spec ();
   header "Figure 8: BITSPEC relative to BASELINE";
   row_header [ "energy"; "dyn instrs"; "EPI" ];
   let gm_e = ref 0.0 and n = ref 0 in
@@ -184,6 +216,7 @@ let fig8 () =
 (* ---------------------------------------------------------------------- *)
 
 let fig9 () =
+  warm_base_spec ();
   header "Figure 9: per-component energy relative to the BASELINE component";
   row_header [ "ALU"; "regfile"; "D$"; "I$"; "pipeline" ];
   List.iter
@@ -203,6 +236,7 @@ let fig9 () =
 (* ---------------------------------------------------------------------- *)
 
 let fig10 () =
+  warm_base_spec ();
   header
     "Figure 10: spill loads / stores / copies (normalised to their BASELINE \
      sum)";
@@ -231,6 +265,7 @@ let fig10 () =
 (* ---------------------------------------------------------------------- *)
 
 let fig11 () =
+  warm_base_spec ();
   header "Figure 11: register accesses relative to BASELINE (all 32-bit there)";
   row_header [ "32-bit"; "8-bit"; "total" ];
   List.iter
@@ -250,9 +285,15 @@ let fig11 () =
 (* ---------------------------------------------------------------------- *)
 
 let fig12 () =
+  let nospec_cfg = { Driver.bitspec_config with speculate = false } in
+  warm
+    (List.concat_map
+       (fun w ->
+         [ ig (fun () -> baseline w); ig (fun () -> run_cached nospec_cfg w);
+           ig (fun () -> bitspec w) ])
+       benches);
   header "Figure 12: energy without speculation vs BITSPEC (both vs BASELINE)";
   row_header [ "no-spec"; "bitspec" ];
-  let nospec_cfg = { Driver.bitspec_config with speculate = false } in
   List.iter
     (fun (w : Workload.t) ->
       let b = baseline w in
@@ -267,11 +308,21 @@ let fig12 () =
 (* RQ3: optimisation ablations                                              *)
 (* ---------------------------------------------------------------------- *)
 
+let rq3_benches = [ "dijkstra"; "blowfish"; "rijndael"; "CRC32" ]
+
 let rq3 () =
-  header "RQ3: BITSPEC-specific optimisation ablations (energy vs BASELINE)";
-  row_header [ "full"; "-cmp-elim"; "-bitmask" ];
   let no_ce = { Driver.bitspec_config with compare_elim = false } in
   let no_bm = { Driver.bitspec_config with bitmask_elide = false } in
+  warm
+    (List.concat_map
+       (fun name ->
+         let w = Registry.find name in
+         [ ig (fun () -> baseline w); ig (fun () -> bitspec w);
+           ig (fun () -> run_cached no_ce w);
+           ig (fun () -> run_cached no_bm w) ])
+       rq3_benches);
+  header "RQ3: BITSPEC-specific optimisation ablations (energy vs BASELINE)";
+  row_header [ "full"; "-cmp-elim"; "-bitmask" ];
   List.iter
     (fun name ->
       let w = Registry.find name in
@@ -282,18 +333,25 @@ let rq3 () =
         (rel full.Experiment.total_energy b.Experiment.total_energy)
         (rel a.Experiment.total_energy b.Experiment.total_energy)
         (rel c.Experiment.total_energy b.Experiment.total_energy))
-    [ "dijkstra"; "blowfish"; "rijndael"; "CRC32" ]
+    rq3_benches
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 13 (RQ4): expander disabled                                       *)
 (* ---------------------------------------------------------------------- *)
 
 let fig13 () =
-  header "Figure 13: expander disabled (relative to BASELINE with expander)";
-  row_header [ "base-noexp E"; "spec-noexp E"; "spec-noexp EPI" ];
   let noexp = Expander.disabled in
   let base_noexp = { Driver.baseline_config with expander = noexp } in
   let spec_noexp = { Driver.bitspec_config with expander = noexp } in
+  warm
+    (List.concat_map
+       (fun w ->
+         [ ig (fun () -> baseline w);
+           ig (fun () -> run_cached base_noexp w);
+           ig (fun () -> run_cached spec_noexp w) ])
+       benches);
+  header "Figure 13: expander disabled (relative to BASELINE with expander)";
+  row_header [ "base-noexp E"; "spec-noexp E"; "spec-noexp EPI" ];
   List.iter
     (fun (w : Workload.t) ->
       let b = baseline w in
@@ -311,7 +369,18 @@ let fig13 () =
 
 let heuristic_cfg h = { Driver.bitspec_config with heuristic = h }
 
+let warm_heuristics ?(with_baseline = false) () =
+  warm
+    (List.concat_map
+       (fun w ->
+         (if with_baseline then [ ig (fun () -> baseline w) ] else [])
+         @ List.map
+             (fun h -> ig (fun () -> run_cached (heuristic_cfg h) w))
+             [ Profile.Hmax; Profile.Havg; Profile.Hmin ])
+       benches)
+
 let fig14 () =
+  warm_heuristics ~with_baseline:true ();
   header "Figure 14: energy per selection heuristic (vs BASELINE)";
   row_header [ "MAX"; "AVG"; "MIN" ];
   List.iter
@@ -327,6 +396,7 @@ let fig14 () =
     benches
 
 let table2 () =
+  warm_heuristics ();
   header "Table 2: misspeculation counts per heuristic";
   row_header [ "MAX"; "AVG"; "MIN" ];
   List.iter
@@ -341,13 +411,19 @@ let table2 () =
 (* ---------------------------------------------------------------------- *)
 
 let rq5 () =
+  let min_cfg = { Driver.bitspec_config with heuristic = Profile.Hmin } in
+  let min_inv = { min_cfg with orig_first = true } in
+  warm
+    (List.concat_map
+       (fun w ->
+         [ ig (fun () -> baseline w); ig (fun () -> run_cached min_cfg w);
+           ig (fun () -> run_cached min_inv w) ])
+       benches);
   header
     "RQ5: MIN-heuristic dynamic instructions vs BASELINE, with the default \
      allocator weights (handlers never entered) vs inverted (CFG_orig \
      first)";
   row_header [ "MIN default"; "MIN orig-1st"; "misspecs" ];
-  let min_cfg = { Driver.bitspec_config with heuristic = Profile.Hmin } in
-  let min_inv = { min_cfg with orig_first = true } in
   List.iter
     (fun (w : Workload.t) ->
       let b = baseline w in
@@ -363,14 +439,10 @@ let rq5 () =
 (* Autotuning the expander (§3.2.1's offline search)                        *)
 (* ---------------------------------------------------------------------- *)
 
-let tune () =
-  header
-    "Expander autotuning: grid search minimising BASELINE dynamic IR \
-     instructions (the paper's 10-day OpenTuner run, reduced to a grid)";
-  Printf.printf "%-18s %8s %10s %10s %14s\n" "benchmark" "unroll" "max-fn"
-    "max-loop" "IR instrs";
-  List.iter
-    (fun name ->
+let tune_benches = [ "CRC32"; "bitcount"; "sha" ]
+
+let tune_row name =
+  row ("tune/" ^ name) (fun () ->
       let w = Registry.find name in
       let compile () = Bs_frontend.Lower.compile w.Workload.source in
       let measure m =
@@ -383,16 +455,32 @@ let tune () =
       let best = Expander.autotune ~compile ~measure in
       let m = compile () in
       ignore (Expander.run m best);
-      Printf.printf "%-18s %8d %10d %10d %14d\n%!" w.name
+      Printf.sprintf "%-18s %8d %10d %10d %14d\n" w.name
         best.Expander.unroll_factor best.Expander.max_fn_size
         best.Expander.max_loop_size (measure m))
-    [ "CRC32"; "bitcount"; "sha" ]
+
+let tune () =
+  warm (List.map (fun n -> ig (fun () -> tune_row n)) tune_benches);
+  header
+    "Expander autotuning: grid search minimising BASELINE dynamic IR \
+     instructions (the paper's 10-day OpenTuner run, reduced to a grid)";
+  Printf.printf "%-18s %8s %10s %10s %14s\n" "benchmark" "unroll" "max-fn"
+    "max-loop" "IR instrs";
+  List.iter (fun n -> Printf.printf "%s%!" (tune_row n)) tune_benches
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 15 (RQ6): alternate profiling input                               *)
 (* ---------------------------------------------------------------------- *)
 
 let fig15 () =
+  warm
+    (List.concat_map
+       (fun (w : Workload.t) ->
+         [ ig (fun () -> baseline w); ig (fun () -> bitspec w);
+           ig (fun () ->
+               run_cached ~profile_input:w.alt ~tag:"altprof"
+                 Driver.bitspec_config w) ])
+       benches);
   header "Figure 15: profiling on the alternate input (energy vs BASELINE)";
   row_header [ "train-prof"; "alt-prof" ];
   List.iter
@@ -411,39 +499,38 @@ let fig15 () =
 (* Figure 16 (RQ6 deep dive): susan-edges image-pair study                  *)
 (* ---------------------------------------------------------------------- *)
 
-let fig16 () =
-  header
-    "Figure 16: susan-edges profile/run image pairs — dynamic instructions \
-     relative to self-profiled (CDF summary; paper uses 50 BSDS500 images, \
-     we use 8 synthetic textures)";
-  let w = Registry.find "susan-edges" in
-  let n_images = 8 in
-  let image i =
-    Susan.gen_input
-      ~seed:(Int64.of_int (900 + i))
-      ~range:(100 + (18 * i))
-      ~threshold:20
-  in
-  Printf.printf "%-6s %12s %12s %12s %12s\n" "T" "p50" "p90" "max" ">1.05";
-  List.iter
-    (fun h ->
+let fig16_row h =
+  row ("fig16/" ^ Profile.heuristic_name h) (fun () ->
+      let w = Registry.find "susan-edges" in
+      let n_images = 8 in
+      let image i =
+        Susan.gen_input
+          ~seed:(Int64.of_int (900 + i))
+          ~range:(100 + (18 * i))
+          ~threshold:20
+      in
       let cfg = heuristic_cfg h in
-      (* compile once per profile image; measure each on every run image *)
+      (* compile once per profile image (tagged, so the cache can address
+         the anonymous image closures); measure each on every run image *)
       let compiled =
         Array.init n_images (fun i ->
-            Experiment.compile_workload ~profile_input:(image i) cfg w)
+            Experiment.compile_workload ~profile_input:(image i)
+              ~profile_tag:(Printf.sprintf "fig16-img%d" i) cfg w)
       in
-      let self_instrs =
-        Array.init n_images (fun j ->
-            (Experiment.run_compiled compiled.(j) w ~input:(image j))
-              .Experiment.instrs)
+      (* one run per (profile, run) pair; the diagonal doubles as the
+         self-profiled reference, so nothing is simulated twice *)
+      let instrs =
+        Array.init n_images (fun i ->
+            Array.init n_images (fun j ->
+                (Experiment.run_compiled compiled.(i) w ~input:(image j))
+                  .Experiment.instrs))
       in
+      let self_instrs = Array.init n_images (fun j -> instrs.(j).(j)) in
       let ratios = ref [] in
       for i = 0 to n_images - 1 do
         for j = 0 to n_images - 1 do
-          let r = Experiment.run_compiled compiled.(i) w ~input:(image j) in
           ratios :=
-            (float_of_int r.Experiment.instrs /. float_of_int self_instrs.(j))
+            (float_of_int instrs.(i).(j) /. float_of_int self_instrs.(j))
             :: !ratios
         done
       done;
@@ -453,17 +540,42 @@ let fig16 () =
       let over =
         Array.fold_left (fun acc r -> if r > 1.05 then acc + 1 else acc) 0 arr
       in
-      Printf.printf "%-6s %12.3f %12.3f %12.3f %11.1f%%\n%!"
+      Printf.sprintf "%-6s %12.3f %12.3f %12.3f %11.1f%%\n"
         (Profile.heuristic_name h) (pct 0.5) (pct 0.9)
         arr.(n - 1)
         (100.0 *. float_of_int over /. float_of_int n))
-    [ Profile.Hmax; Profile.Havg; Profile.Hmin ]
+
+let fig16 () =
+  let hs = [ Profile.Hmax; Profile.Havg; Profile.Hmin ] in
+  warm (List.map (fun h -> ig (fun () -> fig16_row h)) hs);
+  header
+    "Figure 16: susan-edges profile/run image pairs — dynamic instructions \
+     relative to self-profiled (CDF summary; paper uses 50 BSDS500 images, \
+     we use 8 synthetic textures)";
+  Printf.printf "%-6s %12s %12s %12s %12s\n" "T" "p50" "p90" "max" ">1.05";
+  List.iter (fun h -> Printf.printf "%s%!" (fig16_row h)) hs
 
 (* ---------------------------------------------------------------------- *)
 (* RQ7: fully automatic bitwidth selection                                  *)
 (* ---------------------------------------------------------------------- *)
 
+let rq7_benches = [ "dijkstra"; "stringsearch" ]
+
 let rq7 () =
+  warm
+    (List.concat_map
+       (fun name ->
+         let w = Registry.find name in
+         match w.Workload.narrow_source with
+         | None -> []
+         | Some narrow ->
+             let narrow_w = { w with Workload.source = narrow } in
+             [ ig (fun () ->
+                   run_cached ~tag:"narrow" Driver.baseline_config narrow_w);
+               ig (fun () -> baseline w); ig (fun () -> bitspec w);
+               ig (fun () ->
+                   run_cached ~tag:"narrow" Driver.bitspec_config narrow_w) ])
+       rq7_benches);
   header
     "RQ7: worst-case-width source vs hand-narrowed source (energy vs \
      narrow-source BASELINE)";
@@ -488,17 +600,14 @@ let rq7 () =
             (rel s_wide.Experiment.total_energy b_narrow.Experiment.total_energy)
             (rel s_narrow.Experiment.total_energy
                b_narrow.Experiment.total_energy))
-    [ "dijkstra"; "stringsearch" ]
+    rq7_benches
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 17 (RQ8): composition with dynamic timing slack                   *)
 (* ---------------------------------------------------------------------- *)
 
-let fig17 () =
-  header "Figure 17: DTS and DTS+BITSPEC energy (vs BASELINE)";
-  row_header [ "DTS"; "DTS+BITSPEC"; "product"; "width-aware" ];
-  List.iter
-    (fun (w : Workload.t) ->
+let fig17_row (w : Workload.t) =
+  row ("fig17/" ^ w.name) (fun () ->
       let cb = Experiment.compile_workload Driver.baseline_config w in
       let rb =
         Driver.run_machine ~setup:(w.test.Workload.setup cb.Driver.ir) cb
@@ -518,17 +627,28 @@ let fig17 () =
       let dts_rel = dts Dts.Conservative rb /. base_e in
       let dts_spec_rel = dts Dts.Conservative rs /. base_e in
       let aware_rel = dts Dts.Width_aware rs /. base_e in
-      Printf.printf "%-18s %12.3f %12.3f %12.3f %12.3f\n%!" w.name dts_rel
+      Printf.sprintf "%-18s %12.3f %12.3f %12.3f %12.3f\n" w.name dts_rel
         dts_spec_rel
         (dts_rel *. (spec_e /. base_e))
         aware_rel)
-    benches
+
+let fig17 () =
+  warm (List.map (fun w -> ig (fun () -> fig17_row w)) benches);
+  header "Figure 17: DTS and DTS+BITSPEC energy (vs BASELINE)";
+  row_header [ "DTS"; "DTS+BITSPEC"; "product"; "width-aware" ];
+  List.iter (fun w -> Printf.printf "%s%!" (fig17_row w)) benches
 
 (* ---------------------------------------------------------------------- *)
 (* Figure 18 (RQ9): Thumb dynamic instructions                              *)
 (* ---------------------------------------------------------------------- *)
 
 let fig18 () =
+  warm
+    (List.concat_map
+       (fun w ->
+         [ ig (fun () -> baseline w);
+           ig (fun () -> run_cached Driver.thumb_config w) ])
+       benches);
   header "Figure 18: Thumb dynamic instructions relative to BASELINE";
   row_header [ "thumb/base" ];
   let sum = ref 0.0 and n = ref 0 in
@@ -554,14 +674,20 @@ let bechamel_section () =
   let open Toolkit in
   let w = Registry.find "bitcount" in
   let c = Experiment.compile_workload Driver.bitspec_config w in
+  (* the compile tests measure the compiler, so they bypass the compile
+     cache and call the driver directly *)
+  let compile_direct config () =
+    ignore
+      (Driver.compile ~config ~source:w.Workload.source
+         ~setup:w.Workload.train.Workload.setup
+         ~train:[ (w.Workload.entry, w.Workload.train.Workload.args) ] ())
+  in
   let tests =
     Test.make_grouped ~name:"pipeline"
       [ Test.make ~name:"compile-baseline"
-          (Staged.stage (fun () ->
-               ignore (Experiment.compile_workload Driver.baseline_config w)));
+          (Staged.stage (compile_direct Driver.baseline_config));
         Test.make ~name:"compile-bitspec"
-          (Staged.stage (fun () ->
-               ignore (Experiment.compile_workload Driver.bitspec_config w)));
+          (Staged.stage (compile_direct Driver.bitspec_config));
         Test.make ~name:"simulate-bitspec"
           (Staged.stage (fun () ->
                ignore
@@ -603,17 +729,62 @@ let sections =
     ("fig15", fig15); ("fig16", fig16); ("rq7", rq7); ("fig17", fig17);
     ("fig18", fig18); ("bechamel", bechamel_section) ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+(* Machine-readable run summary: per-section wall-clock, the job count,
+   and the compile cache's effectiveness over the whole run. *)
+let write_bench_json ~total timings =
+  let hits = Compile_cache.hits () and misses = Compile_cache.misses () in
+  let rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
   in
+  let oc = open_out "BENCH_pr4.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"jobs\": %d,\n\
+    \  \"total_seconds\": %.3f,\n\
+    \  \"compile_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f },\n\
+    \  \"sections\": [\n%s\n  ]\n}\n"
+    !jobs total hits misses rate
+    (String.concat ",\n"
+       (List.map
+          (fun (name, seconds) ->
+            Printf.sprintf "    { \"name\": %S, \"seconds\": %.3f }" name
+              seconds)
+          timings));
+  close_out oc
+
+let () =
+  (* peel -jN / --jobs N / --jobs=N off the section list *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: n :: rest ->
+        jobs := max 1 (int_of_string n);
+        parse acc rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        jobs := max 1 (int_of_string (String.sub a 7 (String.length a - 7)));
+        parse acc rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
+        jobs := max 1 (int_of_string (String.sub a 2 (String.length a - 2)));
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let requested =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | l -> l
+  in
+  let t_start = Unix.gettimeofday () in
+  let timings = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> f ()
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          timings := (name, Unix.gettimeofday () -. t0) :: !timings
       | None ->
           Printf.eprintf "unknown section %s (available: %s)\n" name
             (String.concat " " (List.map fst sections)))
-    requested
+    requested;
+  write_bench_json ~total:(Unix.gettimeofday () -. t_start)
+    (List.rev !timings)

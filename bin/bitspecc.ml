@@ -90,6 +90,13 @@ let heuristic_arg =
 
 let no_expander_arg = Arg.(value & flag & info [ "no-expander" ])
 
+let jobs_arg =
+  Arg.(value
+       & opt int (Bs_exec.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for independent trials/runs (default: the \
+                 number of cores).  Results are identical whatever $(docv).")
+
 let strict_arg =
   Arg.(value & flag
        & info [ "strict" ]
@@ -188,17 +195,26 @@ let run_cmd =
 let bench_cmd =
   let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
   let relative = Arg.(value & flag & info [ "relative" ] ~doc:"also print values relative to BASELINE") in
-  let action wname arch heuristic no_expander relative =
+  let action wname arch heuristic no_expander relative jobs =
     with_reporting (fun () ->
         let w = Registry.find wname in
         let config = config_of ~arch ~heuristic ~no_expander in
-        let m = Experiment.run config w in
+        (* the configured run and the baseline comparison are independent;
+           a pool overlaps them (printing stays sequential) *)
+        let runs =
+          if relative then
+            Bs_exec.Pool.map ~jobs
+              (fun cfg -> Experiment.run cfg w)
+              [| config; Driver.baseline_config |]
+          else [| Experiment.run config w |]
+        in
+        let m = runs.(0) in
         print_metrics m;
         let expect = Experiment.reference_checksum w in
         Printf.printf "reference     = %Ld (%s)\n" expect
           (if expect = m.Experiment.checksum then "MATCH" else "MISMATCH");
         if relative then begin
-          let b = Experiment.run Driver.baseline_config w in
+          let b = runs.(1) in
           Printf.printf "vs BASELINE   : energy %.3f, instrs %.3f, EPI %.3f\n"
             (m.Experiment.total_energy /. b.Experiment.total_energy)
             (float_of_int m.Experiment.instrs /. float_of_int b.Experiment.instrs)
@@ -207,7 +223,7 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc:"run a built-in workload")
     Term.(const action $ wname $ arch_arg $ heuristic_arg $ no_expander_arg
-          $ relative)
+          $ relative $ jobs_arg)
 
 (* --- inject ------------------------------------------------------------ *)
 
@@ -228,18 +244,18 @@ let inject_cmd =
          & info [ "max-examples" ] ~docv:"K"
              ~doc:"Detected-fault examples to list.")
   in
-  let action wname arch heuristic no_expander trials seed max_examples =
+  let action wname arch heuristic no_expander trials seed max_examples jobs =
     with_reporting (fun () ->
         let w = Registry.find wname in
         let config = config_of ~arch ~heuristic ~no_expander in
-        let campaign = Campaign.run ~config ~trials ~seed w in
+        let campaign = Campaign.run ~jobs ~config ~trials ~seed w in
         print_string (Campaign.report ~max_examples campaign))
   in
   Cmd.v
     (Cmd.info "inject"
        ~doc:"run a seeded fault-injection campaign on a built-in workload")
     Term.(const action $ wname $ arch_arg $ heuristic_arg $ no_expander_arg
-          $ trials $ seed $ max_examples)
+          $ trials $ seed $ max_examples $ jobs_arg)
 
 (* --- fuzz -------------------------------------------------------------- *)
 
@@ -299,11 +315,12 @@ let fuzz_cmd =
              ~doc:"Invert the exit status: fail when NO crash is found \
                    (planted-fault self-tests).")
   in
-  let action seed trials budget corpus size no_reduce fault expect_crash =
+  let action seed trials budget corpus size no_reduce fault expect_crash jobs
+      =
     with_reporting (fun () ->
         let t =
           Bs_fuzz.Fuzz.run ?plant:fault ?budget ~reduce:(not no_reduce)
-            ~size ~seed ~trials ()
+            ~size ~jobs ~seed ~trials ()
         in
         print_string (Bs_fuzz.Fuzz.report t);
         if t.Bs_fuzz.Fuzz.crashes <> [] then begin
@@ -318,7 +335,7 @@ let fuzz_cmd =
        ~doc:"differential fuzzing campaign: random programs, every build \
              configuration against the reference interpreter")
     Term.(const action $ seed $ trials $ budget $ corpus $ size $ no_reduce
-          $ fault_arg $ expect_crash)
+          $ fault_arg $ expect_crash $ jobs_arg)
 
 (* --- reduce ------------------------------------------------------------ *)
 

@@ -2,13 +2,32 @@
 # Minimal CI: build everything, run the full test suite, then a
 # fixed-seed differential-fuzz smoke: a clean campaign must find no
 # crashes, and a campaign with a planted miscompile must catch it
-# (--expect-crash inverts the exit code).
+# (--expect-crash inverts the exit code).  Both smokes run with
+# --jobs 4 — reports are byte-identical to sequential, so this also
+# exercises the domain pool.  Finally a timed bench subset guards the
+# evaluation harness against performance regressions.
 set -eu
 cd "$(dirname "$0")"
 dune build @all
 dune runtest
 corpus="$(mktemp -d)"
 trap 'rm -rf "$corpus"' EXIT
-dune exec bin/bitspecc.exe -- fuzz --seed 1 --trials 25 --corpus "$corpus"
 dune exec bin/bitspecc.exe -- fuzz --seed 1 --trials 25 --corpus "$corpus" \
-  --fault miscompile:f --expect-crash
+  --jobs 4
+dune exec bin/bitspecc.exe -- fuzz --seed 1 --trials 25 --corpus "$corpus" \
+  --jobs 4 --fault miscompile:f --expect-crash
+
+# Timed bench subset: fig8 + table2 (the regression-anchored sections).
+# Recorded single-job baseline on the reference container: ~6800 ms.
+# Fail if the subset takes more than twice that — a slowdown of that
+# size means a fast path or the compile cache broke.
+bench_baseline_ms=6800
+t0=$(date +%s%3N)
+dune exec bench/main.exe -- --jobs 1 fig8 table2 > /dev/null
+t1=$(date +%s%3N)
+elapsed=$((t1 - t0))
+echo "bench subset (fig8 table2): ${elapsed} ms (baseline ${bench_baseline_ms} ms)"
+if [ "$elapsed" -gt $((2 * bench_baseline_ms)) ]; then
+  echo "bench subset regression: ${elapsed} ms > 2x baseline" >&2
+  exit 1
+fi

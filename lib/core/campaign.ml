@@ -27,7 +27,8 @@ let arch_name = function
   | Driver.Bitspec_arch -> "bitspec"
   | Driver.Thumb -> "thumb"
 
-let run ?(config = Driver.bitspec_config) ~trials ~seed (w : Workload.t) : t =
+let run ?(config = Driver.bitspec_config) ?(jobs = 1) ~trials ~seed
+    (w : Workload.t) : t =
   let c = Experiment.compile_workload config w in
   let input = w.Workload.test in
   let mem () =
@@ -52,15 +53,22 @@ let run ?(config = Driver.bitspec_config) ~trials ~seed (w : Workload.t) : t =
   let sample = mem () in
   let mem_lo = Memimage.globals_base
   and mem_hi = Memimage.size sample - 1 in
+  (* Split the seed stream up front: the whole fault list is drawn from
+     the rng sequentially, then the (independent, rng-free) trials fan
+     out over the pool.  The trial list is identical whatever [jobs]. *)
   let rng = Rng.create seed in
+  let faults =
+    Array.init trials (fun _ ->
+        Faultinject.gen_fault rng ~max_instr:golden_instrs ~mem_lo ~mem_hi)
+  in
   let results =
-    List.init trials (fun _ ->
-        let fault =
-          Faultinject.gen_fault rng ~max_instr:golden_instrs ~mem_lo ~mem_hi
-        in
-        Faultinject.run_trial ~mode ~fuel ~program:c.Driver.program ~mem
-          ~entry:w.Workload.entry ~args:input.Workload.args ~expected
-          ~golden_misspecs fault)
+    Array.to_list
+      (Bs_exec.Pool.map ~jobs
+         (fun fault ->
+           Faultinject.run_trial ~mode ~fuel ~program:c.Driver.program ~mem
+             ~entry:w.Workload.entry ~args:input.Workload.args ~expected
+             ~golden_misspecs fault)
+         faults)
   in
   { workload = w.Workload.name; arch = config.Driver.arch; seed;
     golden_instrs; golden_misspecs; expected; trials = results }

@@ -5,7 +5,9 @@
     oracle), then replays the test input N times, each with one seeded
     single-bit flip, and tabulates {!Bs_sim.Faultinject}'s
     masked / detected / trapped / sdc / hung classification.  Fixed seed
-    ⇒ identical trials, bit for bit. *)
+    ⇒ identical trials, bit for bit: the whole fault list is drawn from
+    the seed before any trial runs, so a parallel campaign ([jobs] > 1)
+    is byte-identical to a sequential one. *)
 
 type t = {
   workload : string;
@@ -19,11 +21,14 @@ type t = {
 
 val run :
   ?config:Driver.config ->
+  ?jobs:int ->
   trials:int ->
   seed:int64 ->
   Bs_workloads.Workload.t ->
   t
-(** Run an N-trial campaign (default config: the BITSPEC build). *)
+(** Run an N-trial campaign (default config: the BITSPEC build).
+    [jobs] (default 1) fans the trials out over a domain pool; the
+    result does not depend on it. *)
 
 val report : ?max_examples:int -> t -> string
 (** Human-readable classification table, plus the faults the

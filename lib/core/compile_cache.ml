@@ -1,0 +1,24 @@
+open Bs_exec
+
+(* Two single-flight tables, one per entry-point shape.  Capacity bounds
+   keep long fuzz campaigns (unique source per trial) from accumulating
+   unboundedly: a flush only costs recompiles, never changes results. *)
+
+let strict_tbl : (string, Driver.compiled) Memo.t = Memo.create ~cap:512 ()
+
+let total_tbl :
+    (string, (Driver.compiled, Bs_support.Diag.t list) result) Memo.t =
+  Memo.create ~cap:512 ()
+
+let source_key source = Digest.to_hex (Digest.string source)
+
+let compile ~key thunk = Memo.find_or_add strict_tbl key thunk
+
+let try_compile ~key thunk = Memo.find_or_add total_tbl key thunk
+
+let hits () = Memo.hits strict_tbl + Memo.hits total_tbl
+let misses () = Memo.misses strict_tbl + Memo.misses total_tbl
+
+let reset () =
+  Memo.clear strict_tbl;
+  Memo.clear total_tbl

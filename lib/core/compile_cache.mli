@@ -1,0 +1,41 @@
+(** The process-wide content-addressed compile cache.
+
+    Every evidence-producing loop (the bench harness's 19 sections,
+    fault-injection campaigns, differential fuzzing) repeatedly compiles
+    the same (source, configuration) pairs.  This cache keys a compile
+    on content — the MD5 digest of the source, {!Driver.config_tag},
+    the training runs, and the profile-input label — and computes each
+    key exactly once per process, across domains ({!Bs_exec.Memo} is
+    single-flight).
+
+    Cached {!Driver.compiled} values are shared, so callers must treat
+    them as read-only; simulation already does (every run builds a
+    fresh memory image).
+
+    Callers that must measure real compile time (the bechamel section)
+    bypass the cache by calling {!Driver.compile} directly. *)
+
+val source_key : string -> string
+(** MD5 digest (hex) of a source string — the content half of a key. *)
+
+val compile :
+  key:string -> (unit -> Driver.compiled) -> Driver.compiled
+(** [compile ~key thunk] returns the cached compilation for [key],
+    running [thunk] on first request.  Exceptions are cached and
+    rethrown (a deterministic compiler fails identically each time). *)
+
+val try_compile :
+  key:string ->
+  (unit -> (Driver.compiled, Bs_support.Diag.t list) result) ->
+  (Driver.compiled, Bs_support.Diag.t list) result
+(** Same, for the total (degrade-mode) entry point used by the fuzz
+    oracle. *)
+
+val hits : unit -> int
+(** Compiles served from the cache since the last [reset]. *)
+
+val misses : unit -> int
+(** Compiles actually executed since the last [reset]. *)
+
+val reset : unit -> unit
+(** Drop everything and zero the counters (tests, long campaigns). *)

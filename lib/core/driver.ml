@@ -47,6 +47,21 @@ let baseline_config =
 (** RQ9: the compact-ISA build (Thumb-like: 8 registers, 2-address ops). *)
 let thumb_config = { baseline_config with arch = Thumb }
 
+(* A complete, injective rendering of a configuration — the compiler half
+   of every compile-cache key.  Every field that can change generated code
+   appears; adding a config field without extending this tag would let the
+   cache conflate distinct builds, so keep them in lockstep. *)
+let config_tag (c : config) =
+  Printf.sprintf "%s:%s:s%b:ce%b:bm%b:of%b:u%d.f%d.l%d"
+    (match c.arch with
+    | Baseline -> "base"
+    | Bitspec_arch -> "spec"
+    | Thumb -> "thumb")
+    (Profile.heuristic_name c.heuristic)
+    c.speculate c.compare_elim c.bitmask_elide c.orig_first
+    c.expander.Expander.unroll_factor c.expander.Expander.max_fn_size
+    c.expander.Expander.max_loop_size
+
 (* Compiler-level fault injection: force one pass to fail on one function,
    to exercise the degradation machinery (and prove in tests that a
    degraded module still runs to the right checksum).  [Fault_miscompile]

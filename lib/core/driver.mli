@@ -43,6 +43,11 @@ val baseline_config : config
 val thumb_config : config
 (** RQ9's compact-ISA build: 8 registers, 2-address operations. *)
 
+val config_tag : config -> string
+(** An injective rendering of every code-affecting field — the
+    configuration half of a {!Compile_cache} key (and the bench
+    harness's cell keys). *)
+
 (** Compiler-level fault injection: force one pass to fail on one
     function, exercising the degradation machinery end to end.
     [Fault_squeeze] and [Fault_regalloc] raise inside the pass (degrade

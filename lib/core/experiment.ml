@@ -45,12 +45,40 @@ let metrics_of_run (r : Machine.result) : metrics =
 
 (** [compile_workload config w] compiles [w] under [config], profiling on
     the train input (or [profile_input] when given — RQ6 swaps in the
-    alternate input here). *)
+    alternate input here).
+
+    Compilations are routed through the process-wide {!Compile_cache}:
+    the key is the source digest, the full configuration tag, and the
+    profile input's identity.  The train input is content-known (it
+    belongs to the workload), so plain compiles are cached under the
+    label ["train"].  An anonymous [profile_input] closure has no
+    content address — callers that reuse one (fig16's image sweep) pass
+    [profile_tag] to opt in; without a tag the compile runs uncached. *)
 let compile_workload ?(profile_input : Workload.input option)
-    (config : Driver.config) (w : Workload.t) : Driver.compiled =
+    ?(profile_tag : string option) (config : Driver.config) (w : Workload.t)
+    : Driver.compiled =
   let pi = Option.value profile_input ~default:w.train in
-  Driver.compile ~config ~source:w.source ~setup:pi.Workload.setup
-    ~train:[ (w.entry, pi.Workload.args) ] ()
+  let thunk () =
+    Driver.compile ~config ~source:w.source ~setup:pi.Workload.setup
+      ~train:[ (w.entry, pi.Workload.args) ] ()
+  in
+  let label =
+    match (profile_tag, profile_input) with
+    | Some t, _ -> Some t
+    | None, None -> Some "train"
+    | None, Some _ -> None
+  in
+  match label with
+  | None -> thunk ()
+  | Some label ->
+      let key =
+        Printf.sprintf "%s|%s|%s|%s@%s" w.Workload.name
+          (Compile_cache.source_key w.Workload.source)
+          (Driver.config_tag config)
+          label
+          (String.concat "," (List.map Int64.to_string pi.Workload.args))
+      in
+      Compile_cache.compile ~key thunk
 
 (** [run_compiled c w ~input] simulates and collects metrics. *)
 let run_compiled (c : Driver.compiled) (w : Workload.t)
@@ -63,21 +91,31 @@ let run_compiled (c : Driver.compiled) (w : Workload.t)
 
 (** One-call experiment: compile under [config] and measure on the test
     input. *)
-let run ?profile_input (config : Driver.config) (w : Workload.t) : metrics =
-  let c = compile_workload ?profile_input config w in
+let run ?profile_input ?profile_tag (config : Driver.config) (w : Workload.t)
+    : metrics =
+  let c = compile_workload ?profile_input ?profile_tag config w in
   run_compiled c w ~input:w.test
+
+(* The reference checksum only depends on the workload's source and test
+   input, so it too is computed once per process (campaigns and the
+   bench subcommand both ask for it). *)
+let reference_tbl : (string, int64) Bs_exec.Memo.t =
+  Bs_exec.Memo.create ~cap:256 ()
 
 (** Reference-interpreter checksum on the test input (correctness oracle:
     any simulated build must reproduce it). *)
 let reference_checksum (w : Workload.t) : int64 =
-  let m = Bs_frontend.Lower.compile w.source in
-  let r, _ =
-    Interp.run_fresh ~setup:(w.test.Workload.setup m) m ~entry:w.entry
-      ~args:w.test.Workload.args
-  in
-  match r.Interp.ret with
-  | Some v -> Int64.logand v 0xFFFFFFFFL
-  | None -> 0L
+  Bs_exec.Memo.find_or_add reference_tbl
+    (w.Workload.name ^ "|" ^ Compile_cache.source_key w.Workload.source)
+    (fun () ->
+      let m = Bs_frontend.Lower.compile w.source in
+      let r, _ =
+        Interp.run_fresh ~setup:(w.test.Workload.setup m) m ~entry:w.entry
+          ~args:w.test.Workload.args
+      in
+      match r.Interp.ret with
+      | Some v -> Int64.logand v 0xFFFFFFFFL
+      | None -> 0L)
 
 (** Relative value helper: [rel v base] = v / base. *)
 let rel v base = if base = 0.0 then 1.0 else v /. base

@@ -25,11 +25,17 @@ val metrics_of_run : Bs_sim.Machine.result -> metrics
 
 val compile_workload :
   ?profile_input:Bs_workloads.Workload.input ->
+  ?profile_tag:string ->
   Driver.config ->
   Bs_workloads.Workload.t ->
   Driver.compiled
 (** Compile a workload, profiling on its train input (or [profile_input] —
-    RQ6 passes the alternate input here). *)
+    RQ6 passes the alternate input here).  Compiles are served from
+    {!Compile_cache}: the default train input is cached under the label
+    ["train"]; a custom [profile_input] is cached only when the caller
+    names it with [profile_tag] (an anonymous input closure has no
+    content address).  Callers measuring compile time itself should call
+    {!Driver.compile} directly. *)
 
 val run_compiled :
   Driver.compiled ->
@@ -40,15 +46,17 @@ val run_compiled :
 
 val run :
   ?profile_input:Bs_workloads.Workload.input ->
+  ?profile_tag:string ->
   Driver.config ->
   Bs_workloads.Workload.t ->
   metrics
-(** One-call experiment: compile under the configuration, measure on the
-    workload's test input. *)
+(** One-call experiment: compile under the configuration (cached, see
+    {!compile_workload}), measure on the workload's test input. *)
 
 val reference_checksum : Bs_workloads.Workload.t -> int64
 (** The reference interpreter's checksum on the test input; every
-    simulated build must reproduce it. *)
+    simulated build must reproduce it.  Computed once per process per
+    workload. *)
 
 val rel : float -> float -> float
 (** [rel v base] = v / base (1 when base is 0). *)

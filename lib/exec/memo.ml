@@ -1,0 +1,89 @@
+(* Single-flight memoisation.
+
+   The table holds one of three states per key: a landed value, a landed
+   exception, or an in-flight marker.  Computations run outside the lock;
+   a domain finding the in-flight marker waits on the condition variable
+   and retries when the computation (any computation) lands.  A capacity
+   overflow flushes the whole table: because memoised computations are
+   deterministic, a flush can only cost time, never change a result. *)
+
+type 'v state =
+  | Done of 'v
+  | Failed of exn * Printexc.raw_backtrace
+  | Running
+
+type ('k, 'v) t = {
+  tbl : ('k, 'v state) Hashtbl.t;
+  lock : Mutex.t;
+  landed : Condition.t;
+  cap : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(cap = max_int) () =
+  { tbl = Hashtbl.create 64; lock = Mutex.create ();
+    landed = Condition.create (); cap; hits = 0; misses = 0 }
+
+let rec find_or_add t k f =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.tbl k with
+  | Some (Done v) ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      v
+  | Some (Failed (e, bt)) ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      Printexc.raise_with_backtrace e bt
+  | Some Running ->
+      (* someone else is computing this key: wait for any landing, then
+         re-examine (spurious wakeups just loop) *)
+      Condition.wait t.landed t.lock;
+      Mutex.unlock t.lock;
+      find_or_add t k f
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.tbl >= t.cap then Hashtbl.reset t.tbl;
+      Hashtbl.replace t.tbl k Running;
+      Mutex.unlock t.lock;
+      let outcome =
+        match f () with
+        | v -> Done v
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.lock;
+      Hashtbl.replace t.tbl k outcome;
+      Condition.broadcast t.landed;
+      Mutex.unlock t.lock;
+      (match outcome with
+      | Done v -> v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Running -> assert false)
+
+let mem t k =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Done _ | Failed _) -> true
+    | Some Running | None -> false
+  in
+  Mutex.unlock t.lock;
+  r
+
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.tbl;
+  t.hits <- 0;
+  t.misses <- 0;
+  Condition.broadcast t.landed;
+  Mutex.unlock t.lock
+
+let hits t = t.hits
+let misses t = t.misses
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  n

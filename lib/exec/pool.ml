@@ -1,0 +1,53 @@
+(* A fixed worker pool over OCaml 5 domains.
+
+   Work distribution is a single atomic cursor over the input array:
+   every worker (the spawned domains plus the calling domain) claims the
+   next unclaimed index, computes, and stores the result at that index.
+   Order is therefore preserved by construction, whatever the
+   interleaving.  Exceptions are captured per index and rethrown after
+   the join in input order, so the first failure a caller observes does
+   not depend on scheduling. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'b cell =
+  | Pending
+  | Ok of 'b
+  | Exn of exn * Printexc.raw_backtrace
+
+let map ~jobs f a =
+  let n = Array.length a in
+  let jobs = min jobs n in
+  if jobs <= 1 || n <= 1 then Array.map f a
+  else begin
+    let results = Array.make n Pending in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          let r =
+            match f (Array.unsafe_get a i) with
+            | v -> Ok v
+            | exception e -> Exn (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Ok v -> v
+        | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending -> assert false (* cursor passed n for every worker *))
+      results
+  end
+
+let map_list ~jobs f l = Array.to_list (map ~jobs f (Array.of_list l))
+
+let run_all ~jobs thunks = ignore (map ~jobs (fun g -> g ()) thunks)

@@ -29,7 +29,8 @@ type t = {
   plant : Driver.pass_fault option;
 }
 
-let run ?plant ?budget ?(reduce = true) ?size ?fuel ~seed ~trials () =
+let run ?plant ?budget ?(reduce = true) ?size ?fuel ?(jobs = 1) ~seed ~trials
+    () =
   let rng = Rng.create (Int64.of_int seed) in
   let started = Sys.time () in
   let over_budget () =
@@ -41,32 +42,56 @@ let run ?plant ?budget ?(reduce = true) ?size ?fuel ~seed ~trials () =
   let tally = ref Bucket.empty_tally in
   let crashes = ref [] in
   let seen key = List.exists (fun c -> Bucket.key c.bucket = key) !crashes in
+  (* Trials run in chunks.  Each chunk's seeds are drawn from the rng
+     sequentially up front — the seed stream is identical whatever
+     [jobs] — then the (independent, rng-free) generate+oracle runs fan
+     out over the pool, and tallying, dedup and reduction fold over the
+     verdicts in trial order.  With [jobs] = 1 the chunk size is 1, so
+     the budget check falls exactly where the sequential loop had it. *)
+  let chunk = if jobs <= 1 then 1 else jobs * 4 in
   let i = ref 0 in
   while !i < trials && not (over_budget ()) do
-    let tseed = Int64.to_int (Int64.logand (Rng.next rng) 0x3FFFFFFFL) in
-    let source = Gen.program ?size tseed in
-    let args = [ Gen.entry_arg tseed ] in
-    incr executed;
-    (match Oracle.run ?plant ?fuel ~source ~entry:Gen.entry ~args () with
-    | Oracle.Agree _ -> incr agreed
-    | Oracle.Skip _ -> incr skipped
-    | Oracle.Crash { bucket; details } ->
-        let key = Bucket.key bucket in
-        tally := Bucket.add !tally key;
-        if not (seen key) then begin
-          let reproduces s =
-            match Oracle.run ?plant ?fuel ~source:s ~entry:Gen.entry ~args () with
-            | Oracle.Crash { bucket = b; _ } -> Bucket.key b = key
-            | _ -> false
-          in
-          let reduced =
-            if reduce then Reduce.run ~pred:reproduces source else source
-          in
-          crashes :=
-            { trial = !i; tseed; bucket; details; source; reduced; args }
-            :: !crashes
-        end);
-    incr i
+    let k = min chunk (trials - !i) in
+    let tseeds =
+      Array.init k (fun _ ->
+          Int64.to_int (Int64.logand (Rng.next rng) 0x3FFFFFFFL))
+    in
+    let verdicts =
+      Bs_exec.Pool.map ~jobs
+        (fun tseed ->
+          let source = Gen.program ?size tseed in
+          let args = [ Gen.entry_arg tseed ] in
+          ( source, args,
+            Oracle.run ?plant ?fuel ~source ~entry:Gen.entry ~args () ))
+        tseeds
+    in
+    Array.iteri
+      (fun off (source, args, verdict) ->
+        incr executed;
+        match verdict with
+        | Oracle.Agree _ -> incr agreed
+        | Oracle.Skip _ -> incr skipped
+        | Oracle.Crash { bucket; details } ->
+            let key = Bucket.key bucket in
+            tally := Bucket.add !tally key;
+            if not (seen key) then begin
+              let reproduces s =
+                match
+                  Oracle.run ?plant ?fuel ~source:s ~entry:Gen.entry ~args ()
+                with
+                | Oracle.Crash { bucket = b; _ } -> Bucket.key b = key
+                | _ -> false
+              in
+              let reduced =
+                if reduce then Reduce.run ~pred:reproduces source else source
+              in
+              crashes :=
+                { trial = !i + off; tseed = tseeds.(off); bucket; details;
+                  source; reduced; args }
+                :: !crashes
+            end)
+      verdicts;
+    i := !i + k
   done;
   { seed; requested = trials; executed = !executed; agreed = !agreed;
     skipped = !skipped; crashes = List.rev !crashes; tally = !tally; plant }

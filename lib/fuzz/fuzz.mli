@@ -38,6 +38,7 @@ val run :
   ?reduce:bool ->
   ?size:int ->
   ?fuel:int ->
+  ?jobs:int ->
   seed:int ->
   trials:int ->
   unit ->
@@ -45,7 +46,15 @@ val run :
 (** Run a campaign.  [plant] injects a compiler fault into every trial's
     compiles (self-test mode); [budget] is wall-clock seconds; [reduce]
     (default true) minimises the first crash of each bucket; [size] and
-    [fuel] are passed through to {!Gen.program} and {!Oracle.run}. *)
+    [fuel] are passed through to {!Gen.program} and {!Oracle.run}.
+
+    [jobs] (default 1) fans trials out over a domain pool in chunks:
+    every trial seed is drawn from the campaign stream sequentially
+    before its chunk runs, and tallying, dedup and reduction fold over
+    the verdicts in trial order, so an unbudgeted campaign's result is
+    byte-identical whatever [jobs].  (A [budget] is checked between
+    chunks, so where a budgeted campaign truncates may depend on
+    [jobs] — but the trials that do run are still the same prefix.) *)
 
 val meta_of_crash : t -> crash -> Corpus.meta
 

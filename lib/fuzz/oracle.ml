@@ -98,13 +98,34 @@ let run ?plant ?(fuel = 2_000_000) ?train ~source ~entry ~args () =
       match ref_obs with
       | Fuel -> Skip "reference interpreter ran out of fuel"
       | _ ->
-          (* 2. Each engine versus the reference, first divergence wins. *)
+          (* 2. Each engine versus the reference, first divergence wins.
+             Compiles go through the process-wide cache: the key covers
+             everything the compile depends on (source, configuration,
+             training runs, planted fault), so the reducer's repeated
+             oracle calls and the final reproducer replay each compile a
+             given candidate once per engine. *)
+          let src_key = Compile_cache.source_key source in
+          let train_key =
+            String.concat ";"
+              (List.map
+                 (fun (e, args) ->
+                   e ^ ":" ^ String.concat "," (List.map Int64.to_string args))
+                 train)
+          in
+          let plant_key =
+            match plant with Some f -> Corpus.fault_to_string f | None -> "-"
+          in
           let rec check = function
             | [] -> Agree ref_obs
             | { ename; config } :: rest -> (
                 match
-                  Driver.try_compile ?pass_fault:plant ~config ~source
-                    ~train ()
+                  Compile_cache.try_compile
+                    ~key:
+                      (Printf.sprintf "fuzz|%s|%s|%s|%s" src_key
+                         (Driver.config_tag config) train_key plant_key)
+                    (fun () ->
+                      Driver.try_compile ?pass_fault:plant ~config ~source
+                        ~train ())
                 with
                 | Error diags ->
                     let d =

@@ -116,6 +116,61 @@ let misspeculates (i : Ir.instr) operand_values result =
       | _ -> false)
   | _ -> ignore result; false
 
+(* Everything about a function's body that doesn't depend on the dynamic
+   state is computed once per execution and reused on every call and every
+   block entry: the static frame layout, the block→region map, and each
+   block's instruction list pre-split into its phi prefix and its body.
+   The splits used to be two [List.filter]s per block *execution*, which
+   dominated the profile on loop-heavy workloads. *)
+type fctx = {
+  fc_sallocs : (int * int) list;          (* (iid, bytes), frame order *)
+  fc_frame : int;                          (* total frame size, 8-aligned *)
+  fc_region : Ir.region option array;     (* bid-indexed block→region map *)
+  fc_phis : Ir.instr list array;          (* bid-indexed phi prefix *)
+  fc_body : Ir.instr list array;          (* bid-indexed non-phi body *)
+  fc_srcw : int array;
+      (* iid-indexed source-operand width for Cmp/Cast (-1 elsewhere) *)
+  fc_block : Ir.block option array;       (* bid-indexed block table *)
+}
+
+let build_fctx (f : Ir.func) : fctx =
+  let n = f.next_id in
+  let fc_sallocs =
+    List.concat_map
+      (fun (b : Ir.block) ->
+        List.filter_map
+          (fun (i : Ir.instr) ->
+            match i.op with Ir.Salloc n -> Some (i.iid, n) | _ -> None)
+          b.instrs)
+      f.blocks
+  in
+  let fc_frame =
+    List.fold_left (fun acc (_, n) -> acc + ((n + 7) / 8 * 8)) 0 fc_sallocs
+  in
+  let fc_region = Array.make n None in
+  List.iter
+    (fun (r : Ir.region) ->
+      List.iter (fun bid -> fc_region.(bid) <- Some r) r.rblocks)
+    f.regions;
+  let fc_phis = Array.make n [] in
+  let fc_body = Array.make n [] in
+  let fc_srcw = Array.make n (-1) in
+  let fc_block = Array.make n None in
+  List.iter
+    (fun (b : Ir.block) ->
+      fc_block.(b.bid) <- Some b;
+      fc_phis.(b.bid) <- List.filter Ir.is_phi b.instrs;
+      fc_body.(b.bid) <- List.filter (fun i -> not (Ir.is_phi i)) b.instrs;
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.Cmp (_, a, _) | Ir.Cast (_, a) ->
+              fc_srcw.(i.iid) <- Ir.operand_width f a
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  { fc_sallocs; fc_frame; fc_region; fc_phis; fc_body; fc_srcw; fc_block }
+
 let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
   let st =
     { m; mem; opts; ctr = { steps = 0; misspecs = 0; calls = 0 };
@@ -128,6 +183,15 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
     | Some f -> f
     | None -> raise (Trap ("call to unknown function " ^ name))
   in
+  let fctxs : (string, fctx) Hashtbl.t = Hashtbl.create 16 in
+  let get_fctx (f : Ir.func) =
+    match Hashtbl.find_opt fctxs f.fname with
+    | Some c -> c
+    | None ->
+        let c = build_fctx f in
+        Hashtbl.replace fctxs f.fname c;
+        c
+  in
   let depth = ref 0 in
   let rec exec_func (f : Ir.func) (args : int64 list) : int64 option =
     (* frameless recursion never trips the simulated-SP check, and OCaml 5
@@ -136,7 +200,22 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
     incr depth;
     if !depth > 100_000 then raise (Trap "stack overflow");
     st.ctr.calls <- st.ctr.calls + 1;
-    let env : (int, int64) Hashtbl.t = Hashtbl.create 64 in
+    (* the environment: iids are dense per function, so a flat value
+       array plus presence bytes beats a hashtable — no hashing, no
+       option or bucket allocation on the per-step read/write path *)
+    let nids = f.next_id in
+    let env = Array.make nids 0L in
+    let set = Bytes.make nids '\000' in
+    let env_set i v =
+      Array.unsafe_set env i v;
+      Bytes.unsafe_set set i '\001'
+    in
+    (* hoist the profiler's per-function cursor out of the step loop *)
+    let prof =
+      match st.opts.profile with
+      | Some p -> Some (Profile.cursor p ~func:f.fname)
+      | None -> None
+    in
     (* bind parameters; a call assigns them, so the profiler records them
        like any other dynamic assignment (their bitwidth gates squeezing
        of compares and arithmetic against parameters) *)
@@ -144,29 +223,17 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
        List.iter2
          (fun (i : Ir.instr) v ->
            let v = Width.trunc i.width v in
-           Hashtbl.replace env i.iid v;
-           match st.opts.profile with
-           | Some p ->
-               Profile.record p ~func:f.fname ~iid:i.iid ~width:i.width v
+           env_set i.iid v;
+           match prof with
+           | Some c -> Profile.record_at c ~iid:i.iid ~width:i.width v
            | None -> ())
          f.param_instrs args
      with Invalid_argument _ ->
        raise (Trap ("arity mismatch calling " ^ f.fname)));
-    (* allocate the static stack frame *)
-    let sallocs =
-      List.concat_map
-        (fun (b : Ir.block) ->
-          List.filter_map
-            (fun (i : Ir.instr) ->
-              match i.op with Ir.Salloc n -> Some (i.iid, n) | _ -> None)
-            b.instrs)
-        f.blocks
-    in
-    let frame_size =
-      List.fold_left (fun acc (_, n) -> acc + ((n + 7) / 8 * 8)) 0 sallocs
-    in
+    (* allocate the static stack frame (layout precomputed in the fctx) *)
+    let ctx = get_fctx f in
     let saved_sp = st.sp in
-    st.sp <- st.sp - frame_size;
+    st.sp <- st.sp - ctx.fc_frame;
     if st.sp < st.mem.Memimage.globals_end then raise (Trap "stack overflow");
     let salloc_addr = Hashtbl.create 4 in
     let cursor = ref st.sp in
@@ -174,23 +241,27 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
       (fun (iid, n) ->
         Hashtbl.replace salloc_addr iid !cursor;
         cursor := !cursor + ((n + 7) / 8 * 8))
-      sallocs;
-    let region_of = Hashtbl.create 8 in
-    List.iter
-      (fun (r : Ir.region) ->
-        List.iter (fun bid -> Hashtbl.replace region_of bid r) r.rblocks)
-      f.regions;
+      ctx.fc_sallocs;
+    let goto bid =
+      if bid >= 0 && bid < nids then
+        match Array.unsafe_get ctx.fc_block bid with
+        | Some b -> b
+        | None -> Ir.block f bid (* unknown target: fail as the IR does *)
+      else Ir.block f bid
+    in
     let value = function
       | Ir.Const c -> c.Ir.cval
-      | Ir.Var v -> (
-          match Hashtbl.find_opt env v with
-          | Some x -> x
-          | None -> raise (Trap (Printf.sprintf "read of unset %%%d in %s" v f.fname)))
+      | Ir.Var v ->
+          if v >= 0 && v < nids && Bytes.unsafe_get set v = '\001' then
+            Array.unsafe_get env v
+          else
+            raise
+              (Trap (Printf.sprintf "read of unset %%%d in %s" v f.fname))
     in
     let record (i : Ir.instr) v =
-      match st.opts.profile with
-      | Some p when i.width > 0 ->
-          Profile.record p ~func:f.fname ~iid:i.iid ~width:i.width v
+      match prof with
+      | Some c when i.width > 0 ->
+          Profile.record_at c ~iid:i.iid ~width:i.width v
       | _ -> ()
     in
     let ret_val = ref None in
@@ -198,9 +269,9 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
     let cur = ref (Ir.entry f) and prev = ref (-1) in
     while not !finished do
       let b = !cur in
+      let phis = ctx.fc_phis.(b.Ir.bid) and body = ctx.fc_body.(b.Ir.bid) in
       (* Phase 1: evaluate all phis w.r.t. the incoming edge, then commit
          simultaneously. *)
-      let phis = List.filter Ir.is_phi b.instrs in
       let phi_values =
         List.map
           (fun (i : Ir.instr) ->
@@ -219,7 +290,7 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
       List.iter
         (fun ((i : Ir.instr), v) ->
           st.ctr.steps <- st.ctr.steps + 1;
-          Hashtbl.replace env i.iid v;
+          env_set i.iid v;
           record i v)
         phi_values;
       (* Phase 2: straight-line execution with misspeculation checks. *)
@@ -230,16 +301,18 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
             if st.ctr.steps > st.opts.fuel then raise Fuel_exhausted;
             let commit v =
               let v = Width.trunc i.width v in
-              Hashtbl.replace env i.iid v;
+              env_set i.iid v;
               record i v
             in
+            (* only reached when [i.speculative] — the call sites guard,
+               so the non-speculative path allocates no operand list *)
             let misspec_check ops result =
-              if i.speculative && misspeculates i ops result then begin
-                match Hashtbl.find_opt region_of b.bid with
+              if misspeculates i ops result then begin
+                match ctx.fc_region.(b.bid) with
                 | Some r ->
                     st.ctr.misspecs <- st.ctr.misspecs + 1;
                     prev := b.bid;
-                    cur := Ir.block f r.rhandler;
+                    cur := goto r.rhandler;
                     true
                 | None ->
                     raise (Trap "speculative instruction outside a region")
@@ -251,25 +324,27 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
             | Ir.Bin (op, a, c) ->
                 let va = value a and vc = value c in
                 let r = eval_binop op i.width va vc in
-                if not (misspec_check [ va; vc ] r) then begin
+                if i.speculative && misspec_check [ va; vc ] r then ()
+                else begin
                   commit r;
                   run rest
                 end
             | Ir.Cmp (op, a, c) ->
                 let va = value a and vc = value c in
-                let w = Ir.operand_width f a in
+                let w = Array.unsafe_get ctx.fc_srcw i.iid in
                 commit (eval_cmp op w va vc);
                 run rest
             | Ir.Cast (op, a) ->
                 let va = value a in
-                let src_w = Ir.operand_width f a in
+                let src_w = Array.unsafe_get ctx.fc_srcw i.iid in
                 let r =
                   match op with
                   | Ir.Zext -> Width.zext src_w va
                   | Ir.Sext -> Width.trunc i.width (Width.sext src_w va)
                   | Ir.TruncCast -> Width.trunc i.width va
                 in
-                if not (misspec_check [ va ] r) then begin
+                if i.speculative && misspec_check [ va ] r then ()
+                else begin
                   commit r;
                   run rest
                 end
@@ -300,17 +375,17 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
                 run rest
             | Ir.Br t ->
                 prev := b.bid;
-                cur := Ir.block f t
+                cur := goto t
             | Ir.Cbr (c, t, e) ->
                 prev := b.bid;
-                cur := Ir.block f (if value c <> 0L then t else e)
+                cur := goto (if value c <> 0L then t else e)
             | Ir.Ret v ->
                 ret_val := Option.map value v;
                 finished := true
             | Ir.Unreachable -> raise (Trap "reached unreachable"));
             ()
       in
-      run (List.filter (fun i -> not (Ir.is_phi i)) b.instrs)
+      run body
     done;
     st.sp <- saved_sp;
     decr depth;

@@ -87,6 +87,31 @@ let write t ~width addr v =
          (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * b)) 0xFFL)))
   done
 
+(* Unboxed accessors for the machine simulator's 8/16/32-bit traffic:
+   plain-int reads and writes keep its load/store path free of Int64
+   allocation.  Wider (or odd-width) accesses fall back to the Int64
+   versions above; values read are unsigned, exactly like [read]. *)
+
+let read_int t ~width addr =
+  check t addr width;
+  match width with
+  | 8 -> Bytes.get_uint8 t.bytes addr
+  | 16 -> Bytes.get_uint16_le t.bytes addr
+  | 32 ->
+      Bytes.get_uint16_le t.bytes addr
+      lor (Bytes.get_uint16_le t.bytes (addr + 2) lsl 16)
+  | _ -> Int64.to_int (read t ~width addr)
+
+let write_int t ~width addr v =
+  check t addr width;
+  match width with
+  | 8 -> Bytes.set_uint8 t.bytes addr (v land 0xFF)
+  | 16 -> Bytes.set_uint16_le t.bytes addr (v land 0xFFFF)
+  | 32 ->
+      Bytes.set_uint16_le t.bytes addr (v land 0xFFFF);
+      Bytes.set_uint16_le t.bytes (addr + 2) ((v lsr 16) land 0xFFFF)
+  | _ -> write t ~width addr (Int64.of_int v)
+
 (** Convenience accessors used by workload input generators. *)
 
 let set_global t m ~name ~index v =

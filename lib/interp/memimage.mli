@@ -28,6 +28,13 @@ val read : t -> width:int -> int -> int64
 val write : t -> width:int -> int -> int64 -> unit
 (** Little-endian store of [width] bits. *)
 
+val read_int : t -> width:int -> int -> int
+(** [read] for 8/16/32-bit values as a plain unsigned int — the machine
+    simulator's allocation-free load path. *)
+
+val write_int : t -> width:int -> int -> int -> unit
+(** [write] from a plain int (low [width] bits stored). *)
+
 val set_global : t -> Bs_ir.Ir.modul -> name:string -> index:int -> int64 -> unit
 (** Write one element of a global array (workload input setup). *)
 

@@ -7,7 +7,12 @@ open Bs_ir
    assignments, from which the MAX / AVG / MIN target-selection heuristics
    are derived.  We also keep module-wide histograms of dynamic integer
    instructions classified by required bits and by programmer-selected
-   bits, which regenerate Figure 1. *)
+   bits, which regenerate Figure 1.
+
+   Recording is the hot path of every profiling run, so variables are
+   stored per function: a {!cursor} resolves the function-name half of
+   the key once per call frame, leaving an int-keyed lookup (no tuple
+   allocation, no string hash) per dynamic assignment. *)
 
 type heuristic = Hmax | Havg | Hmin
 
@@ -21,7 +26,7 @@ type var_stats = {
 }
 
 type t = {
-  vars : (string * int, var_stats) Hashtbl.t;
+  funcs : (string, (int, var_stats) Hashtbl.t) Hashtbl.t;
   (* histograms indexed by width class position: 8,16,32,64 *)
   req_hist : int array;
   prog_hist : int array;
@@ -33,19 +38,33 @@ let class_index bits =
 let classes = [| 8; 16; 32; 64 |]
 
 let create () =
-  { vars = Hashtbl.create 256; req_hist = Array.make 4 0;
+  { funcs = Hashtbl.create 16; req_hist = Array.make 4 0;
     prog_hist = Array.make 4 0 }
 
-(** [record t ~func ~iid ~width value] logs one dynamic assignment of
-    [value] to the variable defined by [iid]. *)
-let record t ~func ~iid ~width value =
+type cursor = { c_prof : t; c_vars : (int, var_stats) Hashtbl.t }
+
+let cursor t ~func =
+  let vars =
+    match Hashtbl.find_opt t.funcs func with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 64 in
+        Hashtbl.replace t.funcs func tbl;
+        tbl
+  in
+  { c_prof = t; c_vars = vars }
+
+(** [record_at c ~iid ~width value] logs one dynamic assignment of
+    [value] to the variable defined by [iid] in the cursor's function. *)
+let record_at c ~iid ~width value =
+  let t = c.c_prof in
   let bits = Width.required_bits value in
   let s =
-    match Hashtbl.find_opt t.vars (func, iid) with
+    match Hashtbl.find_opt c.c_vars iid with
     | Some s -> s
     | None ->
         let s = { s_min = max_int; s_max = 0; s_sum = 0; s_count = 0 } in
-        Hashtbl.replace t.vars (func, iid) s;
+        Hashtbl.replace c.c_vars iid s;
         s
   in
   if bits < s.s_min then s.s_min <- bits;
@@ -56,7 +75,21 @@ let record t ~func ~iid ~width value =
   (* width 1 (booleans) are counted in the 8-bit class *)
   t.prog_hist.(class_index width) <- t.prog_hist.(class_index width) + 1
 
-let stats t ~func ~iid = Hashtbl.find_opt t.vars (func, iid)
+(** [record t ~func ~iid ~width value] logs one dynamic assignment of
+    [value] to the variable defined by [iid]. *)
+let record t ~func ~iid ~width value =
+  record_at (cursor t ~func) ~iid ~width value
+
+let stats t ~func ~iid =
+  match Hashtbl.find_opt t.funcs func with
+  | None -> None
+  | Some tbl -> Hashtbl.find_opt tbl iid
+
+(** Iterate every profiled variable. *)
+let iter_vars t f =
+  Hashtbl.iter
+    (fun func tbl -> Hashtbl.iter (fun iid s -> f ~func ~iid s) tbl)
+    t.funcs
 
 (** Target bitwidth [T(v)] under a heuristic, as a hardware width class
     (8/16/32/64), or [None] if the variable was never assigned during
@@ -95,12 +128,10 @@ let programmer_distribution t =
     heuristic assigns it. *)
 let heuristic_distribution t heuristic =
   let hist = Array.make 4 0 in
-  Hashtbl.iter
-    (fun (func, iid) (s : var_stats) ->
+  iter_vars t (fun ~func ~iid (s : var_stats) ->
       match target t heuristic ~func ~iid with
       | Some cls -> hist.(class_index cls) <- hist.(class_index cls) + s.s_count
-      | None -> ())
-    t.vars;
+      | None -> ());
   let total = Array.fold_left ( + ) 0 hist in
   if total = 0 then [||]
   else Array.map (fun n -> float_of_int n /. float_of_int total) hist
@@ -110,11 +141,9 @@ let heuristic_distribution t heuristic =
     [select ~func ~iid] returns the selected width for that variable. *)
 let selection_distribution t ~select =
   let hist = Array.make 4 0 in
-  Hashtbl.iter
-    (fun (func, iid) (s : var_stats) ->
+  iter_vars t (fun ~func ~iid (s : var_stats) ->
       let cls = select ~func ~iid in
-      hist.(class_index cls) <- hist.(class_index cls) + s.s_count)
-    t.vars;
+      hist.(class_index cls) <- hist.(class_index cls) + s.s_count);
   let total = Array.fold_left ( + ) 0 hist in
   if total = 0 then [||]
   else Array.map (fun n -> float_of_int n /. float_of_int total) hist

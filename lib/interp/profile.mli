@@ -19,7 +19,8 @@ type var_stats = {
 }
 
 type t = {
-  vars : (string * int, var_stats) Hashtbl.t;
+  funcs : (string, (int, var_stats) Hashtbl.t) Hashtbl.t;
+      (** per-function variable tables, keyed by defining instruction id *)
   req_hist : int array;   (** by RequiredBits class: 8/16/32/64 *)
   prog_hist : int array;  (** by programmer-selected width class *)
 }
@@ -31,10 +32,24 @@ val class_index : int -> int
 
 val create : unit -> t
 
+type cursor
+(** A per-function recording handle: resolves the function-name half of
+    the variable key once, so each dynamic assignment costs only an
+    int-keyed table update.  Hoist one out of any per-step loop. *)
+
+val cursor : t -> func:string -> cursor
+
+val record_at : cursor -> iid:int -> width:int -> int64 -> unit
+(** Log one dynamic assignment through a cursor (the hot path). *)
+
 val record : t -> func:string -> iid:int -> width:int -> int64 -> unit
 (** Log one dynamic assignment. *)
 
 val stats : t -> func:string -> iid:int -> var_stats option
+
+val iter_vars :
+  t -> (func:string -> iid:int -> var_stats -> unit) -> unit
+(** Iterate every profiled variable (order unspecified). *)
 
 val target : t -> heuristic -> func:string -> iid:int -> int option
 (** T(v) under the heuristic as a hardware class, or [None] if the

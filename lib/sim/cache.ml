@@ -9,50 +9,77 @@ type t = {
   sets : int;
   ways : int;
   line_bytes : int;
+  line_shift : int;              (* log2 line_bytes *)
+  set_mask : int;                (* sets - 1; geometry is power-of-two *)
+  set_shift : int;               (* log2 sets *)
   tags : int array array;        (* [set].[way] = tag, -1 empty *)
   stamp : int array array;       (* LRU timestamps *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable last_line : int;       (* line of the previous access, -1 none *)
+  mutable last_way : int;        (* way it resides in *)
 }
+
+let log2_exact n =
+  let rec go k = if 1 lsl k = n then k else go (k + 1) in
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg "Cache.create: geometry must be a power of two"
+  else go 0
 
 let create ~name ~size_bytes ~ways ~line_bytes =
   let lines = size_bytes / line_bytes in
   let sets = lines / ways in
   { name; sets; ways; line_bytes;
+    line_shift = log2_exact line_bytes;
+    set_mask = sets - 1;
+    set_shift = log2_exact sets;
     tags = Array.make_matrix sets ways (-1);
     stamp = Array.make_matrix sets ways 0;
-    tick = 0; hits = 0; misses = 0 }
+    tick = 0; hits = 0; misses = 0; last_line = -1; last_way = 0 }
 
 (** [access t addr] looks the address up, updating LRU state and filling on
     miss.  Returns [true] on hit. *)
 let access t addr =
   t.tick <- t.tick + 1;
-  let line = addr / t.line_bytes in
-  let set = line mod t.sets in
-  let tag = line / t.sets in
-  let ways_tags = t.tags.(set) and ways_stamp = t.stamp.(set) in
-  let hit = ref false in
-  for w = 0 to t.ways - 1 do
-    if ways_tags.(w) = tag then begin
-      hit := true;
-      ways_stamp.(w) <- t.tick
-    end
-  done;
-  if !hit then begin
+  let line = addr lsr t.line_shift in
+  (* Back-to-back accesses to the same line always hit (nothing between
+     two accesses of this cache can evict it), so the common sequential
+     case skips the way scan; hit/miss/LRU state stays exact. *)
+  if line = t.last_line then begin
     t.hits <- t.hits + 1;
+    t.stamp.(line land t.set_mask).(t.last_way) <- t.tick;
     true
   end
   else begin
-    t.misses <- t.misses + 1;
-    (* evict LRU *)
-    let victim = ref 0 in
-    for w = 1 to t.ways - 1 do
-      if ways_stamp.(w) < ways_stamp.(!victim) then victim := w
+    let set = line land t.set_mask in
+    let tag = line lsr t.set_shift in
+    let ways_tags = t.tags.(set) and ways_stamp = t.stamp.(set) in
+    let hit_way = ref (-1) in
+    for w = 0 to t.ways - 1 do
+      if ways_tags.(w) = tag then begin
+        hit_way := w;
+        ways_stamp.(w) <- t.tick
+      end
     done;
-    ways_tags.(!victim) <- tag;
-    ways_stamp.(!victim) <- t.tick;
-    false
+    t.last_line <- line;
+    if !hit_way >= 0 then begin
+      t.hits <- t.hits + 1;
+      t.last_way <- !hit_way;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      (* evict LRU *)
+      let victim = ref 0 in
+      for w = 1 to t.ways - 1 do
+        if ways_stamp.(w) < ways_stamp.(!victim) then victim := w
+      done;
+      ways_tags.(!victim) <- tag;
+      ways_stamp.(!victim) <- t.tick;
+      t.last_way <- !victim;
+      false
+    end
   end
 
 let accesses t = t.hits + t.misses
@@ -62,7 +89,9 @@ let reset t =
   Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.stamp;
   t.tick <- 0;
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.last_line <- -1;
+  t.last_way <- 0
 
 (** The paper's memory hierarchy, fresh. *)
 let l1i () = create ~name:"I$" ~size_bytes:(8 * 1024) ~ways:4 ~line_bytes:32

@@ -7,11 +7,16 @@ type t = {
   sets : int;
   ways : int;
   line_bytes : int;
+  line_shift : int;
+  set_mask : int;
+  set_shift : int;
   tags : int array array;
   stamp : int array array;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable last_line : int;
+  mutable last_way : int;
 }
 
 val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t

@@ -59,6 +59,7 @@ let div_penalty = 10
 type state = {
   regs : int array;            (* 32-bit values *)
   mutable pc : int;
+  mutable next : int;          (* in-flight successor PC of the current step *)
   mutable delta : int;
   mutable mode : Isa.mode;
   mutable halted : bool;
@@ -67,6 +68,7 @@ type state = {
   mutable cmp_b : int;
   mutable cmp_width8 : bool;
   mutable last_load_dest : int; (* reg written by the previous load, -1 none *)
+  mutable loaded : int;         (* load destination of the current step, -1 *)
 }
 
 let mask32 v = v land 0xFFFFFFFF
@@ -106,23 +108,56 @@ let eval_cond st (c : cond) =
   | CSgt -> sa > sb
   | CSge -> sa >= sb
 
-(* Misspeculation: redirect the in-flight PC (the [next] ref) by Δ. *)
-let misspeculate_via ctr st next =
+(* Misspeculation: redirect the in-flight PC ([st.next]) by Δ. *)
+let misspeculate ctr st =
   ctr.Counters.misspecs <- ctr.Counters.misspecs + 1;
-  next := st.pc + st.delta;
+  st.next <- st.pc + st.delta;
   ctr.Counters.cycles <- ctr.Counters.cycles + branch_penalty;
   ctr.Counters.stall_cycles <- ctr.Counters.stall_cycles + branch_penalty;
   ctr.Counters.branch_stalls <- ctr.Counters.branch_stalls + branch_penalty
+
+(* Pre-decoded per-PC metadata, computed once per run (O(static code),
+   amortised over millions of dynamic steps): the provenance counter tag
+   and the slice-extension flag, packed in one int so the fetch-execute
+   loop reads a single flat array instead of re-inspecting the encoded
+   stream every step. *)
+let meta_none = 0
+let meta_spill_load = 1
+let meta_spill_store = 2
+let meta_copy = 3
+let meta_prov_mask = 3
+let meta_slice = 4
+
+let predecode (p : Bs_backend.Asm.program) : int array =
+  let n = Array.length p.Bs_backend.Asm.code in
+  let meta = Array.make n 0 in
+  for pc = 0 to n - 1 do
+    let prov_tag =
+      match p.Bs_backend.Asm.prov.(pc) with
+      | PSpillLoad -> meta_spill_load
+      | PSpillStore -> meta_spill_store
+      | PCopy -> meta_copy
+      | _ -> meta_none
+    in
+    let slice =
+      if is_slice_insn p.Bs_backend.Asm.code.(pc) then meta_slice else 0
+    in
+    meta.(pc) <- prov_tag lor slice
+  done;
+  meta
 
 let run ?(config = default_config) (p : Bs_backend.Asm.program)
     (mem : Memimage.t) ~entry ~(args : int64 list) : result =
   let ctr = Counters.create () in
   let icache = Cache.l1i () and dcache = Cache.l1d () and l2 = Cache.l2 () in
   let st =
-    { regs = Array.make num_regs 0; pc = 0; delta = p.Bs_backend.Asm.delta;
+    { regs = Array.make num_regs 0; pc = 0; next = 0;
+      delta = p.Bs_backend.Asm.delta;
       mode = config.mode; halted = false; cmp_a = 0; cmp_b = 0;
-      cmp_width8 = false; last_load_dest = -1 }
+      cmp_width8 = false; last_load_dest = -1; loaded = -1 }
   in
+  let code = p.Bs_backend.Asm.code in
+  let meta = predecode p in
   let entry_pc =
     match Hashtbl.find_opt p.Bs_backend.Asm.entries entry with
     | Some e -> e
@@ -160,9 +195,12 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
   in
   let alu32_count () = ctr.Counters.alu32 <- ctr.Counters.alu32 + 1 in
   let alu8_count () = ctr.Counters.alu8 <- ctr.Counters.alu8 + 1 in
-  let check_load_use uses =
-    if st.last_load_dest >= 0 && List.mem st.last_load_dest uses then
-      stall 1 `LoadUse
+  (* load-use hazard checks, register operands passed directly (the hot
+     loop allocates no per-step lists; [last_load_dest] is -1 when the
+     previous instruction was not a load, and registers are >= 0) *)
+  let check1 a = if st.last_load_dest = a then stall 1 `LoadUse in
+  let check2 a b =
+    if st.last_load_dest = a || st.last_load_dest = b then stall 1 `LoadUse
   in
   let outcome = ref Bs_support.Outcome.Finished in
   let fault_applied = ref false in
@@ -181,11 +219,11 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
     | _ -> ()
   in
   while not st.halted do
-    if st.pc < 0 || st.pc >= Array.length p.Bs_backend.Asm.code then
+    if st.pc < 0 || st.pc >= Array.length code then
       raise (Sim_trap (Bs_support.Outcome.Pc_out_of_range st.pc));
-    let insn = p.Bs_backend.Asm.code.(st.pc) in
-    let prov = p.Bs_backend.Asm.prov.(st.pc) in
-    if st.mode = Classic && is_slice_insn insn then
+    let insn = Array.unsafe_get code st.pc in
+    let m = Array.unsafe_get meta st.pc in
+    if m land meta_slice <> 0 && st.mode = Classic then
       raise (Sim_trap Bs_support.Outcome.Classic_mode_slice);
     fetch st.pc;
     ctr.Counters.instrs <- ctr.Counters.instrs + 1;
@@ -196,24 +234,23 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
     end
     else begin
     apply_fault ();
-    (match prov with
-    | PSpillLoad -> ctr.Counters.spill_loads <- ctr.Counters.spill_loads + 1
-    | PSpillStore -> ctr.Counters.spill_stores <- ctr.Counters.spill_stores + 1
-    | PCopy -> ctr.Counters.copies <- ctr.Counters.copies + 1
+    (match m land meta_prov_mask with
+    | 1 -> ctr.Counters.spill_loads <- ctr.Counters.spill_loads + 1
+    | 2 -> ctr.Counters.spill_stores <- ctr.Counters.spill_stores + 1
+    | 3 -> ctr.Counters.copies <- ctr.Counters.copies + 1
     | _ -> ());
-    let next = ref (st.pc + 1) in
-    let loaded_dest = ref (-1) in
+    st.next <- st.pc + 1;
+    st.loaded <- -1;
     (match insn with
     | MOV (d, s) ->
-        check_load_use [ s ];
+        check1 s;
         write_reg st ctr d (read_reg st ctr s)
     | MOVW (d, v) -> write_reg st ctr d v
     | MOVT (d, v) ->
-        check_load_use [ d ];
+        check1 d;
         write_reg st ctr d ((st.regs.(d) land 0xFFFF) lor (v lsl 16))
     | ALU (op, d, n, o) ->
-        let uses = n :: (match o with Reg m -> [ m ] | Imm _ -> []) in
-        check_load_use uses;
+        (match o with Reg m -> check2 n m | Imm _ -> check1 n);
         alu32_count ();
         let a = read_reg st ctr n in
         let b = match o with Reg m -> read_reg st ctr m | Imm v -> v in
@@ -232,12 +269,12 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         in
         write_reg st ctr d r
     | MUL (d, n, m) ->
-        check_load_use [ n; m ];
+        check2 n m;
         ctr.Counters.mul_ops <- ctr.Counters.mul_ops + 1;
         stall mul_penalty `Other;
         write_reg st ctr d (read_reg st ctr n * read_reg st ctr m)
     | DIV (sg, d, n, m) ->
-        check_load_use [ n; m ];
+        check2 n m;
         ctr.Counters.div_ops <- ctr.Counters.div_ops + 1;
         stall div_penalty `Other;
         let a = read_reg st ctr n and b = read_reg st ctr m in
@@ -251,8 +288,7 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         in
         write_reg st ctr d r
     | CMP (n, o) ->
-        let uses = n :: (match o with Reg m -> [ m ] | Imm _ -> []) in
-        check_load_use uses;
+        (match o with Reg m -> check2 n m | Imm _ -> check1 n);
         alu32_count ();
         st.cmp_a <- read_reg st ctr n;
         st.cmp_b <- (match o with Reg m -> read_reg st ctr m | Imm v -> v);
@@ -261,28 +297,28 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         alu32_count ();
         write_reg st ctr d (if eval_cond st c then 1 else 0)
     | B t ->
-        next := t;
+        st.next <- t;
         stall branch_penalty `Branch
     | BC (c, t) ->
         alu32_count ();
         if eval_cond st c then begin
-          next := t;
+          st.next <- t;
           stall branch_penalty `Branch
         end
     | BL t ->
         write_reg st ctr lr (st.pc + 1);
-        next := t;
+        st.next <- t;
         stall branch_penalty `Branch
     | BX_LR ->
-        next := read_reg st ctr lr;
+        st.next <- read_reg st ctr lr;
         stall branch_penalty `Branch
     | LDR (w, sg, d, n, off) ->
-        check_load_use [ n ];
+        check1 n;
         let addr = (read_reg st ctr n + off) land 0xFFFFFFFF in
         ctr.Counters.loads <- ctr.Counters.loads + 1;
         mem_access addr;
         let width = match w with W8 -> 8 | W16 -> 16 | W32 -> 32 in
-        let v = Int64.to_int (Memimage.read mem ~width addr) in
+        let v = Memimage.read_int mem ~width addr in
         let v =
           match (sg, w) with
           | Signed, W8 -> if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
@@ -290,16 +326,16 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
           | _ -> v
         in
         write_reg st ctr d v;
-        loaded_dest := d
+        st.loaded <- d
     | STR (w, s, n, off) ->
-        check_load_use [ s; n ];
+        check2 s n;
         let addr = (read_reg st ctr n + off) land 0xFFFFFFFF in
         ctr.Counters.stores <- ctr.Counters.stores + 1;
         mem_access addr;
         let width = match w with W8 -> 8 | W16 -> 16 | W32 -> 32 in
-        Memimage.write mem ~width addr (Int64.of_int (read_reg st ctr s))
+        Memimage.write_int mem ~width addr (read_reg st ctr s)
     | SXT (w, d, s) ->
-        check_load_use [ s ];
+        check1 s;
         alu32_count ();
         let v = read_reg st ctr s in
         let r =
@@ -310,13 +346,13 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         in
         write_reg st ctr d r
     | UXT (w, d, s) ->
-        check_load_use [ s ];
+        check1 s;
         alu32_count ();
         let v = read_reg st ctr s in
         let r = match w with W8 -> v land 0xFF | W16 -> v land 0xFFFF | W32 -> v in
         write_reg st ctr d r
     | BALU (op, d, n, o) -> (
-        check_load_use [ n.sl_reg ];
+        check1 n.sl_reg;
         alu8_count ();
         let a = read_slice st ctr n in
         let b =
@@ -325,11 +361,11 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         match op with
         | BAdd ->
             let r = a + b in
-            if r > 0xFF then misspeculate_via ctr st next
+            if r > 0xFF then misspeculate ctr st
             else write_slice st ctr d r
         | BSub ->
             let r = a - b in
-            if r < 0 then misspeculate_via ctr st next
+            if r < 0 then misspeculate ctr st
             else write_slice st ctr d r
         | BAnd -> write_slice st ctr d (a land b)
         | BOrr -> write_slice st ctr d (a lor b)
@@ -340,40 +376,40 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         st.cmp_b <- (match o with Sl s -> read_slice st ctr s | BImm v -> v land 0xFF);
         st.cmp_width8 <- true
     | BLDRS (d, n, x) ->
-        check_load_use [ n ];
+        check1 n;
         let off =
           match x with BOff o -> o | BIdx i -> read_slice st ctr i
         in
         let addr = (read_reg st ctr n + off) land 0xFFFFFFFF in
         ctr.Counters.loads <- ctr.Counters.loads + 1;
         mem_access addr;
-        let v = Int64.to_int (Memimage.read mem ~width:32 addr) in
-        if v land 0xFFFFFF00 <> 0 then misspeculate_via ctr st next
+        let v = Memimage.read_int mem ~width:32 addr in
+        if v land 0xFFFFFF00 <> 0 then misspeculate ctr st
         else begin
           write_slice st ctr d v;
-          loaded_dest := d.sl_reg
+          st.loaded <- d.sl_reg
         end
     | BLDRB (d, n, x) ->
-        check_load_use [ n ];
+        check1 n;
         let off =
           match x with BOff o -> o | BIdx i -> read_slice st ctr i
         in
         let addr = (read_reg st ctr n + off) land 0xFFFFFFFF in
         ctr.Counters.loads <- ctr.Counters.loads + 1;
         mem_access addr;
-        write_slice st ctr d (Int64.to_int (Memimage.read mem ~width:8 addr));
-        loaded_dest := d.sl_reg
+        write_slice st ctr d (Memimage.read_int mem ~width:8 addr);
+        st.loaded <- d.sl_reg
     | BSTRB (s, n, x) ->
-        check_load_use [ s.sl_reg; n ];
+        check2 s.sl_reg n;
         let off =
           match x with BOff o -> o | BIdx i -> read_slice st ctr i
         in
         let addr = (read_reg st ctr n + off) land 0xFFFFFFFF in
         ctr.Counters.stores <- ctr.Counters.stores + 1;
         mem_access addr;
-        Memimage.write mem ~width:8 addr (Int64.of_int (read_slice st ctr s))
+        Memimage.write_int mem ~width:8 addr (read_slice st ctr s)
     | BEXT (sg, d, s) ->
-        check_load_use [ s.sl_reg ];
+        check1 s.sl_reg;
         alu8_count ();
         let v = read_slice st ctr s in
         let r =
@@ -383,21 +419,21 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         in
         write_reg st ctr d r
     | BTRN (d, s) ->
-        check_load_use [ s ];
+        check1 s;
         alu8_count ();
         let v = read_reg st ctr s in
-        if v land 0xFFFFFF00 <> 0 then misspeculate_via ctr st next
+        if v land 0xFFFFFF00 <> 0 then misspeculate ctr st
         else write_slice st ctr d v
     | BMOV (d, s) ->
-        check_load_use [ s.sl_reg ];
+        check1 s.sl_reg;
         write_slice st ctr d (read_slice st ctr s)
     | BMOVI (d, v) -> write_slice st ctr d v
     | SETDELTA v -> st.delta <- v
     | SETMODE m -> st.mode <- m
     | NOP -> ()
     | HALT -> st.halted <- true);
-    st.last_load_dest <- !loaded_dest;
-    if not st.halted then st.pc <- !next
+    st.last_load_dest <- st.loaded;
+    if not st.halted then st.pc <- st.next
     end
   done;
   { r0 = Int64.of_int (st.regs.(0) land 0xFFFFFFFF); outcome = !outcome;

@@ -15,4 +15,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("known-answers", Test_known_answers.suite);
       ("resilience", Test_resilience.suite);
-      ("fuzz", Test_fuzz.suite) ]
+      ("fuzz", Test_fuzz.suite);
+      ("exec", Test_exec.suite) ]

@@ -53,17 +53,15 @@ let test_heuristic_targets () =
   in
   (* x takes values 2..4096: MIN class 8, MAX class 16 *)
   let found = ref false in
-  Hashtbl.iter
-    (fun (fn, iid) (s : Profile.var_stats) ->
-      if fn = "f" && s.Profile.s_max >= 13 then begin
+  Profile.iter_vars p (fun ~func ~iid (s : Profile.var_stats) ->
+      if func = "f" && s.Profile.s_max >= 13 then begin
         found := true;
-        let t h = Option.get (Profile.target p h ~func:fn ~iid) in
+        let t h = Option.get (Profile.target p h ~func ~iid) in
         Alcotest.(check int) "MAX class" 16 (t Profile.Hmax);
         Alcotest.(check int) "MIN class" 8 (t Profile.Hmin);
         Alcotest.(check bool) "AVG between" true
           (t Profile.Havg >= t Profile.Hmin && t Profile.Havg <= t Profile.Hmax)
-      end)
-    p.Profile.vars;
+      end);
   Alcotest.(check bool) "found the doubling variable" true !found
 
 let test_distributions_sum () =
