@@ -12,7 +12,10 @@
    compilations through the content-addressed {!Compile_cache}), so the
    printed bytes are identical whatever the job count: the pool only
    pre-fills the tables before each section prints in its usual order.
-   A machine-readable timing summary lands in BENCH_pr4.json.
+   A machine-readable run summary lands in BENCH_pr5.json: per-section
+   wall-clock and compile-cache hits/misses, a compiler phase-time
+   breakdown (from the {!Bs_obs.Trace} spans), and per-workload
+   misspeculation-site histograms with aggregate activity counters.
 
    Absolute energy is in model units; every figure reports values relative
    to BASELINE exactly as the paper does.  EXPERIMENTS.md records the
@@ -729,28 +732,88 @@ let sections =
     ("fig15", fig15); ("fig16", fig16); ("rq7", rq7); ("fig17", fig17);
     ("fig18", fig18); ("bechamel", bechamel_section) ]
 
-(* Machine-readable run summary: per-section wall-clock, the job count,
-   and the compile cache's effectiveness over the whole run. *)
-let write_bench_json ~total timings =
+(* Machine-readable run summary: per-section wall-clock and compile-cache
+   deltas, the whole run's phase-time breakdown, and misspeculation
+   attribution per workload. *)
+
+let rate h m = if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+
+(* Misspeculation attribution: one BITSPEC machine run per workload,
+   folded through the srcmap into per-source-site counts.  Compiles are
+   served from the compile cache, so after fig8 (or any BITSPEC section)
+   this costs one simulation per workload. *)
+let misspec_report () =
+  List.map
+    (fun (w : Workload.t) ->
+      let c = Experiment.compile_workload Driver.bitspec_config w in
+      let r =
+        Driver.run_machine ~setup:(w.test.Workload.setup c.Driver.ir) c
+          ~entry:w.entry ~args:w.test.Workload.args
+      in
+      (w.name, r.Bs_sim.Machine.ctr, Experiment.misspec_sites c r))
+    benches
+
+let top_n n l = List.filteri (fun i _ -> i < n) l
+
+let write_bench_json ~total ~phases ~report timings =
   let hits = Compile_cache.hits () and misses = Compile_cache.misses () in
-  let rate =
-    if hits + misses = 0 then 0.0
-    else float_of_int hits /. float_of_int (hits + misses)
+  let totals = Bs_sim.Counters.create () in
+  List.iter
+    (fun (_, ctr, _) -> Bs_sim.Counters.add ~into:totals ctr)
+    report;
+  let sections_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, seconds, h, m) ->
+           Printf.sprintf
+             "    { \"name\": %S, \"seconds\": %.3f, \"compile_cache\": { \
+              \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f } }"
+             name seconds h m (rate h m))
+         timings)
   in
-  let oc = open_out "BENCH_pr4.json" in
+  let phases_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, seconds, count) ->
+           Printf.sprintf "    { \"name\": %S, \"seconds\": %.3f, \"count\": %d }"
+             name seconds count)
+         phases)
+  in
+  let sites_json =
+    String.concat ",\n"
+      (List.map
+         (fun (wname, (ctr : Bs_sim.Counters.t), sites) ->
+           Printf.sprintf
+             "    { \"workload\": %S, \"misspecs\": %d, \"sites\": [%s] }"
+             wname ctr.Bs_sim.Counters.misspecs
+             (String.concat ", "
+                (List.map
+                   (fun ((fn, var, line), n) ->
+                     Printf.sprintf
+                       "{ \"fn\": %S, \"var\": %S, \"line\": %d, \"count\": %d }"
+                       fn var line n)
+                   (top_n 5 sites))))
+         report)
+  in
+  let totals_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, v) -> Printf.sprintf "    \"%s\": %d" name v)
+         (Bs_sim.Counters.to_assoc totals))
+  in
+  let oc = open_out "BENCH_pr5.json" in
   Printf.fprintf oc
     "{\n\
     \  \"jobs\": %d,\n\
     \  \"total_seconds\": %.3f,\n\
     \  \"compile_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f },\n\
-    \  \"sections\": [\n%s\n  ]\n}\n"
-    !jobs total hits misses rate
-    (String.concat ",\n"
-       (List.map
-          (fun (name, seconds) ->
-            Printf.sprintf "    { \"name\": %S, \"seconds\": %.3f }" name
-              seconds)
-          timings));
+    \  \"sections\": [\n%s\n  ],\n\
+    \  \"phases\": [\n%s\n  ],\n\
+    \  \"misspec\": [\n%s\n  ],\n\
+    \  \"counter_totals\": {\n%s\n  }\n\
+     }\n"
+    !jobs total hits misses (rate hits misses)
+    sections_json phases_json sites_json totals_json;
   close_out oc
 
 let () =
@@ -773,18 +836,30 @@ let () =
     | [] -> List.map fst sections
     | l -> l
   in
+  (* record spans for the whole run; the JSON folds them into a
+     phase-time breakdown *)
+  Bs_obs.Trace.enable ();
   let t_start = Unix.gettimeofday () in
   let timings = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
       | Some f ->
+          let h0 = Compile_cache.hits () and m0 = Compile_cache.misses () in
           let t0 = Unix.gettimeofday () in
           f ();
-          timings := (name, Unix.gettimeofday () -. t0) :: !timings
+          timings :=
+            (name,
+             Unix.gettimeofday () -. t0,
+             Compile_cache.hits () - h0,
+             Compile_cache.misses () - m0)
+            :: !timings
       | None ->
           Printf.eprintf "unknown section %s (available: %s)\n" name
             (String.concat " " (List.map fst sections)))
     requested;
-  write_bench_json ~total:(Unix.gettimeofday () -. t_start)
+  let report = misspec_report () in
+  let total = Unix.gettimeofday () -. t_start in
+  Bs_obs.Trace.disable ();
+  write_bench_json ~total ~phases:(Bs_obs.Trace.phase_table ()) ~report
     (List.rev !timings)

@@ -69,6 +69,26 @@ let print_diagnostics (c : Driver.compiled) =
     (fun d -> prerr_endline (Diag.to_string d))
     c.Driver.diagnostics
 
+let print_remarks (c : Driver.compiled) =
+  List.iter
+    (fun r -> print_endline (Bs_obs.Remark.to_string r))
+    c.Driver.remarks
+
+(* Run [f] with tracing enabled; on exit write the Chrome trace-event
+   JSON to [out] and print the per-phase timing table. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some out ->
+      Bs_obs.Trace.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Bs_obs.Trace.disable ();
+          Bs_obs.Trace.write_chrome out;
+          Format.printf "%a" Bs_obs.Trace.pp_phase_table ();
+          Printf.printf "trace written to %s\n" out)
+        f
+
 (* --- shared options ---------------------------------------------------- *)
 
 let arch_conv =
@@ -103,6 +123,22 @@ let strict_arg =
            ~doc:"Fail on the first pass error instead of degrading the \
                  offending function to its baseline compilation.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"OUT"
+           ~doc:"Record phase/worker spans and write them as Chrome \
+                 trace-event JSON to $(docv) (load in Perfetto or \
+                 chrome://tracing); a per-phase timing table is printed \
+                 on exit.")
+
+let remarks_arg =
+  Arg.(value & flag
+       & info [ "remarks" ]
+           ~doc:"Print optimisation remarks: every variable the squeezer \
+                 squeezed or rejected, every compare eliminated, every \
+                 bitmask elided — with source lines.  Output is canonical \
+                 (sorted), identical at any $(b,--jobs).")
+
 let config_of ~arch ~heuristic ~no_expander =
   let base =
     match arch with
@@ -128,26 +164,29 @@ let compile_cmd =
   let entry = Arg.(value & opt string "run" & info [ "entry" ]) in
   let train = Arg.(value & opt string "" & info [ "train" ] ~doc:"profiling args, comma-separated") in
   let action file arch heuristic emit_ir emit_asm entry train no_expander
-      strict =
+      strict trace remarks =
     with_reporting ~file (fun () ->
         let source = read_file file in
         let config = config_of ~arch ~heuristic ~no_expander in
         let c =
-          Driver.compile ~mode:(mode_of_strict strict) ~config ~source
-            ~train:[ (entry, parse_args train) ] ()
+          with_trace trace (fun () ->
+              Driver.compile ~mode:(mode_of_strict strict) ~config ~source
+                ~train:[ (entry, parse_args train) ] ())
         in
         print_diagnostics c;
+        if remarks then print_remarks c;
         if emit_ir then print_string (Bs_ir.Printer.module_str c.Driver.ir);
         if emit_asm then
           print_string (Bs_backend.Asm.disassemble c.Driver.program);
-        if not (emit_ir || emit_asm) then
+        if not (emit_ir || emit_asm || remarks) then
           Printf.printf "compiled %s: %d instructions, Δ = %d\n" file
             (Array.length c.Driver.program.Bs_backend.Asm.code)
             c.Driver.program.Bs_backend.Asm.delta)
   in
   Cmd.v (Cmd.info "compile" ~doc:"compile a MiniC file")
     Term.(const action $ file $ arch_arg $ heuristic_arg $ emit_ir $ emit_asm
-          $ entry $ train $ no_expander_arg $ strict_arg)
+          $ entry $ train $ no_expander_arg $ strict_arg $ trace_arg
+          $ remarks_arg)
 
 (* --- run --------------------------------------------------------------- *)
 
@@ -171,34 +210,56 @@ let run_cmd =
   let entry = Arg.(value & opt string "run" & info [ "entry" ]) in
   let args = Arg.(value & opt string "" & info [ "args" ]) in
   let train = Arg.(value & opt string "" & info [ "train" ]) in
-  let action file arch heuristic entry args train no_expander strict =
+  let why_misspec =
+    Arg.(value & flag
+         & info [ "why-misspec" ]
+             ~doc:"Print a per-site misspeculation histogram: each \
+                   misspeculation charged back to the originating \
+                   variable and source line.  The total equals the \
+                   simulator's misspecs counter.")
+  in
+  let action file arch heuristic entry args train no_expander strict trace
+      why =
     with_reporting ~file (fun () ->
         let source = read_file file in
         let config = config_of ~arch ~heuristic ~no_expander in
         let train_args =
           if train = "" then parse_args args else parse_args train
         in
+        with_trace trace @@ fun () ->
         let c =
           Driver.compile ~mode:(mode_of_strict strict) ~config ~source
             ~train:[ (entry, train_args) ] ()
         in
         print_diagnostics c;
         let r = Driver.run_machine c ~entry ~args:(parse_args args) in
-        print_metrics (Experiment.metrics_of_run r))
+        print_metrics (Experiment.metrics_of_run r);
+        if why then
+          Format.printf "%a" Experiment.pp_misspec_sites
+            (Experiment.misspec_sites c r))
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and simulate a MiniC file")
     Term.(const action $ file $ arch_arg $ heuristic_arg $ entry $ args
-          $ train $ no_expander_arg $ strict_arg)
+          $ train $ no_expander_arg $ strict_arg $ trace_arg $ why_misspec)
 
 (* --- bench ------------------------------------------------------------- *)
 
 let bench_cmd =
   let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
   let relative = Arg.(value & flag & info [ "relative" ] ~doc:"also print values relative to BASELINE") in
-  let action wname arch heuristic no_expander relative jobs =
+  let why_misspec =
+    Arg.(value & flag
+         & info [ "why-misspec" ]
+             ~doc:"Print a per-site misspeculation histogram for the test \
+                   input: each misspeculation charged back to the \
+                   originating variable and source line.")
+  in
+  let action wname arch heuristic no_expander relative jobs trace remarks
+      why =
     with_reporting (fun () ->
         let w = Registry.find wname in
         let config = config_of ~arch ~heuristic ~no_expander in
+        with_trace trace @@ fun () ->
         (* the configured run and the baseline comparison are independent;
            a pool overlaps them (printing stays sequential) *)
         let runs =
@@ -219,11 +280,25 @@ let bench_cmd =
             (m.Experiment.total_energy /. b.Experiment.total_energy)
             (float_of_int m.Experiment.instrs /. float_of_int b.Experiment.instrs)
             (m.Experiment.epi /. b.Experiment.epi)
+        end;
+        if remarks || why then begin
+          (* served from the compile cache: same key as the run above *)
+          let c = Experiment.compile_workload config w in
+          if remarks then print_remarks c;
+          if why then begin
+            let r =
+              Driver.run_machine
+                ~setup:(w.Workload.test.Workload.setup c.Driver.ir)
+                c ~entry:w.Workload.entry ~args:w.Workload.test.Workload.args
+            in
+            Format.printf "%a" Experiment.pp_misspec_sites
+              (Experiment.misspec_sites c r)
+          end
         end)
   in
   Cmd.v (Cmd.info "bench" ~doc:"run a built-in workload")
     Term.(const action $ wname $ arch_arg $ heuristic_arg $ no_expander_arg
-          $ relative $ jobs_arg)
+          $ relative $ jobs_arg $ trace_arg $ remarks_arg $ why_misspec)
 
 (* --- inject ------------------------------------------------------------ *)
 

@@ -17,6 +17,35 @@ dune exec bin/bitspecc.exe -- fuzz --seed 1 --trials 25 --corpus "$corpus" \
 dune exec bin/bitspecc.exe -- fuzz --seed 1 --trials 25 --corpus "$corpus" \
   --jobs 4 --fault miscompile:f --expect-crash
 
+# Observability smoke: a traced compile must produce well-formed Chrome
+# trace JSON with balanced begin/end events, the remark stream must
+# contain the known CRC32 squeeze decisions and be byte-identical at
+# --jobs 1 and --jobs 4, and the misspec histogram total must match the
+# simulator's counter.
+obs="$(mktemp -d)"
+trap 'rm -rf "$corpus" "$obs"' EXIT
+dune exec bin/bitspecc.exe -- bench CRC32 --trace "$obs/trace.json" \
+  > /dev/null
+dune exec bin/bitspecc.exe -- bench CRC32 --remarks --jobs 1 > "$obs/j1.out"
+dune exec bin/bitspecc.exe -- bench CRC32 --remarks --jobs 4 > "$obs/j4.out"
+b=$(grep -c '"ph":"B"' "$obs/trace.json")
+e=$(grep -c '"ph":"E"' "$obs/trace.json")
+if [ "$b" -eq 0 ] || [ "$b" -ne "$e" ]; then
+  echo "trace smoke: unbalanced events (B=$b E=$e)" >&2
+  exit 1
+fi
+grep -q '"traceEvents"' "$obs/trace.json"
+grep -q 'squeezed .*: i32 -> i8 at crc_' "$obs/j1.out"
+if ! cmp -s "$obs/j1.out" "$obs/j4.out"; then
+  echo "remark smoke: --jobs 1 and --jobs 4 output differ" >&2
+  diff "$obs/j1.out" "$obs/j4.out" >&2 || true
+  exit 1
+fi
+dune exec bin/bitspecc.exe -- bench CRC32 --why-misspec \
+  | awk '/^misspecs/ { c = $3 } /^misspeculation sites/ { gsub(/[():]/, "", $4); t = $4 }
+         END { if (c == "" || t != c) { print "misspec smoke: histogram total " t " != counter " c; exit 1 } }'
+echo "observability smoke: OK (trace $b/$e events, remarks jobs-invariant)"
+
 # Timed bench subset: fig8 + table2 (the regression-anchored sections).
 # Recorded single-job baseline on the reference container: ~6800 ms.
 # Fail if the subset takes more than twice that — a slowdown of that

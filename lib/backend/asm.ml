@@ -21,7 +21,7 @@ open Regalloc
 exception Emit_error of string
 
 type raw =
-  | RI of insn * provenance
+  | RI of insn * provenance * Mir.site option
   | RBr of cond option * int * provenance     (* local block target *)
   | RCall of string
 
@@ -37,6 +37,7 @@ type eblock = {
 type program = {
   code : insn array;
   prov : provenance array;
+  srcmap : Mir.site option array;  (* per-pc attribution (speculative ops) *)
   entries : (string, int) Hashtbl.t;
   delta : int;
   halt_pc : int;
@@ -55,9 +56,10 @@ type fctx = {
   saved : reg list;          (* callee-saved registers, ordered *)
   mutable sp_adjust : int;   (* extra SP displacement during call setup *)
   mutable out : raw list;    (* reversed *)
+  mutable cur_src : Mir.site option;  (* attribution of the minstr in flight *)
 }
 
-let emit c ?(prov = PNormal) i = c.out <- RI (i, prov) :: c.out
+let emit c ?(prov = PNormal) i = c.out <- RI (i, prov, c.cur_src) :: c.out
 
 let spill_off c slot = c.spill_base + (4 * slot) + c.sp_adjust
 
@@ -380,7 +382,7 @@ let emit_func ~addr_of_global (mf : mfunc) (ra : Regalloc.result) : eblock list 
     mf.mregions;
   let c =
     { mf; ra; addr_of_global; salloc_off; spill_base; frame_total; saved;
-      sp_adjust = 0; out = [] }
+      sp_adjust = 0; out = []; cur_src = None }
   in
   List.mapi
     (fun idx (b : mblock) ->
@@ -397,7 +399,12 @@ let emit_func ~addr_of_global (mf : mfunc) (ra : Regalloc.result) : eblock list 
           (STR (W32, lr, sp,
                 spill_base + (4 * ra.spill_slots) + (4 * List.length saved)))
       end;
-      List.iter (fun i -> emit_instr c i) b.mins;
+      List.iter
+        (fun (i : minstr) ->
+          c.cur_src <- (if i.speculative then i.msite else None);
+          emit_instr c i;
+          c.cur_src <- None)
+        b.mins;
       { e_fn = mf.mname; e_bid = b.mbid; e_region = b.in_region;
         e_handler = Hashtbl.mem handler_blocks b.mbid;
         e_raw = List.rev c.out })
@@ -444,6 +451,7 @@ let assemble ~addr_of_global (funcs : (mfunc * Regalloc.result) list) : program 
   in
   let code = Array.make total NOP in
   let prov = Array.make total PNormal in
+  let srcmap = Array.make total None in
   let resolve_label fn bid =
     match Hashtbl.find_opt labels (fn, bid) with
     | Some a -> a
@@ -464,9 +472,10 @@ let assemble ~addr_of_global (funcs : (mfunc * Regalloc.result) list) : program 
         let a = base + k in
         if b.e_handler then Hashtbl.replace handler_pcs a ();
         match raw with
-        | RI (i, p) ->
+        | RI (i, p, src) ->
             code.(a) <- i;
-            prov.(a) <- p
+            prov.(a) <- p;
+            srcmap.(a) <- src
         | RBr (None, t, p) ->
             code.(a) <- B (resolve_label b.e_fn t);
             prov.(a) <- p
@@ -496,7 +505,7 @@ let assemble ~addr_of_global (funcs : (mfunc * Regalloc.result) list) : program 
         b.e_raw)
     low;
   code.(halt_pc) <- HALT;
-  { code; prov; entries; delta; halt_pc; handler_pcs }
+  { code; prov; srcmap; entries; delta; halt_pc; handler_pcs }
 
 let disassemble (p : program) =
   let buf = Buffer.create 4096 in

@@ -41,6 +41,14 @@ type ctx = {
 let emit ctx ?(spec = false) ?(prov = Isa.PNormal) mop =
   ctx.cur.mins <- ctx.cur.mins @ [ mk_instr ~spec ~prov mop ]
 
+(* Attribution for speculative ops: the squeezed IR variable behind
+   this instruction, with its source line (see Mir.site). *)
+let site_of ctx (i : Ir.instr) =
+  let var =
+    if i.Ir.iname <> "" then i.Ir.iname else Printf.sprintf "%%%d" i.Ir.iid
+  in
+  Some { s_fn = ctx.ir.Ir.fname; s_var = var; s_line = i.Ir.line }
+
 let unsigned_cmpop = function
   | Ir.Eq | Ir.Ne | Ir.Ult | Ir.Ule | Ir.Ugt | Ir.Uge -> true
   | Ir.Slt | Ir.Sle | Ir.Sgt | Ir.Sge -> false
@@ -187,10 +195,12 @@ let emit_compare ctx (i : Ir.instr) op a b : Isa.cond =
     (match rhs with
     | `Imm v ->
         ctx.cur.mins <- ctx.cur.mins @ [ { mop = Mcmp (ra, Vi (Int64.of_int v));
-                                           speculative = true; prov = PNormal } ]
+                                           speculative = true; prov = PNormal;
+                                           msite = site_of ctx i } ]
     | `Reg rb ->
         ctx.cur.mins <- ctx.cur.mins @ [ { mop = Mcmp (ra, Vr rb);
-                                           speculative = true; prov = PNormal } ]);
+                                           speculative = true; prov = PNormal;
+                                           msite = site_of ctx i } ]);
     cond_of_cmpop false op
   end
   else begin
@@ -240,7 +250,8 @@ let lower_instr ctx (_b : Ir.block) (i : Ir.instr) =
       let spec = match op with Ir.Add | Ir.Sub -> true | _ -> false in
       ctx.cur.mins <-
         ctx.cur.mins @ [ { mop = Malu (bop, d, ra, rhs); speculative = spec;
-                           prov = PNormal } ])
+                           prov = PNormal;
+                           msite = (if spec then site_of ctx i else None) } ])
   | Ir.Bin (op, a, c) -> (
       if i.width > 32 then unsupported "64-bit arithmetic in back-end";
       let d = vreg_of ctx i in
@@ -350,19 +361,19 @@ let lower_instr ctx (_b : Ir.block) (i : Ir.instr) =
                     ctx.cur.mins <-
                       ctx.cur.mins
                       @ [ { mop = Mloadspecx (d, br, xs); speculative = true;
-                            prov = PNormal } ]
+                            prov = PNormal; msite = site_of ctx i } ]
                 | None ->
                     let addr = val32 ctx addr_op in
                     ctx.cur.mins <-
                       ctx.cur.mins
                       @ [ { mop = Mloadspec (d, addr, 0); speculative = true;
-                            prov = PNormal } ])
+                            prov = PNormal; msite = site_of ctx i } ])
             | None ->
                 let src = val32 ctx a in
                 ctx.cur.mins <-
                   ctx.cur.mins
                   @ [ { mop = Mtrunc_spec (d, src); speculative = true;
-                        prov = PNormal } ]
+                        prov = PNormal; msite = site_of ctx i } ]
           end
           else if width_of ctx.mf d = 8 then
             emit ctx (Mtrunc_exact (d, val32 ctx a))

@@ -39,10 +39,17 @@ type mop =
   | Mframeaddr of vreg * int                  (* salloc slot id *)
   | Margload of vreg * int                    (* k-th incoming argument *)
 
+(* Source attribution for speculative instructions: the IR variable
+   (and its line) whose squeeze introduced the speculation.  Carried
+   from isel through assembly into [Asm.program.srcmap] so the
+   simulator can charge each misspeculation back to its source. *)
+type site = { s_fn : string; s_var : string; s_line : int }
+
 type minstr = {
   mutable mop : mop;
   mutable speculative : bool;   (* can trigger misspeculation *)
   mutable prov : Isa.provenance;
+  mutable msite : site option;  (* attribution for speculative ops *)
 }
 
 type mblock = {
@@ -64,8 +71,8 @@ type mfunc = {
   mutable mregions : (int * int list * int) list;  (* region id, blocks, handler *)
 }
 
-let mk_instr ?(spec = false) ?(prov = Isa.PNormal) mop =
-  { mop; speculative = spec; prov }
+let mk_instr ?(spec = false) ?(prov = Isa.PNormal) ?site mop =
+  { mop; speculative = spec; prov; msite = site }
 
 let fresh_vreg (f : mfunc) ~width =
   let v = f.next_vreg in

@@ -64,6 +64,7 @@ let expand (p : Asm.program) : Asm.program =
   new_index.(n) <- !total;
   let code = Array.make !total NOP in
   let prov = Array.make !total PNormal in
+  let srcmap = Array.make !total None in
   Array.iteri
     (fun i insn ->
       let insn' =
@@ -74,12 +75,13 @@ let expand (p : Asm.program) : Asm.program =
         | other -> other
       in
       code.(new_index.(i)) <- insn';
-      prov.(new_index.(i)) <- p.Asm.prov.(i))
+      prov.(new_index.(i)) <- p.Asm.prov.(i);
+      srcmap.(new_index.(i)) <- p.Asm.srcmap.(i))
     p.Asm.code;
   let entries = Hashtbl.create 8 in
   Hashtbl.iter
     (fun name pc -> Hashtbl.replace entries name new_index.(pc))
     p.Asm.entries;
   let handler_pcs = Hashtbl.create 1 in
-  { Asm.code; prov; entries; delta = p.Asm.delta;
+  { Asm.code; prov; srcmap; entries; delta = p.Asm.delta;
     halt_pc = new_index.(p.Asm.halt_pc); handler_pcs }

@@ -13,7 +13,8 @@ open Bs_ir
 
 let slice_mask = Width.mask Specops.slice_width
 
-let run_func (f : Ir.func) =
+let run_func ?remarks (f : Ir.func) =
+  let remark r = match remarks with Some sink -> sink r | None -> () in
   let elided = ref 0 in
   (* map: result of `and x, 0xFF` -> x *)
   let masked : (int, Ir.operand) Hashtbl.t = Hashtbl.create 16 in
@@ -45,10 +46,17 @@ let run_func (f : Ir.func) =
                 (* trunc8(and(x, 0xFF)) = trunc8(x), exactly *)
                 i.op <- Ir.Cast (Ir.TruncCast, Hashtbl.find masked v);
                 i.speculative <- false;
-                incr elided
+                incr elided;
+                let var =
+                  if i.iname <> "" then i.iname
+                  else Printf.sprintf "%%%d" i.iid
+                in
+                remark
+                  (Bs_obs.Remark.elided_mask ~fn:f.fname ~var ~line:i.line)
             | _ -> ())
           b.instrs)
       f.blocks;
   !elided
 
-let run (m : Ir.modul) = List.fold_left (fun n f -> n + run_func f) 0 m.funcs
+let run ?remarks (m : Ir.modul) =
+  List.fold_left (fun n f -> n + run_func ?remarks f) 0 m.funcs

@@ -4,7 +4,8 @@
     dies at the next DCE.  The pattern dominates encoder kernels
     (blowfish, rijndael). *)
 
-val run_func : Bs_ir.Ir.func -> int
-(** Returns the number of truncates de-speculated. *)
+val run_func : ?remarks:Bs_obs.Remark.sink -> Bs_ir.Ir.func -> int
+(** Returns the number of truncates de-speculated; [remarks] receives
+    one record per elided mask. *)
 
-val run : Bs_ir.Ir.modul -> int
+val run : ?remarks:Bs_obs.Remark.sink -> Bs_ir.Ir.modul -> int

@@ -62,6 +62,10 @@ let run ?(config = Driver.bitspec_config) ?(jobs = 1) ~trials ~seed
         Faultinject.gen_fault rng ~max_instr:golden_instrs ~mem_lo ~mem_hi)
   in
   let results =
+    Bs_obs.Trace.with_span
+      ~args:[ ("workload", w.Workload.name) ]
+      "campaign:fanout"
+    @@ fun () ->
     Array.to_list
       (Bs_exec.Pool.map ~jobs
          (fun fault ->

@@ -33,7 +33,8 @@ let mirror : Ir.cmpop -> Ir.cmpop = function
   | Ir.Ugt -> Ir.Ult | Ir.Uge -> Ir.Ule
   | other -> other
 
-let run_func (f : Ir.func) =
+let run_func ?remarks (f : Ir.func) =
+  let remark r = match remarks with Some sink -> sink r | None -> () in
   let eliminated = ref 0 in
   (* index: variable -> speculative truncates of it, with their block *)
   let spec_truncs : (int, int list) Hashtbl.t = Hashtbl.create 16 in
@@ -94,7 +95,14 @@ let run_func (f : Ir.func) =
               match decide op with
               | Some v ->
                   Ir.replace_all_uses f ~old_id:i.iid ~by:(Ir.const ~width:1 v);
-                  incr eliminated
+                  incr eliminated;
+                  let var =
+                    if i.iname <> "" then i.iname
+                    else Printf.sprintf "%%%d" i.iid
+                  in
+                  remark
+                    (Bs_obs.Remark.compare_elim ~fn:f.fname ~var ~line:i.line
+                       (v <> 0L))
               | None -> ()
           in
           match i.op with
@@ -105,4 +113,5 @@ let run_func (f : Ir.func) =
     f.blocks;
   !eliminated
 
-let run (m : Ir.modul) = List.fold_left (fun n f -> n + run_func f) 0 m.funcs
+let run ?remarks (m : Ir.modul) =
+  List.fold_left (fun n f -> n + run_func ?remarks f) 0 m.funcs

@@ -4,7 +4,8 @@
     remains in CFG_spec.  Evidence that the value fits is either a
     squeezed definition or a dominating committed speculative truncate. *)
 
-val run_func : Bs_ir.Ir.func -> int
-(** Returns the number of compares eliminated. *)
+val run_func : ?remarks:Bs_obs.Remark.sink -> Bs_ir.Ir.func -> int
+(** Returns the number of compares eliminated; [remarks] receives one
+    record per eliminated compare. *)
 
-val run : Bs_ir.Ir.modul -> int
+val run : ?remarks:Bs_obs.Remark.sink -> Bs_ir.Ir.modul -> int

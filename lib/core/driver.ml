@@ -133,6 +133,7 @@ type compiled = {
   profile : Profile.t option;
   squeeze_stats : Squeezer.stats option;
   diagnostics : Diag.t list;
+  remarks : Bs_obs.Remark.t list;
 }
 
 let describe_exn = function
@@ -190,10 +191,17 @@ let compile ?(mode = Strict) ?pass_fault ~config ~source ?setup ~train ()
   let degrade = mode = Degrade in
   let diags = ref [] in
   let add d = diags := d :: !diags in
-  let m = ref (Lower.compile source) in
+  (* Per-compile remark sink: passes append here; the result carries the
+     canonically-sorted list, so printing is identical at any --jobs. *)
+  let remarks_acc = ref [] in
+  let remark r = remarks_acc := r :: !remarks_acc in
+  let m =
+    ref (Bs_obs.Trace.with_span "frontend" (fun () -> Lower.compile source))
+  in
   (* Module-level pass with snapshot/rollback: on failure in degrade mode
      the module is restored and the pass skipped. *)
   let guarded ~phase ~code name f =
+    Bs_obs.Trace.with_span name @@ fun () ->
     if degrade then begin
       let snap = Ir.copy_module !m in
       match f () with
@@ -236,7 +244,10 @@ let compile ?(mode = Strict) ?pass_fault ~config ~source ?setup ~train ()
   if degrade then ignore (Lazy.force baseline);
   let profile, squeeze_stats =
     if config.arch = Bitspec_arch && config.speculate && cfg_ok then begin
-      match profile_module !m ?setup ~train () with
+      match
+        Bs_obs.Trace.with_span "profile" (fun () ->
+            profile_module !m ?setup ~train ())
+      with
       | exception e when degrade ->
           add
             (Diag.error ~code:"BS-PRO-01" ~phase:Diag.Profile
@@ -249,9 +260,12 @@ let compile ?(mode = Strict) ?pass_fault ~config ~source ?setup ~train ()
           List.iter
             (fun (f : Ir.func) ->
               let squeeze () =
+                Bs_obs.Trace.with_span ~args:[ ("fn", f.Ir.fname) ]
+                  "squeeze"
+                @@ fun () ->
                 maybe_pass_fault pass_fault Fault_squeeze f.Ir.fname;
                 let s =
-                  Squeezer.run_func !m f ~profile
+                  Squeezer.run_func ~remarks:remark !m f ~profile
                     ~heuristic:config.heuristic
                 in
                 Verifier.check_func f;
@@ -280,13 +294,13 @@ let compile ?(mode = Strict) ?pass_fault ~config ~source ?setup ~train ()
              ignore
                (guarded ~phase:Diag.Compare_elim ~code:"BS-CEL-01"
                   "compare elimination" (fun () ->
-                    ignore (Compare_elim.run !m);
+                    ignore (Compare_elim.run ~remarks:remark !m);
                     Verifier.verify_exn !m)));
           (if config.bitmask_elide then
              ignore
                (guarded ~phase:Diag.Bitmask_elide ~code:"BS-BME-01"
                   "bitmask elision" (fun () ->
-                    ignore (Bitmask_elide.run !m);
+                    ignore (Bitmask_elide.run ~remarks:remark !m);
                     Verifier.verify_exn !m)));
           ignore
             (guarded ~phase:Diag.Opt ~code:"BS-OPT-01" "late optimisations"
@@ -322,6 +336,7 @@ let compile ?(mode = Strict) ?pass_fault ~config ~source ?setup ~train ()
       plant_miscompile !m fault_func
   | _ -> ());
   let funcs =
+    Bs_obs.Trace.with_span "lower" @@ fun () ->
     List.map
       (fun (f : Ir.func) ->
         let lower f =
@@ -351,9 +366,13 @@ let compile ?(mode = Strict) ?pass_fault ~config ~source ?setup ~train ()
         else lower f)
       (!m).Ir.funcs
   in
-  let program = assemble_funcs !m ~arch:config.arch funcs in
+  let program =
+    Bs_obs.Trace.with_span "assemble" (fun () ->
+        assemble_funcs !m ~arch:config.arch funcs)
+  in
   { ir = !m; program; config; profile; squeeze_stats;
-    diagnostics = List.rev !diags }
+    diagnostics = List.rev !diags;
+    remarks = List.sort Bs_obs.Remark.compare !remarks_acc }
 
 (** Total compilation: never raises.  Degrade-mode [compile], with any
     escaping exception (front-end errors included) converted into

@@ -70,6 +70,10 @@ type compiled = {
   diagnostics : Bs_support.Diag.t list;
       (** degradations and skipped passes, in pipeline order; empty in a
           clean strict build *)
+  remarks : Bs_obs.Remark.t list;
+      (** optimisation remarks from the squeezer, compare elimination
+          and bitmask elision, in canonical ({!Bs_obs.Remark.compare})
+          order — identical at any job count *)
 }
 
 val profile_module :

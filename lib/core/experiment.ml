@@ -57,6 +57,10 @@ let metrics_of_run (r : Machine.result) : metrics =
 let compile_workload ?(profile_input : Workload.input option)
     ?(profile_tag : string option) (config : Driver.config) (w : Workload.t)
     : Driver.compiled =
+  Bs_obs.Trace.with_span
+    ~args:[ ("workload", w.Workload.name) ]
+    "experiment:compile"
+  @@ fun () ->
   let pi = Option.value profile_input ~default:w.train in
   let thunk () =
     Driver.compile ~config ~source:w.source ~setup:pi.Workload.setup
@@ -83,11 +87,53 @@ let compile_workload ?(profile_input : Workload.input option)
 (** [run_compiled c w ~input] simulates and collects metrics. *)
 let run_compiled (c : Driver.compiled) (w : Workload.t)
     ~(input : Workload.input) : metrics =
+  Bs_obs.Trace.with_span
+    ~args:[ ("workload", w.Workload.name) ]
+    "experiment:simulate"
+  @@ fun () ->
   let r =
     Driver.run_machine ~setup:(input.Workload.setup c.Driver.ir) c
       ~entry:w.entry ~args:input.Workload.args
   in
   metrics_of_run r
+
+(* Attribution: fold a run's per-pc misspeculation counts into
+   per-source-site rows through the program's srcmap.  Rows come out
+   most-frequent first (ties by site) and the counts sum to
+   [r.ctr.misspecs]; pcs the assembler could not attribute (none in
+   practice — every misspeculating insn carries a site) fall back to a
+   synthetic "pc:N" row rather than being dropped. *)
+let misspec_sites (c : Driver.compiled) (r : Machine.result) :
+    ((string * string * int) * int) list =
+  let srcmap = c.Driver.program.Bs_backend.Asm.srcmap in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (pc, n) ->
+      let key =
+        match if pc < Array.length srcmap then srcmap.(pc) else None with
+        | Some s ->
+            (s.Bs_backend.Mir.s_fn, s.Bs_backend.Mir.s_var,
+             s.Bs_backend.Mir.s_line)
+        | None -> ("?", Printf.sprintf "pc:%d" pc, 0)
+      in
+      match Hashtbl.find_opt tbl key with
+      | Some m -> Hashtbl.replace tbl key (m + n)
+      | None -> Hashtbl.add tbl key n)
+    r.Machine.misspec_pcs;
+  List.sort
+    (fun (ka, na) (kb, nb) ->
+      let cn = Int.compare nb na in
+      if cn <> 0 then cn else compare ka kb)
+    (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+
+let pp_misspec_sites ppf sites =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 sites in
+  Format.fprintf ppf "misspeculation sites (total %d):@." total;
+  List.iter
+    (fun ((fn, var, line), n) ->
+      let where = if line > 0 then Printf.sprintf "%s:%d" fn line else fn in
+      Format.fprintf ppf "  %8d  %s (%s)@." n var where)
+    sites
 
 (** One-call experiment: compile under [config] and measure on the test
     input. *)

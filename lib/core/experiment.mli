@@ -44,6 +44,19 @@ val run_compiled :
   metrics
 (** Simulate an already-compiled workload on an arbitrary input. *)
 
+val misspec_sites :
+  Driver.compiled ->
+  Bs_sim.Machine.result ->
+  ((string * string * int) * int) list
+(** Fold the run's per-pc misspeculation counts into per-source-site
+    rows (((function, variable, line), count)) through the program's
+    srcmap, most-frequent first.  Counts sum to the run's
+    [ctr.misspecs]. *)
+
+val pp_misspec_sites :
+  Format.formatter -> ((string * string * int) * int) list -> unit
+(** Print a [misspec_sites] histogram with its total. *)
+
 val run :
   ?profile_input:Bs_workloads.Workload.input ->
   ?profile_tag:string ->

@@ -111,8 +111,13 @@ let squeezable profile heuristic (f : Ir.func) (b : Ir.block)
 
 (* --- the transformation ------------------------------------------------ *)
 
-let run_func (m : Ir.modul) (f : Ir.func) ~profile ~heuristic : stats =
+let run_func ?remarks (m : Ir.modul) (f : Ir.func) ~profile ~heuristic :
+    stats =
   ignore m;
+  let remark r = match remarks with Some sink -> sink r | None -> () in
+  let var_name (i : Ir.instr) =
+    if i.iname <> "" then i.iname else Printf.sprintf "%%%d" i.iid
+  in
   let st = fresh_stats () in
   let idempotent_tbl = Hashtbl.create 16 in
   List.iter
@@ -193,6 +198,7 @@ let run_func (m : Ir.modul) (f : Ir.func) ~profile ~heuristic : stats =
     in
     truncs + exts
   in
+  let candidates = !s_set in
   let pruning = ref true in
   while !pruning do
     pruning := false;
@@ -205,6 +211,14 @@ let run_func (m : Ir.modul) (f : Ir.func) ~profile ~heuristic : stats =
         end)
       !s_set
   done;
+  (* Report each candidate the cost model pruned (IntSet order: stable). *)
+  IntSet.iter
+    (fun iid ->
+      let i = Ir.instr f iid in
+      remark
+        (Bs_obs.Remark.rejected ~fn:f.fname ~var:(var_name i) ~line:i.line
+           (Printf.sprintf "boundary cost %d > 1 cast" (boundary_cost i))))
+    (IntSet.diff candidates !s_set);
   if IntSet.is_empty !s_set then st
   else begin
     let spec_blocks = f.blocks in
@@ -225,11 +239,31 @@ let run_func (m : Ir.modul) (f : Ir.func) ~profile ~heuristic : stats =
     IntSet.iter
       (fun iid ->
         let i = Ir.instr f iid in
+        let from_ =
+          match i.op with
+          | Ir.Cmp (_, a, b) ->
+              (* an i1-result compare is squeezed via its operands: report
+                 the comparison width, not the result width *)
+              let ow o =
+                match o with
+                | Ir.Var v when Hashtbl.mem orig_width v ->
+                    Hashtbl.find orig_width v
+                | o -> Ir.operand_width f o
+              in
+              max (ow a) (ow b)
+          | _ -> (
+              match Hashtbl.find_opt orig_width iid with
+              | Some w -> w
+              | None -> i.width)
+        in
         (match i.op with
         | Ir.Cmp _ -> () (* result stays i1; operands are squeezed below *)
         | _ -> i.width <- slice);
         i.speculative <- true;
-        st.squeezed <- st.squeezed + 1)
+        st.squeezed <- st.squeezed + 1;
+        remark
+          (Bs_obs.Remark.squeezed ~fn:f.fname ~var:(var_name i) ~line:i.line
+             ~from_ ~to_:slice))
       !s_set;
     (* ② step 2b: operand narrowing. *)
     (* caches are keyed by (block, placement kind, value): an End-placed
@@ -268,8 +302,16 @@ let run_func (m : Ir.modul) (f : Ir.func) ~profile ~heuristic : stats =
             (match Hashtbl.find_opt trunc_cache key with
             | Some cached -> cached
             | None ->
+                let line =
+                  (* parameters carry no line; fall back to the consumer *)
+                  if vi.line > 0 then vi.line
+                  else
+                    match where with
+                    | `Before (_, (anchor : Ir.instr)) -> anchor.line
+                    | `End _ -> 0
+                in
                 let t =
-                  Ir.mk_instr f ~name:(vi.iname ^ ".sq") ~width:slice
+                  Ir.mk_instr f ~name:(vi.iname ^ ".sq") ~line ~width:slice
                     (Ir.Cast (Ir.TruncCast, o))
                 in
                 t.speculative <- true;
@@ -312,7 +354,7 @@ let run_func (m : Ir.modul) (f : Ir.func) ~profile ~heuristic : stats =
       | None ->
           let vi = Ir.instr f v in
           let e =
-            Ir.mk_instr f ~name:(vi.iname ^ ".w") ~width:ow
+            Ir.mk_instr f ~name:(vi.iname ^ ".w") ~line:vi.line ~width:ow
               (Ir.Cast (Ir.Zext, Ir.Var v))
           in
           st.exts <- st.exts + 1;
@@ -447,11 +489,11 @@ let run_func (m : Ir.modul) (f : Ir.func) ~profile ~heuristic : stats =
   end
 
 (** Squeeze every profiled function of [m]. *)
-let run (m : Ir.modul) ~profile ~heuristic : stats =
+let run ?remarks (m : Ir.modul) ~profile ~heuristic : stats =
   let total = fresh_stats () in
   List.iter
     (fun (f : Ir.func) ->
-      let st = run_func m f ~profile ~heuristic in
+      let st = run_func ?remarks m f ~profile ~heuristic in
       total.squeezed <- total.squeezed + st.squeezed;
       total.truncs <- total.truncs + st.truncs;
       total.exts <- total.exts + st.exts;

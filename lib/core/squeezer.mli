@@ -29,14 +29,17 @@ val squeezable :
     for the variable and its operands fit the slice. *)
 
 val run_func :
+  ?remarks:Bs_obs.Remark.sink ->
   Bs_ir.Ir.modul ->
   Bs_ir.Ir.func ->
   profile:Bs_interp.Profile.t ->
   heuristic:Bs_interp.Profile.heuristic ->
   stats
-(** Squeeze one function in place. *)
+(** Squeeze one function in place.  [remarks] receives one record per
+    variable squeezed and per candidate the cost model rejected. *)
 
 val run :
+  ?remarks:Bs_obs.Remark.sink ->
   Bs_ir.Ir.modul ->
   profile:Bs_interp.Profile.t ->
   heuristic:Bs_interp.Profile.heuristic ->

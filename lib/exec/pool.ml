@@ -18,7 +18,17 @@ type 'b cell =
 let map ~jobs f a =
   let n = Array.length a in
   let jobs = min jobs n in
-  if jobs <= 1 || n <= 1 then Array.map f a
+  (* When tracing, each work item is bracketed in a span; the events
+     carry the executing domain's id, so a trace shows which domain ran
+     which index (pool occupancy).  Identical span structure on the
+     sequential path keeps traces comparable across job counts. *)
+  let traced i x =
+    if Bs_obs.Trace.is_enabled () then
+      Bs_obs.Trace.with_span ~args:[ ("index", string_of_int i) ] "pool:item"
+        (fun () -> f x)
+    else f x
+  in
+  if jobs <= 1 || n <= 1 then Array.mapi traced a
   else begin
     let results = Array.make n Pending in
     let cursor = Atomic.make 0 in
@@ -27,7 +37,7 @@ let map ~jobs f a =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
           let r =
-            match f (Array.unsafe_get a i) with
+            match traced i (Array.unsafe_get a i) with
             | v -> Ok v
             | exception e -> Exn (e, Printexc.get_raw_backtrace ())
           in

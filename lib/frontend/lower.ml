@@ -326,6 +326,9 @@ and lower_elem_addr st arr (idx : Tast.texpr) (elem : Ast.ity) : Ir.operand =
 let rec lower_stmts st stmts = List.iter (lower_stmt st) stmts
 
 and lower_stmt st (s : Tast.tstmt) =
+  match s with
+  | TLine n -> Builder.set_line st.bld n
+  | _ ->
   if st.terminated then () (* dead code after return/break *)
   else
     match s with
@@ -431,6 +434,7 @@ and lower_stmt st (s : Tast.tstmt) =
         | ctx :: _ -> emit_br st ctx.continue_to
         | [] -> raise (Error "continue outside loop"))
     | TExpr e -> ignore (lower_expr st e)
+    | TLine _ -> assert false (* handled above *)
 
 (* --- functions and modules -------------------------------------------- *)
 

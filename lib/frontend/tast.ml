@@ -47,6 +47,7 @@ type tstmt =
   | TBreak
   | TContinue
   | TExpr of texpr
+  | TLine of int  (* source-line marker; lowering stamps it on instrs *)
 
 type tparam = { p_sym : sym; p_array : bool; p_elem : ity }
 

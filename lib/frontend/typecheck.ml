@@ -192,7 +192,10 @@ and check_bin env _line op a b : Tast.texpr =
 
 type fctx = { ret : Ast.ity option; in_loop : bool }
 
-let rec check_stmts env fctx stmts = List.concat_map (check_stmt env fctx) stmts
+let rec check_stmts env fctx stmts =
+  List.concat_map
+    (fun (s : Ast.stmt) -> Tast.TLine s.sline :: check_stmt env fctx s)
+    stmts
 
 and check_stmt env fctx (s : Ast.stmt) : Tast.tstmt list =
   let line = s.sline in

@@ -57,6 +57,7 @@ let run ?plant ?budget ?(reduce = true) ?size ?fuel ?(jobs = 1) ~seed ~trials
           Int64.to_int (Int64.logand (Rng.next rng) 0x3FFFFFFFL))
     in
     let verdicts =
+      Bs_obs.Trace.with_span "fuzz:fanout" @@ fun () ->
       Bs_exec.Pool.map ~jobs
         (fun tseed ->
           let source = Gen.program ?size tseed in

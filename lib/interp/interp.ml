@@ -27,6 +27,8 @@ type counters = {
   mutable steps : int;        (* dynamic IR instructions executed *)
   mutable misspecs : int;     (* misspeculation events *)
   mutable calls : int;
+  sites : (string * string * int, int) Hashtbl.t;
+      (* (function, variable, line) -> misspec count; totals = misspecs *)
 }
 
 type result = {
@@ -35,6 +37,8 @@ type result = {
   misspecs : int;
   calls : int;
   outcome : Bs_support.Outcome.t;
+  misspec_sites : ((string * string * int) * int) list;
+      (* per-site misspec attribution, sorted; counts sum to [misspecs] *)
 }
 
 type state = {
@@ -173,7 +177,8 @@ let build_fctx (f : Ir.func) : fctx =
 
 let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
   let st =
-    { m; mem; opts; ctr = { steps = 0; misspecs = 0; calls = 0 };
+    { m; mem; opts;
+      ctr = { steps = 0; misspecs = 0; calls = 0; sites = Hashtbl.create 16 };
       sp = Memimage.size mem }
   in
   let funcs = Hashtbl.create 16 in
@@ -311,6 +316,14 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
                 match ctx.fc_region.(b.bid) with
                 | Some r ->
                     st.ctr.misspecs <- st.ctr.misspecs + 1;
+                    let var =
+                      if i.iname <> "" then i.iname
+                      else Printf.sprintf "%%%d" i.iid
+                    in
+                    let key = (f.Ir.fname, var, i.line) in
+                    (match Hashtbl.find_opt st.ctr.sites key with
+                    | Some n -> Hashtbl.replace st.ctr.sites key (n + 1)
+                    | None -> Hashtbl.add st.ctr.sites key 1);
                     prev := b.bid;
                     cur := goto r.rhandler;
                     true
@@ -402,7 +415,10 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
         raise (Trap "stack overflow")
   in
   { ret; steps = st.ctr.steps; misspecs = st.ctr.misspecs;
-    calls = st.ctr.calls; outcome }
+    calls = st.ctr.calls; outcome;
+    misspec_sites =
+      List.sort compare
+        (Hashtbl.fold (fun k n acc -> (k, n) :: acc) st.ctr.sites []) }
 
 (** [run_fresh m ~entry ~args] builds a fresh memory image for [m],
     optionally letting [setup] fill workload inputs, and executes. *)

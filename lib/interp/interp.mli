@@ -24,6 +24,8 @@ type counters = {
   mutable steps : int;
   mutable misspecs : int;
   mutable calls : int;
+  sites : (string * string * int, int) Hashtbl.t;
+      (** (function, variable, line) -> misspec count *)
 }
 
 type result = {
@@ -34,6 +36,9 @@ type result = {
   outcome : Bs_support.Outcome.t;
       (** [Finished], or [Out_of_fuel] when the budget ran out ([ret] is
           [None] in that case) *)
+  misspec_sites : ((string * string * int) * int) list;
+      (** ((function, variable, line), count) attribution of every
+          misspeculation event, sorted; counts sum to [misspecs] *)
 }
 
 val eval_binop : Bs_ir.Ir.binop -> int -> int64 -> int64 -> int64

@@ -5,9 +5,12 @@
 type t = {
   func : Ir.func;
   mutable cursor : Ir.block option;
+  mutable line : int;  (* current source line stamped onto new instrs *)
 }
 
-let create func = { func; cursor = None }
+let create func = { func; cursor = None; line = 0 }
+
+let set_line t n = t.line <- n
 
 let position_at_end t b = t.cursor <- Some b
 
@@ -20,6 +23,7 @@ let func t = t.func
 
 let insert t i =
   let b = current_block t in
+  if i.Ir.line = 0 then i.Ir.line <- t.line;
   Ir.append_instr b i;
   i
 
@@ -42,7 +46,7 @@ let select t ?(name = "") ~width c a b =
 
 let phi t ?(name = "") ~width incoming =
   let b = current_block t in
-  let i = Ir.mk_instr t.func ~name ~width (Ir.Phi incoming) in
+  let i = Ir.mk_instr t.func ~name ~line:t.line ~width (Ir.Phi incoming) in
   (* Phis go before any non-phi instruction. *)
   let phis, rest = List.partition Ir.is_phi b.Ir.instrs in
   b.Ir.instrs <- phis @ [ i ] @ rest;

@@ -58,6 +58,7 @@ type instr = {
   mutable width : int;          (* result width in bits; 0 = no result *)
   mutable speculative : bool;   (* set by the squeezer (§3.2.3 pass 2) *)
   mutable iname : string;       (* printing hint only *)
+  mutable line : int;           (* source line; 0 = unknown/synthetic *)
 }
 
 type block = {
@@ -119,7 +120,7 @@ let create_func ~name ~params ~ret_width =
     List.mapi
       (fun k (pname, w) ->
         let i = { iid = fresh_id f; op = Param k; width = w;
-                  speculative = false; iname = pname } in
+                  speculative = false; iname = pname; line = 0 } in
         Hashtbl.replace f.itbl i.iid i;
         i)
       params
@@ -145,8 +146,10 @@ let insert_block_after f anchor name =
   f.blocks <- place f.blocks;
   b
 
-let mk_instr f ?(name = "") ~width op =
-  let i = { iid = fresh_id f; op; width; speculative = false; iname = name } in
+let mk_instr f ?(name = "") ?(line = 0) ~width op =
+  let i =
+    { iid = fresh_id f; op; width; speculative = false; iname = name; line }
+  in
   Hashtbl.replace f.itbl i.iid i;
   i
 
@@ -420,7 +423,7 @@ let clone_blocks f bs ~suffix =
           (fun i ->
             let ni =
               { iid = fresh_id f; op = i.op; width = i.width;
-                speculative = i.speculative;
+                speculative = i.speculative; line = i.line;
                 iname = (if i.iname = "" then "" else i.iname ^ suffix) }
             in
             Hashtbl.replace f.itbl ni.iid ni;

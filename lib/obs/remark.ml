@@ -1,0 +1,54 @@
+(* Optimisation remarks: structured records of what a pass did (or
+   declined to do) to a named variable, tied back to the source line.
+   Passes push remarks into a sink supplied by the driver; the driver
+   stores the per-compile list so output is canonical and identical
+   at any --jobs level (remarks are never streamed from workers). *)
+
+type kind =
+  | Squeezed of int * int  (* from-width, to-width *)
+  | Rejected of string  (* reason *)
+  | Compare_elim of bool  (* compare folded to this constant *)
+  | Elided_mask
+
+type t = { pass : string; kind : kind; fn : string; var : string; line : int }
+
+type sink = t -> unit
+
+let squeezed ~fn ~var ~line ~from_ ~to_ =
+  { pass = "squeezer"; kind = Squeezed (from_, to_); fn; var; line }
+
+let rejected ~fn ~var ~line reason =
+  { pass = "squeezer"; kind = Rejected reason; fn; var; line }
+
+let compare_elim ~fn ~var ~line value =
+  { pass = "compare-elim"; kind = Compare_elim value; fn; var; line }
+
+let elided_mask ~fn ~var ~line =
+  { pass = "bitmask-elide"; kind = Elided_mask; fn; var; line }
+
+let at fn line = if line > 0 then Printf.sprintf "%s:%d" fn line else fn
+
+let to_string r =
+  match r.kind with
+  | Squeezed (w0, w1) ->
+      Printf.sprintf "squeezed %s: i%d -> i%d at %s" r.var w0 w1
+        (at r.fn r.line)
+  | Rejected reason ->
+      Printf.sprintf "rejected %s: %s at %s" r.var reason (at r.fn r.line)
+  | Compare_elim v ->
+      Printf.sprintf "eliminated compare %s: always %b at %s" r.var v
+        (at r.fn r.line)
+  | Elided_mask ->
+      Printf.sprintf "elided mask %s at %s" r.var (at r.fn r.line)
+
+(* Canonical order: by function, then source line, then pass/text, so
+   printed remark streams are stable across compile orderings. *)
+let compare a b =
+  let c = String.compare a.fn b.fn in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = String.compare a.pass b.pass in
+      if c <> 0 then c else String.compare (to_string a) (to_string b)

@@ -1,0 +1,26 @@
+(** Structured optimisation remarks.
+
+    Passes report per-variable decisions (squeezed, rejected,
+    compare-eliminated, mask-elided) through a [sink]; the driver
+    collects them per compile and prints them in canonical order. *)
+
+type kind =
+  | Squeezed of int * int  (** from-width, to-width *)
+  | Rejected of string  (** reason the squeezer gave up *)
+  | Compare_elim of bool  (** compare folded to this constant *)
+  | Elided_mask
+
+type t = { pass : string; kind : kind; fn : string; var : string; line : int }
+
+type sink = t -> unit
+
+val squeezed : fn:string -> var:string -> line:int -> from_:int -> to_:int -> t
+val rejected : fn:string -> var:string -> line:int -> string -> t
+val compare_elim : fn:string -> var:string -> line:int -> bool -> t
+val elided_mask : fn:string -> var:string -> line:int -> t
+
+val to_string : t -> string
+(** e.g. ["squeezed x: i32 -> i8 at kernel:12"]. *)
+
+val compare : t -> t -> int
+(** Canonical order: function, then line, then pass and text. *)

@@ -1,0 +1,184 @@
+(* Span/trace layer: hierarchical begin/end spans with an injectable
+   monotonic clock, collected into a process-global buffer and emitted
+   as Chrome trace-event JSON (loadable in chrome://tracing or
+   Perfetto) plus a human-readable per-phase timing table.
+
+   Tracing is off by default and [with_span] costs one load of an
+   atomic flag when disabled, so instrumentation can stay in hot
+   paths.  Workers run in separate domains; the buffer is guarded by a
+   mutex and every event is tagged with the emitting domain's id so a
+   trace shows actual pool occupancy. *)
+
+type phase = B | E | I
+
+type event = {
+  name : string;
+  ph : phase;
+  ts : float; (* seconds, from the active clock *)
+  tid : int;
+  args : (string * string) list;
+}
+
+let enabled = Atomic.make false
+let lock = Mutex.create ()
+
+(* Buffer is kept in reverse emission order; [events] re-reverses. *)
+let buf : event list ref = ref []
+let clock : (unit -> float) ref = ref Unix.gettimeofday
+
+let is_enabled () = Atomic.get enabled
+
+let enable ?clock:(c = Unix.gettimeofday) () =
+  Mutex.lock lock;
+  clock := c;
+  buf := [];
+  Mutex.unlock lock;
+  Atomic.set enabled true
+
+let disable () = Atomic.set enabled false
+
+let reset () =
+  Atomic.set enabled false;
+  Mutex.lock lock;
+  buf := [];
+  clock := Unix.gettimeofday;
+  Mutex.unlock lock
+
+let tid () = (Domain.self () :> int)
+
+let push ev =
+  Mutex.lock lock;
+  buf := ev :: !buf;
+  Mutex.unlock lock
+
+let emit ph ?(args = []) name =
+  if Atomic.get enabled then
+    push { name; ph; ts = !clock (); tid = tid (); args }
+
+let instant ?args name = emit I ?args name
+
+let with_span ?args name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    emit B ?args name;
+    Fun.protect ~finally:(fun () -> emit E name) f
+  end
+
+let events () = List.rev !buf
+
+(* ---- Chrome trace-event JSON ------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let phase_letter = function B -> "B" | E -> "E" | I -> "i"
+
+(* Timestamps are rebased to the earliest event so traces start at
+   t=0 regardless of the clock's epoch. *)
+let write_event out ~t0 ev =
+  let us = (ev.ts -. t0) *. 1e6 in
+  Buffer.add_string out
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+       (json_escape ev.name) (phase_letter ev.ph) us ev.tid);
+  (match ev.args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string out ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char out ',';
+          Buffer.add_string out
+            (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+        args;
+      Buffer.add_char out '}');
+  Buffer.add_char out '}'
+
+let to_chrome_json () =
+  let evs = events () in
+  let t0 = match evs with [] -> 0.0 | ev :: _ -> ev.ts in
+  let out = Buffer.create 4096 in
+  Buffer.add_string out "{\"traceEvents\":[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string out ",\n";
+      write_event out ~t0 ev)
+    evs;
+  Buffer.add_string out "\n]}\n";
+  Buffer.contents out
+
+let write_chrome file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json ()))
+
+(* ---- Per-phase timing table -------------------------------------- *)
+
+(* Fold balanced B/E pairs into (name, total seconds, count), using a
+   per-tid stack so nested and cross-domain spans aggregate
+   correctly.  Rows come out in first-begin order. *)
+let phase_table () =
+  let stacks : (int, (string * float) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let totals : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks tid s;
+        s
+  in
+  List.iter
+    (fun ev ->
+      let st = stack_of ev.tid in
+      match ev.ph with
+      | B ->
+          if not (Hashtbl.mem totals ev.name) then begin
+            Hashtbl.add totals ev.name (ref 0.0, ref 0);
+            order := ev.name :: !order
+          end;
+          st := (ev.name, ev.ts) :: !st
+      | E -> (
+          match !st with
+          | (name, t0) :: rest when name = ev.name ->
+              st := rest;
+              let dt, n = Hashtbl.find totals name in
+              dt := !dt +. (ev.ts -. t0);
+              incr n
+          | _ -> () (* unbalanced: ignore rather than crash *))
+      | I -> ())
+    (events ());
+  List.rev_map
+    (fun name ->
+      let dt, n = Hashtbl.find totals name in
+      (name, !dt, !n))
+    !order
+
+let pp_phase_table ppf () =
+  let rows = phase_table () in
+  if rows <> [] then begin
+    let w =
+      List.fold_left (fun acc (n, _, _) -> max acc (String.length n)) 5 rows
+    in
+    Format.fprintf ppf "%-*s %10s %6s@." w "phase" "total-ms" "count";
+    List.iter
+      (fun (name, dt, n) ->
+        Format.fprintf ppf "%-*s %10.3f %6d@." w name (dt *. 1e3) n)
+      rows
+  end

@@ -1,0 +1,52 @@
+(** Span/trace layer.
+
+    Off by default; when enabled, [with_span] brackets a computation
+    with begin/end events carrying the emitting domain's id, suitable
+    for Chrome trace-event JSON ([write_chrome]) and a per-phase
+    timing table ([phase_table]).  The clock is injectable so tests
+    can drive deterministic timestamps. *)
+
+type phase = B | E | I
+
+type event = {
+  name : string;
+  ph : phase;
+  ts : float;  (** seconds, from the active clock *)
+  tid : int;  (** emitting domain id *)
+  args : (string * string) list;
+}
+
+val is_enabled : unit -> bool
+
+val enable : ?clock:(unit -> float) -> unit -> unit
+(** Clear the buffer, install [clock] (default [Unix.gettimeofday])
+    and start recording. *)
+
+val disable : unit -> unit
+(** Stop recording; the buffer is kept for inspection/serialisation. *)
+
+val reset : unit -> unit
+(** Stop recording, clear the buffer, restore the default clock. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] bracketed by B/E events.  The end
+    event is emitted even if [f] raises.  When tracing is disabled
+    the cost is a single atomic load. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** Emit a single instant event. *)
+
+val events : unit -> event list
+(** Recorded events in emission order. *)
+
+val to_chrome_json : unit -> string
+
+val write_chrome : string -> unit
+(** Write the buffer as Chrome trace-event JSON (one event per line,
+    timestamps rebased to the first event). *)
+
+val phase_table : unit -> (string * float * int) list
+(** Aggregate balanced B/E pairs: (name, total seconds, count), in
+    first-begin order. *)
+
+val pp_phase_table : Format.formatter -> unit -> unit

@@ -110,7 +110,7 @@ let inline_call (f : Ir.func) (b : Ir.block) (call_i : Ir.instr) (callee : Ir.fu
           (fun (i : Ir.instr) ->
             let ni =
               { Ir.iid = Ir.fresh_id f; op = i.op; width = i.width;
-                speculative = i.speculative; iname = i.iname }
+                speculative = i.speculative; iname = i.iname; line = i.line }
             in
             Hashtbl.replace f.itbl ni.Ir.iid ni;
             Hashtbl.replace vmap i.iid (Ir.Var ni.Ir.iid);

@@ -40,3 +40,47 @@ let create () =
 let reg_reads t = t.reg_read32 + t.reg_read8
 let reg_writes t = t.reg_write32 + t.reg_write8
 let reg_accesses t = reg_reads t + reg_writes t
+
+(* Field-wise accumulation, used to total counters across runs. *)
+let add ~into t =
+  into.cycles <- into.cycles + t.cycles;
+  into.instrs <- into.instrs + t.instrs;
+  into.misspecs <- into.misspecs + t.misspecs;
+  into.reg_read32 <- into.reg_read32 + t.reg_read32;
+  into.reg_read8 <- into.reg_read8 + t.reg_read8;
+  into.reg_write32 <- into.reg_write32 + t.reg_write32;
+  into.reg_write8 <- into.reg_write8 + t.reg_write8;
+  into.alu32 <- into.alu32 + t.alu32;
+  into.alu8 <- into.alu8 + t.alu8;
+  into.mul_ops <- into.mul_ops + t.mul_ops;
+  into.div_ops <- into.div_ops + t.div_ops;
+  into.loads <- into.loads + t.loads;
+  into.stores <- into.stores + t.stores;
+  into.spill_loads <- into.spill_loads + t.spill_loads;
+  into.spill_stores <- into.spill_stores + t.spill_stores;
+  into.copies <- into.copies + t.copies;
+  into.stall_cycles <- into.stall_cycles + t.stall_cycles;
+  into.branch_stalls <- into.branch_stalls + t.branch_stalls;
+  into.load_use_stalls <- into.load_use_stalls + t.load_use_stalls
+
+(* Stable field order, for metric dumps and JSON emission. *)
+let to_assoc t =
+  [ ("cycles", t.cycles);
+    ("instrs", t.instrs);
+    ("misspecs", t.misspecs);
+    ("reg_read32", t.reg_read32);
+    ("reg_read8", t.reg_read8);
+    ("reg_write32", t.reg_write32);
+    ("reg_write8", t.reg_write8);
+    ("alu32", t.alu32);
+    ("alu8", t.alu8);
+    ("mul_ops", t.mul_ops);
+    ("div_ops", t.div_ops);
+    ("loads", t.loads);
+    ("stores", t.stores);
+    ("spill_loads", t.spill_loads);
+    ("spill_stores", t.spill_stores);
+    ("copies", t.copies);
+    ("stall_cycles", t.stall_cycles);
+    ("branch_stalls", t.branch_stalls);
+    ("load_use_stalls", t.load_use_stalls) ]

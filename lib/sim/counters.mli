@@ -1,0 +1,41 @@
+(** Activity counters — the simulator's equivalent of the paper's
+    gate-level activity tracking, consumed by the energy model
+    (Figure 9) and the microarchitectural breakdowns (Figures 10
+    and 11).  All fields are mutable: the machine increments them in
+    its fetch-execute loop. *)
+
+type t = {
+  mutable cycles : int;
+  mutable instrs : int;  (** dynamic instructions *)
+  mutable misspecs : int;
+  mutable reg_read32 : int;  (** register file (Figure 11) *)
+  mutable reg_read8 : int;
+  mutable reg_write32 : int;
+  mutable reg_write8 : int;
+  mutable alu32 : int;  (** ALU activity *)
+  mutable alu8 : int;
+  mutable mul_ops : int;
+  mutable div_ops : int;
+  mutable loads : int;  (** memory *)
+  mutable stores : int;
+  mutable spill_loads : int;  (** spill traffic (Figure 10) *)
+  mutable spill_stores : int;
+  mutable copies : int;
+  mutable stall_cycles : int;  (** stalls *)
+  mutable branch_stalls : int;
+  mutable load_use_stalls : int;
+}
+
+val create : unit -> t
+(** All counters at zero. *)
+
+val reg_reads : t -> int
+val reg_writes : t -> int
+val reg_accesses : t -> int
+
+val add : into:t -> t -> unit
+(** [add ~into t] accumulates every field of [t] into [into]. *)
+
+val to_assoc : t -> (string * int) list
+(** Every counter as a (name, value) row, in declaration order — a
+    stable shape for metric dumps and JSON emission. *)

@@ -47,6 +47,10 @@ type result = {
   icache : Cache.t;
   dcache : Cache.t;
   l2 : Cache.t;
+  misspec_pcs : (int * int) list;
+      (* (pc, count) per misspeculating instruction, sorted by pc;
+         counts sum to [ctr.misspecs].  Resolve pcs to source sites
+         through [Asm.program.srcmap]. *)
 }
 
 (* latencies (cycles) *)
@@ -108,9 +112,13 @@ let eval_cond st (c : cond) =
   | CSgt -> sa > sb
   | CSge -> sa >= sb
 
-(* Misspeculation: redirect the in-flight PC ([st.next]) by Δ. *)
-let misspeculate ctr st =
+(* Misspeculation: redirect the in-flight PC ([st.next]) by Δ.
+   [pc_counts] charges the event to the faulting pc for attribution. *)
+let misspeculate ctr pc_counts st =
   ctr.Counters.misspecs <- ctr.Counters.misspecs + 1;
+  (match Hashtbl.find_opt pc_counts st.pc with
+  | Some n -> Hashtbl.replace pc_counts st.pc (n + 1)
+  | None -> Hashtbl.add pc_counts st.pc 1);
   st.next <- st.pc + st.delta;
   ctr.Counters.cycles <- ctr.Counters.cycles + branch_penalty;
   ctr.Counters.stall_cycles <- ctr.Counters.stall_cycles + branch_penalty;
@@ -149,6 +157,7 @@ let predecode (p : Bs_backend.Asm.program) : int array =
 let run ?(config = default_config) (p : Bs_backend.Asm.program)
     (mem : Memimage.t) ~entry ~(args : int64 list) : result =
   let ctr = Counters.create () in
+  let misspec_pc_counts : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let icache = Cache.l1i () and dcache = Cache.l1d () and l2 = Cache.l2 () in
   let st =
     { regs = Array.make num_regs 0; pc = 0; next = 0;
@@ -361,11 +370,11 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         match op with
         | BAdd ->
             let r = a + b in
-            if r > 0xFF then misspeculate ctr st
+            if r > 0xFF then misspeculate ctr misspec_pc_counts st
             else write_slice st ctr d r
         | BSub ->
             let r = a - b in
-            if r < 0 then misspeculate ctr st
+            if r < 0 then misspeculate ctr misspec_pc_counts st
             else write_slice st ctr d r
         | BAnd -> write_slice st ctr d (a land b)
         | BOrr -> write_slice st ctr d (a lor b)
@@ -384,7 +393,7 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         ctr.Counters.loads <- ctr.Counters.loads + 1;
         mem_access addr;
         let v = Memimage.read_int mem ~width:32 addr in
-        if v land 0xFFFFFF00 <> 0 then misspeculate ctr st
+        if v land 0xFFFFFF00 <> 0 then misspeculate ctr misspec_pc_counts st
         else begin
           write_slice st ctr d v;
           st.loaded <- d.sl_reg
@@ -422,7 +431,7 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         check1 s;
         alu8_count ();
         let v = read_reg st ctr s in
-        if v land 0xFFFFFF00 <> 0 then misspeculate ctr st
+        if v land 0xFFFFFF00 <> 0 then misspeculate ctr misspec_pc_counts st
         else write_slice st ctr d v
     | BMOV (d, s) ->
         check1 s.sl_reg;
@@ -436,5 +445,9 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
     if not st.halted then st.pc <- st.next
     end
   done;
+  let misspec_pcs =
+    List.sort compare
+      (Hashtbl.fold (fun pc n acc -> (pc, n) :: acc) misspec_pc_counts [])
+  in
   { r0 = Int64.of_int (st.regs.(0) land 0xFFFFFFFF); outcome = !outcome;
-    fault_applied = !fault_applied; ctr; icache; dcache; l2 }
+    fault_applied = !fault_applied; ctr; icache; dcache; l2; misspec_pcs }

@@ -47,6 +47,10 @@ type result = {
   icache : Cache.t;
   dcache : Cache.t;
   l2 : Cache.t;
+  misspec_pcs : (int * int) list;
+      (** (pc, count) per misspeculating instruction, sorted by pc; the
+          counts sum to [ctr.misspecs].  Resolve each pc to its source
+          variable/line via [Bs_backend.Asm.program.srcmap]. *)
 }
 
 val run :

@@ -16,4 +16,5 @@ let () =
       ("known-answers", Test_known_answers.suite);
       ("resilience", Test_resilience.suite);
       ("fuzz", Test_fuzz.suite);
-      ("exec", Test_exec.suite) ]
+      ("exec", Test_exec.suite);
+      ("obs", Test_obs.suite) ]

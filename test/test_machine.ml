@@ -16,6 +16,7 @@ let program ?(delta = 0) insns : Bs_backend.Asm.program =
   let code = Array.of_list (insns @ [ HALT ]) in
   { Bs_backend.Asm.code;
     prov = Array.make (Array.length code) PNormal;
+    srcmap = Array.make (Array.length code) None;
     entries = (let t = Hashtbl.create 1 in Hashtbl.replace t "main" 0; t);
     delta;
     halt_pc = Array.length code - 1;
