@@ -723,6 +723,87 @@ let bechamel_section () =
     results
 
 (* ---------------------------------------------------------------------- *)
+(* Intermittent power: re-execution energy vs outage rate                   *)
+(* ---------------------------------------------------------------------- *)
+
+let harvest_benches =
+  List.filter
+    (fun (w : Workload.t) ->
+      List.mem w.name [ "CRC32"; "bitcount"; "stringsearch" ])
+    benches
+
+let harvest_means = [ 500; 2000; 8000; 32000 ]
+
+let harvest_cell (w : Workload.t) mean =
+  row (Printf.sprintf "harvest/%s/%d" w.name mean) (fun () ->
+      let c =
+        Campaign.run_power ~jobs:1 ~policy:(Bs_sim.Checkpoint.Interval 500)
+          ~retries:8
+          ~dist:(Bs_sim.Powertrace.Exponential (float_of_int mean))
+          ~trials:25 ~seed:3L w
+      in
+      let n = float_of_int (List.length c.Campaign.p_trials) in
+      let sum f = List.fold_left (fun a t -> a +. f t) 0.0 c.Campaign.p_trials in
+      let restores = sum (fun t -> float_of_int t.Campaign.pt_restores) /. n in
+      let ckpt_ovh =
+        100.0 *. sum (fun t -> t.Campaign.pt_ckpt_energy) /. n
+        /. c.Campaign.p_golden_energy
+      in
+      let reexec_ovh =
+        100.0 *. sum (fun t -> t.Campaign.pt_reexec_energy) /. n
+        /. c.Campaign.p_golden_energy
+      in
+      let ok =
+        List.for_all
+          (fun t ->
+            match t.Campaign.pt_verdict with
+            | Campaign.P_completed | Campaign.P_restored _ -> true
+            | _ -> false)
+          c.Campaign.p_trials
+      in
+      Printf.sprintf "%10.1f %9.1f%% %9.1f%% %10s" restores ckpt_ovh reexec_ovh
+        (if ok then "all-correct" else "HAS-FAILURES"))
+
+let harvest () =
+  warm
+    (List.concat_map
+       (fun w ->
+         List.map (fun m -> ig (fun () -> harvest_cell w m)) harvest_means)
+       harvest_benches);
+  header
+    "Intermittent power: energy overhead vs outage rate (exp-distributed \
+     outages, interval:500 checkpoints, 25 trials/cell, seed 3)";
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.printf "-- %s (columns: restores/trial, checkpoint overhead, \
+                     re-execution overhead, verdicts)\n"
+        w.name;
+      List.iter
+        (fun mean ->
+          Printf.printf "  exp:%-8d %s\n%!" mean (harvest_cell w mean))
+        harvest_means)
+    harvest_benches
+
+(* ---------------------------------------------------------------------- *)
+(* Bit-level vulnerability: predicted vs measured                           *)
+(* ---------------------------------------------------------------------- *)
+
+let vuln_cell (w : Workload.t) =
+  row ("vuln/" ^ w.name) (fun () ->
+      Campaign.validation_report
+        (Campaign.validate ~jobs:1 ~trials:400 ~seed:11L w))
+
+let vuln () =
+  warm (List.map (fun w -> ig (fun () -> vuln_cell w)) harvest_benches);
+  header
+    "Bit-level vulnerability: predicted vs measured (400 register-flip \
+     trials/workload, seed 11)";
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.printf "-- %s\n%s%!" w.name (vuln_cell w))
+    harvest_benches
+
+(* ---------------------------------------------------------------------- *)
 
 let sections =
   [ ("fig1", fig1); ("fig3", fig3); ("fig5", fig5); ("fig8", fig8);
@@ -730,7 +811,8 @@ let sections =
     ("rq3", rq3); ("fig13", fig13); ("fig14", fig14); ("table2", table2);
     ("rq5", rq5); ("tune", tune);
     ("fig15", fig15); ("fig16", fig16); ("rq7", rq7); ("fig17", fig17);
-    ("fig18", fig18); ("bechamel", bechamel_section) ]
+    ("fig18", fig18); ("harvest", harvest); ("vuln", vuln);
+    ("bechamel", bechamel_section) ]
 
 (* Machine-readable run summary: per-section wall-clock and compile-cache
    deltas, the whole run's phase-time breakdown, and misspeculation

@@ -5,6 +5,8 @@
      run       compile and simulate, print result and counters
      bench     run a named built-in workload under a configuration
      inject    fault-injection campaign against a built-in workload
+               (--model bitflip: soft errors; --model power: outages)
+     harvest   intermittent-power campaign with energy accounting
      fuzz      differential fuzzing campaign over random programs
      reduce    minimize (or just replay) a crashing MiniC file
      list      list built-in workloads
@@ -12,8 +14,11 @@
    Examples:
      bitspecc compile kernel.mc --emit-ir
      bitspecc run kernel.mc --entry f --args 10,20 --arch bitspec
+     bitspecc run kernel.mc --entry f --args 10 --power exp:2000
      bitspecc bench rijndael --arch bitspec --heuristic max
      bitspecc inject crc32 --trials 200 --seed 42
+     bitspecc inject crc32 --model power --dist periodic:1000
+     bitspecc harvest crc32 --trials 100 --dist exp:2000 --jobs 4
      bitspecc fuzz --seed 1 --trials 500 --budget 60
      bitspecc reduce --check test/corpus/crash.mc
 
@@ -139,6 +144,59 @@ let remarks_arg =
                  bitmask elided — with source lines.  Output is canonical \
                  (sorted), identical at any $(b,--jobs).")
 
+(* intermittent-power options, shared by run / inject / harvest *)
+
+let dist_conv =
+  let parse s =
+    match Bs_sim.Powertrace.dist_of_string s with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "bad distribution %S: expected periodic:N, exp:N or hotpc:N"
+                s))
+  in
+  let print ppf d =
+    Format.pp_print_string ppf (Bs_sim.Powertrace.dist_to_string d)
+  in
+  Arg.conv (parse, print)
+
+let policy_conv =
+  let parse s =
+    match Bs_sim.Checkpoint.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "bad policy %S: expected interval:N, pre-store or pre-spec" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Bs_sim.Checkpoint.policy_name p)
+  in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(value & opt policy_conv (Bs_sim.Checkpoint.Interval 500)
+       & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Checkpoint policy: $(b,interval:N) (every N instructions), \
+                 $(b,pre-store) or $(b,pre-spec).")
+
+let retries_arg =
+  Arg.(value & opt int 8
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Consecutive restores without an intervening checkpoint \
+                 before the policy degrades to checkpoint-every-store; \
+                 twice $(docv) gives up as a re-execution livelock.")
+
+let dist_arg ~default =
+  Arg.(value & opt dist_conv default
+       & info [ "dist" ] ~docv:"DIST"
+           ~doc:"Outage distribution: $(b,periodic:N), $(b,exp:N) (mean-N \
+                 exponential gaps) or $(b,hotpc:N) (recharge N \
+                 instructions, strike at the next speculative site).")
+
 let config_of ~arch ~heuristic ~no_expander =
   let base =
     match arch with
@@ -218,8 +276,20 @@ let run_cmd =
                    variable and source line.  The total equals the \
                    simulator's misspecs counter.")
   in
+  let power =
+    Arg.(value & opt (some dist_conv) None
+         & info [ "power" ] ~docv:"DIST"
+             ~doc:"Simulate under injected power failures drawn from \
+                   $(docv) ($(b,periodic:N), $(b,exp:N), $(b,hotpc:N)), \
+                   with checkpoint/restore per $(b,--policy).")
+  in
+  let power_seed =
+    Arg.(value & opt int64 1L
+         & info [ "power-seed" ] ~docv:"S"
+             ~doc:"Seed of the outage trace (with $(b,--power)).")
+  in
   let action file arch heuristic entry args train no_expander strict trace
-      why =
+      why power power_seed policy retries =
     with_reporting ~file (fun () ->
         let source = read_file file in
         let config = config_of ~arch ~heuristic ~no_expander in
@@ -232,15 +302,49 @@ let run_cmd =
             ~train:[ (entry, train_args) ] ()
         in
         print_diagnostics c;
-        let r = Driver.run_machine c ~entry ~args:(parse_args args) in
+        let pw =
+          Option.map
+            (fun dist ->
+              let hot_pcs = ref [] in
+              Array.iteri
+                (fun pc s -> if s <> None then hot_pcs := pc :: !hot_pcs)
+                c.Driver.program.Bs_backend.Asm.srcmap;
+              let trace =
+                Bs_sim.Powertrace.create ~seed:power_seed
+                  ~hot_pcs:(List.rev !hot_pcs) dist
+              in
+              { Bs_sim.Machine.trace; policy; max_retries = retries })
+            power
+        in
+        let r = Driver.run_machine ?power:pw c ~entry ~args:(parse_args args) in
         print_metrics (Experiment.metrics_of_run r);
+        (match pw with
+        | None -> ()
+        | Some _ ->
+            let ctr = r.Bs_sim.Machine.ctr in
+            let b = Energy.of_result r in
+            Printf.printf "outcome       = %s\n"
+              (Outcome.to_string r.Bs_sim.Machine.outcome);
+            Printf.printf
+              "power         = %d restores, %d checkpoints (%d bytes), %d \
+               re-executed instrs\n"
+              ctr.Bs_sim.Counters.restores ctr.Bs_sim.Counters.checkpoints
+              ctr.Bs_sim.Counters.checkpoint_bytes
+              ctr.Bs_sim.Counters.reexec_instrs;
+            Printf.printf
+              "power energy  = %.1f checkpointing + %.1f re-execution \
+               (run total %.1f)\n"
+              (Energy.checkpoint_energy ctr)
+              (Energy.reexec_energy b ctr)
+              (Energy.total_intermittent b ctr));
         if why then
           Format.printf "%a" Experiment.pp_misspec_sites
             (Experiment.misspec_sites c r))
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and simulate a MiniC file")
     Term.(const action $ file $ arch_arg $ heuristic_arg $ entry $ args
-          $ train $ no_expander_arg $ strict_arg $ trace_arg $ why_misspec)
+          $ train $ no_expander_arg $ strict_arg $ trace_arg $ why_misspec
+          $ power $ power_seed $ policy_arg $ retries_arg)
 
 (* --- bench ------------------------------------------------------------- *)
 
@@ -319,18 +423,113 @@ let inject_cmd =
          & info [ "max-examples" ] ~docv:"K"
              ~doc:"Detected-fault examples to list.")
   in
-  let action wname arch heuristic no_expander trials seed max_examples jobs =
+  let model =
+    Arg.(value
+         & opt (enum [ ("bitflip", `Bitflip); ("power", `Power) ]) `Bitflip
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"Fault model: $(b,bitflip) (single-bit soft errors, the \
+                   default) or $(b,power) (power failures with \
+                   checkpoint/restore; see $(b,--dist), $(b,--policy), \
+                   $(b,--retries)).")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit with status 3 if any trial ends in silent data \
+                   corruption (a wrong checksum).")
+  in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Register-bit flips only: print the per-bit \
+                   predicted-vs-measured table (static bit-level \
+                   vulnerability analysis against the measured campaign) \
+                   instead of the verdict summary.  Implies \
+                   $(b,--model bitflip).")
+  in
+  let action wname arch heuristic no_expander trials seed max_examples jobs
+      model dist policy retries strict validate =
     with_reporting (fun () ->
         let w = Registry.find wname in
         let config = config_of ~arch ~heuristic ~no_expander in
-        let campaign = Campaign.run ~jobs ~config ~trials ~seed w in
-        print_string (Campaign.report ~max_examples campaign))
+        let sdc =
+          match model with
+          | `Power ->
+              let t =
+                Campaign.run_power ~jobs ~config ~policy ~retries ~dist
+                  ~trials ~seed w
+              in
+              print_string (Campaign.power_report t);
+              List.exists
+                (fun (tr : Campaign.power_trial) ->
+                  match tr.Campaign.pt_verdict with
+                  | Campaign.P_sdc _ -> true
+                  | _ -> false)
+                t.Campaign.p_trials
+          | `Bitflip when validate ->
+              let v = Campaign.validate ~jobs ~config ~trials ~seed w in
+              print_string (Campaign.validation_report v);
+              Array.exists
+                (fun (row : Campaign.bit_row) -> row.Campaign.v_corrupt > 0)
+                v.Campaign.v_rows
+          | `Bitflip ->
+              let campaign = Campaign.run ~jobs ~config ~trials ~seed w in
+              print_string (Campaign.report ~max_examples campaign);
+              let s = Bs_sim.Faultinject.summarize campaign.Campaign.trials in
+              s.Bs_sim.Faultinject.sdc > 0
+        in
+        if strict && sdc then exit 3)
   in
   Cmd.v
     (Cmd.info "inject"
-       ~doc:"run a seeded fault-injection campaign on a built-in workload")
+       ~doc:"run a seeded fault-injection campaign on a built-in workload"
+       ~exits:
+         (Cmd.Exit.info 3
+            ~doc:"silent data corruption observed (with $(b,--strict))"
+          :: Cmd.Exit.defaults))
     Term.(const action $ wname $ arch_arg $ heuristic_arg $ no_expander_arg
-          $ trials $ seed $ max_examples $ jobs_arg)
+          $ trials $ seed $ max_examples $ jobs_arg $ model
+          $ dist_arg ~default:(Bs_sim.Powertrace.Exponential 2000.0)
+          $ policy_arg $ retries_arg $ strict $ validate)
+
+(* --- harvest ----------------------------------------------------------- *)
+
+let harvest_cmd =
+  let wname =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let trials =
+    Arg.(value & opt int 100
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"Intermittent executions to simulate.")
+  in
+  let seed =
+    Arg.(value & opt int64 1L
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Campaign seed; per-trial outage-trace seeds are drawn \
+                   from it up front, so the report is byte-identical at \
+                   any $(b,--jobs).")
+  in
+  let action wname arch heuristic no_expander trials seed dist policy retries
+      jobs =
+    with_reporting (fun () ->
+        let w = Registry.find wname in
+        let config = config_of ~arch ~heuristic ~no_expander in
+        let t =
+          Campaign.run_power ~jobs ~config ~policy ~retries ~dist ~trials
+            ~seed w
+        in
+        print_string (Campaign.power_report t))
+  in
+  Cmd.v
+    (Cmd.info "harvest"
+       ~doc:"simulate a built-in workload on harvested (intermittent) \
+             power: seeded outage campaigns with checkpoint/restore, \
+             re-execution and energy-overhead accounting")
+    Term.(const action $ wname $ arch_arg $ heuristic_arg $ no_expander_arg
+          $ trials $ seed
+          $ dist_arg ~default:(Bs_sim.Powertrace.Exponential 2000.0)
+          $ policy_arg $ retries_arg $ jobs_arg)
 
 (* --- fuzz -------------------------------------------------------------- *)
 
@@ -465,6 +664,54 @@ let reduce_cmd =
           | Some _ -> fault
           | None -> dfl (fun m -> m.Bs_fuzz.Corpus.fault) None
         in
+        let power = dfl (fun m -> m.Bs_fuzz.Corpus.power) None in
+        match power with
+        | Some p ->
+            (* intermittent-power reproducer: replay under the recorded
+               outage trace and check the bucket; reduction preserves it *)
+            let replay s =
+              Bs_fuzz.Oracle.run_power ~train:[ (entry, train_args) ]
+                ~source:s ~entry ~args ~power:p ()
+            in
+            let v = replay source in
+            print_endline (Bs_fuzz.Oracle.describe_power v);
+            let key =
+              match v.Bs_fuzz.Oracle.p_bucket with
+              | Some b -> Bs_support.Bucket.key b
+              | None -> "completed"
+            in
+            (match meta with
+            | Some m when m.Bs_fuzz.Corpus.bucket_key <> key ->
+                Printf.printf "recorded bucket %s did NOT reproduce\n"
+                  m.Bs_fuzz.Corpus.bucket_key;
+                exit 1
+            | Some _ -> print_endline "recorded bucket reproduced"
+            | None -> ());
+            if (not check) && v.Bs_fuzz.Oracle.p_bucket <> None then begin
+              let pred s =
+                match (replay s).Bs_fuzz.Oracle.p_bucket with
+                | Some b -> Bs_support.Bucket.key b = key
+                | None -> false
+              in
+              let reduced = Bs_fuzz.Reduce.run ~pred source in
+              let out =
+                match out with
+                | Some o -> o
+                | None -> Filename.remove_extension file ^ ".min.mc"
+              in
+              let m =
+                { Bs_fuzz.Corpus.bucket_key = key; entry; args;
+                  train = train_args; fault = None; power = Some p }
+              in
+              let path =
+                Bs_fuzz.Corpus.save ~dir:(Filename.dirname out)
+                  ~name:(Filename.basename out) m reduced
+              in
+              Printf.printf "minimized to %d lines: %s\nreplay: %s\n"
+                (Bs_fuzz.Reduce.line_count reduced) path
+                (Bs_fuzz.Corpus.replay_command ~file:path m)
+            end
+        | None ->
         let oracle s =
           Bs_fuzz.Oracle.run ?plant:fault ~train:[ (entry, train_args) ]
             ~source:s ~entry ~args ()
@@ -500,7 +747,7 @@ let reduce_cmd =
               in
               let m =
                 { Bs_fuzz.Corpus.bucket_key = key; entry; args;
-                  train = train_args; fault }
+                  train = train_args; fault; power }
               in
               let path =
                 Bs_fuzz.Corpus.save ~dir:(Filename.dirname out)
@@ -534,5 +781,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "bitspecc" ~doc)
-          [ compile_cmd; run_cmd; bench_cmd; inject_cmd; fuzz_cmd;
-            reduce_cmd; list_cmd ]))
+          [ compile_cmd; run_cmd; bench_cmd; inject_cmd; harvest_cmd;
+            fuzz_cmd; reduce_cmd; list_cmd ]))

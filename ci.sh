@@ -46,6 +46,39 @@ dune exec bin/bitspecc.exe -- bench CRC32 --why-misspec \
          END { if (c == "" || t != c) { print "misspec smoke: histogram total " t " != counter " c; exit 1 } }'
 echo "observability smoke: OK (trace $b/$e events, remarks jobs-invariant)"
 
+# Intermittent-power smoke: a seeded harvest campaign is deterministic
+# (pinned mean restore count) and byte-identical at --jobs 1 vs --jobs 4;
+# a power-model injection campaign replays identically run to run; and
+# --strict on a clean campaign exits 0.
+pw="$(mktemp -d)"
+trap 'rm -rf "$corpus" "$obs" "$pw"' EXIT
+dune exec bin/bitspecc.exe -- harvest bitcount --trials 10 --dist exp:2000 \
+  --seed 3 --jobs 1 > "$pw/h1.out"
+dune exec bin/bitspecc.exe -- harvest bitcount --trials 10 --dist exp:2000 \
+  --seed 3 --jobs 4 > "$pw/h4.out"
+grep -q 'means per trial: 509.1 restores, 2051.0 checkpoints' "$pw/h1.out"
+grep -q '^restored  *10$' "$pw/h1.out"
+if ! cmp -s "$pw/h1.out" "$pw/h4.out"; then
+  echo "harvest smoke: --jobs 1 and --jobs 4 output differ" >&2
+  diff "$pw/h1.out" "$pw/h4.out" >&2 || true
+  exit 1
+fi
+dune exec bin/bitspecc.exe -- inject bitcount --model power --strict \
+  --trials 8 --seed 5 --dist periodic:1000 > "$pw/p1.out"
+dune exec bin/bitspecc.exe -- inject bitcount --model power --strict \
+  --trials 8 --seed 5 --dist periodic:1000 > "$pw/p2.out"
+if ! cmp -s "$pw/p1.out" "$pw/p2.out"; then
+  echo "inject power smoke: runs differ" >&2
+  exit 1
+fi
+grep -q '^restored  *8$' "$pw/p1.out"
+# the power reproducers replay into their recorded buckets
+dune exec bin/bitspecc.exe -- reduce --check \
+  test/corpus/power-restored-hotpc40-seed7.mc > /dev/null
+dune exec bin/bitspecc.exe -- reduce --check \
+  test/corpus/power-reexec-livelock-hotpc40-seed7.mc > /dev/null
+echo "intermittent-power smoke: OK (harvest jobs-invariant, inject deterministic)"
+
 # Timed bench subset: fig8 + table2 (the regression-anchored sections).
 # Recorded single-job baseline on the reference container: ~6800 ms.
 # Fail if the subset takes more than twice that — a slowdown of that

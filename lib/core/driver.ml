@@ -393,16 +393,19 @@ let try_compile ?pass_fault ~config ~source ?setup ~train () :
         [ Diag.error ?line ~code:"BS-FE-01" ~phase (describe_exn e) ]
 
 (** Run the compiled binary on the machine model.  [fault] injects a
-    single bit flip (see {!Bs_sim.Machine.fault}). *)
-let run_machine ?setup ?(fuel = 1_000_000_000) ?fault (c : compiled) ~entry
-    ~args =
+    single bit flip (see {!Bs_sim.Machine.fault}); [power] runs under
+    injected power failures with checkpoint/restore
+    (see {!Bs_sim.Machine.power}). *)
+let run_machine ?setup ?(fuel = 1_000_000_000) ?fault ?power (c : compiled)
+    ~entry ~args =
   let mem = Memimage.create c.ir in
   (match setup with Some f -> f mem | None -> ());
   let mode =
     if c.config.arch = Bitspec_arch then Bs_isa.Isa.Bitspec
     else Bs_isa.Isa.Classic
   in
-  Machine.run ~config:{ Machine.mode; fuel; fault } c.program mem ~entry ~args
+  Machine.run ~config:{ Machine.mode; fuel; fault; power } c.program mem
+    ~entry ~args
 
 (** Run the reference interpreter on the same IR (for differential
     checks). *)

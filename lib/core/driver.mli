@@ -122,13 +122,15 @@ val run_machine :
   ?setup:(Bs_interp.Memimage.t -> unit) ->
   ?fuel:int ->
   ?fault:Bs_sim.Machine.fault ->
+  ?power:Bs_sim.Machine.power ->
   compiled ->
   entry:string ->
   args:int64 list ->
   Bs_sim.Machine.result
 (** Simulate the compiled binary on a fresh memory image.  [setup] fills
     workload inputs; [fuel] bounds dynamic instructions; [fault] injects a
-    single bit flip mid-run. *)
+    single bit flip mid-run; [power] runs under injected power failures
+    with checkpoint/restore. *)
 
 val run_reference :
   ?setup:(Bs_interp.Memimage.t -> unit) ->

@@ -41,6 +41,13 @@ let e_dram_access = 120.0
 let e_pipe_cycle = 0.9     (* clocking, fetch/decode latches *)
 let e_stall_cycle = 0.7    (* stalled pipeline still burns clock power *)
 
+(* Intermittent-power costs.  A checkpoint streams its bytes to
+   non-volatile memory — per-byte cost between D$ and L2 — and a restore
+   pays the full NVM read-back plus pipeline refill, on the order of one
+   DRAM access. *)
+let e_checkpoint_byte = 1.8
+let e_restore = 150.0
+
 (** [of_run ~ctr ~icache ~dcache ~l2] converts one simulation's activity
     counters into a per-component energy breakdown. *)
 let of_run ~(ctr : Counters.t) ~(icache : Cache.t) ~(dcache : Cache.t)
@@ -77,3 +84,19 @@ let epi b (ctr : Counters.t) =
 let of_result (r : Machine.result) =
   of_run ~ctr:r.Machine.ctr ~icache:r.Machine.icache ~dcache:r.Machine.dcache
     ~l2:r.Machine.l2
+
+(* Intermittent-power accounting.  The breakdown above already charges
+   re-executed instructions (their ALU/register/cache events are counted
+   like any others); these helpers separate the overheads so a harvest
+   can report "energy wasted on checkpoints" and "energy wasted on
+   re-execution" against the forward-progress energy. *)
+
+let checkpoint_energy (ctr : Counters.t) =
+  (float_of_int ctr.checkpoint_bytes *. e_checkpoint_byte)
+  +. (float_of_int ctr.restores *. e_restore)
+
+let reexec_energy b (ctr : Counters.t) =
+  if ctr.instrs = 0 then 0.0
+  else total b *. float_of_int ctr.reexec_instrs /. float_of_int ctr.instrs
+
+let total_intermittent b ctr = total b +. checkpoint_energy ctr

@@ -33,3 +33,21 @@ val of_result : Bs_sim.Machine.result -> breakdown
 
 val epi : breakdown -> Bs_sim.Counters.t -> float
 (** Energy per dynamic instruction (Figure 8's third panel). *)
+
+val e_checkpoint_byte : float
+(** Per-byte cost of streaming a checkpoint to non-volatile memory. *)
+
+val e_restore : float
+(** Fixed cost of one power-failure restore (NVM read-back + refill). *)
+
+val checkpoint_energy : Bs_sim.Counters.t -> float
+(** Energy spent on checkpoint writes and restores — the intermittent
+    runtime's overhead on top of the execution breakdown. *)
+
+val reexec_energy : breakdown -> Bs_sim.Counters.t -> float
+(** The slice of [total] attributable to re-executed (wasted)
+    instructions, prorated by the re-execution instruction share. *)
+
+val total_intermittent : breakdown -> Bs_sim.Counters.t -> float
+(** [total b +. checkpoint_energy ctr]: whole-run energy under
+    intermittent power. *)

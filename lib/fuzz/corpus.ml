@@ -4,12 +4,23 @@ open Bitspec
    header lines are ordinary comments, so a reproducer is also directly
    compilable by `bitspecc compile`. *)
 
+(* Intermittent-power replay parameters: the outage distribution and
+   seed, checkpoint policy and retry limit that reproduce a power-fail
+   bucket (restored, reexec-livelock, ...). *)
+type power_meta = {
+  pw_dist : Bs_sim.Powertrace.dist;
+  pw_seed : int64;
+  pw_policy : Bs_sim.Checkpoint.policy;
+  pw_retries : int;
+}
+
 type meta = {
   bucket_key : string;
   entry : string;
   args : int64 list;
   train : int64 list;
   fault : Driver.pass_fault option;
+  power : power_meta option;
 }
 
 let pass_to_string = function
@@ -37,6 +48,27 @@ let fault_of_string s =
         (fun fault_pass -> { Driver.fault_pass; fault_func = func })
         fp
 
+let power_to_string (p : power_meta) =
+  Printf.sprintf "%s %Ld %s %d"
+    (Bs_sim.Powertrace.dist_to_string p.pw_dist)
+    p.pw_seed
+    (Bs_sim.Checkpoint.policy_name p.pw_policy)
+    p.pw_retries
+
+let power_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ d; seed; pol; retries ] -> (
+      match
+        ( Bs_sim.Powertrace.dist_of_string d,
+          Int64.of_string_opt seed,
+          Bs_sim.Checkpoint.policy_of_string pol,
+          int_of_string_opt retries )
+      with
+      | Some pw_dist, Some pw_seed, Some pw_policy, Some pw_retries ->
+          Some { pw_dist; pw_seed; pw_policy; pw_retries }
+      | _ -> None)
+  | _ -> None
+
 let args_to_string args =
   String.concat "," (List.map Int64.to_string args)
 
@@ -48,14 +80,28 @@ let args_of_string s =
       (String.split_on_char ',' s)
 
 let replay_command ?(file = "<file.mc>") m =
-  let fault =
-    match m.fault with
-    | Some f -> Printf.sprintf " --fault %s" (fault_to_string f)
-    | None -> ""
-  in
-  Printf.sprintf
-    "bitspecc reduce --check --entry %s --args %s --train %s%s %s" m.entry
-    (args_to_string m.args) (args_to_string m.train) fault file
+  match m.power with
+  | Some p ->
+      (* `reduce --check` re-reads the header, so the power parameters
+         need not travel on the command line; `run` replays them
+         interactively for a human *)
+      Printf.sprintf
+        "bitspecc run %s --entry %s --args %s --power %s --power-seed %Ld \
+         --policy %s --retries %d"
+        file m.entry (args_to_string m.args)
+        (Bs_sim.Powertrace.dist_to_string p.pw_dist)
+        p.pw_seed
+        (Bs_sim.Checkpoint.policy_name p.pw_policy)
+        p.pw_retries
+  | None ->
+      let fault =
+        match m.fault with
+        | Some f -> Printf.sprintf " --fault %s" (fault_to_string f)
+        | None -> ""
+      in
+      Printf.sprintf
+        "bitspecc reduce --check --entry %s --args %s --train %s%s %s" m.entry
+        (args_to_string m.args) (args_to_string m.train) fault file
 
 let render m source =
   let b = Buffer.create (String.length source + 256) in
@@ -66,6 +112,9 @@ let render m source =
   Buffer.add_string b ("// train: " ^ args_to_string m.train ^ "\n");
   (match m.fault with
   | Some f -> Buffer.add_string b ("// fault: " ^ fault_to_string f ^ "\n")
+  | None -> ());
+  (match m.power with
+  | Some p -> Buffer.add_string b ("// power: " ^ power_to_string p ^ "\n")
   | None -> ());
   Buffer.add_string b ("// replay: " ^ replay_command m ^ "\n\n");
   Buffer.add_string b source;
@@ -83,20 +132,21 @@ let header_value line key =
 let parse contents =
   let lines = String.split_on_char '\n' contents in
   let bucket = ref None and entry = ref "f" and args = ref [ 17L ] in
-  let train = ref [ 17L ] and fault = ref None in
+  let train = ref [ 17L ] and fault = ref None and power = ref None in
   List.iter
     (fun l ->
       Option.iter (fun v -> bucket := Some v) (header_value l "bucket");
       Option.iter (fun v -> entry := v) (header_value l "entry");
       Option.iter (fun v -> args := args_of_string v) (header_value l "args");
       Option.iter (fun v -> train := args_of_string v) (header_value l "train");
-      Option.iter (fun v -> fault := fault_of_string v) (header_value l "fault"))
+      Option.iter (fun v -> fault := fault_of_string v) (header_value l "fault");
+      Option.iter (fun v -> power := power_of_string v) (header_value l "power"))
     lines;
   let meta =
     Option.map
       (fun bucket_key ->
         { bucket_key; entry = !entry; args = !args; train = !train;
-          fault = !fault })
+          fault = !fault; power = !power })
       !bucket
   in
   (meta, contents)

@@ -9,18 +9,36 @@
 
 open Bitspec
 
+(** Intermittent-power replay parameters (the [// power:] header line):
+    outage distribution + seed, checkpoint policy, retry limit. *)
+type power_meta = {
+  pw_dist : Bs_sim.Powertrace.dist;
+  pw_seed : int64;
+  pw_policy : Bs_sim.Checkpoint.policy;
+  pw_retries : int;
+}
+
 type meta = {
   bucket_key : string;       (** the {!Bs_support.Bucket.key} to reproduce *)
   entry : string;
   args : int64 list;
   train : int64 list;        (** profiling input for the entry *)
   fault : Driver.pass_fault option;  (** planted compiler fault, if any *)
+  power : power_meta option;
+      (** power-failure replay parameters; their presence marks the file
+          as an intermittent-power reproducer *)
 }
 
 val fault_to_string : Driver.pass_fault -> string
 (** ["miscompile:f"], ["squeeze:g"], ["regalloc:h"]. *)
 
 val fault_of_string : string -> Driver.pass_fault option
+
+val power_to_string : power_meta -> string
+(** ["<dist> <seed> <policy> <retries>"], e.g.
+    ["hotpc:40 7 interval:100000 3"]. *)
+
+val power_of_string : string -> power_meta option
 
 val replay_command : ?file:string -> meta -> string
 (** The one-line shell command that reproduces the bucket. *)

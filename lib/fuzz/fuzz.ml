@@ -99,7 +99,7 @@ let run ?plant ?budget ?(reduce = true) ?size ?fuel ?(jobs = 1) ~seed ~trials
 
 let meta_of_crash t (c : crash) =
   { Corpus.bucket_key = Bucket.key c.bucket; entry = Gen.entry;
-    args = c.args; train = Gen.train_args; fault = t.plant }
+    args = c.args; train = Gen.train_args; fault = t.plant; power = None }
 
 (* corpus file name: bucket key slug + the trial seed *)
 let crash_name c =

@@ -88,10 +88,14 @@ let run ?plant ?(fuel = 2_000_000) ?train ~source ~entry ~args () =
                 ( Value (mask32 (Option.value r.Interp.ret ~default:0L)),
                   (* a machine run executes a small constant factor more
                      instructions than IR steps; 20x + slack detects hangs
-                     quickly without false positives *)
-                  (20 * r.Interp.steps) + 10_000 )
+                     quickly without false positives (the budget formula
+                     is shared with the injection campaigns) *)
+                  Outcome.hang_fuel ~steps:r.Interp.steps ~factor:20 )
             | Outcome.Out_of_fuel -> (Fuel, fuel)
-            | Outcome.Trapped t -> (Trap (Outcome.trap_name t), fuel))
+            | Outcome.Trapped t -> (Trap (Outcome.trap_name t), fuel)
+            | Outcome.Livelock ->
+                (* the interpreter never runs under a power trace *)
+                (Fuel, fuel))
         | exception Interp.Trap msg -> (Trap (interp_trap_name msg), fuel)
         | exception Memimage.Fault _ -> (Trap "memory-fault", fuel)
       in
@@ -159,7 +163,10 @@ let run ?plant ?(fuel = 2_000_000) ?train ~source ~entry ~args () =
                                   Value (mask32 r.Bs_sim.Machine.r0)
                               | Outcome.Out_of_fuel -> Fuel
                               | Outcome.Trapped t ->
-                                  Trap (Outcome.trap_name t))
+                                  Trap (Outcome.trap_name t)
+                              | Outcome.Livelock ->
+                                  (* no power trace in a fuzz run *)
+                                  Fuel)
                           | exception Bs_sim.Machine.Sim_trap t ->
                               Trap (Outcome.trap_name t)
                           | exception Memimage.Fault _ -> Trap "memory-fault"
@@ -179,7 +186,7 @@ let run ?plant ?(fuel = 2_000_000) ?train ~source ~entry ~args () =
                               (Bucket.make ~detail:ename
                                  Bucket.Result_mismatch)
                         | _, Fuel ->
-                            crash (Bucket.make ~detail:ename Bucket.Hang)
+                            crash (Bucket.hang ~detail:ename ())
                         | _, Trap t ->
                             crash
                               (Bucket.make ~detail:(ename ^ ":" ^ t)
@@ -199,3 +206,115 @@ let describe = function
   | Skip why -> "skipped: " ^ why
   | Crash { bucket; details } ->
       Printf.sprintf "CRASH [%s] %s" (Bucket.key bucket) details
+
+(* --- intermittent-power replay ----------------------------------------- *)
+
+(* Replay a program under a recorded power-failure configuration and
+   classify the outcome into the shared bucket namespace.  The oracle is
+   the same binary's own fault-free machine run: a restore rolls state
+   back exactly, so the intermittent run must reproduce the fault-free
+   checksum bit for bit — any mismatch is a checkpoint/restore bug. *)
+
+type power_verdict = {
+  p_bucket : Bucket.t option;  (* None: completed without a restore *)
+  p_details : string;
+}
+
+let describe_power v =
+  match v.p_bucket with
+  | Some b -> Printf.sprintf "POWER [%s] %s" (Bucket.key b) v.p_details
+  | None -> "power: " ^ v.p_details
+
+let run_power ?train ~source ~entry ~args ~(power : Corpus.power_meta) () :
+    power_verdict =
+  let train =
+    match train with Some t -> t | None -> [ (entry, Gen.train_args) ]
+  in
+  match Driver.try_compile ~config:Driver.bitspec_config ~source ~train () with
+  | Error diags ->
+      let d =
+        match Diag.errors diags with
+        | d :: _ -> d
+        | [] ->
+            Diag.error ~code:"BS-FE-01" ~phase:Diag.Other
+              "compilation failed without a diagnostic"
+      in
+      { p_bucket = Some (Bucket.of_diag ~detail:"power" d);
+        p_details = "failed to compile: " ^ Diag.to_string d }
+  | Ok c -> (
+      match Driver.run_machine c ~entry ~args with
+      | exception e ->
+          { p_bucket = Some (Bucket.hang ());
+            p_details = "fault-free run raised: " ^ Printexc.to_string e }
+      | golden when golden.Bs_sim.Machine.outcome <> Outcome.Finished ->
+          { p_bucket = Some (Bucket.hang ());
+            p_details =
+              "fault-free run did not finish: "
+              ^ Outcome.to_string golden.Bs_sim.Machine.outcome }
+      | golden -> (
+          let open Bs_sim in
+          let expected = golden.Machine.r0 in
+          let steps = golden.Machine.ctr.Counters.instrs in
+          let fuel = Outcome.hang_fuel ~steps ~factor:8 in
+          let hot_pcs =
+            let acc = ref [] in
+            Array.iteri
+              (fun pc s -> if s <> None then acc := pc :: !acc)
+              c.Driver.program.Bs_backend.Asm.srcmap;
+            List.rev !acc
+          in
+          let trace =
+            Powertrace.create ~seed:power.Corpus.pw_seed ~hot_pcs
+              power.Corpus.pw_dist
+          in
+          let pw =
+            { Machine.trace; policy = power.Corpus.pw_policy;
+              max_retries = power.Corpus.pw_retries }
+          in
+          match Driver.run_machine ~fuel ~power:pw c ~entry ~args with
+          | exception Machine.Sim_trap t ->
+              { p_bucket =
+                  Some
+                    (Bucket.make ~detail:(Outcome.trap_name t)
+                       Bucket.Trap_divergence);
+                p_details = "trapped under power failures" }
+          | exception Memimage.Fault m ->
+              { p_bucket =
+                  Some
+                    (Bucket.make ~detail:"memory-fault"
+                       Bucket.Trap_divergence);
+                p_details = "memory fault under power failures: " ^ m }
+          | r -> (
+              let ctr = r.Machine.ctr in
+              let stats =
+                Printf.sprintf
+                  "%d restores, %d checkpoints, %d re-executed instrs"
+                  ctr.Counters.restores ctr.Counters.checkpoints
+                  ctr.Counters.reexec_instrs
+              in
+              match r.Machine.outcome with
+              | Outcome.Livelock ->
+                  { p_bucket = Some (Bucket.reexec_livelock ());
+                    p_details = stats }
+              | Outcome.Out_of_fuel ->
+                  { p_bucket = Some (Bucket.hang ()); p_details = stats }
+              | Outcome.Trapped t ->
+                  { p_bucket =
+                      Some
+                        (Bucket.make ~detail:(Outcome.trap_name t)
+                           Bucket.Trap_divergence);
+                    p_details = stats }
+              | Outcome.Finished ->
+                  if r.Machine.r0 <> expected then
+                    { p_bucket =
+                        Some (Bucket.make ~detail:"power" Bucket.Result_mismatch);
+                      p_details =
+                        Printf.sprintf
+                          "checksum %Ld, fault-free %Ld after %s"
+                          r.Machine.r0 expected stats }
+                  else if ctr.Counters.restores > 0 then
+                    { p_bucket = Some (Bucket.restored ());
+                      p_details = stats ^ ", correct checksum" }
+                  else
+                    { p_bucket = None;
+                      p_details = "completed without an outage (" ^ stats ^ ")" })))

@@ -47,3 +47,27 @@ val run :
     on {!Gen.train_args}). *)
 
 val describe : verdict -> string
+
+(** {1 Intermittent-power replay} *)
+
+type power_verdict = {
+  p_bucket : Bs_support.Bucket.t option;
+      (** [None]: completed without a restore (nothing to triage) *)
+  p_details : string;
+}
+
+val run_power :
+  ?train:(string * int64 list) list ->
+  source:string ->
+  entry:string ->
+  args:int64 list ->
+  power:Corpus.power_meta ->
+  unit ->
+  power_verdict
+(** Replay [source] under the recorded power-failure configuration and
+    classify against the same binary's fault-free machine run: correct
+    checksum through [n > 0] restores ⇒ the [restored] bucket, retry
+    exhaustion ⇒ [reexec-livelock], fuel ⇒ [hang], a wrong checksum ⇒
+    [result-mismatch:power] (a checkpoint/restore bug). *)
+
+val describe_power : power_verdict -> string

@@ -10,6 +10,15 @@ type t = {
   bytes : Bytes.t;
   layout : (string, int) Hashtbl.t;   (* global name -> address *)
   globals_end : int;
+  (* Undo journal for checkpoint/restore (intermittent execution): when
+     enabled, every store records the bytes it overwrites, so the image
+     can be rolled back to the last commit point in O(bytes written)
+     instead of O(image size).  Disabled, the only cost is one branch
+     per store. *)
+  mutable j_on : bool;
+  mutable j_addr : int array;         (* journalled byte addresses *)
+  mutable j_old : Bytes.t;            (* their pre-store values *)
+  mutable j_len : int;
 }
 
 let globals_base = 0x1000
@@ -29,7 +38,8 @@ let create ?(size = 8 * 1024 * 1024) (m : Ir.modul) =
       cursor := !cursor + (esz * g.count))
     m.globals;
   let t =
-    { bytes = Bytes.make size '\000'; layout; globals_end = !cursor }
+    { bytes = Bytes.make size '\000'; layout; globals_end = !cursor;
+      j_on = false; j_addr = [||]; j_old = Bytes.empty; j_len = 0 }
   in
   if !cursor >= size then raise (Fault "memory too small for globals");
   (* Apply initialisers. *)
@@ -64,6 +74,60 @@ let check t addr width =
   if addr < 0 || addr + bytes > Bytes.length t.bytes then
     raise (Fault (Printf.sprintf "out-of-bounds access at 0x%x (i%d)" addr width))
 
+(* --- snapshots and the undo journal ------------------------------------ *)
+
+type snapshot = Bytes.t
+
+let snapshot t = Bytes.copy t.bytes
+
+let restore t s =
+  if Bytes.length s <> Bytes.length t.bytes then
+    raise (Fault "snapshot size does not match the image");
+  Bytes.blit s 0 t.bytes 0 (Bytes.length s);
+  t.j_len <- 0
+
+let snapshot_equal = Bytes.equal
+let snapshot_size = Bytes.length
+
+(* Record the [n] bytes at [addr] about to be overwritten.  The address
+   was already bounds-checked by the caller. *)
+let journal_record t addr n =
+  let need = t.j_len + n in
+  if need > Array.length t.j_addr then begin
+    let cap = max 256 (max need (2 * Array.length t.j_addr)) in
+    let a = Array.make cap 0 in
+    Array.blit t.j_addr 0 a 0 t.j_len;
+    t.j_addr <- a;
+    let b = Bytes.create cap in
+    Bytes.blit t.j_old 0 b 0 t.j_len;
+    t.j_old <- b
+  end;
+  for k = 0 to n - 1 do
+    t.j_addr.(t.j_len + k) <- addr + k;
+    Bytes.unsafe_set t.j_old (t.j_len + k) (Bytes.unsafe_get t.bytes (addr + k))
+  done;
+  t.j_len <- t.j_len + n
+
+let journal_start t =
+  t.j_on <- true;
+  t.j_len <- 0
+
+let journal_stop t =
+  t.j_on <- false;
+  t.j_len <- 0
+
+let journal_pending t = t.j_len
+
+let journal_commit t = t.j_len <- 0
+
+(* Reverse replay: later entries undo first, so overlapping writes to the
+   same byte resolve to the value live at the last commit point. *)
+let journal_undo t =
+  for k = t.j_len - 1 downto 0 do
+    Bytes.unsafe_set t.bytes t.j_addr.(k) (Bytes.unsafe_get t.j_old k)
+  done;
+  t.j_len <- 0
+
 (** [read t ~width addr] loads a [width]-bit little-endian value. *)
 let read t ~width addr =
   check t addr width;
@@ -81,6 +145,7 @@ let read t ~width addr =
 let write t ~width addr v =
   check t addr width;
   let n = max 1 (width / 8) in
+  if t.j_on then journal_record t addr n;
   for b = 0 to n - 1 do
     Bytes.set t.bytes (addr + b)
       (Char.chr
@@ -105,12 +170,17 @@ let read_int t ~width addr =
 let write_int t ~width addr v =
   check t addr width;
   match width with
-  | 8 -> Bytes.set_uint8 t.bytes addr (v land 0xFF)
-  | 16 -> Bytes.set_uint16_le t.bytes addr (v land 0xFFFF)
+  | 8 ->
+      if t.j_on then journal_record t addr 1;
+      Bytes.set_uint8 t.bytes addr (v land 0xFF)
+  | 16 ->
+      if t.j_on then journal_record t addr 2;
+      Bytes.set_uint16_le t.bytes addr (v land 0xFFFF)
   | 32 ->
+      if t.j_on then journal_record t addr 4;
       Bytes.set_uint16_le t.bytes addr (v land 0xFFFF);
       Bytes.set_uint16_le t.bytes (addr + 2) ((v lsr 16) land 0xFFFF)
-  | _ -> write t ~width addr (Int64.of_int v)
+  | _ -> write t ~width addr (Int64.of_int v) (* [write] journals *)
 
 (** Convenience accessors used by workload input generators. *)
 

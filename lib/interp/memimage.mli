@@ -9,6 +9,10 @@ type t = {
   bytes : Bytes.t;
   layout : (string, int) Hashtbl.t;  (** global name -> base address *)
   globals_end : int;                 (** first address above the globals *)
+  mutable j_on : bool;               (** undo journal armed (see below) *)
+  mutable j_addr : int array;
+  mutable j_old : Bytes.t;
+  mutable j_len : int;
 }
 
 val globals_base : int
@@ -34,6 +38,49 @@ val read_int : t -> width:int -> int -> int
 
 val write_int : t -> width:int -> int -> int -> unit
 (** [write] from a plain int (low [width] bits stored). *)
+
+(** {2 Snapshots and the undo journal}
+
+    Two restoration mechanisms for checkpointed (intermittent-power)
+    execution.  A {!snapshot} is a full copy of the image — O(size) to
+    take, O(size) to restore, independent of anything else.  The journal
+    is the cheap path the machine model uses: arm it once, and every
+    subsequent store records the bytes it overwrites; {!journal_undo}
+    rolls the image back to the last {!journal_commit} in O(bytes
+    written).  The two compose: a journal undo after a commit point
+    restores exactly the state a snapshot at that point would. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Full copy of the image contents. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite the image with a snapshot's contents (and drop any pending
+    journal entries).  @raise Fault on size mismatch. *)
+
+val snapshot_equal : snapshot -> snapshot -> bool
+val snapshot_size : snapshot -> int
+
+val journal_start : t -> unit
+(** Arm the journal (clearing any pending entries).  From here on every
+    {!write}/{!write_int} records the overwritten bytes. *)
+
+val journal_stop : t -> unit
+(** Disarm and clear the journal. *)
+
+val journal_pending : t -> int
+(** Bytes recorded since the last commit — the dirty-byte count a
+    checkpoint must flush. *)
+
+val journal_commit : t -> unit
+(** Make the current contents the rollback point: forget the recorded
+    undo entries. *)
+
+val journal_undo : t -> unit
+(** Roll every write since the last commit back, restoring the contents
+    at the commit point (reverse replay, so overlapping writes resolve
+    correctly). *)
 
 val set_global : t -> Bs_ir.Ir.modul -> name:string -> index:int -> int64 -> unit
 (** Write one element of a global array (workload input setup). *)

@@ -1,0 +1,68 @@
+open Bs_isa
+
+(* Architectural checkpoints for intermittent-power execution.
+
+   A checkpoint captures everything a power failure would lose: the
+   register file (slice views alias register bytes, so one copy of the
+   32-bit file covers both), the PC, the Δ redirect register, the mode
+   bit, the compare state and the hazard-tracking byproduct.  Memory is
+   not copied here — the machine model journals stores through
+   [Memimage] and rolls them back on restore, so the checkpoint's memory
+   cost is only the dirty bytes flushed at commit time.
+
+   The [saved] record is all-mutable and allocated once per run: the
+   pre-store policy can checkpoint on every store, so capture must not
+   allocate. *)
+
+type policy =
+  | Interval of int       (* checkpoint every n dynamic instructions *)
+  | Pre_store             (* checkpoint before every memory store *)
+  | Pre_speculation       (* checkpoint before every slice instruction *)
+
+let policy_name = function
+  | Interval n -> "interval:" ^ string_of_int n
+  | Pre_store -> "pre-store"
+  | Pre_speculation -> "pre-spec"
+
+let policy_of_string s =
+  match s with
+  | "pre-store" -> Some Pre_store
+  | "pre-spec" -> Some Pre_speculation
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "interval" -> (
+          match
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          with
+          | Some n when n > 0 -> Some (Interval n)
+          | _ -> None)
+      | _ -> None)
+
+type saved = {
+  s_regs : int array;
+  mutable s_pc : int;
+  mutable s_delta : int;
+  mutable s_mode : Isa.mode;
+  mutable s_cmp_a : int;
+  mutable s_cmp_b : int;
+  mutable s_cmp_width8 : bool;
+  mutable s_last_load_dest : int;
+  mutable s_at_instrs : int;   (* dynamic instruction count at capture *)
+}
+
+let create ~num_regs =
+  { s_regs = Array.make num_regs 0; s_pc = 0; s_delta = 0;
+    s_mode = Isa.Bitspec; s_cmp_a = 0; s_cmp_b = 0; s_cmp_width8 = false;
+    s_last_load_dest = -1; s_at_instrs = 0 }
+
+(* Cost model: a checkpoint commit writes the register file (4 bytes per
+   register), the control/compare state (a flat 16 bytes), and the dirty
+   memory bytes journalled since the previous commit to non-volatile
+   storage. *)
+let cost_bytes ~num_regs ~dirty = (4 * num_regs) + 16 + dirty
+
+(* Pipeline costs (cycles): a checkpoint drains the store buffer into the
+   NVM write queue; a restore re-ramps the supply and refills the
+   pipeline and the architectural state. *)
+let checkpoint_cycles = 12
+let restore_cycles = 120

@@ -1,0 +1,48 @@
+(** Architectural checkpoints for intermittent-power execution.
+
+    A checkpoint captures everything a power failure would lose: the
+    register file (slice views alias register bytes, so one copy covers
+    both), the PC, the Δ redirect register, the mode bit and the compare
+    state.  Memory is rolled back through {!Bs_interp.Memimage}'s undo
+    journal instead of being copied, so a checkpoint's memory cost is
+    only the dirty bytes flushed at commit time. *)
+
+(** When the machine takes checkpoints. *)
+type policy =
+  | Interval of int   (** every [n] dynamic instructions *)
+  | Pre_store         (** before every memory store *)
+  | Pre_speculation   (** before every slice instruction *)
+
+val policy_name : policy -> string
+(** ["interval:N"], ["pre-store"], ["pre-spec"]. *)
+
+val policy_of_string : string -> policy option
+
+(** Saved architectural state.  All-mutable and allocated once per run:
+    capture must not allocate (the pre-store policy checkpoints on every
+    store). *)
+type saved = {
+  s_regs : int array;
+  mutable s_pc : int;
+  mutable s_delta : int;
+  mutable s_mode : Bs_isa.Isa.mode;
+  mutable s_cmp_a : int;
+  mutable s_cmp_b : int;
+  mutable s_cmp_width8 : bool;
+  mutable s_last_load_dest : int;
+  mutable s_at_instrs : int;  (** dynamic instruction count at capture *)
+}
+
+val create : num_regs:int -> saved
+(** A zeroed capture buffer. *)
+
+val cost_bytes : num_regs:int -> dirty:int -> int
+(** Bytes a checkpoint commit writes to non-volatile storage: the
+    register file, the control/compare state, and the [dirty] journalled
+    memory bytes. *)
+
+val checkpoint_cycles : int
+(** Pipeline cost of a checkpoint commit. *)
+
+val restore_cycles : int
+(** Pipeline cost of a power-fail restore (supply ramp + refill). *)

@@ -27,6 +27,15 @@ type t = {
   mutable stall_cycles : int;
   mutable branch_stalls : int;
   mutable load_use_stalls : int;
+  (* intermittent-power execution: checkpoint/restore traffic.
+     [reexec_instrs] is the subset of [instrs] that was re-executed after
+     a power-fail restore — wasted work, costed separately by the energy
+     model. *)
+  mutable checkpoints : int;
+  mutable checkpoint_bytes : int;   (* register file + control + dirty memory *)
+  mutable restores : int;
+  mutable reexec_instrs : int;
+  mutable livelock_degrades : int;  (* policy fell back to checkpoint-every-store *)
 }
 
 let create () =
@@ -35,7 +44,9 @@ let create () =
     alu32 = 0; alu8 = 0; mul_ops = 0; div_ops = 0;
     loads = 0; stores = 0;
     spill_loads = 0; spill_stores = 0; copies = 0;
-    stall_cycles = 0; branch_stalls = 0; load_use_stalls = 0 }
+    stall_cycles = 0; branch_stalls = 0; load_use_stalls = 0;
+    checkpoints = 0; checkpoint_bytes = 0; restores = 0; reexec_instrs = 0;
+    livelock_degrades = 0 }
 
 let reg_reads t = t.reg_read32 + t.reg_read8
 let reg_writes t = t.reg_write32 + t.reg_write8
@@ -61,7 +72,12 @@ let add ~into t =
   into.copies <- into.copies + t.copies;
   into.stall_cycles <- into.stall_cycles + t.stall_cycles;
   into.branch_stalls <- into.branch_stalls + t.branch_stalls;
-  into.load_use_stalls <- into.load_use_stalls + t.load_use_stalls
+  into.load_use_stalls <- into.load_use_stalls + t.load_use_stalls;
+  into.checkpoints <- into.checkpoints + t.checkpoints;
+  into.checkpoint_bytes <- into.checkpoint_bytes + t.checkpoint_bytes;
+  into.restores <- into.restores + t.restores;
+  into.reexec_instrs <- into.reexec_instrs + t.reexec_instrs;
+  into.livelock_degrades <- into.livelock_degrades + t.livelock_degrades
 
 (* Stable field order, for metric dumps and JSON emission. *)
 let to_assoc t =
@@ -83,4 +99,9 @@ let to_assoc t =
     ("copies", t.copies);
     ("stall_cycles", t.stall_cycles);
     ("branch_stalls", t.branch_stalls);
-    ("load_use_stalls", t.load_use_stalls) ]
+    ("load_use_stalls", t.load_use_stalls);
+    ("checkpoints", t.checkpoints);
+    ("checkpoint_bytes", t.checkpoint_bytes);
+    ("restores", t.restores);
+    ("reexec_instrs", t.reexec_instrs);
+    ("livelock_degrades", t.livelock_degrades) ]

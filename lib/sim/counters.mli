@@ -24,6 +24,14 @@ type t = {
   mutable stall_cycles : int;  (** stalls *)
   mutable branch_stalls : int;
   mutable load_use_stalls : int;
+  mutable checkpoints : int;  (** intermittent-power execution *)
+  mutable checkpoint_bytes : int;
+      (** register file + control state + dirty memory flushed *)
+  mutable restores : int;
+  mutable reexec_instrs : int;
+      (** subset of [instrs] re-executed after power-fail restores *)
+  mutable livelock_degrades : int;
+      (** times the checkpoint policy fell back to checkpoint-every-store *)
 }
 
 val create : unit -> t

@@ -38,9 +38,9 @@ let verdict_name = function
   | Detected _ -> "detected"
   | Trapped _ -> "trapped"
   | Sdc _ -> "sdc"
-  | Hung -> "hung"
+  | Hung -> "hang"
 
-let verdict_names = [ "masked"; "detected"; "trapped"; "sdc"; "hung" ]
+let verdict_names = [ "masked"; "detected"; "trapped"; "sdc"; "hang" ]
 
 let describe_fault (f : Machine.fault) =
   match f.Machine.target with
@@ -80,15 +80,23 @@ let gen_fault rng ~max_instr ~mem_lo ~mem_hi : Machine.fault =
   in
   { Machine.at_instr; target }
 
+(* Register flips only — the target population of the bit-level
+   vulnerability validation, where each trial must map to one register
+   bit position. *)
+let gen_reg_fault rng ~max_instr : Machine.fault =
+  let at_instr = Rng.int_in rng 1 (max 1 max_instr) in
+  { Machine.at_instr;
+    target = Machine.Flip_reg (Rng.int rng 13, Rng.int rng 32) }
+
 let run_trial ~mode ~fuel ~(program : Bs_backend.Asm.program)
     ~(mem : unit -> Bs_interp.Memimage.t) ~entry ~args ~expected
     ~golden_misspecs (fault : Machine.fault) : trial =
-  let config = { Machine.mode; fuel; fault = Some fault } in
+  let config = { Machine.mode; fuel; fault = Some fault; power = None } in
   let verdict =
     match Machine.run ~config program (mem ()) ~entry ~args with
     | r -> (
         match r.Machine.outcome with
-        | Outcome.Out_of_fuel -> Hung
+        | Outcome.Out_of_fuel | Outcome.Livelock -> Hung
         | Outcome.Finished | Outcome.Trapped _ ->
             if r.Machine.r0 = expected then
               let extra =
@@ -127,4 +135,4 @@ let summarize trials =
 
 let summary_rows s =
   [ ("masked", s.masked); ("detected", s.detected); ("trapped", s.trapped);
-    ("sdc", s.sdc); ("hung", s.hung) ]
+    ("sdc", s.sdc); ("hang", s.hung) ]

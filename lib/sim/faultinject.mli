@@ -32,6 +32,12 @@ val gen_fault :
     a target (register bit, memory bit in [\[mem_lo, mem_hi\]], or a Δ
     bit). *)
 
+val gen_reg_fault :
+  Bs_support.Rng.t -> max_instr:int -> Machine.fault
+(** Draw a register-bit flip only — the population the bit-level
+    vulnerability validation samples, where every trial maps to one
+    register bit position. *)
+
 val run_trial :
   mode:Bs_isa.Isa.mode ->
   fuel:int ->

@@ -31,13 +31,28 @@ type fault_target =
 
 type fault = { at_instr : int; target : fault_target }
 
+(* Intermittent-power execution: run under a seeded outage trace with a
+   checkpoint policy.  On an outage the machine rolls back to the last
+   checkpoint (registers via [Checkpoint.saved], memory via the
+   [Memimage] undo journal) and re-executes; [max_retries] consecutive
+   restores without an intervening checkpoint degrade the policy to
+   additionally checkpoint before every store, and twice that gives up
+   with the [Livelock] outcome. *)
+type power = {
+  trace : Powertrace.t;
+  policy : Checkpoint.policy;
+  max_retries : int;
+}
+
 type config = {
   mode : Isa.mode;
   fuel : int;                 (* max dynamic instructions *)
   fault : fault option;       (* inject one bit flip during the run *)
+  power : power option;       (* run under injected power failures *)
 }
 
-let default_config = { mode = Bitspec; fuel = 1_000_000_000; fault = None }
+let default_config =
+  { mode = Bitspec; fuel = 1_000_000_000; fault = None; power = None }
 
 type result = {
   r0 : int64;
@@ -135,6 +150,7 @@ let meta_spill_store = 2
 let meta_copy = 3
 let meta_prov_mask = 3
 let meta_slice = 4
+let meta_store = 8
 
 let predecode (p : Bs_backend.Asm.program) : int array =
   let n = Array.length p.Bs_backend.Asm.code in
@@ -150,7 +166,12 @@ let predecode (p : Bs_backend.Asm.program) : int array =
     let slice =
       if is_slice_insn p.Bs_backend.Asm.code.(pc) then meta_slice else 0
     in
-    meta.(pc) <- prov_tag lor slice
+    let store =
+      match p.Bs_backend.Asm.code.(pc) with
+      | STR _ | BSTRB _ -> meta_store
+      | _ -> 0
+    in
+    meta.(pc) <- prov_tag lor slice lor store
   done;
   meta
 
@@ -227,6 +248,84 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
         | Flip_delta b -> st.delta <- st.delta lxor (1 lsl b))
     | _ -> ()
   in
+  (* --- intermittent-power machinery ------------------------------------ *)
+  (* One capture buffer per run; capture and restore are allocation-free
+     (the pre-store policy checkpoints on every store). *)
+  let saved = Checkpoint.create ~num_regs in
+  let restores_since_ckpt = ref 0 in
+  let degraded = ref false in
+  (* instr count at the last checkpoint or restore: re-executed (wasted)
+     work at an outage is what ran since the last resume point, not since
+     the checkpoint — consecutive strikes without an intervening
+     checkpoint must not re-count earlier losses *)
+  let resumed_at = ref 0 in
+  (* net useful instrs captured by the last checkpoint.  A checkpoint
+     only counts as progress — and only then resets the retry budget —
+     if it snapshots a state further along than the previous one;
+     re-checkpointing the same spot after a rollback must not. *)
+  let last_ckpt_net = ref (-1) in
+  let take_checkpoint () =
+    ctr.Counters.checkpoint_bytes <-
+      ctr.Counters.checkpoint_bytes
+      + Checkpoint.cost_bytes ~num_regs ~dirty:(Memimage.journal_pending mem);
+    Memimage.journal_commit mem;
+    Array.blit st.regs 0 saved.Checkpoint.s_regs 0 num_regs;
+    saved.Checkpoint.s_pc <- st.pc;
+    saved.Checkpoint.s_delta <- st.delta;
+    saved.Checkpoint.s_mode <- st.mode;
+    saved.Checkpoint.s_cmp_a <- st.cmp_a;
+    saved.Checkpoint.s_cmp_b <- st.cmp_b;
+    saved.Checkpoint.s_cmp_width8 <- st.cmp_width8;
+    saved.Checkpoint.s_last_load_dest <- st.last_load_dest;
+    saved.Checkpoint.s_at_instrs <- ctr.Counters.instrs;
+    resumed_at := ctr.Counters.instrs;
+    (let net = ctr.Counters.instrs - ctr.Counters.reexec_instrs in
+     if net > !last_ckpt_net then begin
+       last_ckpt_net := net;
+       restores_since_ckpt := 0
+     end);
+    ctr.Counters.checkpoints <- ctr.Counters.checkpoints + 1;
+    stall Checkpoint.checkpoint_cycles `Other
+  in
+  let restore_checkpoint max_retries =
+    ctr.Counters.restores <- ctr.Counters.restores + 1;
+    ctr.Counters.reexec_instrs <-
+      ctr.Counters.reexec_instrs + (ctr.Counters.instrs - !resumed_at);
+    resumed_at := ctr.Counters.instrs;
+    Memimage.journal_undo mem;
+    Array.blit saved.Checkpoint.s_regs 0 st.regs 0 num_regs;
+    st.pc <- saved.Checkpoint.s_pc;
+    st.delta <- saved.Checkpoint.s_delta;
+    st.mode <- saved.Checkpoint.s_mode;
+    st.cmp_a <- saved.Checkpoint.s_cmp_a;
+    st.cmp_b <- saved.Checkpoint.s_cmp_b;
+    st.cmp_width8 <- saved.Checkpoint.s_cmp_width8;
+    st.last_load_dest <- saved.Checkpoint.s_last_load_dest;
+    st.loaded <- -1;
+    stall Checkpoint.restore_cycles `Other;
+    incr restores_since_ckpt;
+    (* Livelock detection: repeated restores with no forward-progress
+       checkpoint in between mean every outage precedes the next commit
+       point (re-checkpointing the same spot does not count — see
+       [last_ckpt_net]).  Degrade once to additionally checkpoint before
+       every store; if even that cannot outrun the outages, give up. *)
+    if !restores_since_ckpt > max_retries then
+      if not !degraded then begin
+        degraded := true;
+        ctr.Counters.livelock_degrades <- ctr.Counters.livelock_degrades + 1
+      end
+      else if !restores_since_ckpt > 2 * max_retries then begin
+        outcome := Bs_support.Outcome.Livelock;
+        st.halted <- true
+      end
+  in
+  (match config.power with
+  | Some _ ->
+      (* boot commit: entry state (arguments included) survives the
+         first outage *)
+      Memimage.journal_start mem;
+      take_checkpoint ()
+  | None -> ());
   while not st.halted do
     if st.pc < 0 || st.pc >= Array.length code then
       raise (Sim_trap (Bs_support.Outcome.Pc_out_of_range st.pc));
@@ -234,6 +333,27 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
     let m = Array.unsafe_get meta st.pc in
     if m land meta_slice <> 0 && st.mode = Classic then
       raise (Sim_trap Bs_support.Outcome.Classic_mode_slice);
+    let outage =
+      match config.power with
+      | None -> false
+      | Some pw ->
+          let want_ckpt =
+            (match pw.policy with
+            | Checkpoint.Interval n ->
+                ctr.Counters.instrs - saved.Checkpoint.s_at_instrs >= n
+            | Checkpoint.Pre_store -> m land meta_store <> 0
+            | Checkpoint.Pre_speculation -> m land meta_slice <> 0)
+            || (!degraded && m land meta_store <> 0)
+          in
+          if want_ckpt then take_checkpoint ();
+          if Powertrace.fires pw.trace ~instrs:ctr.Counters.instrs ~pc:st.pc
+          then begin
+            restore_checkpoint pw.max_retries;
+            true
+          end
+          else false
+    in
+    if not outage then begin
     fetch st.pc;
     ctr.Counters.instrs <- ctr.Counters.instrs + 1;
     ctr.Counters.cycles <- ctr.Counters.cycles + 1;
@@ -444,7 +564,9 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
     st.last_load_dest <- st.loaded;
     if not st.halted then st.pc <- st.next
     end
+    end
   done;
+  if config.power <> None then Memimage.journal_stop mem;
   let misspec_pcs =
     List.sort compare
       (Hashtbl.fold (fun pc n acc -> (pc, n) :: acc) misspec_pc_counts [])

@@ -28,14 +28,31 @@ type fault_target =
 
 type fault = { at_instr : int; target : fault_target }
 
+(** Intermittent-power execution: run under a seeded outage trace with a
+    checkpoint policy.  On an outage the machine rolls back to the last
+    checkpoint (registers via {!Checkpoint.saved}, memory via the
+    {!Bs_interp.Memimage} undo journal) and re-executes.  [max_retries]
+    consecutive restores without an intervening checkpoint degrade the
+    policy to additionally checkpoint before every store; twice that
+    gives up with the [Livelock] outcome.  Checkpoint and restore costs
+    are charged to the cycle counter and tracked in {!Counters}
+    ([checkpoints], [checkpoint_bytes], [restores], [reexec_instrs],
+    [livelock_degrades]). *)
+type power = {
+  trace : Powertrace.t;
+  policy : Checkpoint.policy;
+  max_retries : int;
+}
+
 type config = {
   mode : Bs_isa.Isa.mode;  (** Classic disables the slice extension (§3.4) *)
   fuel : int;              (** dynamic instruction budget *)
   fault : fault option;    (** inject one bit flip during the run *)
+  power : power option;    (** run under injected power failures *)
 }
 
 val default_config : config
-(** Bitspec mode, 10^9 fuel, no fault. *)
+(** Bitspec mode, 10^9 fuel, no fault, no power failures. *)
 
 type result = {
   r0 : int64;          (** the return register after HALT *)

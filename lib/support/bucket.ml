@@ -13,6 +13,8 @@ type kind =
   | Verifier_reject
   | Frontend_reject
   | Hang
+  | Power_restored
+  | Reexec_livelock
 
 type t = {
   kind : kind;
@@ -29,6 +31,14 @@ let kind_name = function
   | Verifier_reject -> "verifier-reject"
   | Frontend_reject -> "frontend-reject"
   | Hang -> "hang"
+  | Power_restored -> "restored"
+  | Reexec_livelock -> "reexec-livelock"
+
+(* Shared constructors, so every harness that classifies a hang or a
+   power-fail outcome lands on the same key. *)
+let hang ?detail () = make ?detail Hang
+let restored ?detail () = make ?detail Power_restored
+let reexec_livelock ?detail () = make ?detail Reexec_livelock
 
 let key t =
   String.concat ":"

@@ -17,6 +17,12 @@ type kind =
   | Verifier_reject   (** the IR verifier rejected a pass's output *)
   | Frontend_reject   (** the front-end rejected generator output *)
   | Hang              (** fuel exhausted in a configuration but not the reference *)
+  | Power_restored
+      (** an intermittent-power run completed correctly through one or
+          more checkpoint restores *)
+  | Reexec_livelock
+      (** repeated power failures prevented forward progress even after
+          the checkpoint policy degraded *)
 
 type t = {
   kind : kind;
@@ -25,6 +31,13 @@ type t = {
 }
 
 val make : ?code:string -> ?detail:string -> kind -> t
+
+val hang : ?detail:string -> unit -> t
+val restored : ?detail:string -> unit -> t
+val reexec_livelock : ?detail:string -> unit -> t
+(** Shared constructors: every harness that classifies a hang or a
+    power-fail outcome uses these, so the keys coincide across the fuzz
+    oracle, fault-injection campaigns and power-fail campaigns. *)
 
 val kind_name : kind -> string
 (** Stable kebab-case name, e.g. ["result-mismatch"]. *)

@@ -13,7 +13,7 @@ type trap =
   | Memory_fault of string
   | Trap_message of string
 
-type t = Finished | Out_of_fuel | Trapped of trap
+type t = Finished | Out_of_fuel | Trapped of trap | Livelock
 
 let trap_message = function
   | Division_by_zero -> "division by zero"
@@ -41,3 +41,11 @@ let to_string = function
   | Finished -> "finished"
   | Out_of_fuel -> "out of fuel"
   | Trapped t -> "trap: " ^ trap_message t
+  | Livelock -> "re-execution livelock"
+
+(* The shared hang budget.  Both fault-injection campaigns and the fuzz
+   oracle bound a machine run by the reference execution's length scaled
+   by an engine-specific [factor], plus flat slack for startup code; a
+   run exceeding it classifies as [Out_of_fuel] on either harness.
+   Keeping the formula here keeps the two classifications identical. *)
+let hang_fuel ~steps ~factor = (factor * steps) + 10_000

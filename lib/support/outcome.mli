@@ -21,6 +21,10 @@ type t =
   | Finished                    (** ran to completion; the result is valid *)
   | Out_of_fuel                 (** dynamic instruction budget exhausted *)
   | Trapped of trap
+  | Livelock
+      (** intermittent-power execution gave up: repeated power failures
+          prevented forward progress even after the checkpoint policy
+          degraded (see {!Bs_sim.Machine.power}) *)
 
 val trap_message : trap -> string
 
@@ -29,3 +33,10 @@ val trap_name : trap -> string
     ["memory-fault"]. *)
 
 val to_string : t -> string
+
+val hang_fuel : steps:int -> factor:int -> int
+(** The shared hang budget: a machine run bounded by the reference
+    execution's [steps] scaled by [factor], plus flat slack.  The
+    fault-injection campaign and the fuzz oracle both derive their fuel
+    from this one formula so out-of-fuel classifies identically on
+    either harness. *)

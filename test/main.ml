@@ -11,6 +11,8 @@ let () =
       ("passes", Test_passes.suite);
       ("isa", Test_isa.suite);
       ("machine", Test_machine.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("vulnerability", Test_vulnerability.suite);
       ("backend", Test_backend.suite);
       ("workloads", Test_workloads.suite);
       ("known-answers", Test_known_answers.suite);

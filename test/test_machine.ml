@@ -27,7 +27,8 @@ let exec ?(mode = Bitspec) ?(fuel = 100000) ?mem insns =
   let memory =
     match mem with Some m -> m | None -> Bs_interp.Memimage.create ~size:65536 m
   in
-  Machine.run ~config:{ Machine.mode; fuel; fault = None } (program insns)
+  Machine.run ~config:{ Machine.mode; fuel; fault = None; power = None }
+    (program insns)
     memory ~entry:"main" ~args:[]
 
 let r0_of insns = (exec insns).Machine.r0
@@ -139,7 +140,8 @@ let test_misspec_redirect () =
   let p = program ~delta:1 insns in
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let r =
-    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None } p
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None; power = None }
+      p
       (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
   in
   check64 "handler ran" 777L r.Machine.r0;
@@ -200,7 +202,8 @@ let test_bldrs_misspec_on_wide_value () =
   let p = program ~delta:1 insns in
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let r =
-    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None } p
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None; power = None }
+      p
       (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
   in
   check64 "spec load misspec" 555L r.Machine.r0;
@@ -219,7 +222,8 @@ let test_btrn () =
   let p = program ~delta:1 insns in
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let r =
-    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None } p
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None; power = None }
+      p
       (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
   in
   check64 "btrn misspec" 99L r.Machine.r0
@@ -319,7 +323,9 @@ let test_injected_flip_changes_register () =
   in
   let r =
     Machine.run
-      ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = Some fault }
+      ~config:
+        { Machine.mode = Bitspec; fuel = 1000; fault = Some fault;
+          power = None }
       (program [ MOVW (0, 42); NOP; NOP ])
       (Bs_interp.Memimage.create ~size:65536 m)
       ~entry:"main" ~args:[]
@@ -345,7 +351,9 @@ let test_injected_flip_detected_by_hardware () =
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let r =
     Machine.run
-      ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = Some fault }
+      ~config:
+        { Machine.mode = Bitspec; fuel = 1000; fault = Some fault;
+          power = None }
       (program ~delta:1 insns)
       (Bs_interp.Memimage.create ~size:65536 m)
       ~entry:"main" ~args:[]
