@@ -12,10 +12,11 @@
    compilations through the content-addressed {!Compile_cache}), so the
    printed bytes are identical whatever the job count: the pool only
    pre-fills the tables before each section prints in its usual order.
-   A machine-readable run summary lands in BENCH_pr5.json: per-section
+   A machine-readable run summary lands in BENCH_pr7.json: per-section
    wall-clock and compile-cache hits/misses, a compiler phase-time
-   breakdown (from the {!Bs_obs.Trace} spans), and per-workload
-   misspeculation-site histograms with aggregate activity counters.
+   breakdown (from the {!Bs_obs.Trace} spans), per-workload
+   misspeculation-site histograms with aggregate activity counters, and
+   the aggregate host simulation rate ([simulated_mips]).
 
    Absolute energy is in model units; every figure reports values relative
    to BASELINE exactly as the paper does.  EXPERIMENTS.md records the
@@ -883,18 +884,21 @@ let write_bench_json ~total ~phases ~report timings =
          (fun (name, v) -> Printf.sprintf "    \"%s\": %d" name v)
          (Bs_sim.Counters.to_assoc totals))
   in
-  let oc = open_out "BENCH_pr5.json" in
+  let oc = open_out "BENCH_pr7.json" in
   Printf.fprintf oc
     "{\n\
     \  \"jobs\": %d,\n\
     \  \"total_seconds\": %.3f,\n\
+    \  \"simulated_mips\": %.2f,\n\
     \  \"compile_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f },\n\
     \  \"sections\": [\n%s\n  ],\n\
     \  \"phases\": [\n%s\n  ],\n\
     \  \"misspec\": [\n%s\n  ],\n\
     \  \"counter_totals\": {\n%s\n  }\n\
      }\n"
-    !jobs total hits misses (rate hits misses)
+    !jobs total
+    (Bs_sim.Counters.simulated_mips totals)
+    hits misses (rate hits misses)
     sections_json phases_json sites_json totals_json;
   close_out oc
 

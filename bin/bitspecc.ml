@@ -197,6 +197,21 @@ let dist_arg ~default =
                  exponential gaps) or $(b,hotpc:N) (recharge N \
                  instructions, strike at the next speculative site).")
 
+let engine_conv =
+  Arg.enum
+    [ ("classic", Bs_sim.Machine.Classic);
+      ("threaded", Bs_sim.Machine.Threaded);
+      ("jit", Bs_sim.Machine.Jit) ]
+
+let engine_arg =
+  Arg.(value & opt engine_conv Bs_sim.Machine.Jit
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Machine dispatch engine: $(b,classic) (the reference \
+                 fetch-decode-execute loop), $(b,threaded) \
+                 (direct-threaded per-PC closures) or $(b,jit) (threaded \
+                 plus superblock trace fusion; the default).  All three \
+                 produce identical results — only host speed differs.")
+
 let config_of ~arch ~heuristic ~no_expander =
   let base =
     match arch with
@@ -288,8 +303,15 @@ let run_cmd =
          & info [ "power-seed" ] ~docv:"S"
              ~doc:"Seed of the outage trace (with $(b,--power)).")
   in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print the raw activity-counter dump and the host-side \
+                   simulation rate ($(b,simulated_mips), simulated \
+                   instructions per host microsecond).")
+  in
   let action file arch heuristic entry args train no_expander strict trace
-      why power power_seed policy retries =
+      why power power_seed policy retries engine stats =
     with_reporting ~file (fun () ->
         let source = read_file file in
         let config = config_of ~arch ~heuristic ~no_expander in
@@ -316,8 +338,19 @@ let run_cmd =
               { Bs_sim.Machine.trace; policy; max_retries = retries })
             power
         in
-        let r = Driver.run_machine ?power:pw c ~entry ~args:(parse_args args) in
+        let r =
+          Driver.run_machine ?power:pw ~engine c ~entry
+            ~args:(parse_args args)
+        in
         print_metrics (Experiment.metrics_of_run r);
+        if stats then begin
+          let ctr = r.Bs_sim.Machine.ctr in
+          List.iter
+            (fun (k, v) -> Printf.printf "%-18s = %d\n" k v)
+            (Bs_sim.Counters.to_assoc ctr);
+          Printf.printf "%-18s = %.2f\n" "simulated_mips"
+            (Bs_sim.Counters.simulated_mips ctr)
+        end;
         (match pw with
         | None -> ()
         | Some _ ->
@@ -344,7 +377,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"compile and simulate a MiniC file")
     Term.(const action $ file $ arch_arg $ heuristic_arg $ entry $ args
           $ train $ no_expander_arg $ strict_arg $ trace_arg $ why_misspec
-          $ power $ power_seed $ policy_arg $ retries_arg)
+          $ power $ power_seed $ policy_arg $ retries_arg $ engine_arg
+          $ stats)
 
 (* --- bench ------------------------------------------------------------- *)
 
@@ -590,11 +624,11 @@ let fuzz_cmd =
                    (planted-fault self-tests).")
   in
   let action seed trials budget corpus size no_reduce fault expect_crash jobs
-      =
+      engine =
     with_reporting (fun () ->
         let t =
           Bs_fuzz.Fuzz.run ?plant:fault ?budget ~reduce:(not no_reduce)
-            ~size ~jobs ~seed ~trials ()
+            ~size ~jobs ~engine ~seed ~trials ()
         in
         print_string (Bs_fuzz.Fuzz.report t);
         if t.Bs_fuzz.Fuzz.crashes <> [] then begin
@@ -609,7 +643,7 @@ let fuzz_cmd =
        ~doc:"differential fuzzing campaign: random programs, every build \
              configuration against the reference interpreter")
     Term.(const action $ seed $ trials $ budget $ corpus $ size $ no_reduce
-          $ fault_arg $ expect_crash $ jobs_arg)
+          $ fault_arg $ expect_crash $ jobs_arg $ engine_arg)
 
 (* --- reduce ------------------------------------------------------------ *)
 
@@ -640,7 +674,7 @@ let reduce_cmd =
              ~doc:"Where to write the minimized reproducer (default: \
                    FILE with a .min.mc suffix).")
   in
-  let action file check entry args_opt train_opt fault out =
+  let action file check entry args_opt train_opt fault out engine =
     with_reporting ~file (fun () ->
         let meta, source = Bs_fuzz.Corpus.load file in
         let dfl f d = match meta with Some m -> f m | None -> d in
@@ -670,7 +704,7 @@ let reduce_cmd =
             (* intermittent-power reproducer: replay under the recorded
                outage trace and check the bucket; reduction preserves it *)
             let replay s =
-              Bs_fuzz.Oracle.run_power ~train:[ (entry, train_args) ]
+              Bs_fuzz.Oracle.run_power ~train:[ (entry, train_args) ] ~engine
                 ~source:s ~entry ~args ~power:p ()
             in
             let v = replay source in
@@ -714,7 +748,7 @@ let reduce_cmd =
         | None ->
         let oracle s =
           Bs_fuzz.Oracle.run ?plant:fault ~train:[ (entry, train_args) ]
-            ~source:s ~entry ~args ()
+            ~engine ~source:s ~entry ~args ()
         in
         let verdict = oracle source in
         print_endline (Bs_fuzz.Oracle.describe verdict);
@@ -763,7 +797,7 @@ let reduce_cmd =
        ~doc:"replay the differential oracle on a MiniC file and \
              delta-debug it to a minimal reproducer")
     Term.(const action $ file $ check $ entry $ args_opt $ train_opt
-          $ fault_arg $ out)
+          $ fault_arg $ out $ engine_arg)
 
 (* --- list -------------------------------------------------------------- *)
 

@@ -79,11 +79,33 @@ dune exec bin/bitspecc.exe -- reduce --check \
   test/corpus/power-reexec-livelock-hotpc40-seed7.mc > /dev/null
 echo "intermittent-power smoke: OK (harvest jobs-invariant, inject deterministic)"
 
+# Engine-differencing smoke: the three dispatch engines (classic /
+# threaded / jit) must be observably identical, so a fixed-seed fuzz
+# campaign run under classic at --jobs 1 and under jit at --jobs 4 must
+# produce byte-identical reports, and every corpus reproducer must
+# replay into its recorded bucket under the trace-JIT.
+eng="$(mktemp -d)"
+trap 'rm -rf "$corpus" "$obs" "$pw" "$eng"' EXIT
+dune exec bin/bitspecc.exe -- fuzz --seed 2 --trials 15 --corpus "$eng" \
+  --jobs 1 --engine classic > "$eng/classic.out"
+dune exec bin/bitspecc.exe -- fuzz --seed 2 --trials 15 --corpus "$eng" \
+  --jobs 4 --engine jit > "$eng/jit.out"
+if ! cmp -s "$eng/classic.out" "$eng/jit.out"; then
+  echo "engine smoke: classic/jobs-1 and jit/jobs-4 reports differ" >&2
+  diff "$eng/classic.out" "$eng/jit.out" >&2 || true
+  exit 1
+fi
+for f in test/corpus/*.mc; do
+  dune exec bin/bitspecc.exe -- reduce --check --engine jit "$f" > /dev/null
+done
+echo "engine smoke: OK (fuzz report engine- and jobs-invariant, corpus replays under jit)"
+
 # Timed bench subset: fig8 + table2 (the regression-anchored sections).
-# Recorded single-job baseline on the reference container: ~6800 ms.
-# Fail if the subset takes more than twice that — a slowdown of that
-# size means a fast path or the compile cache broke.
-bench_baseline_ms=6800
+# Recorded single-job baseline on the reference container: ~5600 ms
+# with the trace-JIT engine.  Fail if the subset takes more than twice
+# that — a slowdown of that size means a fast path, the compile cache
+# or the JIT broke.
+bench_baseline_ms=5600
 t0=$(date +%s%3N)
 dune exec bench/main.exe -- --jobs 1 fig8 table2 > /dev/null
 t1=$(date +%s%3N)
@@ -91,5 +113,22 @@ elapsed=$((t1 - t0))
 echo "bench subset (fig8 table2): ${elapsed} ms (baseline ${bench_baseline_ms} ms)"
 if [ "$elapsed" -gt $((2 * bench_baseline_ms)) ]; then
   echo "bench subset regression: ${elapsed} ms > 2x baseline" >&2
+  exit 1
+fi
+
+# The bench run above rewrote BENCH_pr7.json: it must report the
+# aggregate simulation rate, and the experiment:simulate span — the
+# section the trace-JIT exists for — must not regress past twice its
+# recorded single-job baseline (~1.7 s on the reference container).
+grep -q '"simulated_mips"' BENCH_pr7.json || {
+  echo "bench guard: BENCH_pr7.json is missing simulated_mips" >&2
+  exit 1
+}
+simulate_baseline_ms=1700
+simulate_ms=$(awk -F'"seconds": ' '/"experiment:simulate"/ \
+  { split($2, a, ","); printf "%d", a[1] * 1000 }' BENCH_pr7.json)
+echo "experiment:simulate span: ${simulate_ms} ms (baseline ${simulate_baseline_ms} ms)"
+if [ -z "$simulate_ms" ] || [ "$simulate_ms" -gt $((2 * simulate_baseline_ms)) ]; then
+  echo "bench guard: simulate span ${simulate_ms:-missing} ms > 2x baseline" >&2
   exit 1
 fi

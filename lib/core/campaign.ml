@@ -65,7 +65,8 @@ let run ?(config = Driver.bitspec_config) ?(jobs = 1) ~trials ~seed
   let golden =
     Machine.run
       ~config:
-        { Machine.mode; fuel = 1_000_000_000; fault = None; power = None }
+        { Machine.mode; fuel = 1_000_000_000; fault = None; power = None;
+          engine = Machine.Jit }
       c.Driver.program (mem ()) ~entry:w.Workload.entry
       ~args:input.Workload.args
   in
@@ -219,7 +220,8 @@ let run_power ?(config = Driver.bitspec_config) ?(jobs = 1)
   let golden =
     Machine.run
       ~config:
-        { Machine.mode; fuel = 1_000_000_000; fault = None; power = None }
+        { Machine.mode; fuel = 1_000_000_000; fault = None; power = None;
+          engine = Machine.Jit }
       c.Driver.program (mem ()) ~entry:w.Workload.entry
       ~args:input.Workload.args
   in
@@ -238,7 +240,9 @@ let run_power ?(config = Driver.bitspec_config) ?(jobs = 1)
   let run_one pseed =
     let trace = Powertrace.create ~seed:pseed ~hot_pcs dist in
     let power = Some { Machine.trace; policy; max_retries = retries } in
-    let config = { Machine.mode; fuel; fault = None; power } in
+    let config =
+      { Machine.mode; fuel; fault = None; power; engine = Machine.Jit }
+    in
     match
       Machine.run ~config c.Driver.program (mem ()) ~entry:w.Workload.entry
         ~args:input.Workload.args
@@ -383,7 +387,8 @@ let validate ?(config = Driver.bitspec_config) ?(jobs = 1) ~trials ~seed
   let golden =
     Machine.run
       ~config:
-        { Machine.mode; fuel = 1_000_000_000; fault = None; power = None }
+        { Machine.mode; fuel = 1_000_000_000; fault = None; power = None;
+          engine = Machine.Jit }
       c.Driver.program (mem ()) ~entry:w.Workload.entry
       ~args:input.Workload.args
   in

@@ -143,6 +143,7 @@ let describe_exn = function
   | Lower.Error m -> m
   | Verifier.Invalid m -> "verifier: " ^ m
   | Interp.Trap m -> "interpreter trap: " ^ m
+  | Memimage.Layout_error d -> Diag.to_string d
   | Memimage.Fault m -> "memory fault: " ^ m
   | e -> Printexc.to_string e
 
@@ -395,17 +396,24 @@ let try_compile ?pass_fault ~config ~source ?setup ~train () :
 (** Run the compiled binary on the machine model.  [fault] injects a
     single bit flip (see {!Bs_sim.Machine.fault}); [power] runs under
     injected power failures with checkpoint/restore
-    (see {!Bs_sim.Machine.power}). *)
-let run_machine ?setup ?(fuel = 1_000_000_000) ?fault ?power (c : compiled)
-    ~entry ~args =
+    (see {!Bs_sim.Machine.power}); [engine] picks the dispatch engine
+    (results are identical across engines; [Jit] is the default). *)
+let run_machine ?setup ?(fuel = 1_000_000_000) ?fault ?power
+    ?(engine = Machine.Jit) (c : compiled) ~entry ~args =
   let mem = Memimage.create c.ir in
   (match setup with Some f -> f mem | None -> ());
   let mode =
     if c.config.arch = Bitspec_arch then Bs_isa.Isa.Bitspec
     else Bs_isa.Isa.Classic
   in
-  Machine.run ~config:{ Machine.mode; fuel; fault; power } c.program mem
-    ~entry ~args
+  let r =
+    Machine.run ~config:{ Machine.mode; fuel; fault; power; engine }
+      c.program mem ~entry ~args
+  in
+  (* the result captures everything observable; the image is dead, so its
+     buffer can serve the next run *)
+  Memimage.recycle mem;
+  r
 
 (** Run the reference interpreter on the same IR (for differential
     checks). *)

@@ -29,8 +29,8 @@ type t = {
   plant : Driver.pass_fault option;
 }
 
-let run ?plant ?budget ?(reduce = true) ?size ?fuel ?(jobs = 1) ~seed ~trials
-    () =
+let run ?plant ?budget ?(reduce = true) ?size ?fuel ?(jobs = 1)
+    ?(engine = Bs_sim.Machine.Jit) ~seed ~trials () =
   let rng = Rng.create (Int64.of_int seed) in
   let started = Sys.time () in
   let over_budget () =
@@ -63,7 +63,7 @@ let run ?plant ?budget ?(reduce = true) ?size ?fuel ?(jobs = 1) ~seed ~trials
           let source = Gen.program ?size tseed in
           let args = [ Gen.entry_arg tseed ] in
           ( source, args,
-            Oracle.run ?plant ?fuel ~source ~entry:Gen.entry ~args () ))
+            Oracle.run ?plant ?fuel ~engine ~source ~entry:Gen.entry ~args () ))
         tseeds
     in
     Array.iteri
@@ -78,7 +78,8 @@ let run ?plant ?budget ?(reduce = true) ?size ?fuel ?(jobs = 1) ~seed ~trials
             if not (seen key) then begin
               let reproduces s =
                 match
-                  Oracle.run ?plant ?fuel ~source:s ~entry:Gen.entry ~args ()
+                  Oracle.run ?plant ?fuel ~engine ~source:s ~entry:Gen.entry
+                    ~args ()
                 with
                 | Oracle.Crash { bucket = b; _ } -> Bucket.key b = key
                 | _ -> false

@@ -39,6 +39,7 @@ val run :
   ?size:int ->
   ?fuel:int ->
   ?jobs:int ->
+  ?engine:Bs_sim.Machine.engine ->
   seed:int ->
   trials:int ->
   unit ->
@@ -46,7 +47,9 @@ val run :
 (** Run a campaign.  [plant] injects a compiler fault into every trial's
     compiles (self-test mode); [budget] is wall-clock seconds; [reduce]
     (default true) minimises the first crash of each bucket; [size] and
-    [fuel] are passed through to {!Gen.program} and {!Oracle.run}.
+    [fuel] are passed through to {!Gen.program} and {!Oracle.run};
+    [engine] (default [Jit]) picks the machine dispatch engine — verdicts
+    and reports are engine-invariant.
 
     [jobs] (default 1) fans trials out over a domain pool in chunks:
     every trial seed is drawn from the campaign stream sequentially

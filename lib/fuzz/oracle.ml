@@ -68,7 +68,8 @@ let frontend_bucket e =
   in
   Bucket.make ~code:"BS-FE-01" ~detail Bucket.Frontend_reject
 
-let run ?plant ?(fuel = 2_000_000) ?train ~source ~entry ~args () =
+let run ?plant ?(fuel = 2_000_000) ?train ?(engine = Bs_sim.Machine.Jit)
+    ~source ~entry ~args () =
   let train =
     match train with Some t -> t | None -> [ (entry, Gen.train_args) ]
   in
@@ -154,8 +155,8 @@ let run ?plant ?(fuel = 2_000_000) ?train ~source ~entry ~args () =
                     | [] -> (
                         let eng_obs =
                           match
-                            Driver.run_machine ~fuel:machine_fuel c ~entry
-                              ~args
+                            Driver.run_machine ~fuel:machine_fuel ~engine c
+                              ~entry ~args
                           with
                           | r -> (
                               match r.Bs_sim.Machine.outcome with
@@ -225,8 +226,8 @@ let describe_power v =
   | Some b -> Printf.sprintf "POWER [%s] %s" (Bucket.key b) v.p_details
   | None -> "power: " ^ v.p_details
 
-let run_power ?train ~source ~entry ~args ~(power : Corpus.power_meta) () :
-    power_verdict =
+let run_power ?train ?(engine = Bs_sim.Machine.Jit) ~source ~entry ~args
+    ~(power : Corpus.power_meta) () : power_verdict =
   let train =
     match train with Some t -> t | None -> [ (entry, Gen.train_args) ]
   in
@@ -242,7 +243,7 @@ let run_power ?train ~source ~entry ~args ~(power : Corpus.power_meta) () :
       { p_bucket = Some (Bucket.of_diag ~detail:"power" d);
         p_details = "failed to compile: " ^ Diag.to_string d }
   | Ok c -> (
-      match Driver.run_machine c ~entry ~args with
+      match Driver.run_machine ~engine c ~entry ~args with
       | exception e ->
           { p_bucket = Some (Bucket.hang ());
             p_details = "fault-free run raised: " ^ Printexc.to_string e }
@@ -271,7 +272,7 @@ let run_power ?train ~source ~entry ~args ~(power : Corpus.power_meta) () :
             { Machine.trace; policy = power.Corpus.pw_policy;
               max_retries = power.Corpus.pw_retries }
           in
-          match Driver.run_machine ~fuel ~power:pw c ~entry ~args with
+          match Driver.run_machine ~fuel ~power:pw ~engine c ~entry ~args with
           | exception Machine.Sim_trap t ->
               { p_bucket =
                   Some

@@ -35,6 +35,7 @@ val run :
   ?plant:Driver.pass_fault ->
   ?fuel:int ->
   ?train:(string * int64 list) list ->
+  ?engine:Bs_sim.Machine.engine ->
   source:string ->
   entry:string ->
   args:int64 list ->
@@ -44,7 +45,9 @@ val run :
     fault into every configuration's compile (the planted-bug self-test);
     [fuel] bounds both the reference interpreter and each machine run
     (default 2,000,000); [train] is the profiling input (default: [entry]
-    on {!Gen.train_args}). *)
+    on {!Gen.train_args}); [engine] picks the machine dispatch engine
+    (default [Jit]) — the verdict is engine-invariant, so differencing
+    verdicts across engines is itself a simulator test. *)
 
 val describe : verdict -> string
 
@@ -58,6 +61,7 @@ type power_verdict = {
 
 val run_power :
   ?train:(string * int64 list) list ->
+  ?engine:Bs_sim.Machine.engine ->
   source:string ->
   entry:string ->
   args:int64 list ->

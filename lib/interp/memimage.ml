@@ -6,6 +6,8 @@ open Bs_ir
 
 exception Fault of string
 
+exception Layout_error of Bs_support.Diag.t
+
 type t = {
   bytes : Bytes.t;
   layout : (string, int) Hashtbl.t;   (* global name -> address *)
@@ -25,6 +27,36 @@ let globals_base = 0x1000
 
 let align a n = (n + a - 1) / a * a
 
+(* Buffer pool: a fresh multi-megabyte [Bytes.make] pays page faults on
+   first touch and major-heap churn on every simulation.  Recycled
+   buffers are re-zeroed with one [Bytes.fill] over warm pages instead.
+   Guarded by a mutex — simulations run concurrently under
+   {!Bs_exec.Pool}'s domains. *)
+let pool : Bytes.t list ref = ref []
+let pool_mutex = Mutex.create ()
+let pool_cap = 8
+
+let pool_take size =
+  Mutex.lock pool_mutex;
+  let found =
+    match !pool with
+    | b :: rest when Bytes.length b = size ->
+        pool := rest;
+        Some b
+    | _ -> None
+  in
+  Mutex.unlock pool_mutex;
+  match found with
+  | Some b ->
+      Bytes.fill b 0 size '\000';
+      b
+  | None -> Bytes.make size '\000'
+
+let recycle t =
+  Mutex.lock pool_mutex;
+  if List.length !pool < pool_cap then pool := t.bytes :: !pool;
+  Mutex.unlock pool_mutex
+
 (** [create ?size m] lays out the globals of [m] and returns a zeroed
     memory image with initialisers applied. *)
 let create ?(size = 8 * 1024 * 1024) (m : Ir.modul) =
@@ -34,31 +66,63 @@ let create ?(size = 8 * 1024 * 1024) (m : Ir.modul) =
     (fun (g : Ir.global) ->
       let esz = max 1 (g.elem_width / 8) in
       cursor := align esz !cursor;
+      (* Two globals with one name would silently alias the same storage
+         (and the second layout would win), turning every store through
+         one into a store through both.  Refuse the module instead. *)
+      if Hashtbl.mem layout g.gname then
+        raise
+          (Layout_error
+             (Bs_support.Diag.error ~code:"BS-IMG-01"
+                ~phase:Bs_support.Diag.Assemble
+                (Printf.sprintf
+                   "duplicate global '%s': two definitions would alias one \
+                    storage location"
+                   g.gname)));
       Hashtbl.replace layout g.gname !cursor;
       cursor := !cursor + (esz * g.count))
     m.globals;
+  (* [cursor] now points one past the last global byte, so the layout
+     fits exactly when [cursor = size].  Check before allocating or
+     initialising anything. *)
+  if !cursor > size then raise (Fault "memory too small for globals");
   let t =
-    { bytes = Bytes.make size '\000'; layout; globals_end = !cursor;
+    { bytes = pool_take size; layout; globals_end = !cursor;
       j_on = false; j_addr = [||]; j_old = Bytes.empty; j_len = 0 }
   in
-  if !cursor >= size then raise (Fault "memory too small for globals");
-  (* Apply initialisers. *)
+  (* Apply initialisers.  This runs once per simulation, and large
+     initialised tables are common (lookup tables, input arrays), so the
+     common element widths take an unboxed path: bounds are established
+     once per global, then the bytes go in with untagged int shifts. *)
+  let bytes = t.bytes in
   List.iter
     (fun (g : Ir.global) ->
       let base = Hashtbl.find layout g.gname in
       let esz = max 1 (g.elem_width / 8) in
-      Array.iteri
-        (fun i v ->
+      let n_init = Array.length g.ginit in
+      if esz <= 4 && base >= 0 && base + (esz * n_init) <= size then
+        for i = 0 to n_init - 1 do
+          (* elements are at most 32 bits wide here, so the low bits of
+             [to_int] carry the whole value *)
+          let x = Int64.to_int (Array.unsafe_get g.ginit i) in
           let addr = base + (i * esz) in
           for b = 0 to esz - 1 do
-            Bytes.set t.bytes (addr + b)
-              (Char.chr
-                 (Int64.to_int
-                    (Int64.logand
-                       (Int64.shift_right_logical v (8 * b))
-                       0xFFL)))
-          done)
-        g.ginit)
+            Bytes.unsafe_set bytes (addr + b)
+              (Char.unsafe_chr ((x lsr (8 * b)) land 0xFF))
+          done
+        done
+      else
+        Array.iteri
+          (fun i v ->
+            let addr = base + (i * esz) in
+            for b = 0 to esz - 1 do
+              Bytes.set bytes (addr + b)
+                (Char.chr
+                   (Int64.to_int
+                      (Int64.logand
+                         (Int64.shift_right_logical v (8 * b))
+                         0xFFL)))
+            done)
+          g.ginit)
     m.globals;
   t
 
@@ -80,10 +144,17 @@ type snapshot = Bytes.t
 
 let snapshot t = Bytes.copy t.bytes
 
+(* Restoring a snapshot replaces the whole image, so any recorded undo
+   entries describe contents that no longer exist — and an armed journal
+   would keep recording against the *new* contents while the caller still
+   believes the old rollback point holds.  Restore therefore disarms AND
+   clears the journal; callers that want journalling across a restore
+   re-arm with [journal_start]. *)
 let restore t s =
   if Bytes.length s <> Bytes.length t.bytes then
     raise (Fault "snapshot size does not match the image");
   Bytes.blit s 0 t.bytes 0 (Bytes.length s);
+  t.j_on <- false;
   t.j_len <- 0
 
 let snapshot_equal = Bytes.equal

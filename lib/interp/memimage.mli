@@ -5,6 +5,12 @@
 exception Fault of string
 (** Out-of-bounds access or unknown global. *)
 
+exception Layout_error of Bs_support.Diag.t
+(** The module's globals cannot be laid out — currently [BS-IMG-01]:
+    two globals share a name, which would silently alias one storage
+    location.  Carries a structured diagnostic rather than a bare
+    string so drivers can report it like any other pipeline failure. *)
+
 type t = {
   bytes : Bytes.t;
   layout : (string, int) Hashtbl.t;  (** global name -> base address *)
@@ -19,9 +25,18 @@ val globals_base : int
 
 val create : ?size:int -> Bs_ir.Ir.modul -> t
 (** [create m] lays the module's globals out and applies their
-    initialisers.  Default size 8 MiB. *)
+    initialisers.  Default size 8 MiB.  A layout that ends exactly at
+    [size] fits; one byte more raises.
+    @raise Fault when the globals do not fit in [size].
+    @raise Layout_error on duplicate global names. *)
 
 val size : t -> int
+
+val recycle : t -> unit
+(** Return the image's buffer to a process-wide pool, where the next
+    {!create} of the same size reuses it (re-zeroed) instead of paying a
+    fresh multi-megabyte allocation.  Only call when nothing can touch
+    the image again — the caller is declaring it dead.  Thread-safe. *)
 
 val addr_of : t -> string -> int
 (** Base address of a global. *)
@@ -56,8 +71,11 @@ val snapshot : t -> snapshot
 (** Full copy of the image contents. *)
 
 val restore : t -> snapshot -> unit
-(** Overwrite the image with a snapshot's contents (and drop any pending
-    journal entries).  @raise Fault on size mismatch. *)
+(** Overwrite the image with a snapshot's contents.  The undo journal is
+    {b disarmed and cleared}: recorded entries describe overwritten
+    contents, and an armed journal would keep recording against a
+    rollback point that no longer exists.  Re-arm with {!journal_start}
+    to journal the restored image.  @raise Fault on size mismatch. *)
 
 val snapshot_equal : snapshot -> snapshot -> bool
 val snapshot_size : snapshot -> int

@@ -2,7 +2,13 @@
 
    The configuration mirrors the paper's platform: 8 KiB 4-way L1
    instruction and data caches with 32-byte lines, backed by a 256 KiB
-   8-way L2 and fixed-latency DRAM. *)
+   8-way L2 and fixed-latency DRAM.
+
+   Tags and LRU stamps live in flat [sets * ways] arrays indexed by
+   [set * ways + way]: the way scan on the simulator's hottest path is a
+   handful of adjacent unchecked loads instead of a bounds-checked
+   two-level indirection.  Every index is derived from [set_mask] and
+   [ways], so it is in range by construction. *)
 
 type t = {
   name : string;
@@ -12,13 +18,13 @@ type t = {
   line_shift : int;              (* log2 line_bytes *)
   set_mask : int;                (* sets - 1; geometry is power-of-two *)
   set_shift : int;               (* log2 sets *)
-  tags : int array array;        (* [set].[way] = tag, -1 empty *)
-  stamp : int array array;       (* LRU timestamps *)
+  tags : int array;              (* [set * ways + way] = tag, -1 empty *)
+  stamp : int array;             (* LRU timestamps, same layout *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable last_line : int;       (* line of the previous access, -1 none *)
-  mutable last_way : int;        (* way it resides in *)
+  mutable last_slot : int;       (* flat slot it resides in *)
 }
 
 let log2_exact n =
@@ -34,9 +40,9 @@ let create ~name ~size_bytes ~ways ~line_bytes =
     line_shift = log2_exact line_bytes;
     set_mask = sets - 1;
     set_shift = log2_exact sets;
-    tags = Array.make_matrix sets ways (-1);
-    stamp = Array.make_matrix sets ways 0;
-    tick = 0; hits = 0; misses = 0; last_line = -1; last_way = 0 }
+    tags = Array.make (sets * ways) (-1);
+    stamp = Array.make (sets * ways) 0;
+    tick = 0; hits = 0; misses = 0; last_line = -1; last_slot = 0 }
 
 (** [access t addr] looks the address up, updating LRU state and filling on
     miss.  Returns [true] on hit. *)
@@ -48,50 +54,67 @@ let access t addr =
      case skips the way scan; hit/miss/LRU state stays exact. *)
   if line = t.last_line then begin
     t.hits <- t.hits + 1;
-    t.stamp.(line land t.set_mask).(t.last_way) <- t.tick;
+    Array.unsafe_set t.stamp t.last_slot t.tick;
     true
   end
   else begin
     let set = line land t.set_mask in
     let tag = line lsr t.set_shift in
-    let ways_tags = t.tags.(set) and ways_stamp = t.stamp.(set) in
-    let hit_way = ref (-1) in
-    for w = 0 to t.ways - 1 do
-      if ways_tags.(w) = tag then begin
-        hit_way := w;
-        ways_stamp.(w) <- t.tick
+    let base = set * t.ways in
+    let tags = t.tags and stamp = t.stamp in
+    let hit_slot = ref (-1) in
+    for w = base to base + t.ways - 1 do
+      if Array.unsafe_get tags w = tag then begin
+        hit_slot := w;
+        Array.unsafe_set stamp w t.tick
       end
     done;
     t.last_line <- line;
-    if !hit_way >= 0 then begin
+    if !hit_slot >= 0 then begin
       t.hits <- t.hits + 1;
-      t.last_way <- !hit_way;
+      t.last_slot <- !hit_slot;
       true
     end
     else begin
       t.misses <- t.misses + 1;
       (* evict LRU *)
-      let victim = ref 0 in
-      for w = 1 to t.ways - 1 do
-        if ways_stamp.(w) < ways_stamp.(!victim) then victim := w
+      let victim = ref base in
+      for w = base + 1 to base + t.ways - 1 do
+        if Array.unsafe_get stamp w < Array.unsafe_get stamp !victim then
+          victim := w
       done;
-      ways_tags.(!victim) <- tag;
-      ways_stamp.(!victim) <- t.tick;
-      t.last_way <- !victim;
+      Array.unsafe_set tags !victim tag;
+      Array.unsafe_set stamp !victim t.tick;
+      t.last_slot <- !victim;
       false
     end
+  end
+
+(** [bump_hits t n] records [n] guaranteed same-line hits to the line of
+    the previous access, exactly as if {!access} had been called [n] more
+    times with addresses in that line: the tick advances by [n], the hit
+    counter by [n], and the line's LRU stamp moves to the new tick.  The
+    caller must guarantee nothing touched this cache since the last
+    access (the trace-JIT batches the fetches of a fused superblock this
+    way: within one straight-line run, only the first access of each
+    instruction-cache line can miss). *)
+let bump_hits t n =
+  if n > 0 then begin
+    t.tick <- t.tick + n;
+    t.hits <- t.hits + n;
+    Array.unsafe_set t.stamp t.last_slot t.tick
   end
 
 let accesses t = t.hits + t.misses
 
 let reset t =
-  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1)) t.tags;
-  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.stamp;
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
   t.tick <- 0;
   t.hits <- 0;
   t.misses <- 0;
   t.last_line <- -1;
-  t.last_way <- 0
+  t.last_slot <- 0
 
 (** The paper's memory hierarchy, fresh. *)
 let l1i () = create ~name:"I$" ~size_bytes:(8 * 1024) ~ways:4 ~line_bytes:32

@@ -10,13 +10,13 @@ type t = {
   line_shift : int;
   set_mask : int;
   set_shift : int;
-  tags : int array array;
-  stamp : int array array;
+  tags : int array;
+  stamp : int array;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable last_line : int;
-  mutable last_way : int;
+  mutable last_slot : int;
 }
 
 val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
@@ -24,6 +24,13 @@ val create : name:string -> size_bytes:int -> ways:int -> line_bytes:int -> t
 val access : t -> int -> bool
 (** [access t addr] updates LRU state (filling on miss) and returns
     [true] on hit. *)
+
+val bump_hits : t -> int -> unit
+(** [bump_hits t n] records [n] guaranteed same-line hits to the line of
+    the previous access in one step — byte-identical to calling {!access}
+    [n] more times with addresses in that line.  Only valid when nothing
+    has touched the cache since the last access; the superblock trace-JIT
+    uses it to batch the fetches of a fused straight-line run. *)
 
 val accesses : t -> int
 (** Total accesses (hits + misses). *)

@@ -36,6 +36,11 @@ type t = {
   mutable restores : int;
   mutable reexec_instrs : int;
   mutable livelock_degrades : int;  (* policy fell back to checkpoint-every-store *)
+  (* host wall-clock time the simulator spent producing these counters
+     (nanoseconds).  Deliberately EXCLUDED from [to_assoc]: it is
+     non-deterministic, and the counter dump must stay byte-identical
+     across runs and --jobs values.  [simulated_mips] derives from it. *)
+  mutable wall_ns : int;
 }
 
 let create () =
@@ -46,7 +51,7 @@ let create () =
     spill_loads = 0; spill_stores = 0; copies = 0;
     stall_cycles = 0; branch_stalls = 0; load_use_stalls = 0;
     checkpoints = 0; checkpoint_bytes = 0; restores = 0; reexec_instrs = 0;
-    livelock_degrades = 0 }
+    livelock_degrades = 0; wall_ns = 0 }
 
 let reg_reads t = t.reg_read32 + t.reg_read8
 let reg_writes t = t.reg_write32 + t.reg_write8
@@ -77,9 +82,18 @@ let add ~into t =
   into.checkpoint_bytes <- into.checkpoint_bytes + t.checkpoint_bytes;
   into.restores <- into.restores + t.restores;
   into.reexec_instrs <- into.reexec_instrs + t.reexec_instrs;
-  into.livelock_degrades <- into.livelock_degrades + t.livelock_degrades
+  into.livelock_degrades <- into.livelock_degrades + t.livelock_degrades;
+  into.wall_ns <- into.wall_ns + t.wall_ns
 
-(* Stable field order, for metric dumps and JSON emission. *)
+(* Simulated millions of instructions per host second.  0 when the run
+   carries no timing (wall_ns = 0), e.g. counters built by hand. *)
+let simulated_mips t =
+  if t.wall_ns <= 0 then 0.0
+  else float_of_int t.instrs *. 1000.0 /. float_of_int t.wall_ns
+
+(* Stable field order, for metric dumps and JSON emission.  [wall_ns] is
+   intentionally absent: it is host-dependent, and this dump must be
+   byte-identical across runs (the jobs-invariance smokes compare it). *)
 let to_assoc t =
   [ ("cycles", t.cycles);
     ("instrs", t.instrs);

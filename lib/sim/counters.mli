@@ -32,6 +32,10 @@ type t = {
       (** subset of [instrs] re-executed after power-fail restores *)
   mutable livelock_degrades : int;
       (** times the checkpoint policy fell back to checkpoint-every-store *)
+  mutable wall_ns : int;
+      (** host wall-clock nanoseconds the simulator spent on this run.
+          Non-deterministic, so excluded from {!to_assoc}; the input of
+          {!simulated_mips}. *)
 }
 
 val create : unit -> t
@@ -42,8 +46,16 @@ val reg_writes : t -> int
 val reg_accesses : t -> int
 
 val add : into:t -> t -> unit
-(** [add ~into t] accumulates every field of [t] into [into]. *)
+(** [add ~into t] accumulates every field of [t] into [into]
+    ([wall_ns] included, so aggregated counters keep a meaningful
+    {!simulated_mips}). *)
+
+val simulated_mips : t -> float
+(** Simulated millions of instructions per host wall-clock second —
+    [instrs / wall_ns * 1000].  [0.0] when the run carries no timing. *)
 
 val to_assoc : t -> (string * int) list
 (** Every counter as a (name, value) row, in declaration order — a
-    stable shape for metric dumps and JSON emission. *)
+    stable shape for metric dumps and JSON emission.  [wall_ns] is
+    excluded: it is host-dependent, and this dump stays byte-identical
+    across runs and [--jobs] values. *)

@@ -91,7 +91,10 @@ let gen_reg_fault rng ~max_instr : Machine.fault =
 let run_trial ~mode ~fuel ~(program : Bs_backend.Asm.program)
     ~(mem : unit -> Bs_interp.Memimage.t) ~entry ~args ~expected
     ~golden_misspecs (fault : Machine.fault) : trial =
-  let config = { Machine.mode; fuel; fault = Some fault; power = None } in
+  let config =
+    { Machine.mode; fuel; fault = Some fault; power = None;
+      engine = Machine.Jit }
+  in
   let verdict =
     match Machine.run ~config program (mem ()) ~entry ~args with
     | r -> (

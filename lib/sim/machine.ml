@@ -1,6 +1,7 @@
 open Bs_isa
 open Isa
 open Bs_interp
+open Superblock
 
 (* The BSARM machine model: a 32-bit, single-issue, in-order 6-stage
    pipeline with the BITSPEC misspeculation hardware (§3.5).
@@ -15,9 +16,25 @@ open Bs_interp
    Timing: 1 cycle per instruction, +2 for taken branches (fetch
    redirect), +1 for load-use hazards, +2 for MUL, +10 for DIV, plus the
    memory hierarchy (L1 hit 0, L2 8, DRAM 60 extra cycles).  Misspeculation
-   costs the redirect plus the skeleton branch. *)
+   costs the redirect plus the skeleton branch.
 
-exception Sim_trap of Bs_support.Outcome.trap
+   Three dispatch engines execute the same model (see [Superblock]):
+
+   - [Classic]: the reference fetch-decode-execute loop, one big match
+     per step.  The baseline the other engines are differenced against.
+   - [Threaded]: direct-threaded dispatch — per-PC pre-compiled closures,
+     one indirect call per step.
+   - [Jit]: threaded dispatch plus the superblock trace-JIT fusing hot
+     straight-line runs into single closures with guard exits.  Under
+     power traces or fault injection every instruction is a potential
+     checkpoint/outage/fault boundary, so the JIT degenerates to
+     threaded dispatch.
+
+   All three must produce byte-identical results — counters, outcome,
+   memory image, cache state.  CI and the engine-equivalence property
+   tests difference them across the fuzz corpus. *)
+
+exception Sim_trap = Superblock.Sim_trap
 
 (* Fault injection (soft-error model): one single-bit flip, applied just
    before the [at_instr]-th dynamic instruction executes.  Targets mirror
@@ -44,15 +61,19 @@ type power = {
   max_retries : int;
 }
 
+type engine = Classic | Threaded | Jit
+
 type config = {
   mode : Isa.mode;
   fuel : int;                 (* max dynamic instructions *)
   fault : fault option;       (* inject one bit flip during the run *)
   power : power option;       (* run under injected power failures *)
+  engine : engine;            (* dispatch engine; identical results *)
 }
 
 let default_config =
-  { mode = Bitspec; fuel = 1_000_000_000; fault = None; power = None }
+  { mode = Isa.Bitspec; fuel = 1_000_000_000; fault = None; power = None;
+    engine = Jit }
 
 type result = {
   r0 : int64;
@@ -68,68 +89,11 @@ type result = {
          through [Asm.program.srcmap]. *)
 }
 
-(* latencies (cycles) *)
-let l2_latency = 8
-let dram_latency = 60
-let branch_penalty = 2
-let mul_penalty = 2
-let div_penalty = 10
-
-type state = {
-  regs : int array;            (* 32-bit values *)
-  mutable pc : int;
-  mutable next : int;          (* in-flight successor PC of the current step *)
-  mutable delta : int;
-  mutable mode : Isa.mode;
-  mutable halted : bool;
-  (* compare state (condition evaluation without explicit flag bits) *)
-  mutable cmp_a : int;
-  mutable cmp_b : int;
-  mutable cmp_width8 : bool;
-  mutable last_load_dest : int; (* reg written by the previous load, -1 none *)
-  mutable loaded : int;         (* load destination of the current step, -1 *)
-}
-
-let mask32 v = v land 0xFFFFFFFF
-
-let read_reg st ctr r =
-  ctr.Counters.reg_read32 <- ctr.Counters.reg_read32 + 1;
-  st.regs.(r)
-
-let write_reg st ctr r v =
-  ctr.Counters.reg_write32 <- ctr.Counters.reg_write32 + 1;
-  st.regs.(r) <- mask32 v
-
-let read_slice st ctr (s : slice) =
-  ctr.Counters.reg_read8 <- ctr.Counters.reg_read8 + 1;
-  (st.regs.(s.sl_reg) lsr (8 * s.sl_byte)) land 0xFF
-
-let write_slice st ctr (s : slice) v =
-  ctr.Counters.reg_write8 <- ctr.Counters.reg_write8 + 1;
-  let shift = 8 * s.sl_byte in
-  let keep = lnot (0xFF lsl shift) land 0xFFFFFFFF in
-  st.regs.(s.sl_reg) <- st.regs.(s.sl_reg) land keep lor ((v land 0xFF) lsl shift)
-
-let eval_cond st (c : cond) =
-  let a = st.cmp_a and b = st.cmp_b in
-  let ua = a land 0xFFFFFFFF and ub = b land 0xFFFFFFFF in
-  let sa = if st.cmp_width8 then ua else if ua land 0x80000000 <> 0 then ua - 0x100000000 else ua in
-  let sb = if st.cmp_width8 then ub else if ub land 0x80000000 <> 0 then ub - 0x100000000 else ub in
-  match c with
-  | CEq -> ua = ub
-  | CNe -> ua <> ub
-  | CUlt -> ua < ub
-  | CUle -> ua <= ub
-  | CUgt -> ua > ub
-  | CUge -> ua >= ub
-  | CSlt -> sa < sb
-  | CSle -> sa <= sb
-  | CSgt -> sa > sb
-  | CSge -> sa >= sb
-
 (* Misspeculation: redirect the in-flight PC ([st.next]) by Δ.
-   [pc_counts] charges the event to the faulting pc for attribution. *)
-let misspeculate ctr pc_counts st =
+   [pc_counts] charges the event to the faulting pc for attribution.
+   (Classic loop only — the threaded bodies use [Superblock.misspec],
+   which returns the displaced successor instead.) *)
+let misspeculate ctr pc_counts (st : state) =
   ctr.Counters.misspecs <- ctr.Counters.misspecs + 1;
   (match Hashtbl.find_opt pc_counts st.pc with
   | Some n -> Hashtbl.replace pc_counts st.pc (n + 1)
@@ -177,11 +141,12 @@ let predecode (p : Bs_backend.Asm.program) : int array =
 
 let run ?(config = default_config) (p : Bs_backend.Asm.program)
     (mem : Memimage.t) ~entry ~(args : int64 list) : result =
+  let t_start = Unix.gettimeofday () in
   let ctr = Counters.create () in
   let misspec_pc_counts : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let icache = Cache.l1i () and dcache = Cache.l1d () and l2 = Cache.l2 () in
   let st =
-    { regs = Array.make num_regs 0; pc = 0; next = 0;
+    { Superblock.regs = Array.make num_regs 0; pc = 0; next = 0;
       delta = p.Bs_backend.Asm.delta;
       mode = config.mode; halted = false; cmp_a = 0; cmp_b = 0;
       cmp_width8 = false; last_load_dest = -1; loaded = -1 }
@@ -326,33 +291,95 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
       Memimage.journal_start mem;
       take_checkpoint ()
   | None -> ());
+  (* decide once per step-kind, not once per step: checkpoint/outage
+     policy evaluation is shared verbatim between the classic and hooked
+     threaded loops *)
+  let power_step m =
+    match config.power with
+    | None -> false
+    | Some pw ->
+        let want_ckpt =
+          (match pw.policy with
+          | Checkpoint.Interval n ->
+              ctr.Counters.instrs - saved.Checkpoint.s_at_instrs >= n
+          | Checkpoint.Pre_store -> m land meta_store <> 0
+          | Checkpoint.Pre_speculation -> m land meta_slice <> 0)
+          || (!degraded && m land meta_store <> 0)
+        in
+        if want_ckpt then take_checkpoint ();
+        if Powertrace.fires pw.trace ~instrs:ctr.Counters.instrs ~pc:st.pc
+        then begin
+          restore_checkpoint pw.max_retries;
+          true
+        end
+        else false
+  in
+  (match config.engine with
+  | Threaded | Jit ->
+      (* --- closure-compiled engines (see [Superblock]) ----------------- *)
+      let cx =
+        { Superblock.st; ctr; mem; icache; dcache; l2;
+          pc_counts = misspec_pc_counts; prog = p; fuel = config.fuel }
+      in
+      let bodies = compile_bodies cx in
+      let dispatch =
+        (* traces fuse multiple instructions into one closure, so they are
+           only sound when nothing can strike between two instructions *)
+        if config.engine = Jit && config.power = None && config.fault = None
+        then install_jit cx bodies
+        else bodies
+      in
+      let ncode = Array.length code in
+      let fuel = config.fuel in
+      if config.power = None && config.fault = None then
+        (* fast loop: bounds, fetch, charge, fuel, one indirect call *)
+        while not st.halted do
+          let pc = st.pc in
+          if pc < 0 || pc >= ncode then
+            raise (Sim_trap (Bs_support.Outcome.Pc_out_of_range pc));
+          Superblock.fetch cx pc;
+          ctr.Counters.instrs <- ctr.Counters.instrs + 1;
+          ctr.Counters.cycles <- ctr.Counters.cycles + 1;
+          if ctr.Counters.instrs > fuel then begin
+            outcome := Bs_support.Outcome.Out_of_fuel;
+            st.halted <- true
+          end
+          else st.pc <- (Array.unsafe_get dispatch pc) ()
+        done
+      else
+        (* hooked loop: the classic step order with checkpoint/outage and
+           fault hooks between the slice-mode check and the body *)
+        while not st.halted do
+          let pc = st.pc in
+          if pc < 0 || pc >= ncode then
+            raise (Sim_trap (Bs_support.Outcome.Pc_out_of_range pc));
+          let m = Array.unsafe_get meta pc in
+          if m land meta_slice <> 0 && st.mode = Isa.Classic then
+            raise (Sim_trap Bs_support.Outcome.Classic_mode_slice);
+          if not (power_step m) then begin
+            Superblock.fetch cx pc;
+            ctr.Counters.instrs <- ctr.Counters.instrs + 1;
+            ctr.Counters.cycles <- ctr.Counters.cycles + 1;
+            if ctr.Counters.instrs > fuel then begin
+              outcome := Bs_support.Outcome.Out_of_fuel;
+              st.halted <- true
+            end
+            else begin
+              apply_fault ();
+              let nx = (Array.unsafe_get dispatch pc) () in
+              if not st.halted then st.pc <- nx
+            end
+          end
+        done
+  | Classic ->
   while not st.halted do
     if st.pc < 0 || st.pc >= Array.length code then
       raise (Sim_trap (Bs_support.Outcome.Pc_out_of_range st.pc));
     let insn = Array.unsafe_get code st.pc in
     let m = Array.unsafe_get meta st.pc in
-    if m land meta_slice <> 0 && st.mode = Classic then
+    if m land meta_slice <> 0 && st.mode = Isa.Classic then
       raise (Sim_trap Bs_support.Outcome.Classic_mode_slice);
-    let outage =
-      match config.power with
-      | None -> false
-      | Some pw ->
-          let want_ckpt =
-            (match pw.policy with
-            | Checkpoint.Interval n ->
-                ctr.Counters.instrs - saved.Checkpoint.s_at_instrs >= n
-            | Checkpoint.Pre_store -> m land meta_store <> 0
-            | Checkpoint.Pre_speculation -> m land meta_slice <> 0)
-            || (!degraded && m land meta_store <> 0)
-          in
-          if want_ckpt then take_checkpoint ();
-          if Powertrace.fires pw.trace ~instrs:ctr.Counters.instrs ~pc:st.pc
-          then begin
-            restore_checkpoint pw.max_retries;
-            true
-          end
-          else false
-    in
+    let outage = power_step m in
     if not outage then begin
     fetch st.pc;
     ctr.Counters.instrs <- ctr.Counters.instrs + 1;
@@ -565,11 +592,13 @@ let run ?(config = default_config) (p : Bs_backend.Asm.program)
     if not st.halted then st.pc <- st.next
     end
     end
-  done;
+  done);
   if config.power <> None then Memimage.journal_stop mem;
   let misspec_pcs =
     List.sort compare
       (Hashtbl.fold (fun pc n acc -> (pc, n) :: acc) misspec_pc_counts [])
   in
+  ctr.Counters.wall_ns <-
+    int_of_float ((Unix.gettimeofday () -. t_start) *. 1e9);
   { r0 = Int64.of_int (st.regs.(0) land 0xFFFFFFFF); outcome = !outcome;
     fault_applied = !fault_applied; ctr; icache; dcache; l2; misspec_pcs }

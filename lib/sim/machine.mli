@@ -15,7 +15,8 @@ exception Sim_trap of Bs_support.Outcome.trap
 (** Structured trap: division by zero, unknown entry, PC escape,
     classic-mode slice use.  Fuel exhaustion does NOT raise — it is
     reported as [Out_of_fuel] in the result's [outcome], the same variant
-    the reference interpreter uses. *)
+    the reference interpreter uses.  (This is the same exception as
+    {!Superblock.Sim_trap}; either name catches it.) *)
 
 (** Single-bit soft-error injection (the fault model of the resilience
     harness): one flip, applied just before the [at_instr]-th dynamic
@@ -44,15 +45,31 @@ type power = {
   max_retries : int;
 }
 
+(** Dispatch engine.  All three produce byte-identical results —
+    counters, outcome, memory image, cache state; they differ only in
+    host wall-clock speed ([Counters.wall_ns] / [simulated_mips]).
+
+    - [Classic]: the reference fetch-decode-execute loop, one big match
+      per step.  The baseline the others are differenced against.
+    - [Threaded]: direct-threaded dispatch — per-PC pre-compiled
+      closures, one indirect call per step.
+    - [Jit]: threaded dispatch plus the superblock trace-JIT
+      ({!Superblock}) fusing hot straight-line runs into single closures
+      with guard exits.  Under a power trace or fault injection the JIT
+      degenerates to threaded dispatch (every instruction is a potential
+      checkpoint/outage/fault boundary). *)
+type engine = Classic | Threaded | Jit
+
 type config = {
   mode : Bs_isa.Isa.mode;  (** Classic disables the slice extension (§3.4) *)
   fuel : int;              (** dynamic instruction budget *)
   fault : fault option;    (** inject one bit flip during the run *)
   power : power option;    (** run under injected power failures *)
+  engine : engine;         (** dispatch engine; results are identical *)
 }
 
 val default_config : config
-(** Bitspec mode, 10^9 fuel, no fault, no power failures. *)
+(** Bitspec mode, 10^9 fuel, no fault, no power failures, [Jit] engine. *)
 
 type result = {
   r0 : int64;          (** the return register after HALT *)
@@ -60,7 +77,8 @@ type result = {
       (** [Finished], or [Out_of_fuel] when the budget ran out ([r0] is
           then meaningless) *)
   fault_applied : bool;   (** the configured fault's trigger was reached *)
-  ctr : Counters.t;    (** activity counters (figures 8-11) *)
+  ctr : Counters.t;    (** activity counters (figures 8-11), plus the
+                           host [wall_ns] feeding [simulated_mips] *)
   icache : Cache.t;
   dcache : Cache.t;
   l2 : Cache.t;

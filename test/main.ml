@@ -11,6 +11,7 @@ let () =
       ("passes", Test_passes.suite);
       ("isa", Test_isa.suite);
       ("machine", Test_machine.suite);
+      ("engines", Test_engines.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("vulnerability", Test_vulnerability.suite);
       ("backend", Test_backend.suite);

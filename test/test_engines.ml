@@ -1,0 +1,372 @@
+open Bs_support
+open Bitspec
+
+(* Engine equivalence and the memory-image correctness sweep.
+
+   The direct-threaded and superblock trace-JIT engines exist for host
+   speed only: for any program, any input, and any injected power trace,
+   they must produce results byte-identical to the classic reference
+   fetch-decode-execute loop — return value, outcome, every activity
+   counter, misspeculation attribution, cache hit/miss state and the
+   final memory image.  ([Counters.wall_ns] is deliberately excluded
+   from [Counters.to_assoc], so the comparison is host-speed-blind.)
+
+   Also covered here: the memory-image layout boundary (a layout ending
+   exactly at [size] fits; one byte more faults, before anything is
+   allocated), duplicate-global rejection (BS-IMG-01), and the undo
+   journal's snapshot/restore semantics. *)
+
+let other_engines =
+  [ ("threaded", Bs_sim.Machine.Threaded); ("jit", Bs_sim.Machine.Jit) ]
+
+(* One run's complete observable state. *)
+type obs = {
+  o_exn : string option;   (* a raise makes everything else unobservable *)
+  o_r0 : int64;
+  o_outcome : string;
+  o_ctr : (string * int) list;
+  o_misspec : (int * int) list;
+  o_caches : (string * int * int) list;
+  o_mem : Bs_interp.Memimage.snapshot option;
+}
+
+let no_obs =
+  { o_exn = None; o_r0 = 0L; o_outcome = ""; o_ctr = []; o_misspec = [];
+    o_caches = []; o_mem = None }
+
+(* Run [c] on a fresh memory image under [engine].  [power] builds the
+   power configuration per run — a Powertrace is stateful, so every
+   engine must get its own (identically seeded) trace. *)
+let observe ?(fuel = 2_000_000) ?power (c : Driver.compiled) engine ~entry
+    ~args =
+  let open Bs_sim in
+  let mem = Bs_interp.Memimage.create c.Driver.ir in
+  let mode =
+    if c.Driver.config.Driver.arch = Driver.Bitspec_arch then
+      Bs_isa.Isa.Bitspec
+    else Bs_isa.Isa.Classic
+  in
+  let power = Option.map (fun mk -> mk c) power in
+  let config = { Machine.mode; fuel; fault = None; power; engine } in
+  match Machine.run ~config c.Driver.program mem ~entry ~args with
+  | exception Machine.Sim_trap t ->
+      { no_obs with o_exn = Some ("trap:" ^ Outcome.trap_name t) }
+  | exception Bs_interp.Memimage.Fault _ ->
+      { no_obs with o_exn = Some "memory-fault" }
+  | r ->
+      { o_exn = None;
+        o_r0 = r.Machine.r0;
+        o_outcome = Outcome.to_string r.Machine.outcome;
+        o_ctr = Counters.to_assoc r.Machine.ctr;
+        o_misspec = r.Machine.misspec_pcs;
+        o_caches =
+          List.map
+            (fun (c : Cache.t) -> (c.Cache.name, c.Cache.hits, c.Cache.misses))
+            [ r.Machine.icache; r.Machine.dcache; r.Machine.l2 ];
+        o_mem = Some (Bs_interp.Memimage.snapshot mem) }
+
+let rec pair_diff xs ys =
+  match (xs, ys) with
+  | (k, u) :: xs', (_, v) :: ys' ->
+      if u <> v then Printf.sprintf "%s = %d vs %d" k u v
+      else pair_diff xs' ys'
+  | _ -> "counter lists differ in length"
+
+(* First component where two observations disagree, or [None]. *)
+let first_diff a b =
+  let str o = Option.value o ~default:"(none)" in
+  if a.o_exn <> b.o_exn then
+    Some (Printf.sprintf "exception: %s vs %s" (str a.o_exn) (str b.o_exn))
+  else if a.o_outcome <> b.o_outcome then
+    Some (Printf.sprintf "outcome: %s vs %s" a.o_outcome b.o_outcome)
+  else if a.o_r0 <> b.o_r0 then
+    Some (Printf.sprintf "r0: %Ld vs %Ld" a.o_r0 b.o_r0)
+  else if a.o_ctr <> b.o_ctr then Some ("counter " ^ pair_diff a.o_ctr b.o_ctr)
+  else if a.o_misspec <> b.o_misspec then Some "misspec_pcs attribution"
+  else if a.o_caches <> b.o_caches then
+    Some
+      (String.concat "; "
+         (List.map2
+            (fun (n, h, m) (_, h', m') ->
+              Printf.sprintf "%s hits %d/%d misses %d/%d" n h h' m m')
+            a.o_caches b.o_caches))
+  else
+    match (a.o_mem, b.o_mem) with
+    | Some x, Some y when not (Bs_interp.Memimage.snapshot_equal x y) ->
+        Some "final memory image"
+    | _ -> None
+
+(* Difference [threaded] and [jit] against [classic] on one compiled
+   program; returns true or fail_reportf's with the first divergence. *)
+let check_compiled ?fuel ?power what (c : Driver.compiled) ~entry ~args =
+  let reference =
+    observe ?fuel ?power c Bs_sim.Machine.Classic ~entry ~args
+  in
+  List.iter
+    (fun (name, engine) ->
+      let o = observe ?fuel ?power c engine ~entry ~args in
+      match first_diff reference o with
+      | None -> ()
+      | Some d ->
+          QCheck.Test.fail_reportf "%s: %s diverges from classic on %s" what
+            name d)
+    other_engines;
+  true
+
+let compile_seed ?size seed =
+  let source = Bs_fuzz.Gen.program ?size seed in
+  match
+    Driver.try_compile ~config:Driver.bitspec_config ~source
+      ~train:[ (Bs_fuzz.Gen.entry, Bs_fuzz.Gen.train_args) ] ()
+  with
+  | Ok c when Diag.errors c.Driver.diagnostics = [] -> Some c
+  | _ -> None (* rejected or degraded input: vacuous *)
+
+let check_seed seed =
+  match compile_seed seed with
+  | None -> true
+  | Some c ->
+      check_compiled
+        (Printf.sprintf "seed %d" seed)
+        c ~entry:Bs_fuzz.Gen.entry
+        ~args:[ Bs_fuzz.Gen.entry_arg seed ]
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"engines are byte-identical on random programs"
+    ~count:100
+    QCheck.(int_bound 1_000_000)
+    check_seed
+
+(* a few pinned seeds so failures reproduce deterministically in CI *)
+let test_pinned_seeds () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d" seed)
+        true (check_seed seed))
+    [ 1; 2; 3; 42; 1234; 99999; 424242; 7777777 ]
+
+(* --- under an injected power trace -------------------------------------- *)
+
+(* Under power failures the JIT degenerates to threaded dispatch (every
+   instruction is a potential outage/checkpoint boundary), but the
+   results must STILL be byte-identical — including restore counts,
+   re-executed instructions and the journal-rolled memory image. *)
+let check_power_seed seed =
+  match compile_seed ~size:8 seed with
+  | None -> true
+  | Some c ->
+      let open Bs_sim in
+      let hot_pcs =
+        let acc = ref [] in
+        Array.iteri
+          (fun pc s -> if s <> None then acc := pc :: !acc)
+          c.Driver.program.Bs_backend.Asm.srcmap;
+        List.rev !acc
+      in
+      let dist =
+        match seed mod 3 with
+        | 0 -> Powertrace.Periodic (50 + (seed mod 400))
+        | 1 -> Powertrace.Exponential (float_of_int (100 + (seed mod 900)))
+        | _ -> Powertrace.Adversarial { every = 60 + (seed mod 300) }
+      in
+      let policy =
+        match (seed / 3) mod 3 with
+        | 0 -> Checkpoint.Interval (25 + (seed mod 200))
+        | 1 -> Checkpoint.Pre_store
+        | _ -> Checkpoint.Pre_speculation
+      in
+      let power _ =
+        (* fresh (identically seeded) trace per engine run: the trace
+           object advances as the machine consumes it *)
+        { Machine.trace =
+            Powertrace.create ~seed:(Int64.of_int (seed + 1)) ~hot_pcs dist;
+          policy;
+          max_retries = 6 }
+      in
+      check_compiled ~power
+        (Printf.sprintf "power seed %d (%s)" seed
+           (Checkpoint.policy_name policy))
+        c ~entry:Bs_fuzz.Gen.entry
+        ~args:[ Bs_fuzz.Gen.entry_arg seed ]
+
+let prop_engines_agree_power =
+  QCheck.Test.make ~name:"engines are byte-identical under power traces"
+    ~count:40
+    QCheck.(int_bound 1_000_000)
+    check_power_seed
+
+(* --- corpus reproducers are engine-invariant ---------------------------- *)
+
+(* Every reproducer in test/corpus/ gets the full oracle treatment under
+   each engine; the rendered verdict (bucket, details, values) must not
+   depend on the engine.  This differences the engines through the whole
+   compile-and-compare pipeline, power reproducers included. *)
+let test_corpus_engine_invariant () =
+  let files = Bs_fuzz.Corpus.list_dir "corpus" in
+  Alcotest.(check bool) "corpus is not empty" true (files <> []);
+  let engines =
+    [ ("classic", Bs_sim.Machine.Classic);
+      ("threaded", Bs_sim.Machine.Threaded);
+      ("jit", Bs_sim.Machine.Jit) ]
+  in
+  List.iter
+    (fun path ->
+      match Bs_fuzz.Corpus.load path with
+      | None, _ -> Alcotest.failf "%s: no metadata header" path
+      | Some m, source ->
+          let describe engine =
+            let train =
+              [ (m.Bs_fuzz.Corpus.entry, m.Bs_fuzz.Corpus.train) ]
+            in
+            match m.Bs_fuzz.Corpus.power with
+            | Some p ->
+                Bs_fuzz.Oracle.describe_power
+                  (Bs_fuzz.Oracle.run_power ~train ~engine ~source
+                     ~entry:m.Bs_fuzz.Corpus.entry ~args:m.Bs_fuzz.Corpus.args
+                     ~power:p ())
+            | None ->
+                Bs_fuzz.Oracle.describe
+                  (Bs_fuzz.Oracle.run ?plant:m.Bs_fuzz.Corpus.fault ~train
+                     ~engine ~source ~entry:m.Bs_fuzz.Corpus.entry
+                     ~args:m.Bs_fuzz.Corpus.args ())
+          in
+          let expected = describe Bs_sim.Machine.Classic in
+          List.iter
+            (fun (name, engine) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s under %s" (Filename.basename path) name)
+                expected (describe engine))
+            (List.tl engines))
+    files
+
+(* --- simulated_mips ------------------------------------------------------ *)
+
+let test_simulated_mips () =
+  let source =
+    "u32 f(u32 p) { u32 s; s = 0; while (p != 0) { s = s + p; p = p - 1; } \
+     return s; }"
+  in
+  let c =
+    Driver.compile ~config:Driver.bitspec_config ~source
+      ~train:[ ("f", [ 17L ]) ] ()
+  in
+  let r = Driver.run_machine c ~entry:"f" ~args:[ 200_000L ] in
+  let ctr = r.Bs_sim.Machine.ctr in
+  Alcotest.(check bool) "run finished" true
+    (r.Bs_sim.Machine.outcome = Outcome.Finished);
+  Alcotest.(check bool) "wall clock measured" true
+    (ctr.Bs_sim.Counters.wall_ns > 0);
+  Alcotest.(check bool) "simulated_mips positive" true
+    (Bs_sim.Counters.simulated_mips ctr > 0.0);
+  (* wall_ns is host noise — it must stay out of the deterministic
+     counter rendering that jobs-invariance smokes byte-compare *)
+  Alcotest.(check bool) "wall_ns not in to_assoc" false
+    (List.mem_assoc "wall_ns" (Bs_sim.Counters.to_assoc ctr))
+
+(* --- memory-image layout boundary ---------------------------------------- *)
+
+let bytes_global name count =
+  { Bs_ir.Ir.gname = name; elem_width = 8; count; ginit = [||] }
+
+let test_layout_boundary () =
+  let open Bs_interp in
+  let m g = { Bs_ir.Ir.funcs = []; globals = [ g ] } in
+  let fit = Memimage.globals_base + 64 in
+  (* a layout ending exactly at [size] fits *)
+  let img = Memimage.create ~size:fit (m (bytes_global "g" 64)) in
+  Alcotest.(check int) "globals_end = size" fit img.Memimage.globals_end;
+  Memimage.write_int img ~width:8 (fit - 1) 0xAB;
+  Alcotest.(check int) "last byte addressable" 0xAB
+    (Memimage.read_int img ~width:8 (fit - 1));
+  (* one byte more must fault *)
+  (match Memimage.create ~size:fit (m (bytes_global "g" 65)) with
+  | exception Memimage.Fault _ -> ()
+  | _ -> Alcotest.fail "65 bytes in a 64-byte budget must fault");
+  (* initialisers on the exact-fit layout land intact *)
+  let init = { (bytes_global "h" 4) with Bs_ir.Ir.ginit = [| 1L; 2L; 3L; 4L |] } in
+  let img2 =
+    Memimage.create ~size:(Memimage.globals_base + 4) (m init)
+  in
+  let base = Memimage.addr_of img2 "h" in
+  Alcotest.(check int) "last initialiser applied" 4
+    (Memimage.read_int img2 ~width:8 (base + 3))
+
+let test_duplicate_global () =
+  let open Bs_interp in
+  let m =
+    { Bs_ir.Ir.funcs = [];
+      globals = [ bytes_global "twice" 8; bytes_global "twice" 8 ] }
+  in
+  match Memimage.create ~size:65536 m with
+  | exception Memimage.Layout_error d ->
+      Alcotest.(check string) "diagnostic code" "BS-IMG-01" d.Diag.code;
+      Alcotest.(check bool) "names the global" true
+        (Str_exists.contains d.Diag.message "twice")
+  | _ -> Alcotest.fail "duplicate globals must raise Layout_error"
+
+(* --- journal / snapshot / restore semantics ------------------------------ *)
+
+(* Random write workloads over the journal: an undo rolls back to the
+   commit point; a [restore] both reinstates a snapshot's contents and
+   disarms the journal (its entries describe overwritten contents that no
+   longer exist). *)
+let prop_journal_restore =
+  QCheck.Test.make
+    ~name:"journal undo and snapshot restore are exact and disarm correctly"
+    ~count:50
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let open Bs_interp in
+      let rng = Rng.create (Int64.of_int (seed + 31337)) in
+      let img =
+        Memimage.create ~size:4096 { Bs_ir.Ir.funcs = []; globals = [] }
+      in
+      let scribble () =
+        for _ = 1 to 1 + (seed mod 40) do
+          let a =
+            Int64.to_int (Int64.logand (Rng.next rng) 0x7FFL) land 0x7FC
+          in
+          let v = Int64.to_int (Int64.logand (Rng.next rng) 0xFFFFFFFFL) in
+          Memimage.write_int img ~width:32 a v
+        done
+      in
+      scribble ();
+      let s0 = Memimage.snapshot img in
+      (* 1. armed journal, more writes, undo -> exactly the commit point *)
+      Memimage.journal_start img;
+      scribble ();
+      let dirty = Memimage.journal_pending img in
+      Memimage.journal_undo img;
+      if not (Memimage.snapshot_equal s0 (Memimage.snapshot img)) then
+        QCheck.Test.fail_reportf "seed %d: journal_undo missed bytes" seed;
+      if dirty < 0 then QCheck.Test.fail_reportf "negative dirty count";
+      (* 2. restore reinstates the snapshot AND disarms the journal *)
+      scribble ();
+      Memimage.restore img s0;
+      if img.Memimage.j_on then
+        QCheck.Test.fail_reportf "seed %d: restore left the journal armed"
+          seed;
+      if img.Memimage.j_len <> 0 then
+        QCheck.Test.fail_reportf "seed %d: restore left journal entries" seed;
+      if not (Memimage.snapshot_equal s0 (Memimage.snapshot img)) then
+        QCheck.Test.fail_reportf "seed %d: restore is not exact" seed;
+      (* 3. the restored image re-journals from scratch *)
+      Memimage.journal_start img;
+      scribble ();
+      Memimage.journal_undo img;
+      Memimage.snapshot_equal s0 (Memimage.snapshot img))
+
+let suite =
+  [ Alcotest.test_case "pinned engine-equivalence seeds" `Quick
+      test_pinned_seeds;
+    QCheck_alcotest.to_alcotest prop_engines_agree;
+    QCheck_alcotest.to_alcotest prop_engines_agree_power;
+    Alcotest.test_case "corpus verdicts are engine-invariant" `Quick
+      test_corpus_engine_invariant;
+    Alcotest.test_case "simulated_mips is reported" `Quick
+      test_simulated_mips;
+    Alcotest.test_case "layout boundary is exact" `Quick test_layout_boundary;
+    Alcotest.test_case "duplicate globals raise BS-IMG-01" `Quick
+      test_duplicate_global;
+    QCheck_alcotest.to_alcotest prop_journal_restore ]

@@ -121,7 +121,7 @@ let test_classic_mode_traps () =
   match
     Bs_sim.Machine.run
       ~config:{ Bs_sim.Machine.mode = Isa.Classic; fuel = 10_000_000;
-                fault = None; power = None }
+                fault = None; power = None; engine = Bs_sim.Machine.Jit }
       c.Bitspec.Driver.program
       (Bs_interp.Memimage.create c.Bitspec.Driver.ir)
       ~entry:w.Bs_workloads.Workload.entry ~args:[ 10L ]

@@ -27,7 +27,7 @@ let exec ?(mode = Bitspec) ?(fuel = 100000) ?mem insns =
   let memory =
     match mem with Some m -> m | None -> Bs_interp.Memimage.create ~size:65536 m
   in
-  Machine.run ~config:{ Machine.mode; fuel; fault = None; power = None }
+  Machine.run ~config:{ Machine.mode; fuel; fault = None; power = None; engine = Machine.Classic }
     (program insns)
     memory ~entry:"main" ~args:[]
 
@@ -140,7 +140,8 @@ let test_misspec_redirect () =
   let p = program ~delta:1 insns in
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let r =
-    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None; power = None }
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None; power = None;
+                  engine = Machine.Classic }
       p
       (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
   in
@@ -202,7 +203,8 @@ let test_bldrs_misspec_on_wide_value () =
   let p = program ~delta:1 insns in
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let r =
-    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None; power = None }
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None; power = None;
+                  engine = Machine.Classic }
       p
       (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
   in
@@ -222,7 +224,8 @@ let test_btrn () =
   let p = program ~delta:1 insns in
   let m = { Bs_ir.Ir.funcs = []; globals = [] } in
   let r =
-    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None; power = None }
+    Machine.run ~config:{ Machine.mode = Bitspec; fuel = 1000; fault = None; power = None;
+                  engine = Machine.Classic }
       p
       (Bs_interp.Memimage.create ~size:65536 m) ~entry:"main" ~args:[]
   in
@@ -325,7 +328,7 @@ let test_injected_flip_changes_register () =
     Machine.run
       ~config:
         { Machine.mode = Bitspec; fuel = 1000; fault = Some fault;
-          power = None }
+          power = None; engine = Machine.Classic }
       (program [ MOVW (0, 42); NOP; NOP ])
       (Bs_interp.Memimage.create ~size:65536 m)
       ~entry:"main" ~args:[]
@@ -353,7 +356,7 @@ let test_injected_flip_detected_by_hardware () =
     Machine.run
       ~config:
         { Machine.mode = Bitspec; fuel = 1000; fault = Some fault;
-          power = None }
+          power = None; engine = Machine.Classic }
       (program ~delta:1 insns)
       (Bs_interp.Memimage.create ~size:65536 m)
       ~entry:"main" ~args:[]
