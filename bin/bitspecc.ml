@@ -9,6 +9,9 @@
      harvest   intermittent-power campaign with energy accounting
      fuzz      differential fuzzing campaign over random programs
      reduce    minimize (or just replay) a crashing MiniC file
+     serve     long-running compile service (socket or stdio JSON)
+     client    one request against a running server
+     loadgen   seeded zipfian load against a running server
      list      list built-in workloads
 
    Examples:
@@ -21,6 +24,9 @@
      bitspecc harvest crc32 --trials 100 --dist exp:2000 --jobs 4
      bitspecc fuzz --seed 1 --trials 500 --budget 60
      bitspecc reduce --check test/corpus/crash.mc
+     bitspecc serve --socket /tmp/bs.sock --cache-dir /tmp/bs-cache -j 4
+     bitspecc client --socket /tmp/bs.sock bench crc32 --arch bitspec
+     bitspecc loadgen --socket /tmp/bs.sock --requests 200 --clients 8
 
    Compilation degrades gracefully by default: a function a pass cannot
    handle falls back to its baseline (non-speculative) form and the
@@ -799,6 +805,274 @@ let reduce_cmd =
     Term.(const action $ file $ check $ entry $ args_opt $ train_opt
           $ fault_arg $ out $ engine_arg)
 
+(* --- serve / client / loadgen ------------------------------------------ *)
+
+let socket_doc = "Unix-domain socket $(docv) of the compile server."
+
+let socket_req_arg =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:socket_doc)
+
+let socket_opt_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:(socket_doc ^ "  Without it, $(b,serve) speaks the same \
+                  newline-delimited JSON over stdin/stdout."))
+
+let unix_fail path f =
+  try f ()
+  with Unix.Unix_error (e, _, _) ->
+    failwith (path ^ ": " ^ Unix.error_message e)
+
+let serve_cmd =
+  let queue_depth =
+    Arg.(value & opt int Server.default_config.Server.queue_depth
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Admission high-water mark: requests beyond $(docv) \
+                   queued are shed with a structured $(b,overloaded) \
+                   response instead of queueing without bound.")
+  in
+  let deadline =
+    Arg.(value & opt int Server.default_config.Server.deadline_ms
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline (0 = none); the watchdog \
+                   answers $(b,timeout) for any request that overruns it, \
+                   even if the worker is wedged.")
+  in
+  let fuel =
+    Arg.(value & opt int Server.default_config.Server.fuel
+         & info [ "fuel" ] ~docv:"N"
+             ~doc:"Default simulation instruction budget per request.")
+  in
+  let retries =
+    Arg.(value & opt int Server.default_config.Server.retries
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Re-executions of a transiently-failed request, with \
+                   exponential backoff and seeded jitter.")
+  in
+  let backoff_base =
+    Arg.(value & opt float Server.default_config.Server.backoff_base_ms
+         & info [ "backoff-base-ms" ] ~docv:"MS")
+  in
+  let backoff_cap =
+    Arg.(value & opt float Server.default_config.Server.backoff_cap_ms
+         & info [ "backoff-cap-ms" ] ~docv:"MS")
+  in
+  let seed =
+    Arg.(value & opt int64 Server.default_config.Server.seed
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Backoff-jitter seed; retry schedules are a pure \
+                   function of (seed, request id, attempt).")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist compiled workloads to a crash-safe \
+                   content-addressed store under $(docv); a restarted \
+                   server serves them back without recompiling.  Corrupt \
+                   entries are quarantined and recompiled, never trusted.")
+  in
+  let action socket jobs queue_depth deadline_ms fuel retries backoff_base_ms
+      backoff_cap_ms seed cache_dir =
+    with_reporting (fun () ->
+        let cfg =
+          { Server.jobs; queue_depth; deadline_ms; fuel; retries;
+            backoff_base_ms; backoff_cap_ms; seed; cache_dir }
+        in
+        let t = Server.start cfg in
+        match socket with
+        | Some path ->
+            unix_fail path (fun () ->
+                Server.serve_unix t ~socket:path
+                  ~on_ready:(fun () ->
+                    Printf.eprintf "bitspecc: serving on %s (%d workers)\n%!"
+                      path jobs)
+                  ())
+        | None -> Server.serve_stdio t ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"run the compile service: a supervised worker pool with a \
+             persistent compile cache, per-request deadlines, seeded \
+             retry/backoff and bounded-queue load shedding")
+    Term.(const action $ socket_opt_arg $ jobs_arg $ queue_depth
+          $ deadline $ fuel $ retries $ backoff_base $ backoff_cap $ seed
+          $ cache_dir)
+
+let chaos_conv =
+  let parse s =
+    match Service.chaos_of_string s with
+    | Some c -> Ok c
+    | None ->
+        Error (`Msg (Printf.sprintf "bad chaos %S: expected crash:N or hang:MS" s))
+  in
+  let print ppf c = Format.pp_print_string ppf (Service.chaos_to_string c) in
+  Arg.conv (parse, print)
+
+let client_cmd =
+  let op =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OP"
+             ~doc:"$(b,ping), $(b,stats), $(b,shutdown) or $(b,bench) \
+                   (which takes a WORKLOAD).")
+  in
+  let wname =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let id = Arg.(value & opt int 1 & info [ "id" ] ~docv:"N") in
+  let deadline =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Override the server's default deadline.")
+  in
+  let fuel = Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N") in
+  let chaos =
+    Arg.(value & opt (some chaos_conv) None
+         & info [ "chaos" ] ~docv:"KNOB"
+             ~doc:"Inject worker misbehaviour: $(b,crash:N) (fail \
+                   attempts below N) or $(b,hang:MS) (wedge the worker).")
+  in
+  let action socket op wname arch heuristic no_expander id deadline fuel
+      chaos =
+    with_reporting (fun () ->
+        let rq_op =
+          match op with
+          | "ping" -> Service.Ping
+          | "stats" -> Service.Stats
+          | "shutdown" -> Service.Shutdown
+          | "bench" -> (
+              match wname with
+              | Some w ->
+                  Service.Bench
+                    { Service.b_workload = w; b_arch = arch;
+                      b_heuristic = heuristic; b_no_expander = no_expander }
+              | None -> failwith "bench needs a WORKLOAD argument")
+          | s -> failwith (Printf.sprintf "unknown op %S" s)
+        in
+        let rq =
+          { Service.rq_id = id; rq_op; rq_deadline_ms = deadline;
+            rq_fuel = fuel; rq_chaos = chaos }
+        in
+        let conn = unix_fail socket (fun () -> Server.connect ~socket) in
+        let rs =
+          Fun.protect ~finally:(fun () -> Server.close conn) (fun () ->
+              Server.call conn rq)
+        in
+        print_endline (Service.response_line rs);
+        match rs.Service.rs_status with
+        | Service.Done _ | Service.Pong | Service.Stats_reply _
+        | Service.Bye -> ()
+        | Service.Failed _ -> exit 1
+        | Service.Overloaded _ -> exit 4
+        | Service.Timed_out -> exit 5)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"send one request to a running compile server"
+       ~exits:
+         (Cmd.Exit.info 4 ~doc:"the server shed the request (overloaded)"
+          :: Cmd.Exit.info 5 ~doc:"the request's deadline passed (timeout)"
+          :: Cmd.Exit.defaults))
+    Term.(const action $ socket_req_arg $ op $ wname $ arch_arg
+          $ heuristic_arg $ no_expander_arg $ id $ deadline $ fuel $ chaos)
+
+let loadgen_cmd =
+  let seed =
+    Arg.(value & opt int64 Loadgen.default_cfg.Loadgen.lg_seed
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Stream seed; equal seeds produce the identical \
+                   request sequence whatever $(b,--clients).")
+  in
+  let requests =
+    Arg.(value & opt int Loadgen.default_cfg.Loadgen.lg_requests
+         & info [ "requests" ] ~docv:"N")
+  in
+  let clients =
+    Arg.(value & opt int Loadgen.default_cfg.Loadgen.lg_clients
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Closed-loop client threads (each on its own \
+                   connection).")
+  in
+  let zipf =
+    Arg.(value & opt float Loadgen.default_cfg.Loadgen.lg_zipf_s
+         & info [ "zipf" ] ~docv:"S"
+             ~doc:"Zipf exponent of the workload/config popularity \
+                   distribution.")
+  in
+  let deadline =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS")
+  in
+  let fuel = Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N") in
+  let crash_every =
+    Arg.(value & opt int 0
+         & info [ "crash-every" ] ~docv:"N"
+             ~doc:"Inject a $(b,crash:2) chaos knob on every $(docv)-th \
+                   request (0 = never) to exercise the retry path.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the machine-readable summary JSON to $(docv).")
+  in
+  let log =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:"Write the canonical per-request log (sorted by id; \
+                   byte-identical at any server $(b,--jobs)) to $(docv).")
+  in
+  let action socket seed requests clients zipf deadline fuel crash_every out
+      log =
+    with_reporting (fun () ->
+        let cfg =
+          { Loadgen.lg_seed = seed; lg_requests = requests;
+            lg_clients = clients; lg_zipf_s = zipf;
+            lg_deadline_ms = deadline; lg_fuel = fuel;
+            lg_crash_every = crash_every }
+        in
+        let pairs, s =
+          unix_fail socket (fun () ->
+              Loadgen.run cfg (Loadgen.Connect socket))
+        in
+        Printf.printf "requests       = %d (%d clients, zipf %.2f, seed %Ld)\n"
+          s.Loadgen.sm_requests clients zipf seed;
+        Printf.printf "ok/err/timeout = %d / %d / %d   shed = %d\n"
+          s.Loadgen.sm_ok s.Loadgen.sm_errors s.Loadgen.sm_timeouts
+          s.Loadgen.sm_shed;
+        Printf.printf "retries        = %d\n" s.Loadgen.sm_retries;
+        Printf.printf "throughput     = %.1f req/s (%.2f s wall)\n"
+          s.Loadgen.sm_rps s.Loadgen.sm_wall_s;
+        Printf.printf "p50 / p99      = %.2f / %.2f ms\n" s.Loadgen.sm_p50_ms
+          s.Loadgen.sm_p99_ms;
+        Printf.printf "cache hit rate = %.3f\n" s.Loadgen.sm_hit_rate;
+        Printf.printf "shed rate      = %.3f\n" s.Loadgen.sm_shed_rate;
+        (match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Jsonx.to_string (Loadgen.summary_json s));
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "summary written to %s\n" path
+        | None -> ());
+        match log with
+        | Some path ->
+            let oc = open_out path in
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              (Loadgen.canonical_log pairs);
+            close_out oc;
+            Printf.printf "canonical log written to %s\n" path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"drive a running compile server with a seeded zipfian \
+             closed-loop load and report throughput, latency \
+             percentiles, cache hit rate and shed rate")
+    Term.(const action $ socket_req_arg $ seed $ requests
+          $ clients $ zipf $ deadline $ fuel $ crash_every $ out $ log)
+
 (* --- list -------------------------------------------------------------- *)
 
 let list_cmd =
@@ -816,4 +1090,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "bitspecc" ~doc)
           [ compile_cmd; run_cmd; bench_cmd; inject_cmd; harvest_cmd;
-            fuzz_cmd; reduce_cmd; list_cmd ]))
+            fuzz_cmd; reduce_cmd; serve_cmd; client_cmd; loadgen_cmd;
+            list_cmd ]))

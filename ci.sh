@@ -100,6 +100,87 @@ for f in test/corpus/*.mc; do
 done
 echo "engine smoke: OK (fuzz report engine- and jobs-invariant, corpus replays under jit)"
 
+# Compile-service smoke: start the daemon with a persistent cache, run
+# the same seeded zipfian burst twice (the second pass must be served
+# almost entirely from the cache layers), kill the server dead
+# mid-burst, restart it on the same cache directory and verify the
+# store reopened clean (no quarantined entries), then shut down
+# gracefully.  Uses the built binary directly: the daemon must not
+# hold the dune lock while the client invocations run.
+srv="$(mktemp -d)"
+serve_pid=
+trap 'rm -rf "$corpus" "$obs" "$pw" "$eng" "$srv"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+BS=./_build/default/bin/bitspecc.exe
+sock="$srv/bs.sock"
+"$BS" serve --socket "$sock" --cache-dir "$srv/cache" --jobs 4 \
+  --deadline-ms 30000 > "$srv/serve.log" 2>&1 &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "serve smoke: socket never appeared" >&2; exit 1; }
+  sleep 0.1
+done
+"$BS" client --socket "$sock" ping > /dev/null
+"$BS" loadgen --socket "$sock" --seed 7 --requests 120 --clients 4 \
+  --crash-every 11 --log "$srv/log-pass1.txt" > "$srv/pass1.out"
+"$BS" loadgen --socket "$sock" --seed 7 --requests 120 --clients 4 \
+  --crash-every 11 --log "$srv/log-pass2.txt" \
+  --out BENCH_pr8.json > "$srv/pass2.out"
+# the canonical log is independent of scheduling: same seed, same log
+if ! cmp -s "$srv/log-pass1.txt" "$srv/log-pass2.txt"; then
+  echo "serve smoke: canonical logs of identical passes differ" >&2
+  diff "$srv/log-pass1.txt" "$srv/log-pass2.txt" >&2 || true
+  exit 1
+fi
+# second pass over a warm cache: >= 90% of successful compiles cached
+hit=$(awk -F'cache hit rate = ' '/cache hit rate/ { print $2 }' "$srv/pass2.out")
+awk "BEGIN { exit !($hit >= 0.90) }" || {
+  echo "serve smoke: warm-cache hit rate $hit < 0.90" >&2
+  exit 1
+}
+# kill the server dead mid-burst: clients may fail, the store must not
+"$BS" loadgen --socket "$sock" --seed 8 --requests 200 --clients 4 \
+  > /dev/null 2>&1 &
+burst_pid=$!
+sleep 0.5
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$burst_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+# kill -9 leaves a stale socket file; clear it so the wait loop below
+# sees the NEW server's socket, not the corpse's
+rm -f "$sock"
+# restart on the same cache directory: it must reopen clean
+"$BS" serve --socket "$sock" --cache-dir "$srv/cache" --jobs 2 \
+  > "$srv/serve2.log" 2>&1 &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "serve smoke: no socket after restart" >&2; exit 1; }
+  sleep 0.1
+done
+"$BS" client --socket "$sock" bench CRC32 > /dev/null
+"$BS" client --socket "$sock" stats > "$srv/stats.json"
+grep -q '"cache_quarantined":0' "$srv/stats.json" || {
+  echo "serve smoke: quarantined entries after kill -9 + restart" >&2
+  cat "$srv/stats.json" >&2
+  exit 1
+}
+"$BS" client --socket "$sock" shutdown > /dev/null
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=
+# the loadgen summary must carry the latency/hit-rate guards
+grep -q '"p99_ms"' BENCH_pr8.json || {
+  echo "serve smoke: BENCH_pr8.json is missing p99_ms" >&2
+  exit 1
+}
+grep -q '"cache_hit_rate"' BENCH_pr8.json || {
+  echo "serve smoke: BENCH_pr8.json is missing cache_hit_rate" >&2
+  exit 1
+}
+echo "serve smoke: OK (warm hit rate $hit, kill -9 recovery clean)"
+
 # Timed bench subset: fig8 + table2 (the regression-anchored sections).
 # Recorded single-job baseline on the reference container: ~5600 ms
 # with the trace-JIT engine.  Fail if the subset takes more than twice

@@ -1,0 +1,212 @@
+(* Content-addressed on-disk store with atomic writes and quarantine.
+   See the interface for the durability discipline.
+
+   On-disk layout:
+
+     root/
+       ab/abcdef...        committed entries (md5 of the key, sharded
+                           by the first byte to keep directories small)
+       tmp-PID-N-abcdef... in-flight writes (unique per writer; swept
+                           on open)
+       quarantine/...      entries that failed verification
+
+   Entry format: a one-line ASCII header, the key, then the payload.
+
+     BSDC1 <keylen> <payloadlen> <md5hex(payload)>\n
+     <key>\n
+     <payload bytes>
+
+   The header is verified field by field before the payload is handed
+   back; in particular the payload digest runs before any caller
+   unmarshals it. *)
+
+let magic = "BSDC1"
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  quarantined : int;
+  swept_tmp : int;
+}
+
+type t = {
+  root : string;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable quarantined : int;
+  swept : int;
+}
+
+let tmp_counter = Atomic.make 0
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let is_tmp name = String.length name >= 4 && String.sub name 0 4 = "tmp-"
+
+let open_dir root =
+  mkdir_p root;
+  mkdir_p (Filename.concat root "quarantine");
+  (* sweep leftovers from writers that died mid-store: they were never
+     renamed, so they were never visible — plain garbage *)
+  let swept = ref 0 in
+  Array.iter
+    (fun name ->
+      if is_tmp name then begin
+        (try Sys.remove (Filename.concat root name) with Sys_error _ -> ());
+        incr swept
+      end)
+    (Sys.readdir root);
+  { root; lock = Mutex.create (); hits = 0; misses = 0; writes = 0;
+    quarantined = 0; swept = !swept }
+
+let dir t = t.root
+
+let name_of_key key = Digest.to_hex (Digest.string key)
+
+let key_path t ~key =
+  let name = name_of_key key in
+  Filename.concat (Filename.concat t.root (String.sub name 0 2)) name
+
+let bump t f =
+  Mutex.lock t.lock;
+  f t;
+  Mutex.unlock t.lock
+
+(* Move a bad entry aside (keeping it for post-mortem) instead of
+   deleting or crashing.  Unique suffix: two processes quarantining the
+   same entry must not collide. *)
+let quarantine t path =
+  let uniq =
+    Printf.sprintf "%s-%d-%d" (Filename.basename path) (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  let dest = Filename.concat (Filename.concat t.root "quarantine") uniq in
+  (try Sys.rename path dest
+   with Sys_error _ -> (try Sys.remove path with Sys_error _ -> ()));
+  bump t (fun t -> t.quarantined <- t.quarantined + 1)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse and verify an entry; any failure is reported as [None] and the
+   reason discarded — the caller's recovery (recompile) is the same
+   whatever went wrong. *)
+let verify ~key contents =
+  match String.index_opt contents '\n' with
+  | None -> None
+  | Some eol -> (
+      let header = String.sub contents 0 eol in
+      match String.split_on_char ' ' header with
+      | [ m; klen; plen; digest ]
+        when m = magic ->
+          (match (int_of_string_opt klen, int_of_string_opt plen) with
+          | Some klen, Some plen
+            when klen >= 0 && plen >= 0
+                 && String.length contents = eol + 1 + klen + 1 + plen ->
+              let k = String.sub contents (eol + 1) klen in
+              let payload = String.sub contents (eol + 1 + klen + 1) plen in
+              if k = key && Digest.to_hex (Digest.string payload) = digest
+              then Some (Bytes.of_string payload)
+              else None
+          | _ -> None)
+      | _ -> None)
+
+let load t ~key =
+  let path = key_path t ~key in
+  if not (Sys.file_exists path) then begin
+    bump t (fun t -> t.misses <- t.misses + 1);
+    None
+  end
+  else
+    match verify ~key (read_file path) with
+    | Some payload ->
+        bump t (fun t -> t.hits <- t.hits + 1);
+        Some payload
+    | None | (exception Sys_error _) ->
+        (* unreadable or failed verification: quarantine and miss *)
+        quarantine t path;
+        bump t (fun t -> t.misses <- t.misses + 1);
+        None
+
+let store t ~key payload =
+  let path = key_path t ~key in
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Filename.concat t.root
+      (Printf.sprintf "tmp-%d-%d-%s" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1)
+         (Filename.basename path))
+  in
+  let header =
+    Printf.sprintf "%s %d %d %s\n" magic (String.length key)
+      (Bytes.length payload)
+      (Digest.to_hex (Digest.bytes payload))
+  in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let write_all s =
+        let b = Bytes.of_string s in
+        let rec go off =
+          if off < Bytes.length b then
+            go (off + Unix.write fd b off (Bytes.length b - off))
+        in
+        go 0
+      in
+      write_all header;
+      write_all key;
+      write_all "\n";
+      write_all (Bytes.to_string payload);
+      (* make the bytes durable before the entry becomes visible *)
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  bump t (fun t -> t.writes <- t.writes + 1)
+
+let invalidate t ~key =
+  let path = key_path t ~key in
+  if Sys.file_exists path then quarantine t path
+
+let count_dir path pred =
+  if Sys.file_exists path && Sys.is_directory path then
+    Array.fold_left
+      (fun acc name -> if pred name then acc + 1 else acc)
+      0 (Sys.readdir path)
+  else 0
+
+let entries t =
+  Array.fold_left
+    (fun acc shard ->
+      let p = Filename.concat t.root shard in
+      if String.length shard = 2 && Sys.is_directory p then
+        acc + count_dir p (fun n -> not (is_tmp n))
+      else acc)
+    0 (Sys.readdir t.root)
+
+let quarantine_count t =
+  count_dir (Filename.concat t.root "quarantine") (fun _ -> true)
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    { hits = t.hits; misses = t.misses; writes = t.writes;
+      quarantined = t.quarantined; swept_tmp = t.swept }
+  in
+  Mutex.unlock t.lock;
+  s

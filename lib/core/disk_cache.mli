@@ -1,0 +1,75 @@
+(** A crash-safe, content-addressed on-disk store.
+
+    This is the persistence layer under {!Compile_cache}: entries are
+    opaque byte payloads keyed by the same content keys the in-memory
+    cache uses (source digest + injective config tag), so a compile
+    survives the process that performed it.
+
+    Durability discipline — the speculate/detect/recover shape applied
+    to storage:
+
+    - {b Atomic visibility.}  A store writes a uniquely-named temp file
+      in the cache directory, fsyncs it, and [rename]s it into place.
+      A crash (SIGKILL included) at any point leaves either the old
+      state or the new entry — never a partially-visible one.  Stale
+      temp files from crashed writers are swept on [open_dir].
+    - {b Integrity.}  Every entry carries a header with a format magic,
+      the entry key, and the MD5 of the payload.  [load] verifies all
+      three before a byte of the payload is trusted ([Marshal] on a
+      corrupt buffer is memory-unsafe — the checksum runs first).
+    - {b Quarantine, not crash.}  A corrupt or foreign entry is moved
+      aside into [quarantine/] and reported as a miss, so the caller
+      recompiles; the poisoned file is kept for post-mortem.  A
+      corrupt cache can cost recompiles, never wrong results or a
+      wedged server.
+
+    All operations are safe under concurrent use from multiple domains
+    and multiple processes sharing the directory (unique temp names;
+    last rename wins — contents are identical by content-addressing). *)
+
+type t
+
+type stats = {
+  hits : int;       (** loads served from disk *)
+  misses : int;     (** loads that found no entry *)
+  writes : int;     (** entries stored *)
+  quarantined : int;
+      (** corrupt entries moved to [quarantine/] since [open_dir] *)
+  swept_tmp : int;  (** stale temp files removed by [open_dir] *)
+}
+
+val open_dir : string -> t
+(** Open (creating if needed) a cache rooted at the given directory and
+    sweep stale temp files.  Raises [Sys_error] if the directory cannot
+    be created. *)
+
+val dir : t -> string
+
+val load : t -> key:string -> bytes option
+(** [load t ~key] returns the payload stored under [key], or [None] if
+    absent {e or} if the entry failed verification (in which case it
+    has been quarantined). *)
+
+val store : t -> key:string -> bytes -> unit
+(** [store t ~key payload] makes the entry durably visible via
+    temp-file + fsync + atomic rename.  Overwrites any existing
+    entry. *)
+
+val entries : t -> int
+(** Number of committed entries currently on disk (counted by walking
+    the directory). *)
+
+val quarantine_count : t -> int
+(** Files currently in [quarantine/] (walks the directory, so it also
+    sees quarantines performed by other processes). *)
+
+val invalidate : t -> key:string -> unit
+(** Quarantine whatever is stored under [key], if anything.  Used when
+    an entry passes byte-level verification but fails a caller-level
+    decode (e.g. a marshalled value from an incompatible build). *)
+
+val stats : t -> stats
+
+val key_path : t -> key:string -> string
+(** The path an entry for [key] lives at (for tests and tooling; the
+    file may not exist). *)

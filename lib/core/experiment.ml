@@ -54,7 +54,8 @@ let metrics_of_run (r : Machine.result) : metrics =
     label ["train"].  An anonymous [profile_input] closure has no
     content address — callers that reuse one (fig16's image sweep) pass
     [profile_tag] to opt in; without a tag the compile runs uncached. *)
-let compile_workload ?(profile_input : Workload.input option)
+let compile_workload ?(origin : Compile_cache.origin ref option)
+    ?(profile_input : Workload.input option)
     ?(profile_tag : string option) (config : Driver.config) (w : Workload.t)
     : Driver.compiled =
   Bs_obs.Trace.with_span
@@ -73,7 +74,9 @@ let compile_workload ?(profile_input : Workload.input option)
     | None, Some _ -> None
   in
   match label with
-  | None -> thunk ()
+  | None ->
+      (match origin with Some r -> r := Compile_cache.Fresh | None -> ());
+      thunk ()
   | Some label ->
       let key =
         Printf.sprintf "%s|%s|%s|%s@%s" w.Workload.name
@@ -82,7 +85,7 @@ let compile_workload ?(profile_input : Workload.input option)
           label
           (String.concat "," (List.map Int64.to_string pi.Workload.args))
       in
-      Compile_cache.compile ~key thunk
+      Compile_cache.compile ?origin ~key thunk
 
 (** [run_compiled c w ~input] simulates and collects metrics. *)
 let run_compiled (c : Driver.compiled) (w : Workload.t)

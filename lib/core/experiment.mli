@@ -24,6 +24,7 @@ val metrics_of_run : Bs_sim.Machine.result -> metrics
 (** Collect metrics from one simulation. *)
 
 val compile_workload :
+  ?origin:Compile_cache.origin ref ->
   ?profile_input:Bs_workloads.Workload.input ->
   ?profile_tag:string ->
   Driver.config ->
@@ -34,8 +35,10 @@ val compile_workload :
     {!Compile_cache}: the default train input is cached under the label
     ["train"]; a custom [profile_input] is cached only when the caller
     names it with [profile_tag] (an anonymous input closure has no
-    content address).  Callers measuring compile time itself should call
-    {!Driver.compile} directly. *)
+    content address).  [origin] reports where this call's compile was
+    served from (the compile service's per-response [cached] flag).
+    Callers measuring compile time itself should call {!Driver.compile}
+    directly. *)
 
 val run_compiled :
   Driver.compiled ->

@@ -1,0 +1,194 @@
+open Bs_support
+open Bs_workloads
+
+type target = In_process of Server.t | Connect of string
+
+type cfg = {
+  lg_seed : int64;
+  lg_requests : int;
+  lg_clients : int;
+  lg_zipf_s : float;
+  lg_deadline_ms : int option;
+  lg_fuel : int option;
+  lg_crash_every : int;
+}
+
+let default_cfg =
+  { lg_seed = 42L; lg_requests = 200; lg_clients = 4; lg_zipf_s = 1.1;
+    lg_deadline_ms = None; lg_fuel = None; lg_crash_every = 0 }
+
+type summary = {
+  sm_requests : int;
+  sm_ok : int;
+  sm_errors : int;
+  sm_timeouts : int;
+  sm_shed : int;
+  sm_retries : int;
+  sm_wall_s : float;
+  sm_rps : float;
+  sm_p50_ms : float;
+  sm_p99_ms : float;
+  sm_hit_rate : float;
+  sm_shed_rate : float;
+}
+
+(* Four configuration variants per workload: the paper's main arch,
+   the averaging heuristic, the expander ablation, and the baseline. *)
+let variants =
+  [ ("bitspec/max", Driver.Bitspec_arch, Bs_interp.Profile.Hmax, false);
+    ("bitspec/avg", Driver.Bitspec_arch, Bs_interp.Profile.Havg, false);
+    ("bitspec/max/noexp", Driver.Bitspec_arch, Bs_interp.Profile.Hmax, true);
+    ("baseline/max", Driver.Baseline, Bs_interp.Profile.Hmax, false) ]
+
+let cells =
+  List.concat_map
+    (fun name ->
+      List.map
+        (fun (vlabel, arch, heuristic, noexp) ->
+          ( name ^ "/" ^ vlabel,
+            { Service.b_workload = name; b_arch = arch;
+              b_heuristic = heuristic; b_no_expander = noexp } ))
+        variants)
+    Registry.names
+
+(* Zipfian sampler over the cell list: rank k gets weight 1/k^s. *)
+let zipf_cdf s n =
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let sample_rank cdf u =
+  let n = Array.length cdf in
+  let rec bisect lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) < u then bisect (mid + 1) hi else bisect lo mid
+  in
+  min (n - 1) (bisect 0 (n - 1))
+
+let plan cfg =
+  let cells = Array.of_list cells in
+  let cdf = zipf_cdf cfg.lg_zipf_s (Array.length cells) in
+  let rng = Rng.create cfg.lg_seed in
+  List.init cfg.lg_requests (fun i ->
+      let idx = i + 1 in
+      let _, bench = cells.(sample_rank cdf (Rng.float rng)) in
+      let chaos =
+        if cfg.lg_crash_every > 0 && idx mod cfg.lg_crash_every = 0 then
+          Some (Service.Crash_before 2)
+        else None
+      in
+      { Service.rq_id = idx; rq_op = Service.Bench bench;
+        rq_deadline_ms = cfg.lg_deadline_ms; rq_fuel = cfg.lg_fuel;
+        rq_chaos = chaos })
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let summarize (pairs : (Service.request * Service.response) list) ~wall_s =
+  let n = List.length pairs in
+  let ok = ref 0 and errors = ref 0 and timeouts = ref 0 and shed = ref 0 in
+  let retries = ref 0 and hits = ref 0 in
+  let lat = ref [] in
+  List.iter
+    (fun ((_ : Service.request), (rs : Service.response)) ->
+      retries := !retries + max 0 (rs.Service.rs_attempts - 1);
+      (match rs.Service.rs_status with
+      | Service.Done _ ->
+          incr ok;
+          if rs.Service.rs_cached then incr hits
+      | Service.Failed _ -> incr errors
+      | Service.Timed_out -> incr timeouts
+      | Service.Overloaded _ -> incr shed
+      | Service.Pong | Service.Bye | Service.Stats_reply _ -> ());
+      match rs.Service.rs_status with
+      | Service.Overloaded _ -> ()  (* shed before any work: not a latency *)
+      | _ -> lat := rs.Service.rs_ms :: !lat)
+    pairs;
+  let lat = Array.of_list !lat in
+  Array.sort compare lat;
+  let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  { sm_requests = n; sm_ok = !ok; sm_errors = !errors;
+    sm_timeouts = !timeouts; sm_shed = !shed; sm_retries = !retries;
+    sm_wall_s = wall_s;
+    sm_rps = (if wall_s > 0.0 then float_of_int n /. wall_s else 0.0);
+    sm_p50_ms = percentile lat 0.50; sm_p99_ms = percentile lat 0.99;
+    sm_hit_rate = ratio !hits !ok; sm_shed_rate = ratio !shed n }
+
+let run cfg target =
+  if cfg.lg_requests < 0 then invalid_arg "Loadgen.run: negative requests";
+  let clients = max 1 cfg.lg_clients in
+  let reqs = Array.of_list (plan cfg) in
+  let n = Array.length reqs in
+  let results : Service.response option array = Array.make n None in
+  let cursor = Atomic.make 0 in
+  let issue_with call =
+    let rec loop () =
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < n then begin
+        results.(i) <- Some (call reqs.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let client_body () =
+    match target with
+    | In_process srv -> issue_with (Server.submit_wait srv)
+    | Connect socket ->
+        let conn = Server.connect ~socket in
+        Fun.protect
+          ~finally:(fun () -> Server.close conn)
+          (fun () -> issue_with (Server.call conn))
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun _ -> Thread.create client_body ()) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let pairs =
+    Array.to_list
+      (Array.mapi
+         (fun i rs ->
+           match rs with
+           | Some rs -> (reqs.(i), rs)
+           | None -> assert false (* every index was claimed and answered *))
+         results)
+  in
+  (pairs, summarize pairs ~wall_s)
+
+let summary_json s =
+  Jsonx.Obj
+    [ ("requests", Jsonx.int s.sm_requests);
+      ("ok", Jsonx.int s.sm_ok);
+      ("errors", Jsonx.int s.sm_errors);
+      ("timeouts", Jsonx.int s.sm_timeouts);
+      ("shed", Jsonx.int s.sm_shed);
+      ("retries", Jsonx.int s.sm_retries);
+      ("wall_s", Jsonx.Num s.sm_wall_s);
+      ("rps", Jsonx.Num s.sm_rps);
+      ("p50_ms", Jsonx.Num s.sm_p50_ms);
+      ("p99_ms", Jsonx.Num s.sm_p99_ms);
+      ("cache_hit_rate", Jsonx.Num s.sm_hit_rate);
+      ("shed_rate", Jsonx.Num s.sm_shed_rate) ]
+
+let canonical_log pairs =
+  let sorted =
+    List.sort
+      (fun ((a : Service.request), _) (b, _) ->
+        compare a.Service.rq_id b.Service.rq_id)
+      pairs
+  in
+  List.map (fun (rq, rs) -> Service.canonical_line rq rs) sorted

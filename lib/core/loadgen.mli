@@ -1,0 +1,64 @@
+(** Seeded zipfian load generator for the compile service.
+
+    The request stream is generated {e up front} from the seed — a
+    fixed sequence of (workload × configuration) cells drawn from a
+    zipfian popularity distribution — and then issued closed-loop by
+    [clients] concurrent threads.  The stream is therefore identical
+    for any client count or target transport; only the interleaving
+    varies, which is exactly what the canonical-log determinism check
+    relies on. *)
+
+type target =
+  | In_process of Server.t       (** drive the engine directly *)
+  | Connect of string            (** dial a Unix socket per client *)
+
+type cfg = {
+  lg_seed : int64;
+  lg_requests : int;
+  lg_clients : int;
+  lg_zipf_s : float;        (** zipf exponent; 1.1 is a good default *)
+  lg_deadline_ms : int option;
+  lg_fuel : int option;
+  lg_crash_every : int;     (** inject [Crash_before 2] on every n-th
+                                request (1-based stream index); 0 = never *)
+}
+
+val default_cfg : cfg
+(** seed 42, 200 requests, 4 clients, s = 1.1, no deadline/fuel
+    overrides, no chaos. *)
+
+type summary = {
+  sm_requests : int;
+  sm_ok : int;
+  sm_errors : int;
+  sm_timeouts : int;
+  sm_shed : int;
+  sm_retries : int;      (** total re-executions across the run *)
+  sm_wall_s : float;
+  sm_rps : float;
+  sm_p50_ms : float;     (** server-side latency percentiles *)
+  sm_p99_ms : float;
+  sm_hit_rate : float;   (** cached compiles among [Done] responses *)
+  sm_shed_rate : float;  (** shed among all responses *)
+}
+
+val cells : (string * Service.bench_req) list
+(** The request population: every registry workload crossed with four
+    configuration variants, in deterministic order (label, request). *)
+
+val plan : cfg -> Service.request list
+(** The deterministic request stream (ids [1..requests]), before any
+    I/O — exposed for tests. *)
+
+val run : cfg -> target -> (Service.request * Service.response) list * summary
+(** Issue the stream closed-loop and collect every (request, response)
+    pair (in stream order) plus the aggregate summary. *)
+
+val summary_json : summary -> Bs_support.Jsonx.t
+(** Keys: [requests], [ok], [errors], [timeouts], [shed], [retries],
+    [wall_s], [rps], [p50_ms], [p99_ms], [cache_hit_rate],
+    [shed_rate]. *)
+
+val canonical_log : (Service.request * Service.response) list -> string list
+(** {!Service.canonical_line} for each pair, sorted by request id —
+    byte-identical across [--jobs] values for the same plan. *)

@@ -1,0 +1,595 @@
+open Bs_support
+open Bs_exec
+open Bs_workloads
+
+(* The compile service engine.  One mutex [lock] guards the queue, the
+   worker table and the counters; the per-slot [s_responded] flag is an
+   Atomic CAS gate so exactly one of {worker, watchdog, shedder} ever
+   answers a request.  Respond callbacks (which may write to sockets)
+   are always invoked OUTSIDE [lock]. *)
+
+type config = {
+  jobs : int;
+  queue_depth : int;
+  deadline_ms : int;
+  fuel : int;
+  retries : int;
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  seed : int64;
+  cache_dir : string option;
+}
+
+let default_config =
+  { jobs = 4; queue_depth = 64; deadline_ms = 30_000; fuel = 200_000_000;
+    retries = 2; backoff_base_ms = 25.0; backoff_cap_ms = 400.0; seed = 1L;
+    cache_dir = None }
+
+type slot = {
+  s_req : Service.request;
+  s_cb : Service.response -> unit;
+  s_token : Supervisor.token;
+  s_enq_ns : int64;
+  s_responded : bool Atomic.t;
+  s_attempts : int Atomic.t;  (* last attempt started (watchdog reads it) *)
+  mutable s_claim_ns : int64; (* when a worker picked it up; 0 = queued *)
+}
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  cond : Condition.t;
+  queue : slot Queue.t;
+  mutable stopping : bool;
+  mutable watchdog_stop : bool;
+  mutable workers : (int * unit Domain.t) list;  (* worker gen -> domain *)
+  mutable next_gen : int;
+  retired : (int, unit) Hashtbl.t;
+  inflight : (int, slot) Hashtbl.t;              (* worker gen -> slot *)
+  mutable watchdog : unit Domain.t option;
+  started_ns : int64;
+  (* counters, under [lock] *)
+  mutable served : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  mutable shed : int;
+  mutable retries_done : int;
+  mutable replaced : int;
+}
+
+(* A service-level failure with its structured diagnostics attached;
+   never classified transient. *)
+exception Srv_fail of Diag.t list
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+(* --- responding (exactly once per request) ----------------------------- *)
+
+let mk_response (slot : slot) status ~cached =
+  { Service.rs_id = slot.s_req.Service.rq_id;
+    rs_status = status;
+    rs_attempts = max 1 (Atomic.get slot.s_attempts);
+    rs_cached = cached;
+    rs_ms =
+      ms_of_ns (Int64.sub (Supervisor.now_ns ()) slot.s_enq_ns) }
+
+(* Must be called WITHOUT [t.lock] held. *)
+let respond t slot status ~cached =
+  if Atomic.compare_and_set slot.s_responded false true then begin
+    Mutex.lock t.lock;
+    t.served <- t.served + 1;
+    (match status with
+    | Service.Done _ -> t.ok <- t.ok + 1
+    | Service.Failed _ -> t.errors <- t.errors + 1
+    | Service.Timed_out -> t.timeouts <- t.timeouts + 1
+    | Service.Overloaded _ | Service.Pong | Service.Bye
+    | Service.Stats_reply _ -> ());
+    Mutex.unlock t.lock;
+    slot.s_cb (mk_response slot status ~cached)
+  end
+
+(* --- the bench work itself --------------------------------------------- *)
+
+let config_of (b : Service.bench_req) : Driver.config =
+  let base =
+    match b.Service.b_arch with
+    | Driver.Baseline -> Driver.baseline_config
+    | Driver.Bitspec_arch -> Driver.bitspec_config
+    | Driver.Thumb -> Driver.thumb_config
+  in
+  let base = { base with Driver.heuristic = b.Service.b_heuristic } in
+  if b.Service.b_no_expander then
+    { base with Driver.expander = Expander.disabled }
+  else base
+
+let summarize (r : Bs_sim.Machine.result) : Service.metrics_summary =
+  let m = Experiment.metrics_of_run r in
+  { Service.m_checksum = m.Experiment.checksum;
+    m_instrs = m.Experiment.instrs;
+    m_cycles = m.Experiment.cycles;
+    m_misspecs = m.Experiment.misspecs;
+    m_energy = m.Experiment.total_energy;
+    m_epi = m.Experiment.epi }
+
+(* One attempt: chaos, compile (cached), simulate (fuel-bounded) —
+   polling the deadline token at each phase boundary. *)
+let attempt_bench t (slot : slot) (b : Service.bench_req) ~attempt ~cached =
+  let rq = slot.s_req in
+  Atomic.set slot.s_attempts attempt;
+  cached := false;
+  Supervisor.check slot.s_token;
+  (match rq.Service.rq_chaos with
+  | Some (Service.Crash_before n) when attempt < n ->
+      raise (Service.Injected_crash attempt)
+  | Some (Service.Hang_ms ms) ->
+      (* a wedged worker: sleeps WITHOUT polling the token, so only the
+         watchdog can answer for it if the deadline passes meanwhile *)
+      Unix.sleepf (float_of_int ms /. 1000.0)
+  | _ -> ());
+  let w =
+    match Registry.find b.Service.b_workload with
+    | w -> w
+    | exception Invalid_argument _ ->
+        raise (Srv_fail [ Service.diag_unknown_workload b.Service.b_workload ])
+  in
+  let origin = ref Compile_cache.Fresh in
+  let c = Experiment.compile_workload ~origin (config_of b) w in
+  (match !origin with
+  | Compile_cache.Memory | Compile_cache.Disk -> cached := true
+  | Compile_cache.Fresh -> ());
+  Supervisor.check slot.s_token;
+  let fuel = Option.value rq.Service.rq_fuel ~default:t.cfg.fuel in
+  let r =
+    Driver.run_machine
+      ~setup:(w.Workload.test.Workload.setup c.Driver.ir)
+      ~fuel c ~entry:w.Workload.entry ~args:w.Workload.test.Workload.args
+  in
+  Supervisor.check slot.s_token;
+  match r.Bs_sim.Machine.outcome with
+  | Outcome.Finished -> summarize r
+  | Outcome.Out_of_fuel -> raise (Srv_fail [ Service.diag_fuel ])
+  | Outcome.Trapped k -> raise (Srv_fail [ Service.diag_trap k ])
+  | Outcome.Livelock ->
+      raise (Srv_fail [ Service.diag_internal "simulation livelocked" ])
+
+let process_bench t (slot : slot) (b : Service.bench_req) =
+  let cached = ref false in
+  let key = string_of_int slot.s_req.Service.rq_id in
+  let base_ns = Int64.of_float (t.cfg.backoff_base_ms *. 1e6) in
+  let cap_ns = Int64.of_float (t.cfg.backoff_cap_ms *. 1e6) in
+  let outcome =
+    Backoff.run ~retries:t.cfg.retries
+      ~is_transient:(function Service.Injected_crash _ -> true | _ -> false)
+      ~sleep:(fun ns -> Supervisor.sleep_ns ~token:slot.s_token ns)
+      ~delay:(fun ~attempt ->
+        Backoff.delay_ns ~base_ns ~cap_ns ~seed:t.cfg.seed ~key ~attempt)
+      (fun ~attempt -> attempt_bench t slot b ~attempt ~cached)
+  in
+  (match outcome.Backoff.result with
+  | Ok _ | Error _ ->
+      if outcome.Backoff.attempts > 1 then begin
+        Mutex.lock t.lock;
+        t.retries_done <- t.retries_done + (outcome.Backoff.attempts - 1);
+        Mutex.unlock t.lock
+      end);
+  match outcome.Backoff.result with
+  | Ok m -> respond t slot (Service.Done m) ~cached:!cached
+  | Error (Supervisor.Deadline_exceeded, _) ->
+      respond t slot Service.Timed_out ~cached:false
+  | Error (Service.Injected_crash _, _) ->
+      respond t slot
+        (Service.Failed
+           [ Service.diag_crash ~attempts:outcome.Backoff.attempts
+               "injected worker crash" ])
+        ~cached:false
+  | Error (Srv_fail ds, _) ->
+      respond t slot (Service.Failed ds) ~cached:false
+  | Error (e, _) ->
+      respond t slot
+        (Service.Failed [ Service.diag_internal (Printexc.to_string e) ])
+        ~cached:false
+
+(* --- workers ----------------------------------------------------------- *)
+
+let rec worker_loop t gen =
+  Mutex.lock t.lock;
+  let rec await () =
+    if Hashtbl.mem t.retired gen then begin
+      Mutex.unlock t.lock;
+      None
+    end
+    else if not (Queue.is_empty t.queue) then begin
+      let slot = Queue.pop t.queue in
+      slot.s_claim_ns <- Supervisor.now_ns ();
+      Hashtbl.replace t.inflight gen slot;
+      Mutex.unlock t.lock;
+      Some slot
+    end
+    else if t.stopping then begin
+      Mutex.unlock t.lock;
+      None
+    end
+    else begin
+      Condition.wait t.cond t.lock;
+      await ()
+    end
+  in
+  match await () with
+  | None -> ()
+  | Some slot ->
+      (match slot.s_req.Service.rq_op with
+      | Service.Bench b -> (
+          try process_bench t slot b
+          with e ->
+            (* never let anything escape a worker *)
+            respond t slot
+              (Service.Failed
+                 [ Service.diag_internal (Printexc.to_string e) ])
+              ~cached:false)
+      | Service.Ping | Service.Stats | Service.Shutdown ->
+          (* control ops never reach the queue *)
+          respond t slot Service.Pong ~cached:false);
+      Mutex.lock t.lock;
+      Hashtbl.remove t.inflight gen;
+      let gone = Hashtbl.mem t.retired gen in
+      Mutex.unlock t.lock;
+      if not gone then worker_loop t gen
+
+let spawn_worker t =
+  (* call with [t.lock] held *)
+  let gen = t.next_gen in
+  t.next_gen <- gen + 1;
+  let d = Domain.spawn (fun () -> worker_loop t gen) in
+  t.workers <- (gen, d) :: t.workers
+
+(* --- watchdog ---------------------------------------------------------- *)
+
+let stall_grace_ns = 50_000_000L (* 50 ms past the deadline = stuck *)
+
+let watchdog_tick t =
+  let now = Supervisor.now_ns () in
+  let expired = ref [] in
+  let stuck = ref [] in
+  Mutex.lock t.lock;
+  let max_gens = (4 * t.cfg.jobs) + 2 in
+  Hashtbl.iter
+    (fun gen slot ->
+      if
+        Supervisor.cancelled slot.s_token
+        && not (Atomic.get slot.s_responded)
+      then expired := slot :: !expired;
+      match Supervisor.deadline_ns slot.s_token with
+      | Some d
+        when Int64.compare now (Int64.add d stall_grace_ns) > 0
+             && (not (Hashtbl.mem t.retired gen))
+             && (not t.stopping)
+             && t.next_gen < max_gens ->
+          (* the worker overshot its deadline by the grace period: it is
+             wedged (or close enough).  Retire it — it will exit when
+             its item finally finishes — and restore capacity. *)
+          Hashtbl.replace t.retired gen ();
+          t.replaced <- t.replaced + 1;
+          stuck := gen :: !stuck;
+          spawn_worker t
+      | _ -> ())
+    t.inflight;
+  Mutex.unlock t.lock;
+  (* answer for the expired requests outside the lock; the CAS in
+     [respond] makes this race-free against a worker finishing late *)
+  List.iter
+    (fun slot ->
+      Supervisor.cancel slot.s_token;
+      respond t slot Service.Timed_out ~cached:false)
+    !expired;
+  ignore !stuck
+
+let rec watchdog_loop t =
+  (try Unix.sleepf 0.002 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  watchdog_tick t;
+  (* also wake queued-but-expired requests promptly: workers popping
+     them will observe the cancelled token on first check *)
+  let stop =
+    Mutex.lock t.lock;
+    let s = t.watchdog_stop in
+    Mutex.unlock t.lock;
+    s
+  in
+  if not stop then watchdog_loop t
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let start cfg =
+  if cfg.jobs < 1 then invalid_arg "Server.start: jobs < 1";
+  if cfg.queue_depth < 1 then invalid_arg "Server.start: queue_depth < 1";
+  Compile_cache.set_persistent cfg.cache_dir;
+  let t =
+    { cfg; lock = Mutex.create (); cond = Condition.create ();
+      queue = Queue.create (); stopping = false; watchdog_stop = false;
+      workers = []; next_gen = 0; retired = Hashtbl.create 16;
+      inflight = Hashtbl.create 16; watchdog = None;
+      started_ns = Supervisor.now_ns (); served = 0; ok = 0; errors = 0;
+      timeouts = 0; shed = 0; retries_done = 0; replaced = 0 }
+  in
+  Mutex.lock t.lock;
+  for _ = 1 to cfg.jobs do
+    spawn_worker t
+  done;
+  Mutex.unlock t.lock;
+  t.watchdog <- Some (Domain.spawn (fun () -> watchdog_loop t));
+  t
+
+let draining t =
+  Mutex.lock t.lock;
+  let s = t.stopping in
+  Mutex.unlock t.lock;
+  s
+
+let stats t : Service.server_stats =
+  let dc = Compile_cache.persistent () in
+  let ds = Compile_cache.disk_stats () in
+  Mutex.lock t.lock;
+  let depth = Queue.length t.queue in
+  let s =
+    { Service.st_served = t.served; st_ok = t.ok; st_errors = t.errors;
+      st_timeouts = t.timeouts; st_shed = t.shed;
+      st_retries = t.retries_done; st_replaced = t.replaced;
+      st_depth = depth;
+      st_mem_hits = Compile_cache.hits ();
+      st_mem_misses = Compile_cache.misses ();
+      st_disk_hits =
+        (match ds with Some s -> s.Disk_cache.hits | None -> 0);
+      st_disk_misses =
+        (match ds with Some s -> s.Disk_cache.misses | None -> 0);
+      st_entries =
+        (match dc with Some d -> Disk_cache.entries d | None -> 0);
+      st_quarantined =
+        (match dc with Some d -> Disk_cache.quarantine_count d | None -> 0);
+      st_uptime_ms =
+        ms_of_ns (Int64.sub (Supervisor.now_ns ()) t.started_ns) }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let initiate_stop t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let stop t =
+  initiate_stop t;
+  (* join workers until the set is stable (the watchdog may have spawned
+     replacements while we were joining) *)
+  let rec drain_workers () =
+    Mutex.lock t.lock;
+    let ws = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.lock;
+    if ws <> [] then begin
+      List.iter (fun (_, d) -> Domain.join d) ws;
+      drain_workers ()
+    end
+  in
+  drain_workers ();
+  Mutex.lock t.lock;
+  t.watchdog_stop <- true;
+  Mutex.unlock t.lock;
+  (match t.watchdog with Some d -> Domain.join d | None -> ());
+  t.watchdog <- None
+
+(* --- submission -------------------------------------------------------- *)
+
+let mk_slot t rq cb =
+  let deadline_ms =
+    match rq.Service.rq_deadline_ms with
+    | Some ms -> ms
+    | None -> t.cfg.deadline_ms
+  in
+  let token =
+    if deadline_ms > 0 then Supervisor.of_timeout_ms deadline_ms
+    else Supervisor.create ()
+  in
+  { s_req = rq; s_cb = cb; s_token = token;
+    s_enq_ns = Supervisor.now_ns (); s_responded = Atomic.make false;
+    s_attempts = Atomic.make 1; s_claim_ns = 0L }
+
+let submit t rq cb =
+  let slot = mk_slot t rq cb in
+  match rq.Service.rq_op with
+  | Service.Ping -> respond t slot Service.Pong ~cached:false
+  | Service.Stats ->
+      respond t slot (Service.Stats_reply (stats t)) ~cached:false
+  | Service.Shutdown ->
+      initiate_stop t;
+      respond t slot Service.Bye ~cached:false
+  | Service.Bench _ ->
+      let verdict =
+        Mutex.lock t.lock;
+        let v =
+          if t.stopping then `Draining
+          else if Queue.length t.queue >= t.cfg.queue_depth then begin
+            t.shed <- t.shed + 1;
+            `Shed (Queue.length t.queue)
+          end
+          else begin
+            Queue.push slot t.queue;
+            Condition.signal t.cond;
+            `Queued
+          end
+        in
+        Mutex.unlock t.lock;
+        v
+      in
+      (match verdict with
+      | `Queued -> ()
+      | `Shed depth ->
+          respond t slot (Service.Overloaded depth) ~cached:false
+      | `Draining ->
+          respond t slot
+            (Service.Failed
+               [ Service.diag_internal "server is shutting down" ])
+            ~cached:false)
+
+let submit_wait t rq =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let cell = ref None in
+  submit t rq (fun resp ->
+      Mutex.lock m;
+      cell := Some resp;
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while Option.is_none !cell do
+    Condition.wait c m
+  done;
+  let r = Option.get !cell in
+  Mutex.unlock m;
+  r
+
+(* --- transports -------------------------------------------------------- *)
+
+let send_line oc wlock resp =
+  Mutex.lock wlock;
+  (try
+     output_string oc (Service.response_line resp);
+     output_char oc '\n';
+     flush oc
+   with Sys_error _ ->
+     (* client went away; the work was still done and accounted *)
+     ());
+  Mutex.unlock wlock
+
+let handle_conn t ~notify_shutdown fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let wlock = Mutex.create () in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+        match Service.request_of_line line with
+        | Error e ->
+            send_line oc wlock
+              { Service.rs_id = -1;
+                rs_status = Service.Failed [ Service.diag_bad_request e ];
+                rs_attempts = 1; rs_cached = false; rs_ms = 0.0 };
+            loop ()
+        | Ok rq ->
+            submit t rq (send_line oc wlock);
+            if rq.Service.rq_op = Service.Shutdown then notify_shutdown ()
+            else loop ())
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+let replace_stale_socket path =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if live then failwith (path ^ ": a server is already listening here");
+    (try Sys.remove path with Sys_error _ -> ())
+  end
+
+let serve_unix t ~socket ?(on_ready = fun () -> ()) () =
+  replace_stale_socket socket;
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX socket);
+  Unix.listen lfd 64;
+  (* [close] does not wake a thread blocked in [accept]; [shutdown]
+     does, making accept return EINVAL immediately *)
+  let wake_listener () =
+    try Unix.shutdown lfd Unix.SHUTDOWN_RECEIVE
+    with Unix.Unix_error _ -> ()
+  in
+  let on_signal _ =
+    initiate_stop t;
+    wake_listener ()
+  in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  on_ready ();
+  let rec accept_loop () =
+    match Unix.accept lfd with
+    | fd, _ ->
+        ignore
+          (Thread.create
+             (fun () -> handle_conn t ~notify_shutdown:wake_listener fd)
+             ());
+        accept_loop ()
+    | exception
+        Unix.Unix_error
+          ((Unix.EINTR | Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      ->
+        if draining t then () else accept_loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int;
+      (try Sys.remove socket with Sys_error _ -> ());
+      stop t)
+    accept_loop
+
+let serve_stdio t () =
+  let wlock = Mutex.create () in
+  let send = send_line stdout wlock in
+  let rec loop () =
+    match input_line stdin with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+        match Service.request_of_line line with
+        | Error e ->
+            send
+              { Service.rs_id = -1;
+                rs_status = Service.Failed [ Service.diag_bad_request e ];
+                rs_attempts = 1; rs_cached = false; rs_ms = 0.0 };
+            loop ()
+        | Ok rq ->
+            submit t rq send;
+            if rq.Service.rq_op <> Service.Shutdown then loop ())
+  in
+  loop ();
+  stop t
+
+(* --- client ------------------------------------------------------------ *)
+
+type conn = { c_fd : Unix.file_descr; c_ic : in_channel; c_oc : out_channel }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { c_fd = fd; c_ic = Unix.in_channel_of_descr fd;
+    c_oc = Unix.out_channel_of_descr fd }
+
+let call conn rq =
+  output_string conn.c_oc (Service.request_line rq);
+  output_char conn.c_oc '\n';
+  flush conn.c_oc;
+  let rec read () =
+    let line = input_line conn.c_ic in
+    match Service.response_of_json (Result.get_ok (Jsonx.parse line)) with
+    | Ok resp when resp.Service.rs_id = rq.Service.rq_id -> resp
+    | Ok _ -> read ()  (* response to a different pipelined request *)
+    | Error e -> failwith ("bad response from server: " ^ e)
+    | exception Invalid_argument _ ->
+        failwith ("unparsable response from server: " ^ line)
+  in
+  read ()
+
+let close conn =
+  (try close_out_noerr conn.c_oc with _ -> ());
+  try Unix.close conn.c_fd with Unix.Unix_error _ -> ()

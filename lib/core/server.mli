@@ -1,0 +1,105 @@
+(** The long-running compile+simulate server: a bounded admission
+    queue, a supervised pool of worker domains, a watchdog, and the
+    Unix-socket / stdio transports for `bitspecc serve`.
+
+    Supervision follows the paper's own speculate/detect/recover shape
+    applied to the systems layer:
+
+    - {b Admission / load shedding.}  A request is either admitted to
+      the bounded queue or immediately answered [Overloaded] once the
+      queue is at its high-water mark; nothing blocks, nothing is
+      silently dropped.  Control-plane ops (ping / stats / shutdown)
+      bypass the queue so the server stays observable under overload.
+    - {b Deadlines.}  Each request carries a wall-clock deadline token
+      from admission.  Workers poll it at phase boundaries, simulation
+      is fuel-bounded, and a watchdog domain answers [Timed_out] on
+      behalf of any request whose deadline passes — then retires the
+      worker if it is still stuck (a zombie exits when it eventually
+      finishes; a replacement is spawned so capacity is not lost).
+      The {e request} is therefore never lost to a hung worker.
+    - {b Retries.}  Failures classified transient
+      ({!Service.Injected_crash}) are re-executed up to [retries] times
+      with deterministic exponential backoff + jitter keyed by
+      (server seed, request id, attempt).  Everything else —
+      diagnostics, traps, fuel exhaustion, deadline — is answered
+      structurally on first occurrence.
+    - {b Crash isolation.}  A worker catches every per-request
+      exception and answers with structured diagnostics; the in-memory
+      compile cache bounds failure memoisation and the persistent
+      layer stores successes only, so one poisoned request never takes
+      the server down or poisons later identical requests. *)
+
+type config = {
+  jobs : int;            (** worker domains *)
+  queue_depth : int;     (** admission high-water mark *)
+  deadline_ms : int;     (** default per-request deadline; 0 = none *)
+  fuel : int;            (** default simulation instruction budget *)
+  retries : int;         (** max re-executions of a transient failure *)
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  seed : int64;          (** jitter seed; part of the determinism story *)
+  cache_dir : string option;
+      (** attach {!Compile_cache}'s persistent layer here *)
+}
+
+val default_config : config
+(** 4 workers, depth 64, 30 s deadline, 2×10{^8} fuel, 2 retries,
+    base 25 ms / cap 400 ms, seed 1, no cache dir. *)
+
+type t
+
+val start : config -> t
+(** Spawn the worker pool and the watchdog.  If [cache_dir] is set,
+    opens (or reopens) the persistent cache first — a corrupt store
+    quarantines bad entries rather than failing startup. *)
+
+val submit : t -> Service.request -> (Service.response -> unit) -> unit
+(** Asynchronous submission.  The callback runs exactly once, on a
+    worker, watchdog, or the submitting thread (shed / control ops);
+    it must be thread-safe and quick. *)
+
+val submit_wait : t -> Service.request -> Service.response
+(** Synchronous submission (blocks the calling thread). *)
+
+val stats : t -> Service.server_stats
+
+val stop : t -> unit
+(** Graceful shutdown: refuse new work, drain the queue, join workers
+    and watchdog.  Idempotent.  May wait for a straggling worker's
+    current item (bounded by fuel / chaos hang duration). *)
+
+val draining : t -> bool
+(** True once shutdown was initiated (via {!stop} or a [Shutdown]
+    request). *)
+
+(* --- transports -------------------------------------------------------- *)
+
+val serve_unix :
+  t -> socket:string -> ?on_ready:(unit -> unit) -> unit -> unit
+(** Bind a Unix-domain listening socket and serve newline-delimited
+    JSON until a [Shutdown] request or SIGTERM/SIGINT arrives, then
+    drain and return.  Each connection gets a reader thread; responses
+    are written as they complete (out of submission order when
+    pipelined).  A stale socket file from a dead server is replaced; a
+    live one is reported as an error.  [on_ready] runs once the socket
+    is accepting. *)
+
+val serve_stdio : t -> unit -> unit
+(** Same protocol over stdin/stdout: serve until EOF or [Shutdown],
+    then drain and return.  One response line per request line. *)
+
+(* --- client ------------------------------------------------------------ *)
+
+type conn
+
+val connect : socket:string -> conn
+(** Connect to a serving socket.  Raises [Unix.Unix_error] on
+    failure. *)
+
+val call : conn -> Service.request -> Service.response
+(** Send one request and block for its response (matching by id;
+    intervening responses to other ids on the same connection are
+    discarded — use one connection per in-flight request when driving
+    the server concurrently). *)
+
+val close : conn -> unit

@@ -1,0 +1,56 @@
+(* Exponential backoff with deterministic "equal jitter".  The jitter
+   stream is keyed by (seed, key, attempt) through MD5 so it is stable
+   across OCaml versions and processes, not just within one run. *)
+
+let mix ~seed ~key ~attempt =
+  let d = Digest.string (Printf.sprintf "%Ld|%s|%d" seed key attempt) in
+  (* fold the first 8 digest bytes into an int64 seed *)
+  let s = ref 0L in
+  for i = 0 to 7 do
+    s := Int64.logor (Int64.shift_left !s 8) (Int64.of_int (Char.code d.[i]))
+  done;
+  !s
+
+let delay_ns ~base_ns ~cap_ns ~seed ~key ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.delay_ns: attempt < 1";
+  if base_ns <= 0L then 0L
+  else begin
+    let envelope =
+      (* base * 2^(attempt-1), saturating *)
+      let shift = min (attempt - 1) 62 in
+      let e = Int64.shift_left base_ns shift in
+      if Int64.compare e base_ns < 0 (* overflow *) || shift >= 62 then cap_ns
+      else min e cap_ns
+    in
+    let half = Int64.div envelope 2L in
+    if half <= 0L then envelope
+    else begin
+      let rng = Bs_support.Rng.create (mix ~seed ~key ~attempt) in
+      let j =
+        Int64.rem (Int64.logand (Bs_support.Rng.next rng) Int64.max_int)
+          (Int64.add half 1L)
+      in
+      Int64.add half j
+    end
+  end
+
+type 'a outcome = {
+  result : ('a, exn * Printexc.raw_backtrace) result;
+  attempts : int;
+}
+
+let run ~retries ~is_transient ~sleep ~delay f =
+  if retries < 0 then invalid_arg "Backoff.run: retries < 0";
+  let rec go attempt =
+    match f ~attempt with
+    | v -> { result = Ok v; attempts = attempt }
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        if attempt > retries || not (is_transient e) then
+          { result = Error (e, bt); attempts = attempt }
+        else begin
+          sleep (delay ~attempt);
+          go (attempt + 1)
+        end
+  in
+  go 1

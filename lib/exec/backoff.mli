@@ -1,0 +1,41 @@
+(** Deterministic exponential backoff with seeded jitter, and a small
+    retry loop built on it.
+
+    Retries without jitter synchronise: every client that failed
+    together retries together.  Jitter without a seed is untestable.
+    [delay_ns] therefore draws its jitter from a splitmix64 stream
+    keyed by (seed, key, attempt) — a pure function, so a service
+    replaying the same request under the same seed backs off by the
+    same nanoseconds, and a jobs-1 run is byte-identical to a jobs-N
+    run. *)
+
+val delay_ns :
+  base_ns:int64 -> cap_ns:int64 -> seed:int64 -> key:string ->
+  attempt:int -> int64
+(** [delay_ns ~base_ns ~cap_ns ~seed ~key ~attempt] is the pause before
+    re-executing [key] after its [attempt]-th failure (attempts count
+    from 1).  The uncapped envelope is [base_ns * 2^(attempt-1)],
+    clamped to [cap_ns]; the returned delay is drawn uniformly from
+    [[envelope/2, envelope]] ("equal jitter": at least half the
+    envelope, so retries still spread, but progress is never faster
+    than exponential). *)
+
+type 'a outcome = {
+  result : ('a, exn * Printexc.raw_backtrace) result;
+      (** the first success, or the failure that ended the loop *)
+  attempts : int;  (** executions performed (≥ 1) *)
+}
+
+val run :
+  retries:int ->
+  is_transient:(exn -> bool) ->
+  sleep:(int64 -> unit) ->
+  delay:(attempt:int -> int64) ->
+  (attempt:int -> 'a) ->
+  'a outcome
+(** [run ~retries ~is_transient ~sleep ~delay f] executes [f ~attempt]
+    (attempts count from 1) until it succeeds, raises a non-transient
+    exception, or has failed [1 + retries] times.  Between transient
+    failures it calls [sleep (delay ~attempt)].  An exception raised by
+    [sleep] itself (e.g. a deadline token expiring mid-backoff)
+    propagates to the caller — the loop never swallows it. *)

@@ -6,7 +6,19 @@
    Order is therefore preserved by construction, whatever the
    interleaving.  Exceptions are captured per index and rethrown after
    the join in input order, so the first failure a caller observes does
-   not depend on scheduling. *)
+   not depend on scheduling.
+
+   Cancellation is cooperative and checked between items only: a worker
+   never abandons the item it is computing, it just stops claiming new
+   ones.  Two things raise the stop flag — an item failing (a failed
+   batch drains promptly instead of running every remaining item to
+   completion) and the caller's [should_stop] (the serve deadline path).
+   Determinism of the rethrown failure survives cancellation: the cursor
+   claims indices in order, so the set of executed items is always a
+   prefix of the input, and the lowest failing index in any schedule is
+   the lowest index that fails at all. *)
+
+exception Cancelled
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -15,7 +27,9 @@ type 'b cell =
   | Ok of 'b
   | Exn of exn * Printexc.raw_backtrace
 
-let map ~jobs f a =
+let never_stop () = false
+
+let map ?(should_stop = never_stop) ~jobs f a =
   let n = Array.length a in
   let jobs = min jobs n in
   (* When tracing, each work item is bracketed in a span; the events
@@ -28,21 +42,38 @@ let map ~jobs f a =
         (fun () -> f x)
     else f x
   in
-  if jobs <= 1 || n <= 1 then Array.mapi traced a
+  if jobs <= 1 || n <= 1 then begin
+    (* sequential path: the first failure propagates immediately, which
+       is exactly the lowest-index failure; external cancellation is
+       still honoured between items *)
+    let results = Array.make n Pending in
+    for i = 0 to n - 1 do
+      if should_stop () then raise Cancelled;
+      results.(i) <- Ok (traced i (Array.unsafe_get a i))
+    done;
+    Array.map
+      (function Ok v -> v | Pending | Exn _ -> assert false)
+      results
+  end
   else begin
     let results = Array.make n Pending in
     let cursor = Atomic.make 0 in
+    let failed = Atomic.make false in
     let worker () =
       let rec loop () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          let r =
-            match traced i (Array.unsafe_get a i) with
-            | v -> Ok v
-            | exception e -> Exn (e, Printexc.get_raw_backtrace ())
-          in
-          results.(i) <- r;
-          loop ()
+        if not (Atomic.get failed || should_stop ()) then begin
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            let r =
+              match traced i (Array.unsafe_get a i) with
+              | v -> Ok v
+              | exception e ->
+                  Atomic.set failed true;
+                  Exn (e, Printexc.get_raw_backtrace ())
+            in
+            results.(i) <- r;
+            loop ()
+          end
         end
       in
       loop ()
@@ -50,14 +81,24 @@ let map ~jobs f a =
     let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join domains;
+    (* rethrow the lowest-index failure; if only the caller's stop flag
+       fired, report the cancellation itself *)
+    Array.iter
+      (function
+        | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Ok _ | Pending -> ())
+      results;
+    if Array.exists (function Pending -> true | _ -> false) results then
+      raise Cancelled;
     Array.map
       (function
         | Ok v -> v
-        | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
-        | Pending -> assert false (* cursor passed n for every worker *))
+        | Exn _ | Pending -> assert false)
       results
   end
 
-let map_list ~jobs f l = Array.to_list (map ~jobs f (Array.of_list l))
+let map_list ?should_stop ~jobs f l =
+  Array.to_list (map ?should_stop ~jobs f (Array.of_list l))
 
-let run_all ~jobs thunks = ignore (map ~jobs (fun g -> g ()) thunks)
+let run_all ?should_stop ~jobs thunks =
+  ignore (map ?should_stop ~jobs (fun g -> g ()) thunks)

@@ -8,25 +8,46 @@
     {e before} the fan-out (each job carries its own seed); the pool
     itself introduces no nondeterminism. *)
 
+exception Cancelled
+(** Raised by [map] when [should_stop] ended the batch early and no
+    item had failed.  (When an item failed, that failure is rethrown
+    instead — it is the more informative signal.) *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the CLI default for
     [--jobs]. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?should_stop:(unit -> bool) -> jobs:int -> ('a -> 'b) -> 'a array ->
+  'b array
 (** [map ~jobs f a] applies [f] to every element of [a] on up to [jobs]
     domains (the calling domain included) and returns the results in
     input order.  With [jobs <= 1] (or fewer than two elements) it
-    degrades to a plain sequential [Array.map] — the [--jobs 1]
-    debugging path runs no domain machinery at all.
+    degrades to a plain sequential map — the [--jobs 1] debugging path
+    runs no domain machinery at all.
 
-    If any job raises, the exception of the {e lowest-index} failing
-    job is rethrown (with its backtrace) after all workers have
-    drained, so failure is as deterministic as success. *)
+    If any job raises, the remaining unclaimed items are {e not}
+    started (workers drain cooperatively, finishing only the items
+    already in flight) and the exception of the {e lowest-index}
+    failing job is rethrown (with its backtrace) after all workers have
+    drained.  Because items are claimed in index order, the executed
+    items always form a prefix of the input, so the rethrown failure is
+    the same in every schedule — failure is as deterministic as
+    success.
 
-val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+    [should_stop] is polled between items (never during one); when it
+    returns true, workers stop claiming and [map] raises {!Cancelled}
+    once in-flight items have drained.  This is the cooperative hook
+    the compile service's deadline watchdog uses to abandon a batch
+    promptly. *)
+
+val map_list :
+  ?should_stop:(unit -> bool) -> jobs:int -> ('a -> 'b) -> 'a list ->
+  'b list
 (** [map] over lists, preserving order. *)
 
-val run_all : jobs:int -> (unit -> unit) array -> unit
+val run_all :
+  ?should_stop:(unit -> bool) -> jobs:int -> (unit -> unit) array -> unit
 (** [run_all ~jobs thunks] executes every thunk, in parallel across the
     pool.  Used to prefill memo tables before a sequential
     (deterministically-ordered) reporting pass. *)

@@ -1,0 +1,57 @@
+(* Deadline tokens.  See the interface for the design; the only
+   subtlety here is that [cancelled] consults both the explicit flag
+   and the clock, so a token "expires" even if no watchdog ever looks
+   at it. *)
+
+exception Deadline_exceeded
+
+type token = {
+  deadline : int64 option;  (* absolute, now_ns scale *)
+  flag : bool Atomic.t;
+}
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let create ?deadline_ns () = { deadline = deadline_ns; flag = Atomic.make false }
+
+let of_timeout_ms ms =
+  if ms < 0 then invalid_arg "Supervisor.of_timeout_ms: negative timeout";
+  create
+    ~deadline_ns:(Int64.add (now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L))
+    ()
+
+let cancel t = Atomic.set t.flag true
+
+let cancelled t =
+  Atomic.get t.flag
+  ||
+  match t.deadline with
+  | None -> false
+  | Some d -> Int64.compare (now_ns ()) d > 0
+
+let check t = if cancelled t then raise Deadline_exceeded
+
+let remaining_ns t =
+  if Atomic.get t.flag then 0L
+  else
+    match t.deadline with
+    | None -> Int64.max_int
+    | Some d -> Int64.max 0L (Int64.sub d (now_ns ()))
+
+let deadline_ns t = t.deadline
+
+(* Sleep in ≤1 ms slices so a cancellation interrupts promptly. *)
+let slice_s = 0.001
+
+let sleep_ns ?token ns =
+  let until = Int64.add (now_ns ()) (Int64.max 0L ns) in
+  let rec go () =
+    (match token with Some t -> check t | None -> ());
+    let left = Int64.sub until (now_ns ()) in
+    if Int64.compare left 0L > 0 then begin
+      let s = min slice_s (Int64.to_float left /. 1e9) in
+      (try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()

@@ -1,0 +1,47 @@
+(** Deadline tokens: the cooperative-cancellation currency of the
+    compile service.
+
+    A token is created per request with an optional wall-clock deadline.
+    Work holding a token polls it at phase boundaries ({!check} between
+    compile and simulate, {!Pool.map}'s [should_stop] between batch
+    items) and unwinds with {!Deadline_exceeded} once the deadline has
+    passed or a supervisor called {!cancel}.  Nothing is ever killed
+    pre-emptively — a hung computation is detected by the watchdog
+    observing its token, answered on its behalf, and its eventual
+    result discarded. *)
+
+exception Deadline_exceeded
+
+type token
+
+val now_ns : unit -> int64
+(** Wall-clock nanoseconds ([Unix.gettimeofday] scaled — deadlines are
+    coarse; monotonic precision is not required at these horizons). *)
+
+val create : ?deadline_ns:int64 -> unit -> token
+(** A fresh token; [deadline_ns] is absolute ({!now_ns} scale).  Without
+    it the token only cancels explicitly. *)
+
+val of_timeout_ms : int -> token
+(** Token whose deadline is [ms] milliseconds from now. *)
+
+val cancel : token -> unit
+(** Mark the token cancelled (idempotent). *)
+
+val cancelled : token -> bool
+(** True once [cancel] was called or the deadline has passed. *)
+
+val check : token -> unit
+(** @raise Deadline_exceeded when {!cancelled}. *)
+
+val remaining_ns : token -> int64
+(** Nanoseconds until the deadline (clamped at 0; [Int64.max_int] for
+    deadline-free tokens; 0 when cancelled). *)
+
+val deadline_ns : token -> int64 option
+(** The absolute deadline, if any. *)
+
+val sleep_ns : ?token:token -> int64 -> unit
+(** Sleep for the given duration in short slices, polling [token]
+    between slices.
+    @raise Deadline_exceeded if the token cancels mid-sleep. *)

@@ -1,0 +1,51 @@
+(** A minimal JSON value type with a strict printer and a tolerant
+    recursive-descent parser.
+
+    The compile service speaks newline-delimited JSON; this module is
+    the single codec both ends use.  It is deliberately tiny — objects
+    are association lists in insertion order, numbers are floats (exact
+    for the integers the protocol carries, which fit in 53 bits) — and
+    it depends on nothing, so every library layer can use it.
+
+    The printer emits no newlines, so one value is always one protocol
+    line.  The parser bounds nesting depth (an adversarial client must
+    not overflow the server's stack) and rejects trailing garbage. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [int n] is [Num (float_of_int n)]. *)
+
+val to_string : t -> string
+(** Compact rendering on one line, with full string escaping. *)
+
+val parse : string -> (t, string) result
+(** Parse exactly one JSON value (surrounding whitespace allowed).
+    Errors carry a position and a reason. *)
+
+(** Accessors: total lookups for decoding protocol messages. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] finds the first binding of [k]. [None] on other
+    constructors. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+(** [get_int] truncates; integral floats round-trip exactly up to
+    2{^53}. *)
+
+val get_float : t -> float option
+val get_bool : t -> bool option
+val get_list : t -> t list option
+
+val mem_string : string -> t -> string option
+val mem_int : string -> t -> int option
+val mem_float : string -> t -> float option
+val mem_bool : string -> t -> bool option
+(** [mem_* k v] = [member k v] composed with the accessor. *)

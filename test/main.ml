@@ -20,4 +20,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("fuzz", Test_fuzz.suite);
       ("exec", Test_exec.suite);
+      ("serve", Test_serve.suite);
       ("obs", Test_obs.suite) ]

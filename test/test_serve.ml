@@ -1,0 +1,475 @@
+open Bitspec
+open Bs_support
+
+(* Tests for the compile service stack: the JSON codec, deterministic
+   backoff, the crash-safe disk cache (corruption -> quarantine, tmp
+   sweep, reopen), the persistent compile cache, and the server engine's
+   supervision behaviours — retry-on-transient, structured failure after
+   exhaustion, watchdog timeouts for wedged workers, load shedding, and
+   the jobs-independence of the canonical log. *)
+
+let with_tmpdir f =
+  let dir =
+    Filename.temp_file "bs-serve-test" ""
+  in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+(* --- jsonx ------------------------------------------------------------- *)
+
+let test_jsonx_roundtrip () =
+  let j =
+    Jsonx.Obj
+      [ ("s", Jsonx.Str "a\"b\\c\nd\teof");
+        ("n", Jsonx.Num 2.5);
+        ("i", Jsonx.int (-42));
+        ("b", Jsonx.Bool true);
+        ("z", Jsonx.Null);
+        ("l", Jsonx.Arr [ Jsonx.int 1; Jsonx.Str "x"; Jsonx.Bool false ]) ]
+  in
+  match Jsonx.parse (Jsonx.to_string j) with
+  | Error e -> Alcotest.fail ("reparse failed: " ^ e)
+  | Ok j' ->
+      Alcotest.(check string) "roundtrip" (Jsonx.to_string j)
+        (Jsonx.to_string j');
+      Alcotest.(check (option string)) "member access" (Some "a\"b\\c\nd\teof")
+        (Jsonx.mem_string "s" j');
+      Alcotest.(check (option int)) "int access" (Some (-42))
+        (Jsonx.mem_int "i" j')
+
+let test_jsonx_errors () =
+  let bad s =
+    match Jsonx.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s)
+  in
+  bad "";
+  bad "{";
+  bad "{\"a\":}";
+  bad "[1,]";
+  bad "\"unterminated";
+  bad "{\"a\":1} trailing";
+  (* the depth bound refuses a pathological nest instead of overflowing *)
+  bad (String.concat "" (List.init 200 (fun _ -> "[")))
+
+(* --- protocol codec ---------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let rq =
+    { Service.rq_id = 12;
+      rq_op =
+        Service.Bench
+          { Service.b_workload = "CRC32"; b_arch = Driver.Bitspec_arch;
+            b_heuristic = Bs_interp.Profile.Havg; b_no_expander = true };
+      rq_deadline_ms = Some 250; rq_fuel = Some 1_000_000;
+      rq_chaos = Some (Service.Crash_before 2) }
+  in
+  (match Service.request_of_line (Service.request_line rq) with
+  | Error e -> Alcotest.fail ("request reparse: " ^ e)
+  | Ok rq' ->
+      Alcotest.(check string) "request roundtrips" (Service.request_line rq)
+        (Service.request_line rq'));
+  let rs =
+    { Service.rs_id = 12;
+      rs_status =
+        Service.Done
+          { Service.m_checksum = -1L; m_instrs = 5; m_cycles = 9;
+            m_misspecs = 1; m_energy = 12.5; m_epi = 2.5 };
+      rs_attempts = 2; rs_cached = true; rs_ms = 1.25 }
+  in
+  (match
+     Service.response_of_json
+       (Result.get_ok (Jsonx.parse (Service.response_line rs)))
+   with
+  | Error e -> Alcotest.fail ("response reparse: " ^ e)
+  | Ok rs' ->
+      Alcotest.(check string) "response roundtrips"
+        (Service.response_line rs) (Service.response_line rs'));
+  (* checksum travels as a string: no precision loss through Num *)
+  (match
+     Service.response_of_json
+       (Result.get_ok (Jsonx.parse (Service.response_line rs)))
+   with
+  | Ok { Service.rs_status = Service.Done m; _ } ->
+      Alcotest.(check int64) "int64 checksum survives" (-1L)
+        m.Service.m_checksum
+  | _ -> Alcotest.fail "expected Done");
+  match Service.request_of_line "{\"id\":1}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "opless request should not parse"
+
+(* --- backoff ----------------------------------------------------------- *)
+
+let test_backoff_deterministic () =
+  let d = Bs_exec.Backoff.delay_ns ~base_ns:1_000_000L ~cap_ns:100_000_000L in
+  let a1 = d ~seed:7L ~key:"k" ~attempt:1 in
+  Alcotest.(check bool) "same inputs, same delay" true
+    (a1 = d ~seed:7L ~key:"k" ~attempt:1);
+  Alcotest.(check bool) "seed matters" true
+    (a1 <> d ~seed:8L ~key:"k" ~attempt:1);
+  Alcotest.(check bool) "key matters" true
+    (a1 <> d ~seed:7L ~key:"other" ~attempt:1);
+  (* equal jitter: delay in [envelope/2, envelope], envelope capped *)
+  for attempt = 1 to 12 do
+    let envelope =
+      min 100_000_000L
+        (Int64.mul 1_000_000L (Int64.shift_left 1L (attempt - 1)))
+    in
+    let v = d ~seed:3L ~key:"x" ~attempt in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d within the jitter window" attempt)
+      true
+      (v >= Int64.div envelope 2L && v <= envelope)
+  done
+
+let test_backoff_run () =
+  (* succeeds on attempt 2: one retry, sleeps once with the attempt-1
+     delay *)
+  let slept = ref [] in
+  let o =
+    Bs_exec.Backoff.run ~retries:3
+      ~is_transient:(fun _ -> true)
+      ~sleep:(fun ns -> slept := ns :: !slept)
+      ~delay:(fun ~attempt -> Int64.of_int (100 * attempt))
+      (fun ~attempt -> if attempt < 2 then failwith "flaky" else attempt)
+  in
+  Alcotest.(check int) "succeeded on attempt 2" 2 o.Bs_exec.Backoff.attempts;
+  (match o.Bs_exec.Backoff.result with
+  | Ok 2 -> ()
+  | _ -> Alcotest.fail "expected Ok 2");
+  Alcotest.(check (list int64)) "slept the attempt-1 delay" [ 100L ] !slept;
+  (* exhausts retries *)
+  let o =
+    Bs_exec.Backoff.run ~retries:2
+      ~is_transient:(fun _ -> true)
+      ~sleep:(fun _ -> ())
+      ~delay:(fun ~attempt:_ -> 0L)
+      (fun ~attempt:_ -> failwith "always")
+  in
+  Alcotest.(check int) "1 + retries executions" 3 o.Bs_exec.Backoff.attempts;
+  (match o.Bs_exec.Backoff.result with
+  | Error (Failure m, _) when m = "always" -> ()
+  | _ -> Alcotest.fail "expected the final failure");
+  (* a non-transient failure ends the loop immediately *)
+  let o =
+    Bs_exec.Backoff.run ~retries:5
+      ~is_transient:(fun _ -> false)
+      ~sleep:(fun _ -> Alcotest.fail "must not sleep")
+      ~delay:(fun ~attempt:_ -> 0L)
+      (fun ~attempt:_ -> raise Exit)
+  in
+  Alcotest.(check int) "no retry of a permanent failure" 1
+    o.Bs_exec.Backoff.attempts
+
+(* --- disk cache -------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_disk_cache_basic () =
+  with_tmpdir @@ fun dir ->
+  let c = Disk_cache.open_dir dir in
+  Alcotest.(check (option bytes)) "empty miss" None (Disk_cache.load c ~key:"a");
+  Disk_cache.store c ~key:"a" (Bytes.of_string "payload-a");
+  Disk_cache.store c ~key:"b" (Bytes.of_string "payload-b");
+  Alcotest.(check (option bytes)) "hit" (Some (Bytes.of_string "payload-a"))
+    (Disk_cache.load c ~key:"a");
+  Alcotest.(check int) "two entries" 2 (Disk_cache.entries c);
+  (* a reopened cache serves the same entries *)
+  let c2 = Disk_cache.open_dir dir in
+  Alcotest.(check (option bytes)) "hit after reopen"
+    (Some (Bytes.of_string "payload-b"))
+    (Disk_cache.load c2 ~key:"b");
+  Disk_cache.invalidate c2 ~key:"b";
+  Alcotest.(check (option bytes)) "invalidated" None
+    (Disk_cache.load c2 ~key:"b");
+  Alcotest.(check int) "invalidation quarantines" 1
+    (Disk_cache.quarantine_count c2)
+
+let test_disk_cache_corruption () =
+  with_tmpdir @@ fun dir ->
+  let c = Disk_cache.open_dir dir in
+  Disk_cache.store c ~key:"k" (Bytes.of_string "precious bits");
+  let path = Disk_cache.key_path c ~key:"k" in
+  (* flip payload bytes on disk behind the cache's back *)
+  let s = read_file path in
+  let oc = open_out_bin path in
+  output_string oc (String.sub s 0 (String.length s - 4));
+  output_string oc "XXXX";
+  close_out oc;
+  Alcotest.(check (option bytes)) "corrupt entry is a miss, not a crash"
+    None
+    (Disk_cache.load c ~key:"k");
+  Alcotest.(check int) "corrupt entry quarantined" 1
+    (Disk_cache.quarantine_count c);
+  Alcotest.(check bool) "entry removed from the live set" true
+    (not (Sys.file_exists path));
+  (* the key is writable again and round-trips *)
+  Disk_cache.store c ~key:"k" (Bytes.of_string "recompiled");
+  Alcotest.(check (option bytes)) "recompiled entry served"
+    (Some (Bytes.of_string "recompiled"))
+    (Disk_cache.load c ~key:"k")
+
+let test_disk_cache_tmp_sweep () =
+  with_tmpdir @@ fun dir ->
+  let c = Disk_cache.open_dir dir in
+  Disk_cache.store c ~key:"k" (Bytes.of_string "v");
+  (* simulate a writer killed mid-store: an orphan temp file (in-flight
+     writes live in the root until their atomic rename into a shard) *)
+  let orphan = Filename.concat dir "tmp-9999-0-deadbeef" in
+  let oc = open_out_bin orphan in
+  output_string oc "half a write";
+  close_out oc;
+  let c2 = Disk_cache.open_dir dir in
+  Alcotest.(check bool) "orphan temp swept on reopen" true
+    (not (Sys.file_exists orphan));
+  Alcotest.(check int) "sweep counted" 1 (Disk_cache.stats c2).Disk_cache.swept_tmp;
+  Alcotest.(check (option bytes)) "committed entry untouched"
+    (Some (Bytes.of_string "v"))
+    (Disk_cache.load c2 ~key:"k")
+
+(* --- persistent compile cache ------------------------------------------ *)
+
+let test_persistent_compile_cache () =
+  with_tmpdir @@ fun dir ->
+  let w = Bs_workloads.Registry.find "CRC32" in
+  Fun.protect
+    ~finally:(fun () ->
+      Compile_cache.set_persistent None;
+      Compile_cache.reset ())
+    (fun () ->
+      Compile_cache.reset ();
+      Compile_cache.set_persistent (Some dir);
+      let origin = ref Compile_cache.Fresh in
+      let c1 =
+        Experiment.compile_workload ~origin Driver.bitspec_config w
+      in
+      Alcotest.(check bool) "first compile is fresh" true
+        (!origin = Compile_cache.Fresh);
+      (* drop the in-memory layer: the disk layer must serve the reload *)
+      Compile_cache.reset ();
+      Compile_cache.set_persistent (Some dir);
+      let origin = ref Compile_cache.Fresh in
+      let c2 =
+        Experiment.compile_workload ~origin Driver.bitspec_config w
+      in
+      Alcotest.(check bool) "recompile served from disk" true
+        (!origin = Compile_cache.Disk);
+      (* the deserialized compile simulates to the same checksum *)
+      let run (c : Driver.compiled) =
+        let r =
+          Driver.run_machine
+            ~setup:(w.Bs_workloads.Workload.test.Bs_workloads.Workload.setup
+                      c.Driver.ir)
+            c ~entry:w.Bs_workloads.Workload.entry
+            ~args:w.Bs_workloads.Workload.test.Bs_workloads.Workload.args
+        in
+        Experiment.metrics_of_run r
+      in
+      let m1 = run c1 and m2 = run c2 in
+      Alcotest.(check int64) "identical checksum" m1.Experiment.checksum
+        m2.Experiment.checksum;
+      Alcotest.(check int) "identical cycles" m1.Experiment.cycles
+        m2.Experiment.cycles)
+
+(* --- server engine ----------------------------------------------------- *)
+
+let bench_crc =
+  { Service.b_workload = "CRC32"; b_arch = Driver.Bitspec_arch;
+    b_heuristic = Bs_interp.Profile.Hmax; b_no_expander = false }
+
+let rq ?deadline_ms ?fuel ?chaos id op =
+  { Service.rq_id = id; rq_op = op; rq_deadline_ms = deadline_ms;
+    rq_fuel = fuel; rq_chaos = chaos }
+
+let with_server ?(cfg = Server.default_config) f =
+  Compile_cache.reset ();
+  let t = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f t)
+
+let fast_cfg =
+  { Server.default_config with
+    Server.jobs = 2; backoff_base_ms = 1.0; backoff_cap_ms = 4.0 }
+
+let test_server_basics () =
+  with_server ~cfg:fast_cfg @@ fun t ->
+  (match (Server.submit_wait t (rq 1 Service.Ping)).Service.rs_status with
+  | Service.Pong -> ()
+  | _ -> Alcotest.fail "expected pong");
+  let r1 = Server.submit_wait t (rq 2 (Service.Bench bench_crc)) in
+  (match r1.Service.rs_status with
+  | Service.Done m ->
+      Alcotest.(check bool) "ran some instructions" true
+        (m.Service.m_instrs > 0)
+  | _ -> Alcotest.fail "expected ok");
+  Alcotest.(check bool) "first compile not cached" false
+    r1.Service.rs_cached;
+  let r2 = Server.submit_wait t (rq 3 (Service.Bench bench_crc)) in
+  Alcotest.(check bool) "second identical request cached" true
+    r2.Service.rs_cached;
+  (* unknown workload: structured diagnostic, server stays up *)
+  (match
+     (Server.submit_wait t
+        (rq 4 (Service.Bench { bench_crc with Service.b_workload = "nope" })))
+       .Service.rs_status
+   with
+  | Service.Failed (d :: _) ->
+      Alcotest.(check string) "BS-SRV-02" "BS-SRV-02" d.Diag.code
+  | _ -> Alcotest.fail "expected a structured failure");
+  match (Server.submit_wait t (rq 5 (Service.Bench bench_crc))).Service.rs_status with
+  | Service.Done _ -> ()
+  | _ -> Alcotest.fail "server still serves after a poisoned request"
+
+let test_server_retry_and_exhaustion () =
+  with_server ~cfg:fast_cfg @@ fun t ->
+  (* crash:2 fails attempt 1; the retry succeeds *)
+  let r =
+    Server.submit_wait t
+      (rq 1 (Service.Bench bench_crc) ~chaos:(Service.Crash_before 2))
+  in
+  (match r.Service.rs_status with
+  | Service.Done _ -> ()
+  | _ -> Alcotest.fail "expected success on attempt 2");
+  Alcotest.(check int) "two attempts" 2 r.Service.rs_attempts;
+  (* crash:99 exhausts the retry budget: BS-SRV-03 with the count *)
+  let r =
+    Server.submit_wait t
+      (rq 2 (Service.Bench bench_crc) ~chaos:(Service.Crash_before 99))
+  in
+  (match r.Service.rs_status with
+  | Service.Failed (d :: _) ->
+      Alcotest.(check string) "BS-SRV-03" "BS-SRV-03" d.Diag.code
+  | _ -> Alcotest.fail "expected exhaustion failure");
+  Alcotest.(check int) "1 + retries attempts"
+    (1 + fast_cfg.Server.retries)
+    r.Service.rs_attempts;
+  let s = Server.stats t in
+  Alcotest.(check bool) "retries counted" true (s.Service.st_retries >= 3)
+
+let test_server_watchdog_timeout () =
+  with_server ~cfg:fast_cfg @@ fun t ->
+  (* a wedged worker (hang without polling) must not lose the request:
+     the watchdog answers Timed_out at the deadline *)
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Server.submit_wait t
+      (rq 1 (Service.Bench bench_crc) ~deadline_ms:100
+         ~chaos:(Service.Hang_ms 1500))
+  in
+  let waited = Unix.gettimeofday () -. t0 in
+  (match r.Service.rs_status with
+  | Service.Timed_out -> ()
+  | _ -> Alcotest.fail "expected timeout");
+  Alcotest.(check bool) "answered at the deadline, not the hang" true
+    (waited < 1.2);
+  (* the server still works afterwards (replacement capacity) *)
+  match (Server.submit_wait t (rq 2 (Service.Bench bench_crc))).Service.rs_status with
+  | Service.Done _ ->
+      let s = Server.stats t in
+      Alcotest.(check int) "timeout counted" 1 s.Service.st_timeouts
+  | _ -> Alcotest.fail "server wedged after a hung worker"
+
+let test_server_load_shedding () =
+  (* one slow worker, queue depth 2: a burst must shed the overflow with
+     a structured Overloaded, never block or drop *)
+  let cfg = { fast_cfg with Server.jobs = 1; queue_depth = 2 } in
+  with_server ~cfg @@ fun t ->
+  let n = 12 in
+  let got = Array.make n None in
+  let remaining = Atomic.make n in
+  for i = 0 to n - 1 do
+    Server.submit t
+      (rq (i + 1) (Service.Bench bench_crc) ~chaos:(Service.Hang_ms 60))
+      (fun rs ->
+        got.(i) <- Some rs;
+        Atomic.decr remaining)
+  done;
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while Atomic.get remaining > 0 && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Alcotest.(check int) "every request answered" 0 (Atomic.get remaining);
+  let shed, other =
+    Array.fold_left
+      (fun (s, o) r ->
+        match r with
+        | Some { Service.rs_status = Service.Overloaded _; _ } -> (s + 1, o)
+        | Some _ -> (s, o + 1)
+        | None -> (s, o))
+      (0, 0) got
+  in
+  Alcotest.(check bool) "burst shed some requests" true (shed > 0);
+  Alcotest.(check int) "shed + served = all" n (shed + other);
+  let s = Server.stats t in
+  Alcotest.(check int) "shed counted" shed s.Service.st_shed
+
+let test_server_jobs_identical_log () =
+  (* satellite 3 + tentpole determinism: the canonical log of a seeded
+     zipfian run is byte-identical serving with 1 worker or 4 *)
+  let lg =
+    { Loadgen.default_cfg with
+      Loadgen.lg_requests = 40; lg_clients = 3; lg_crash_every = 7 }
+  in
+  let log jobs =
+    Compile_cache.reset ();
+    let t = Server.start { fast_cfg with Server.jobs } in
+    Fun.protect
+      ~finally:(fun () -> Server.stop t)
+      (fun () ->
+        let pairs, s = Loadgen.run lg (Loadgen.In_process t) in
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d: all requests answered" jobs)
+          lg.Loadgen.lg_requests s.Loadgen.sm_requests;
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d: retries exercised" jobs)
+          true (s.Loadgen.sm_retries > 0);
+        String.concat "\n" (Loadgen.canonical_log pairs))
+  in
+  Alcotest.(check string) "canonical log: jobs=1 == jobs=4" (log 1) (log 4)
+
+let test_server_draining_refuses () =
+  with_server ~cfg:fast_cfg @@ fun t ->
+  (match (Server.submit_wait t (rq 1 Service.Shutdown)).Service.rs_status with
+  | Service.Bye -> ()
+  | _ -> Alcotest.fail "expected bye");
+  Alcotest.(check bool) "draining" true (Server.draining t);
+  match (Server.submit_wait t (rq 2 (Service.Bench bench_crc))).Service.rs_status with
+  | Service.Failed _ -> ()
+  | _ -> Alcotest.fail "draining server must refuse new bench work"
+
+let suite =
+  [ Alcotest.test_case "jsonx roundtrips" `Quick test_jsonx_roundtrip;
+    Alcotest.test_case "jsonx rejects malformed input" `Quick
+      test_jsonx_errors;
+    Alcotest.test_case "protocol codec roundtrips" `Quick
+      test_protocol_roundtrip;
+    Alcotest.test_case "backoff is a pure function of its seed" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "backoff retry loop" `Quick test_backoff_run;
+    Alcotest.test_case "disk cache stores and reopens" `Quick
+      test_disk_cache_basic;
+    Alcotest.test_case "disk cache quarantines corruption" `Quick
+      test_disk_cache_corruption;
+    Alcotest.test_case "disk cache sweeps orphan temp files" `Quick
+      test_disk_cache_tmp_sweep;
+    Alcotest.test_case "persistent compile cache survives restart" `Slow
+      test_persistent_compile_cache;
+    Alcotest.test_case "server serves, caches and isolates" `Slow
+      test_server_basics;
+    Alcotest.test_case "server retries transient crashes" `Slow
+      test_server_retry_and_exhaustion;
+    Alcotest.test_case "watchdog answers for wedged workers" `Slow
+      test_server_watchdog_timeout;
+    Alcotest.test_case "bounded queue sheds structurally" `Slow
+      test_server_load_shedding;
+    Alcotest.test_case "canonical log is jobs-independent" `Slow
+      test_server_jobs_identical_log;
+    Alcotest.test_case "draining server refuses new work" `Quick
+      test_server_draining_refuses ]
