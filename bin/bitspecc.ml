@@ -218,6 +218,19 @@ let engine_arg =
                  plus superblock trace fusion; the default).  All three \
                  produce identical results — only host speed differs.")
 
+let interp_engine_conv =
+  Arg.enum [ ("tree", Interp.Tree); ("compiled", Interp.Compiled) ]
+
+let interp_engine_arg =
+  Arg.(value & opt interp_engine_conv Interp.Compiled
+       & info [ "interp-engine" ] ~docv:"ENGINE"
+           ~doc:"IR interpreter engine: $(b,tree) (the reference \
+                 instruction-at-a-time walker) or $(b,compiled) \
+                 (pre-compiled block closures with fused straight-line \
+                 runs; the default).  Both produce identical results — \
+                 outputs, counters, per-site misspeculation histograms — \
+                 only host speed differs.")
+
 let config_of ~arch ~heuristic ~no_expander =
   let base =
     match arch with
@@ -317,7 +330,7 @@ let run_cmd =
                    instructions per host microsecond).")
   in
   let action file arch heuristic entry args train no_expander strict trace
-      why power power_seed policy retries engine stats =
+      why power power_seed policy retries engine interp_engine stats =
     with_reporting ~file (fun () ->
         let source = read_file file in
         let config = config_of ~arch ~heuristic ~no_expander in
@@ -326,8 +339,8 @@ let run_cmd =
         in
         with_trace trace @@ fun () ->
         let c =
-          Driver.compile ~mode:(mode_of_strict strict) ~config ~source
-            ~train:[ (entry, train_args) ] ()
+          Driver.compile ~mode:(mode_of_strict strict) ~interp_engine ~config
+            ~source ~train:[ (entry, train_args) ] ()
         in
         print_diagnostics c;
         let pw =
@@ -384,7 +397,7 @@ let run_cmd =
     Term.(const action $ file $ arch_arg $ heuristic_arg $ entry $ args
           $ train $ no_expander_arg $ strict_arg $ trace_arg $ why_misspec
           $ power $ power_seed $ policy_arg $ retries_arg $ engine_arg
-          $ stats)
+          $ interp_engine_arg $ stats)
 
 (* --- bench ------------------------------------------------------------- *)
 
@@ -630,11 +643,11 @@ let fuzz_cmd =
                    (planted-fault self-tests).")
   in
   let action seed trials budget corpus size no_reduce fault expect_crash jobs
-      engine =
+      engine interp_engine =
     with_reporting (fun () ->
         let t =
           Bs_fuzz.Fuzz.run ?plant:fault ?budget ~reduce:(not no_reduce)
-            ~size ~jobs ~engine ~seed ~trials ()
+            ~size ~jobs ~engine ~interp_engine ~seed ~trials ()
         in
         print_string (Bs_fuzz.Fuzz.report t);
         if t.Bs_fuzz.Fuzz.crashes <> [] then begin
@@ -649,7 +662,8 @@ let fuzz_cmd =
        ~doc:"differential fuzzing campaign: random programs, every build \
              configuration against the reference interpreter")
     Term.(const action $ seed $ trials $ budget $ corpus $ size $ no_reduce
-          $ fault_arg $ expect_crash $ jobs_arg $ engine_arg)
+          $ fault_arg $ expect_crash $ jobs_arg $ engine_arg
+          $ interp_engine_arg)
 
 (* --- reduce ------------------------------------------------------------ *)
 
@@ -680,7 +694,8 @@ let reduce_cmd =
              ~doc:"Where to write the minimized reproducer (default: \
                    FILE with a .min.mc suffix).")
   in
-  let action file check entry args_opt train_opt fault out engine =
+  let action file check entry args_opt train_opt fault out engine
+      interp_engine =
     with_reporting ~file (fun () ->
         let meta, source = Bs_fuzz.Corpus.load file in
         let dfl f d = match meta with Some m -> f m | None -> d in
@@ -754,7 +769,7 @@ let reduce_cmd =
         | None ->
         let oracle s =
           Bs_fuzz.Oracle.run ?plant:fault ~train:[ (entry, train_args) ]
-            ~engine ~source:s ~entry ~args ()
+            ~engine ~interp_engine ~source:s ~entry ~args ()
         in
         let verdict = oracle source in
         print_endline (Bs_fuzz.Oracle.describe verdict);
@@ -803,7 +818,7 @@ let reduce_cmd =
        ~doc:"replay the differential oracle on a MiniC file and \
              delta-debug it to a minimal reproducer")
     Term.(const action $ file $ check $ entry $ args_opt $ train_opt
-          $ fault_arg $ out $ engine_arg)
+          $ fault_arg $ out $ engine_arg $ interp_engine_arg)
 
 (* --- serve / client / loadgen ------------------------------------------ *)
 
@@ -873,11 +888,11 @@ let serve_cmd =
                    entries are quarantined and recompiled, never trusted.")
   in
   let action socket jobs queue_depth deadline_ms fuel retries backoff_base_ms
-      backoff_cap_ms seed cache_dir =
+      backoff_cap_ms seed cache_dir interp_engine =
     with_reporting (fun () ->
         let cfg =
           { Server.jobs; queue_depth; deadline_ms; fuel; retries;
-            backoff_base_ms; backoff_cap_ms; seed; cache_dir }
+            backoff_base_ms; backoff_cap_ms; seed; cache_dir; interp_engine }
         in
         let t = Server.start cfg in
         match socket with
@@ -897,7 +912,7 @@ let serve_cmd =
              retry/backoff and bounded-queue load shedding")
     Term.(const action $ socket_opt_arg $ jobs_arg $ queue_depth
           $ deadline $ fuel $ retries $ backoff_base $ backoff_cap $ seed
-          $ cache_dir)
+          $ cache_dir $ interp_engine_arg)
 
 let chaos_conv =
   let parse s =

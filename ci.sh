@@ -100,6 +100,29 @@ for f in test/corpus/*.mc; do
 done
 echo "engine smoke: OK (fuzz report engine- and jobs-invariant, corpus replays under jit)"
 
+# Interpreter-engine smoke: the closure-compiled interpreter must be
+# observably identical to the tree-walker through the whole fuzz
+# pipeline — a fixed-seed campaign under each interp engine produces
+# byte-identical reports (at different job counts, for good measure) —
+# and every corpus reproducer must replay into its recorded bucket with
+# the compiled engine serving as the differential reference.
+ieng="$(mktemp -d)"
+trap 'rm -rf "$corpus" "$obs" "$pw" "$eng" "$ieng"' EXIT
+dune exec bin/bitspecc.exe -- fuzz --seed 2 --trials 15 --corpus "$ieng" \
+  --jobs 1 --interp-engine tree > "$ieng/tree.out"
+dune exec bin/bitspecc.exe -- fuzz --seed 2 --trials 15 --corpus "$ieng" \
+  --jobs 4 --interp-engine compiled > "$ieng/compiled.out"
+if ! cmp -s "$ieng/tree.out" "$ieng/compiled.out"; then
+  echo "interp-engine smoke: tree and compiled fuzz reports differ" >&2
+  diff "$ieng/tree.out" "$ieng/compiled.out" >&2 || true
+  exit 1
+fi
+for f in test/corpus/*.mc; do
+  dune exec bin/bitspecc.exe -- reduce --check --interp-engine compiled "$f" \
+    > /dev/null
+done
+echo "interp-engine smoke: OK (fuzz report interp-engine-invariant, corpus replays under compiled)"
+
 # Compile-service smoke: start the daemon with a persistent cache, run
 # the same seeded zipfian burst twice (the second pass must be served
 # almost entirely from the cache layers), kill the server dead
@@ -182,11 +205,12 @@ grep -q '"cache_hit_rate"' BENCH_pr8.json || {
 echo "serve smoke: OK (warm hit rate $hit, kill -9 recovery clean)"
 
 # Timed bench subset: fig8 + table2 (the regression-anchored sections).
-# Recorded single-job baseline on the reference container: ~5600 ms
-# with the trace-JIT engine.  Fail if the subset takes more than twice
-# that — a slowdown of that size means a fast path, the compile cache
-# or the JIT broke.
-bench_baseline_ms=5600
+# Recorded single-job baseline on the reference container: ~3400 ms
+# with the trace-JIT machine engine and the closure-compiled
+# interpreter.  Fail if the subset takes more than twice that — a
+# slowdown of that size means a fast path, the compile cache, the JIT
+# or the compiled interpreter broke.
+bench_baseline_ms=3400
 t0=$(date +%s%3N)
 dune exec bench/main.exe -- --jobs 1 fig8 table2 > /dev/null
 t1=$(date +%s%3N)
@@ -197,19 +221,33 @@ if [ "$elapsed" -gt $((2 * bench_baseline_ms)) ]; then
   exit 1
 fi
 
-# The bench run above rewrote BENCH_pr7.json: it must report the
-# aggregate simulation rate, and the experiment:simulate span — the
-# section the trace-JIT exists for — must not regress past twice its
-# recorded single-job baseline (~1.7 s on the reference container).
-grep -q '"simulated_mips"' BENCH_pr7.json || {
-  echo "bench guard: BENCH_pr7.json is missing simulated_mips" >&2
+# The bench run above rewrote BENCH_pr9.json: it must report both host
+# execution rates (machine simulator and IR interpreter), and the two
+# spans the engines exist for must not regress past twice their
+# recorded single-job baselines (~1.7 s simulate, ~0.3 s profile on the
+# reference container — the profile phase runs the closure-compiled
+# interpreter over the memoised training runs).
+grep -q '"simulated_mips"' BENCH_pr9.json || {
+  echo "bench guard: BENCH_pr9.json is missing simulated_mips" >&2
+  exit 1
+}
+grep -q '"interp_mips"' BENCH_pr9.json || {
+  echo "bench guard: BENCH_pr9.json is missing interp_mips" >&2
   exit 1
 }
 simulate_baseline_ms=1700
 simulate_ms=$(awk -F'"seconds": ' '/"experiment:simulate"/ \
-  { split($2, a, ","); printf "%d", a[1] * 1000 }' BENCH_pr7.json)
+  { split($2, a, ","); printf "%d", a[1] * 1000 }' BENCH_pr9.json)
 echo "experiment:simulate span: ${simulate_ms} ms (baseline ${simulate_baseline_ms} ms)"
 if [ -z "$simulate_ms" ] || [ "$simulate_ms" -gt $((2 * simulate_baseline_ms)) ]; then
   echo "bench guard: simulate span ${simulate_ms:-missing} ms > 2x baseline" >&2
+  exit 1
+fi
+profile_baseline_ms=300
+profile_ms=$(awk -F'"seconds": ' '/"name": "profile"/ \
+  { split($2, a, ","); printf "%d", a[1] * 1000 }' BENCH_pr9.json)
+echo "profile span: ${profile_ms} ms (baseline ${profile_baseline_ms} ms)"
+if [ -z "$profile_ms" ] || [ "$profile_ms" -gt $((2 * profile_baseline_ms)) ]; then
+  echo "bench guard: profile span ${profile_ms:-missing} ms > 2x baseline" >&2
   exit 1
 fi

@@ -259,11 +259,20 @@ let add_range iv s e =
   in
   iv.ranges <- insert iv.ranges
 
-let ranges_overlap a b =
-  List.exists
-    (fun (s0, e0) ->
-      List.exists (fun (s1, e1) -> s0 < e1 && s1 < e0) b)
-    a
+(* Claimed ranges on one (reg, slice), keyed by start.  Claims only ever
+   follow a successful free-probe, so the stored ranges are pairwise
+   disjoint — which makes an overlap query a single predecessor lookup:
+   among disjoint ranges, only the one with the greatest start below the
+   query's end can reach into it. *)
+module Occ = Map.Make (Int)
+
+let occ_clashes (m : int Occ.t) (s, e) =
+  match Occ.find_last_opt (fun k -> k < e) m with
+  | Some (_, e0) -> e0 > s
+  | None -> false
+
+let occ_claim (m : int Occ.t) ranges =
+  List.fold_left (fun m (s, e) -> Occ.add s e m) m ranges
 
 let build_intervals (f : mfunc) =
   let live_in, live_out = liveness f in
@@ -336,14 +345,23 @@ let build_intervals (f : mfunc) =
         b.mins;
       pos := bend)
     f.mblocks;
-  let calls = !call_positions in
+  (* call positions, sorted for a binary-search probe per range (the
+     pairwise calls × ranges scan was quadratic on call-heavy code) *)
+  let calls = Array.of_list (List.sort Int.compare !call_positions) in
+  let ncalls = Array.length calls in
+  (* any call position in [s, e)? *)
+  let call_in s e =
+    let lo = ref 0 and hi = ref ncalls in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if calls.(mid) < s then lo := mid + 1 else hi := mid
+    done;
+    !lo < ncalls && calls.(!lo) < e
+  in
   Hashtbl.iter
     (fun _ iv ->
       iv.icrosses_call <-
-        List.exists
-          (fun c ->
-            List.exists (fun (s, e) -> c >= s && c < e - 1) iv.ranges)
-          calls)
+        List.exists (fun (s, e) -> call_in s (e - 1)) iv.ranges)
     tbl;
   let intervals = Hashtbl.fold (fun _ iv acc -> iv :: acc) tbl [] in
   List.sort
@@ -401,16 +419,19 @@ let run ?(regs = allocatable) ?(orig_first = false) (f : mfunc) : result =
         b.mins)
     f.mblocks;
   (* occupancy per (reg, slice) *)
-  let occ : (int * int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let occ : (int * int, int Occ.t ref) Hashtbl.t = Hashtbl.create 64 in
   let occ_of r s =
     match Hashtbl.find_opt occ (r, s) with
     | Some l -> l
     | None ->
-        let l = ref [] in
+        let l = ref Occ.empty in
         Hashtbl.replace occ (r, s) l;
         l
   in
-  let slice_free r s iv = not (ranges_overlap iv.ranges !(occ_of r s)) in
+  let slice_free r s iv =
+    let m = !(occ_of r s) in
+    not (List.exists (occ_clashes m) iv.ranges)
+  in
   let reg_free r iv =
     slice_free r 0 iv && slice_free r 1 iv && slice_free r 2 iv
     && slice_free r 3 iv
@@ -421,13 +442,13 @@ let run ?(regs = allocatable) ?(orig_first = false) (f : mfunc) : result =
   let claim_reg r iv =
     for s = 0 to 3 do
       let l = occ_of r s in
-      l := iv.ranges @ !l
+      l := occ_claim !l iv.ranges
     done;
     Hashtbl.replace used r ()
   in
   let claim_slice r s iv =
     let l = occ_of r s in
-    l := iv.ranges @ !l;
+    l := occ_claim !l iv.ranges;
     Hashtbl.replace used r ()
   in
   let candidates iv =

@@ -70,7 +70,9 @@ let run ?(config = Driver.bitspec_config) ?(jobs = 1) ~trials ~seed
       c.Driver.program (mem ()) ~entry:w.Workload.entry
       ~args:input.Workload.args
   in
-  let expected = Experiment.reference_checksum w in
+  (* injected-fault oracles stay on the tree engine: no compilation
+     layer of their own between the IR and the reference checksum *)
+  let expected = Experiment.reference_checksum ~interp_engine:Interp.Tree w in
   let golden_instrs = golden.Machine.ctr.Counters.instrs in
   let golden_misspecs = golden.Machine.ctr.Counters.misspecs in
   (* a hung run is one that outlives the golden instruction count by 4x
@@ -225,7 +227,9 @@ let run_power ?(config = Driver.bitspec_config) ?(jobs = 1)
       c.Driver.program (mem ()) ~entry:w.Workload.entry
       ~args:input.Workload.args
   in
-  let expected = Experiment.reference_checksum w in
+  (* injected-fault oracles stay on the tree engine: no compilation
+     layer of their own between the IR and the reference checksum *)
+  let expected = Experiment.reference_checksum ~interp_engine:Interp.Tree w in
   let golden_instrs = golden.Machine.ctr.Counters.instrs in
   let golden_energy =
     Bs_energy.Energy.total (Bs_energy.Energy.of_result golden)
@@ -392,7 +396,9 @@ let validate ?(config = Driver.bitspec_config) ?(jobs = 1) ~trials ~seed
       c.Driver.program (mem ()) ~entry:w.Workload.entry
       ~args:input.Workload.args
   in
-  let expected = Experiment.reference_checksum w in
+  (* injected-fault oracles stay on the tree engine: no compilation
+     layer of their own between the IR and the reference checksum *)
+  let expected = Experiment.reference_checksum ~interp_engine:Interp.Tree w in
   let golden_instrs = golden.Machine.ctr.Counters.instrs in
   let golden_misspecs = golden.Machine.ctr.Counters.misspecs in
   let fuel = Outcome.hang_fuel ~steps:golden_instrs ~factor:4 in

@@ -101,6 +101,14 @@ let try_compile ?origin ~key thunk =
 let hits () = Memo.hits strict_tbl + Memo.hits total_tbl
 let misses () = Memo.misses strict_tbl + Memo.misses total_tbl
 
+(* Snapshot each table's (hits, misses) pair under its lock so a
+   concurrent compile can never tear a pair; the two tables are summed
+   without a global lock, which at worst lags one in-flight compile. *)
+let stats () =
+  let sh, sm = Memo.stats strict_tbl in
+  let th, tm = Memo.stats total_tbl in
+  (sh + th, sm + tm)
+
 let reset () =
   Memo.clear strict_tbl;
   Memo.clear total_tbl

@@ -66,6 +66,13 @@ val misses : unit -> int
 (** Compiles that missed the in-memory cache (served from disk or
     actually executed) since the last [reset]. *)
 
+val stats : unit -> int * int
+(** [(hits, misses)] with each table's pair snapshotted under its lock
+    ({!Bs_exec.Memo.stats}), so reporting code running alongside worker
+    domains cannot observe a torn pair.  Use this — not {!hits} +
+    {!misses} read separately — wherever rates or section sums are
+    derived. *)
+
 val reset : unit -> unit
 (** Drop the in-memory tables and zero their counters (tests, long
     campaigns).  The persistent layer is untouched. *)

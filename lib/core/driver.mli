@@ -48,6 +48,12 @@ val config_tag : config -> string
     configuration half of a {!Compile_cache} key (and the bench
     harness's cell keys). *)
 
+val expander_tag : config -> string
+(** The expander-only slice of {!config_tag}.  Configurations with
+    equal expander tags shape identical pre-squeeze modules from the
+    same source, so their training runs observe identical profiles —
+    the configuration half of a [profile_key] (see {!compile}). *)
+
 (** Compiler-level fault injection: force one pass to fail on one
     function, exercising the degradation machinery end to end.
     [Fault_squeeze] and [Fault_regalloc] raise inside the pass (degrade
@@ -79,12 +85,15 @@ type compiled = {
 val profile_module :
   Bs_ir.Ir.modul ->
   ?setup:(Bs_ir.Ir.modul -> Bs_interp.Memimage.t -> unit) ->
+  ?interp_engine:Bs_interp.Interp.engine ->
   train:(string * int64 list) list ->
   unit ->
   Bs_interp.Profile.t
 (** [profile_module m ~train ()] interprets [m] on each [(entry, args)]
     training run, recording per-variable bitwidth statistics (§3.2.2).
-    [setup] initialises workload input data in each run's memory image. *)
+    [setup] initialises workload input data in each run's memory image;
+    [interp_engine] (default [Compiled]) picks the interpreter engine —
+    the recorded profile is engine-invariant. *)
 
 val lower_to_machine :
   ?orig_first:bool -> Bs_ir.Ir.modul -> arch:arch -> Bs_backend.Asm.program
@@ -94,6 +103,8 @@ val lower_to_machine :
 val compile :
   ?mode:mode ->
   ?pass_fault:pass_fault ->
+  ?interp_engine:Bs_interp.Interp.engine ->
+  ?profile_key:string ->
   config:config ->
   source:string ->
   ?setup:(Bs_ir.Ir.modul -> Bs_interp.Memimage.t -> unit) ->
@@ -105,10 +116,22 @@ val compile :
     [mode] selects the failure policy (default {!Strict}); front-end
     errors ([Lexer.Error], [Parser.Error], [Typecheck.Error],
     [Lower.Error]) always raise — there is no module to degrade yet.
-    [pass_fault] injects a compiler fault for testing. *)
+    [pass_fault] injects a compiler fault for testing; [interp_engine]
+    picks the profiling interpreter's engine (the compiled artifact is
+    engine-invariant).
+
+    [profile_key] opts the training run into a process-wide memo:
+    profiling is heuristic-independent, so configurations that share a
+    pre-squeeze form (a MAX/AVG/MIN sweep) reuse one run.  The caller
+    must content-address everything the profile depends on — source,
+    {!expander_tag}, training entries/args, the profile input's
+    identity — and the resulting {!Profile.t} is shared, read-only.
+    Ignored in degrade mode or under [pass_fault], where the
+    pre-squeeze module is no longer the pure function the key names. *)
 
 val try_compile :
   ?pass_fault:pass_fault ->
+  ?interp_engine:Bs_interp.Interp.engine ->
   config:config ->
   source:string ->
   ?setup:(Bs_ir.Ir.modul -> Bs_interp.Memimage.t -> unit) ->
@@ -136,9 +159,11 @@ val run_machine :
 
 val run_reference :
   ?setup:(Bs_interp.Memimage.t -> unit) ->
+  ?interp_engine:Bs_interp.Interp.engine ->
   compiled ->
   entry:string ->
   args:int64 list ->
   Bs_interp.Interp.result
 (** Execute the compiled module's IR on the reference interpreter (the
-    differential-testing oracle). *)
+    differential-testing oracle).  [interp_engine] (default [Compiled])
+    picks the interpreter engine; results are engine-invariant. *)

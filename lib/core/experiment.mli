@@ -27,6 +27,7 @@ val compile_workload :
   ?origin:Compile_cache.origin ref ->
   ?profile_input:Bs_workloads.Workload.input ->
   ?profile_tag:string ->
+  ?interp_engine:Bs_interp.Interp.engine ->
   Driver.config ->
   Bs_workloads.Workload.t ->
   Driver.compiled
@@ -37,8 +38,10 @@ val compile_workload :
     names it with [profile_tag] (an anonymous input closure has no
     content address).  [origin] reports where this call's compile was
     served from (the compile service's per-response [cached] flag).
-    Callers measuring compile time itself should call {!Driver.compile}
-    directly. *)
+    [interp_engine] picks the profiling interpreter's engine; it is NOT
+    part of the cache key because the compiled artifact is
+    engine-invariant.  Callers measuring compile time itself should call
+    {!Driver.compile} directly. *)
 
 val run_compiled :
   Driver.compiled ->
@@ -60,6 +63,16 @@ val pp_misspec_sites :
   Format.formatter -> ((string * string * int) * int) list -> unit
 (** Print a [misspec_sites] histogram with its total. *)
 
+val run_test :
+  Driver.config ->
+  Bs_workloads.Workload.t ->
+  Driver.compiled * Bs_sim.Machine.result
+(** Compile (via the compile cache) and simulate the workload's test
+    input, with the raw result memoized per (config, source) — callers
+    that need the execution itself (misspec attribution) and callers
+    that need metrics share one simulation.  Treat the result as
+    read-only. *)
+
 val run :
   ?profile_input:Bs_workloads.Workload.input ->
   ?profile_tag:string ->
@@ -67,12 +80,18 @@ val run :
   Bs_workloads.Workload.t ->
   metrics
 (** One-call experiment: compile under the configuration (cached, see
-    {!compile_workload}), measure on the workload's test input. *)
+    {!compile_workload}), measure on the workload's test input.  Plain
+    calls (no [profile_input]/[profile_tag]) route through {!run_test}
+    and share its memoized simulation. *)
 
-val reference_checksum : Bs_workloads.Workload.t -> int64
+val reference_checksum :
+  ?interp_engine:Bs_interp.Interp.engine -> Bs_workloads.Workload.t -> int64
 (** The reference interpreter's checksum on the test input; every
     simulated build must reproduce it.  Computed once per process per
-    workload. *)
+    (workload, engine).  [interp_engine] defaults to [Compiled]; the
+    fault and intermittent-power campaigns pass [Tree] so the oracle for
+    injected-fault runs stays on the engine with no compilation layer of
+    its own. *)
 
 val rel : float -> float -> float
 (** [rel v base] = v / base (1 when base is 0). *)

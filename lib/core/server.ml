@@ -18,12 +18,13 @@ type config = {
   backoff_cap_ms : float;
   seed : int64;
   cache_dir : string option;
+  interp_engine : Bs_interp.Interp.engine;
 }
 
 let default_config =
   { jobs = 4; queue_depth = 64; deadline_ms = 30_000; fuel = 200_000_000;
     retries = 2; backoff_base_ms = 25.0; backoff_cap_ms = 400.0; seed = 1L;
-    cache_dir = None }
+    cache_dir = None; interp_engine = Bs_interp.Interp.Compiled }
 
 type slot = {
   s_req : Service.request;
@@ -134,7 +135,10 @@ let attempt_bench t (slot : slot) (b : Service.bench_req) ~attempt ~cached =
         raise (Srv_fail [ Service.diag_unknown_workload b.Service.b_workload ])
   in
   let origin = ref Compile_cache.Fresh in
-  let c = Experiment.compile_workload ~origin (config_of b) w in
+  let c =
+    Experiment.compile_workload ~origin ~interp_engine:t.cfg.interp_engine
+      (config_of b) w
+  in
   (match !origin with
   | Compile_cache.Memory | Compile_cache.Disk -> cached := true
   | Compile_cache.Fresh -> ());

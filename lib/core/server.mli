@@ -40,11 +40,13 @@ type config = {
   seed : int64;          (** jitter seed; part of the determinism story *)
   cache_dir : string option;
       (** attach {!Compile_cache}'s persistent layer here *)
+  interp_engine : Bs_interp.Interp.engine;
+      (** engine for the profiling interpreter on cache-miss compiles *)
 }
 
 val default_config : config
 (** 4 workers, depth 64, 30 s deadline, 2×10{^8} fuel, 2 retries,
-    base 25 ms / cap 400 ms, seed 1, no cache dir. *)
+    base 25 ms / cap 400 ms, seed 1, no cache dir, compiled interp. *)
 
 type t
 

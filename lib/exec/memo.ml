@@ -112,6 +112,17 @@ let clear t =
 let hits t = t.hits
 let misses t = t.misses
 
+(* The individual counter reads above are unsynchronised (fine for a
+   single counter: int stores are atomic), but a (hits, misses) PAIR
+   read field by field can be torn by a concurrent [find_or_add] landing
+   between the two loads.  Reporting code that derives rates or checks
+   sums must snapshot both under the lock. *)
+let stats t =
+  Mutex.lock t.lock;
+  let r = (t.hits, t.misses) in
+  Mutex.unlock t.lock;
+  r
+
 let length t =
   Mutex.lock t.lock;
   let n = Hashtbl.length t.tbl in

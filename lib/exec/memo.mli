@@ -52,4 +52,10 @@ val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int
 (** Requests that ran the computation (including failure retries). *)
 
+val stats : ('k, 'v) t -> int * int
+(** [(hits, misses)] snapshotted atomically under the table lock.
+    Reading {!hits} and {!misses} separately can observe a torn pair
+    when other domains are mutating the table between the two loads;
+    reporting code (hit rates, section sums) must use this instead. *)
+
 val length : ('k, 'v) t -> int

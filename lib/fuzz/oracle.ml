@@ -69,7 +69,7 @@ let frontend_bucket e =
   Bucket.make ~code:"BS-FE-01" ~detail Bucket.Frontend_reject
 
 let run ?plant ?(fuel = 2_000_000) ?train ?(engine = Bs_sim.Machine.Jit)
-    ~source ~entry ~args () =
+    ?(interp_engine = Interp.Compiled) ~source ~entry ~args () =
   let train =
     match train with Some t -> t | None -> [ (entry, Gen.train_args) ]
   in
@@ -80,7 +80,7 @@ let run ?plant ?(fuel = 2_000_000) ?train ?(engine = Bs_sim.Machine.Jit)
         { bucket = frontend_bucket e;
           details = "front-end rejected the program: " ^ Printexc.to_string e }
   | m -> (
-      let opts = { Interp.profile = None; fuel } in
+      let opts = { Interp.profile = None; fuel; engine = interp_engine } in
       let ref_obs, machine_fuel =
         match Interp.run_fresh ~opts m ~entry ~args with
         | r, _ -> (

@@ -36,6 +36,7 @@ val run :
   ?fuel:int ->
   ?train:(string * int64 list) list ->
   ?engine:Bs_sim.Machine.engine ->
+  ?interp_engine:Bs_interp.Interp.engine ->
   source:string ->
   entry:string ->
   args:int64 list ->
@@ -46,8 +47,9 @@ val run :
     [fuel] bounds both the reference interpreter and each machine run
     (default 2,000,000); [train] is the profiling input (default: [entry]
     on {!Gen.train_args}); [engine] picks the machine dispatch engine
-    (default [Jit]) — the verdict is engine-invariant, so differencing
-    verdicts across engines is itself a simulator test. *)
+    (default [Jit]) and [interp_engine] the reference interpreter's
+    engine (default [Compiled]) — the verdict is invariant under both,
+    so differencing verdicts across engines is itself an engine test. *)
 
 val describe : verdict -> string
 

@@ -16,12 +16,27 @@ exception Trap of string
    structured [Out_of_fuel] outcome shared with the machine model *)
 exception Fuel_exhausted
 
+(* Two execution engines with identical observable behaviour:
+
+   [Tree] walks the IR instruction lists directly, re-dispatching on
+   every operand and opcode — simple, and the reference for the other.
+
+   [Compiled] pre-compiles each function body to OCaml closures once
+   per function per execution (mirroring the machine simulator's
+   superblock tier): operand reads, width truncation, misspeculation
+   guards, Salloc frame offsets and profiling hooks are all resolved at
+   compile time, phis are pre-resolved per incoming edge, and each
+   basic block becomes one fused straight-line run whose only exits are
+   traps, fuel exhaustion, misspeculation redirects and terminators. *)
+type engine = Tree | Compiled
+
 type opts = {
   profile : Profile.t option;
   fuel : int;
+  engine : engine;
 }
 
-let default_opts = { profile = None; fuel = 2_000_000_000 }
+let default_opts = { profile = None; fuel = 2_000_000_000; engine = Compiled }
 
 type counters = {
   mutable steps : int;        (* dynamic IR instructions executed *)
@@ -175,12 +190,10 @@ let build_fctx (f : Ir.func) : fctx =
     f.blocks;
   { fc_sallocs; fc_frame; fc_region; fc_phis; fc_body; fc_srcw; fc_block }
 
-let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
-  let st =
-    { m; mem; opts;
-      ctr = { steps = 0; misspecs = 0; calls = 0; sites = Hashtbl.create 16 };
-      sp = Memimage.size mem }
-  in
+(* --- tree-walking engine ----------------------------------------------- *)
+
+let exec_tree (st : state) ~entry ~(args : int64 list) : int64 option =
+  let m = st.m in
   let funcs = Hashtbl.create 16 in
   List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.fname f) m.funcs;
   let get_func name =
@@ -404,9 +417,948 @@ let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem =
     decr depth;
     !ret_val
   in
-  let f = get_func entry in
+  exec_func (get_func entry) args
+
+(* --- closure-compiled engine ------------------------------------------- *)
+
+(* The per-call frame threaded through every compiled closure: the dense
+   environment and its presence bytes, the incoming-edge cursor for phi
+   resolution, the frame base for Salloc addressing, the phi scratch for
+   the two-phase commit, and the landing slot for Ret.
+
+   The environment and scratch are int64 bigarrays, not [int64 array]s:
+   a bigarray element is stored and loaded unboxed, so a committed value
+   costs a plain 8-byte store.  With boxed storage every commit
+   allocated, and — worse — boxes held by frames that stay live across a
+   minor collection (deep recursion, large table state) were promoted,
+   putting the major GC on the per-step path; call-heavy workloads spent
+   more time collecting than executing.  Frames themselves are pooled
+   per function (see [compile_func]) for the same reason. *)
+module A1 = Bigarray.Array1
+
+type i64arr = (int64, Bigarray.int64_elt, Bigarray.c_layout) A1.t
+
+let make_i64arr n : i64arr =
+  let a = A1.create Bigarray.Int64 Bigarray.C_layout n in
+  A1.fill a 0L;
+  a
+
+type cframe = {
+  f_env : i64arr;
+  f_set : Bytes.t;
+  mutable f_prev : int;
+  mutable f_base : int;
+  mutable f_ret : int64 option;
+  f_scratch : i64arr;
+}
+
+(* Block closures return the next block id to execute; [ret_bid] means
+   the frame's function returned (every real bid is non-negative). *)
+let ret_bid = -1
+
+let no_scratch : i64arr = make_i64arr 0
+
+(* Operand access descriptor for the fused instruction bodies.  Each
+   instruction closure matches on these inline, so an operand value is
+   a local of the closure body from the environment load to the
+   environment store — the compiler keeps it unboxed.  Routing the read
+   through a [cframe -> int64] closure instead (the shape the first cut
+   of this engine used) boxes the value at every boundary; with two
+   operands, an operation and a commit per instruction, that is four
+   allocations per step and was the dominant cost. *)
+type acc =
+  | Aconst of int64
+  | Avar of int * string  (** env slot, unset-read trap message *)
+  | Atrap of string  (** statically out-of-range operand *)
+
+let exec_compiled (st : state) ~entry ~(args : int64 list) : int64 option =
+  let m = st.m in
+  let ctr = st.ctr in
+  let fuel = st.opts.fuel in
+  let mem = st.mem in
+  let globals_end = mem.Memimage.globals_end in
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace funcs f.fname f) m.funcs;
+  let depth = ref 0 in
+  (* compiled functions by name; compilation is lazy (first call), like
+     the tree engine's fctx construction, so a function that is never
+     called is never compiled — and compile-time failures (e.g. an empty
+     function body) surface at the same point of execution *)
+  let ctab : (string, int64 list -> int64 option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let rec get_compiled name : int64 list -> int64 option =
+    match Hashtbl.find_opt ctab name with
+    | Some g -> g
+    | None -> (
+        match Hashtbl.find_opt funcs name with
+        | None -> raise (Trap ("call to unknown function " ^ name))
+        | Some f ->
+            let g = compile_func f in
+            Hashtbl.replace ctab f.Ir.fname g;
+            g)
+  and compile_func (f : Ir.func) : int64 list -> int64 option =
+    let ctx = build_fctx f in
+    let nids = f.next_id in
+    let prof =
+      match st.opts.profile with
+      | Some p -> Some (Profile.cursor p ~func:f.fname)
+      | None -> None
+    in
+    let step () =
+      let s = ctr.steps + 1 in
+      ctr.steps <- s;
+      if s > fuel then raise Fuel_exhausted
+    in
+    (* profiling hook for one committing instruction: a baked slot when
+       profiling is on and the width is recordable, nothing otherwise *)
+    let record_of (i : Ir.instr) : (int64 -> unit) option =
+      match prof with
+      | Some c when i.width > 0 ->
+          Some (Profile.slot c ~iid:i.iid ~width:i.width)
+      | _ -> None
+    in
+    (* operand readers: constants are immediate, variables read the dense
+       environment with the presence check (and its trap message) baked *)
+    let rd (o : Ir.operand) : cframe -> int64 =
+      match o with
+      | Ir.Const c ->
+          let v = c.Ir.cval in
+          fun _ -> v
+      | Ir.Var v ->
+          let msg = Printf.sprintf "read of unset %%%d in %s" v f.fname in
+          if v >= 0 && v < nids then fun fr ->
+            if Bytes.unsafe_get fr.f_set v = '\001' then
+              A1.unsafe_get fr.f_env v
+            else raise (Trap msg)
+          else fun _ -> raise (Trap msg)
+    in
+    (* same access, as a descriptor for the fused bodies (the [Avar]
+       index is validated here, so the unsafe reads below stay safe) *)
+    let acc_of (o : Ir.operand) : acc =
+      match o with
+      | Ir.Const c -> Aconst c.Ir.cval
+      | Ir.Var v ->
+          let msg = Printf.sprintf "read of unset %%%d in %s" v f.fname in
+          if v >= 0 && v < nids then Avar (v, msg) else Atrap msg
+    in
+    (* the commit path: truncate, write the environment, record *)
+    let commit_of (i : Ir.instr) : cframe -> int64 -> unit =
+      let iid = i.iid in
+      let t = Width.trunc i.width in
+      match record_of i with
+      | None ->
+          fun fr v ->
+            A1.unsafe_set fr.f_env iid (t v);
+            Bytes.unsafe_set fr.f_set iid '\001'
+      | Some rec_ ->
+          fun fr v ->
+            let v = t v in
+            A1.unsafe_set fr.f_env iid v;
+            Bytes.unsafe_set fr.f_set iid '\001';
+            rec_ v
+    in
+    (* static jump: a valid target becomes a constant, an invalid one
+       fails at execution time exactly as the tree engine's goto does *)
+    let jump_to t : cframe -> int =
+      if t >= 0 && t < nids && ctx.fc_block.(t) <> None then fun _ -> t
+      else fun _ ->
+        ignore (Ir.block f t);
+        assert false
+    in
+    (* misspeculation exit: counter bump, site attribution and handler
+       redirect, all resolved at compile time *)
+    let misspec_exit_of (b : Ir.block) (i : Ir.instr) : cframe -> int =
+      match ctx.fc_region.(b.Ir.bid) with
+      | None -> fun _ -> raise (Trap "speculative instruction outside a region")
+      | Some r ->
+          let var =
+            if i.iname <> "" then i.iname else Printf.sprintf "%%%d" i.iid
+          in
+          let key = (f.Ir.fname, var, i.line) in
+          let jump = jump_to r.Ir.rhandler in
+          let bid = b.Ir.bid in
+          fun fr ->
+            ctr.misspecs <- ctr.misspecs + 1;
+            (match Hashtbl.find_opt ctr.sites key with
+            | Some n -> Hashtbl.replace ctr.sites key (n + 1)
+            | None -> Hashtbl.add ctr.sites key 1);
+            fr.f_prev <- bid;
+            jump fr
+    in
+    (* Salloc frame offsets (tree engine: per-call hashtable walk) *)
+    let salloc_off = Hashtbl.create 4 in
+    let () =
+      let cur = ref 0 in
+      List.iter
+        (fun (iid, n) ->
+          Hashtbl.replace salloc_off iid !cur;
+          cur := !cur + ((n + 7) / 8 * 8))
+        ctx.fc_sallocs
+    in
+    (* phi prefix, pre-resolved per incoming edge.  Phase 1 evaluates
+       every phi w.r.t. the edge into the frame's scratch (traps — unset
+       reads, missing edges — surface in phi order, before any commit);
+       phase 2 commits simultaneously. *)
+    let compile_phis (phis : Ir.instr list) : cframe -> unit =
+      let phis = Array.of_list phis in
+      let n = Array.length phis in
+      let incoming_of (i : Ir.instr) =
+        match i.Ir.op with Ir.Phi inc -> inc | _ -> assert false
+      in
+      let iids = Array.map (fun (i : Ir.instr) -> i.Ir.iid) phis in
+      let recs = Array.map record_of phis in
+      let masks =
+        Array.map (fun (i : Ir.instr) -> Width.mask i.Ir.width) phis
+      in
+      let no_edge_msg (i : Ir.instr) p =
+        Printf.sprintf "phi %%%d has no incoming for block %d" i.Ir.iid p
+      in
+      (* every predecessor edge any phi knows about gets a plan *)
+      let preds =
+        let acc = ref [] in
+        Array.iter
+          (fun i ->
+            List.iter
+              (fun (p, _) -> if not (List.mem p !acc) then acc := p :: !acc)
+              (incoming_of i))
+          phis;
+        Array.of_list (List.rev !acc)
+      in
+      let plan_for p : cframe -> unit =
+        (* accesses for the phi prefix in order, stopping at the first
+           phi with no entry for this edge (evaluations before it still
+           run, so their traps keep priority, as in the tree engine) *)
+        let rec accesses k acc =
+          if k = n then `Complete (Array.of_list (List.rev acc))
+          else
+            let i = phis.(k) in
+            match List.assoc_opt p (incoming_of i) with
+            | None -> `Missing (Array.of_list (List.rev acc), no_edge_msg i p)
+            | Some o -> accesses (k + 1) (acc_of o :: acc)
+        in
+        match accesses 0 [] with
+        | `Missing (accs, msg) ->
+            fun fr ->
+              let set = fr.f_set in
+              for k = 0 to Array.length accs - 1 do
+                match Array.unsafe_get accs k with
+                | Aconst _ -> ()
+                | Avar (x, m) ->
+                    if Bytes.unsafe_get set x <> '\001' then raise (Trap m)
+                | Atrap m -> raise (Trap m)
+              done;
+              raise (Trap msg)
+        | `Complete accs ->
+            fun fr ->
+              let env = fr.f_env and set = fr.f_set in
+              let sc = fr.f_scratch in
+              for k = 0 to n - 1 do
+                let v =
+                  match Array.unsafe_get accs k with
+                  | Aconst v -> v
+                  | Avar (x, m) ->
+                      if Bytes.unsafe_get set x = '\001' then
+                        A1.unsafe_get env x
+                      else raise (Trap m)
+                  | Atrap m -> raise (Trap m)
+                in
+                A1.unsafe_set sc k
+                  (Int64.logand v (Array.unsafe_get masks k))
+              done;
+              ctr.steps <- ctr.steps + n;
+              for k = 0 to n - 1 do
+                let v = A1.unsafe_get sc k in
+                let iid = Array.unsafe_get iids k in
+                A1.unsafe_set env iid v;
+                Bytes.unsafe_set set iid '\001';
+                match Array.unsafe_get recs k with
+                | Some r -> r v
+                | None -> ()
+              done
+      in
+      let plans = Array.map plan_for preds in
+      let nplans = Array.length preds in
+      let fallback fr =
+        (* an edge no phi lists: the tree engine's phase 1 fails on the
+           first phi, naming the dynamic predecessor *)
+        raise (Trap (no_edge_msg phis.(0) fr.f_prev))
+      in
+      fun fr ->
+        let p = fr.f_prev in
+        let rec find k =
+          if k = nplans then fallback fr
+          else if Array.unsafe_get preds k = p then
+            (Array.unsafe_get plans k) fr
+          else find (k + 1)
+        in
+        find 0
+    in
+    (* the fused body: one closure per instruction, each tail-calling its
+       continuation; terminators return the next block id instead *)
+    let rec comp_body (b : Ir.block) (is : Ir.instr list) : cframe -> int =
+      match is with
+      | [] ->
+          (* a block without a terminator re-enters itself with the same
+             incoming edge, exactly like the tree engine's outer loop *)
+          let bid = b.Ir.bid in
+          fun _ -> bid
+      | i :: rest -> comp_instr b i (comp_body b rest)
+    and comp_instr (b : Ir.block) (i : Ir.instr) (k : cframe -> int) :
+        cframe -> int =
+      match i.Ir.op with
+      | Ir.Param _ ->
+          fun _ ->
+            step ();
+            raise (Trap "param instruction in block")
+      | Ir.Bin (op, a, c) ->
+          let w = i.width in
+          let wmask = Width.mask w in
+          let iid = i.iid in
+          let ka = acc_of a and kc = acc_of c in
+          let rec_ = record_of i in
+          let guarded =
+            i.speculative
+            && match op with Ir.Add | Ir.Sub -> true | _ -> false
+          in
+          if guarded then begin
+            let exit_ = misspec_exit_of b i in
+            let is_add = match op with Ir.Add -> true | _ -> false in
+            fun fr ->
+              let s = ctr.steps + 1 in
+              ctr.steps <- s;
+              if s > fuel then raise Fuel_exhausted;
+              let env = fr.f_env and set = fr.f_set in
+              let va =
+                match ka with
+                | Aconst v -> v
+                | Avar (x, m) ->
+                    if Bytes.unsafe_get set x = '\001' then
+                      A1.unsafe_get env x
+                    else raise (Trap m)
+                | Atrap m -> raise (Trap m)
+              in
+              let vc =
+                match kc with
+                | Aconst v -> v
+                | Avar (x, m) ->
+                    if Bytes.unsafe_get set x = '\001' then
+                      A1.unsafe_get env x
+                    else raise (Trap m)
+                | Atrap m -> raise (Trap m)
+              in
+              let e = if is_add then Int64.add va vc else Int64.sub va vc in
+              (* e < 0 || not (fits w e), with [fits] unfolded: for
+                 e >= 0 the bit length exceeds w iff w < 64 and
+                 e > mask w *)
+              if
+                Int64.compare e 0L < 0
+                || (w < 64 && Int64.compare e wmask > 0)
+              then exit_ fr
+              else begin
+                let v = Int64.logand e wmask in
+                A1.unsafe_set env iid v;
+                Bytes.unsafe_set set iid '\001';
+                (match rec_ with Some r -> r v | None -> ());
+                k fr
+              end
+          end
+          else
+            fun fr ->
+              let s = ctr.steps + 1 in
+              ctr.steps <- s;
+              if s > fuel then raise Fuel_exhausted;
+              let env = fr.f_env and set = fr.f_set in
+              let va =
+                match ka with
+                | Aconst v -> v
+                | Avar (x, m) ->
+                    if Bytes.unsafe_get set x = '\001' then
+                      A1.unsafe_get env x
+                    else raise (Trap m)
+                | Atrap m -> raise (Trap m)
+              in
+              let vc =
+                match kc with
+                | Aconst v -> v
+                | Avar (x, m) ->
+                    if Bytes.unsafe_get set x = '\001' then
+                      A1.unsafe_get env x
+                    else raise (Trap m)
+                | Atrap m -> raise (Trap m)
+              in
+              let v =
+                match op with
+                | Ir.Add -> Int64.logand (Int64.add va vc) wmask
+                | Ir.Sub -> Int64.logand (Int64.sub va vc) wmask
+                | Ir.Mul -> Int64.logand (Int64.mul va vc) wmask
+                | Ir.Udiv ->
+                    if Int64.compare vc 0L = 0 then
+                      raise (Trap "division by zero")
+                    else Int64.logand (Int64.unsigned_div va vc) wmask
+                | Ir.Urem ->
+                    if Int64.compare vc 0L = 0 then
+                      raise (Trap "remainder by zero")
+                    else Int64.logand (Int64.unsigned_rem va vc) wmask
+                | Ir.Sdiv ->
+                    if Int64.compare vc 0L = 0 then
+                      raise (Trap "division by zero")
+                    else
+                      Int64.logand
+                        (Int64.div (Width.sext w va) (Width.sext w vc))
+                        wmask
+                | Ir.Srem ->
+                    if Int64.compare vc 0L = 0 then
+                      raise (Trap "remainder by zero")
+                    else
+                      Int64.logand
+                        (Int64.rem (Width.sext w va) (Width.sext w vc))
+                        wmask
+                | Ir.And -> Int64.logand va vc
+                | Ir.Or -> Int64.logor va vc
+                | Ir.Xor -> Int64.logxor va vc
+                | Ir.Shl ->
+                    Int64.logand
+                      (Int64.shift_left va (Int64.to_int vc land (w - 1)))
+                      wmask
+                | Ir.Lshr ->
+                    Int64.logand
+                      (Int64.shift_right_logical (Int64.logand va wmask)
+                         (Int64.to_int vc land (w - 1)))
+                      wmask
+                | Ir.Ashr ->
+                    Int64.logand
+                      (Int64.shift_right (Width.sext w va)
+                         (Int64.to_int vc land (w - 1)))
+                      wmask
+              in
+              A1.unsafe_set env iid v;
+              Bytes.unsafe_set set iid '\001';
+              (match rec_ with Some r -> r v | None -> ());
+              k fr
+      | Ir.Cmp (op, a, c) ->
+          let cw = ctx.fc_srcw.(i.iid) in
+          let cmask = Width.mask cw in
+          let csh = 64 - cw in
+          let one = Width.trunc i.width 1L in
+          let iid = i.iid in
+          let ka = acc_of a and kc = acc_of c in
+          let rec_ = record_of i in
+          fun fr ->
+            let s = ctr.steps + 1 in
+            ctr.steps <- s;
+            if s > fuel then raise Fuel_exhausted;
+            let env = fr.f_env and set = fr.f_set in
+            let va =
+              match ka with
+              | Aconst v -> v
+              | Avar (x, m) ->
+                  if Bytes.unsafe_get set x = '\001' then
+                    A1.unsafe_get env x
+                  else raise (Trap m)
+              | Atrap m -> raise (Trap m)
+            in
+            let vc =
+              match kc with
+              | Aconst v -> v
+              | Avar (x, m) ->
+                  if Bytes.unsafe_get set x = '\001' then
+                    A1.unsafe_get env x
+                  else raise (Trap m)
+              | Atrap m -> raise (Trap m)
+            in
+            let r =
+              (* [shift_left then shift_right] is sext-of-trunc at
+                 [cw], i.e. exactly [Width.sext cw] *)
+              match op with
+              | Ir.Eq ->
+                  Int64.compare (Int64.logand va cmask)
+                    (Int64.logand vc cmask)
+                  = 0
+              | Ir.Ne ->
+                  Int64.compare (Int64.logand va cmask)
+                    (Int64.logand vc cmask)
+                  <> 0
+              | Ir.Ult ->
+                  Int64.unsigned_compare (Int64.logand va cmask)
+                    (Int64.logand vc cmask)
+                  < 0
+              | Ir.Ule ->
+                  Int64.unsigned_compare (Int64.logand va cmask)
+                    (Int64.logand vc cmask)
+                  <= 0
+              | Ir.Ugt ->
+                  Int64.unsigned_compare (Int64.logand va cmask)
+                    (Int64.logand vc cmask)
+                  > 0
+              | Ir.Uge ->
+                  Int64.unsigned_compare (Int64.logand va cmask)
+                    (Int64.logand vc cmask)
+                  >= 0
+              | Ir.Slt ->
+                  Int64.compare
+                    (Int64.shift_right (Int64.shift_left va csh) csh)
+                    (Int64.shift_right (Int64.shift_left vc csh) csh)
+                  < 0
+              | Ir.Sle ->
+                  Int64.compare
+                    (Int64.shift_right (Int64.shift_left va csh) csh)
+                    (Int64.shift_right (Int64.shift_left vc csh) csh)
+                  <= 0
+              | Ir.Sgt ->
+                  Int64.compare
+                    (Int64.shift_right (Int64.shift_left va csh) csh)
+                    (Int64.shift_right (Int64.shift_left vc csh) csh)
+                  > 0
+              | Ir.Sge ->
+                  Int64.compare
+                    (Int64.shift_right (Int64.shift_left va csh) csh)
+                    (Int64.shift_right (Int64.shift_left vc csh) csh)
+                  >= 0
+            in
+            let v = if r then one else 0L in
+            A1.unsafe_set env iid v;
+            Bytes.unsafe_set set iid '\001';
+            (match rec_ with Some r -> r v | None -> ());
+            k fr
+      | Ir.Cast (op, a) -> (
+          let src_w = ctx.fc_srcw.(i.iid) in
+          let w = i.width in
+          let wmask = Width.mask w in
+          let iid = i.iid in
+          let ka = acc_of a in
+          let rec_ = record_of i in
+          match op with
+          | Ir.Zext ->
+              (* trunc w (zext src_w v) = v land (smask land wmask) *)
+              let m = Int64.logand (Width.mask src_w) wmask in
+              fun fr ->
+                let s = ctr.steps + 1 in
+                ctr.steps <- s;
+                if s > fuel then raise Fuel_exhausted;
+                let env = fr.f_env and set = fr.f_set in
+                let va =
+                  match ka with
+                  | Aconst v -> v
+                  | Avar (x, m) ->
+                      if Bytes.unsafe_get set x = '\001' then
+                        A1.unsafe_get env x
+                      else raise (Trap m)
+                  | Atrap m -> raise (Trap m)
+                in
+                let v = Int64.logand va m in
+                A1.unsafe_set env iid v;
+                Bytes.unsafe_set set iid '\001';
+                (match rec_ with Some r -> r v | None -> ());
+                k fr
+          | Ir.Sext ->
+              let ssh = 64 - src_w in
+              fun fr ->
+                let s = ctr.steps + 1 in
+                ctr.steps <- s;
+                if s > fuel then raise Fuel_exhausted;
+                let env = fr.f_env and set = fr.f_set in
+                let va =
+                  match ka with
+                  | Aconst v -> v
+                  | Avar (x, m) ->
+                      if Bytes.unsafe_get set x = '\001' then
+                        A1.unsafe_get env x
+                      else raise (Trap m)
+                  | Atrap m -> raise (Trap m)
+                in
+                let v =
+                  Int64.logand
+                    (Int64.shift_right (Int64.shift_left va ssh) ssh)
+                    wmask
+                in
+                A1.unsafe_set env iid v;
+                Bytes.unsafe_set set iid '\001';
+                (match rec_ with Some r -> r v | None -> ());
+                k fr
+          | Ir.TruncCast ->
+              if i.speculative then begin
+                let exit_ = misspec_exit_of b i in
+                fun fr ->
+                  let s = ctr.steps + 1 in
+                  ctr.steps <- s;
+                  if s > fuel then raise Fuel_exhausted;
+                  let env = fr.f_env and set = fr.f_set in
+                  let va =
+                    match ka with
+                    | Aconst v -> v
+                    | Avar (x, m) ->
+                        if Bytes.unsafe_get set x = '\001' then
+                          A1.unsafe_get env x
+                        else raise (Trap m)
+                    | Atrap m -> raise (Trap m)
+                  in
+                  (* not (fits w va): for w = 64 every value fits; below
+                     that, negatives need 64 bits and non-negatives fit
+                     iff va <= mask w *)
+                  if
+                    w < 64
+                    && (Int64.compare va 0L < 0
+                       || Int64.compare va wmask > 0)
+                  then exit_ fr
+                  else begin
+                    let v = Int64.logand va wmask in
+                    A1.unsafe_set env iid v;
+                    Bytes.unsafe_set set iid '\001';
+                    (match rec_ with Some r -> r v | None -> ());
+                    k fr
+                  end
+              end
+              else
+                fun fr ->
+                  let s = ctr.steps + 1 in
+                  ctr.steps <- s;
+                  if s > fuel then raise Fuel_exhausted;
+                  let env = fr.f_env and set = fr.f_set in
+                  let va =
+                    match ka with
+                    | Aconst v -> v
+                    | Avar (x, m) ->
+                        if Bytes.unsafe_get set x = '\001' then
+                          A1.unsafe_get env x
+                        else raise (Trap m)
+                    | Atrap m -> raise (Trap m)
+                  in
+                  let v = Int64.logand va wmask in
+                  A1.unsafe_set env iid v;
+                  Bytes.unsafe_set set iid '\001';
+                  (match rec_ with Some r -> r v | None -> ());
+                  k fr)
+      | Ir.Select (c, a, d) ->
+          let wmask = Width.mask i.width in
+          let iid = i.iid in
+          let kc = acc_of c and ka = acc_of a and kd = acc_of d in
+          let rec_ = record_of i in
+          fun fr ->
+            let s = ctr.steps + 1 in
+            ctr.steps <- s;
+            if s > fuel then raise Fuel_exhausted;
+            let env = fr.f_env and set = fr.f_set in
+            let vc =
+              match kc with
+              | Aconst v -> v
+              | Avar (x, m) ->
+                  if Bytes.unsafe_get set x = '\001' then
+                    A1.unsafe_get env x
+                  else raise (Trap m)
+              | Atrap m -> raise (Trap m)
+            in
+            (* only the taken arm evaluates (and traps), as in the
+               tree engine *)
+            let v0 =
+              if Int64.compare vc 0L <> 0 then
+                match ka with
+                | Aconst v -> v
+                | Avar (x, m) ->
+                    if Bytes.unsafe_get set x = '\001' then
+                      A1.unsafe_get env x
+                    else raise (Trap m)
+                | Atrap m -> raise (Trap m)
+              else
+                match kd with
+                | Aconst v -> v
+                | Avar (x, m) ->
+                    if Bytes.unsafe_get set x = '\001' then
+                      A1.unsafe_get env x
+                    else raise (Trap m)
+                | Atrap m -> raise (Trap m)
+            in
+            let v = Int64.logand v0 wmask in
+            A1.unsafe_set env iid v;
+            Bytes.unsafe_set set iid '\001';
+            (match rec_ with Some r -> r v | None -> ());
+            k fr
+      | Ir.Phi _ ->
+          (* unreachable: the body excludes the phi prefix *)
+          fun _ ->
+            step ();
+            raise (Trap "phi after non-phi")
+      | Ir.Load l ->
+          let w = i.width in
+          let wmask = Width.mask w in
+          let iid = i.iid in
+          let ka = acc_of l.Ir.l_addr in
+          let rec_ = record_of i in
+          fun fr ->
+            let s = ctr.steps + 1 in
+            ctr.steps <- s;
+            if s > fuel then raise Fuel_exhausted;
+            let env = fr.f_env and set = fr.f_set in
+            let va =
+              match ka with
+              | Aconst v -> v
+              | Avar (x, m) ->
+                  if Bytes.unsafe_get set x = '\001' then
+                    A1.unsafe_get env x
+                  else raise (Trap m)
+              | Atrap m -> raise (Trap m)
+            in
+            let v =
+              Int64.logand
+                (Memimage.read mem ~width:w (Int64.to_int va))
+                wmask
+            in
+            A1.unsafe_set env iid v;
+            Bytes.unsafe_set set iid '\001';
+            (match rec_ with Some r -> r v | None -> ());
+            k fr
+      | Ir.Store s ->
+          let w = s.Ir.s_width in
+          let ka = acc_of s.Ir.s_addr and kv = acc_of s.Ir.s_value in
+          fun fr ->
+            let st_ = ctr.steps + 1 in
+            ctr.steps <- st_;
+            if st_ > fuel then raise Fuel_exhausted;
+            let env = fr.f_env and set = fr.f_set in
+            let va =
+              match ka with
+              | Aconst v -> v
+              | Avar (x, m) ->
+                  if Bytes.unsafe_get set x = '\001' then
+                    A1.unsafe_get env x
+                  else raise (Trap m)
+              | Atrap m -> raise (Trap m)
+            in
+            let vv =
+              match kv with
+              | Aconst v -> v
+              | Avar (x, m) ->
+                  if Bytes.unsafe_get set x = '\001' then
+                    A1.unsafe_get env x
+                  else raise (Trap m)
+              | Atrap m -> raise (Trap m)
+            in
+            Memimage.write mem ~width:w (Int64.to_int va) vv;
+            k fr
+      | Ir.Gaddr g ->
+          let wmask = Width.mask i.width in
+          let iid = i.iid in
+          let rec_ = record_of i in
+          fun fr ->
+            let s = ctr.steps + 1 in
+            ctr.steps <- s;
+            if s > fuel then raise Fuel_exhausted;
+            let v =
+              Int64.logand (Int64.of_int (Memimage.addr_of mem g)) wmask
+            in
+            A1.unsafe_set fr.f_env iid v;
+            Bytes.unsafe_set fr.f_set iid '\001';
+            (match rec_ with Some r -> r v | None -> ());
+            k fr
+      | Ir.Salloc _ ->
+          let off = Hashtbl.find salloc_off i.iid in
+          let wmask = Width.mask i.width in
+          let iid = i.iid in
+          let rec_ = record_of i in
+          fun fr ->
+            let s = ctr.steps + 1 in
+            ctr.steps <- s;
+            if s > fuel then raise Fuel_exhausted;
+            let v = Int64.logand (Int64.of_int (fr.f_base + off)) wmask in
+            A1.unsafe_set fr.f_env iid v;
+            Bytes.unsafe_set fr.f_set iid '\001';
+            (match rec_ with Some r -> r v | None -> ());
+            k fr
+      | Ir.Call c ->
+          let rargs = Array.of_list (List.map rd c.Ir.args) in
+          let na = Array.length rargs in
+          let callee = c.Ir.callee in
+          let target = ref None in
+          let w = i.width in
+          let commit = commit_of i in
+          fun fr ->
+            step ();
+            (* arguments left to right, then callee resolution — the
+               tree engine's order (unknown callees trap after the
+               arguments evaluate) *)
+            let rec eval j =
+              if j = na then []
+              else
+                let v = (Array.unsafe_get rargs j) fr in
+                v :: eval (j + 1)
+            in
+            let vargs = eval 0 in
+            let g =
+              match !target with
+              | Some g -> g
+              | None ->
+                  let g = get_compiled callee in
+                  target := Some g;
+                  g
+            in
+            (match g vargs with
+            | Some v when w > 0 -> commit fr v
+            | _ -> ());
+            k fr
+      | Ir.Br t ->
+          let j = jump_to t in
+          let bid = b.Ir.bid in
+          fun fr ->
+            step ();
+            fr.f_prev <- bid;
+            j fr
+      | Ir.Cbr (c, t, e) ->
+          let kc = acc_of c in
+          let jt = jump_to t and je = jump_to e in
+          let bid = b.Ir.bid in
+          fun fr ->
+            let s = ctr.steps + 1 in
+            ctr.steps <- s;
+            if s > fuel then raise Fuel_exhausted;
+            (* prev is set before the condition evaluates, as in the
+               tree engine *)
+            fr.f_prev <- bid;
+            let vc =
+              match kc with
+              | Aconst v -> v
+              | Avar (x, m) ->
+                  if Bytes.unsafe_get fr.f_set x = '\001' then
+                    A1.unsafe_get fr.f_env x
+                  else raise (Trap m)
+              | Atrap m -> raise (Trap m)
+            in
+            if Int64.compare vc 0L <> 0 then jt fr else je fr
+      | Ir.Ret v -> (
+          match v with
+          | None ->
+              fun fr ->
+                step ();
+                fr.f_ret <- None;
+                ret_bid
+          | Some o ->
+              let r = rd o in
+              fun fr ->
+                step ();
+                fr.f_ret <- Some (r fr);
+                ret_bid)
+      | Ir.Unreachable ->
+          fun _ ->
+            step ();
+            raise (Trap "reached unreachable")
+    in
+    let bcode : (cframe -> int) array =
+      Array.make (max nids 1) (fun _ -> assert false)
+    in
+    let max_phis = ref 0 in
+    List.iter
+      (fun (b : Ir.block) ->
+        let body = comp_body b ctx.fc_body.(b.Ir.bid) in
+        let code =
+          match ctx.fc_phis.(b.Ir.bid) with
+          | [] -> body
+          | phis ->
+              max_phis := max !max_phis (List.length phis);
+              let ph = compile_phis phis in
+              fun fr ->
+                ph fr;
+                body fr
+        in
+        bcode.(b.Ir.bid) <- code)
+      f.blocks;
+    let max_phis = !max_phis in
+    (* parameter binding, mirroring List.iter2: the common prefix binds
+       (and records) before an arity mismatch traps *)
+    let psets : (cframe -> int64 -> unit) array =
+      Array.of_list
+        (List.map
+           (fun (i : Ir.instr) ->
+             let iid = i.Ir.iid in
+             let t = Width.trunc i.width in
+             match prof with
+             | Some c ->
+                 (* parameters record like any dynamic assignment, with
+                    no width gate — exactly the tree engine's bind *)
+                 let slot = Profile.slot c ~iid ~width:i.width in
+                 fun fr v ->
+                   let v = t v in
+                   A1.unsafe_set fr.f_env iid v;
+                   Bytes.unsafe_set fr.f_set iid '\001';
+                   slot v
+             | None ->
+                 fun fr v ->
+                   let v = t v in
+                   A1.unsafe_set fr.f_env iid v;
+                   Bytes.unsafe_set fr.f_set iid '\001')
+           f.param_instrs)
+    in
+    let nparams = Array.length psets in
+    let arity_msg = "arity mismatch calling " ^ f.fname in
+    let frame = ctx.fc_frame in
+    let entry_bid = (Ir.entry f).Ir.bid in
+    (* Frame pool (LIFO, matching call nesting): a returning call parks
+       its frame here and the next call to this function reuses it after
+       scrubbing the presence bytes — every compiled read checks those
+       before touching the environment, so stale slot values are
+       unobservable.  Frames abandoned by an unwinding exception are
+       simply not returned; the pool re-allocates on demand. *)
+    let pool : cframe list ref = ref [] in
+    fun (args : int64 list) ->
+      incr depth;
+      if !depth > 100_000 then raise (Trap "stack overflow");
+      ctr.calls <- ctr.calls + 1;
+      let fr =
+        match !pool with
+        | fr :: rest ->
+            pool := rest;
+            Bytes.fill fr.f_set 0 nids '\000';
+            fr.f_prev <- -1;
+            fr.f_ret <- None;
+            fr
+        | [] ->
+            { f_env = make_i64arr nids;
+              f_set = Bytes.make nids '\000';
+              f_prev = -1;
+              f_base = 0;
+              f_ret = None;
+              f_scratch =
+                (if max_phis = 0 then no_scratch else make_i64arr max_phis) }
+      in
+      let rec bind j = function
+        | [] -> if j < nparams then raise (Trap arity_msg)
+        | v :: rest ->
+            if j >= nparams then raise (Trap arity_msg)
+            else begin
+              (Array.unsafe_get psets j) fr v;
+              bind (j + 1) rest
+            end
+      in
+      bind 0 args;
+      let saved_sp = st.sp in
+      st.sp <- st.sp - frame;
+      if st.sp < globals_end then raise (Trap "stack overflow");
+      fr.f_base <- st.sp;
+      let bid = ref entry_bid in
+      while !bid >= 0 do
+        bid := (Array.unsafe_get bcode !bid) fr
+      done;
+      st.sp <- saved_sp;
+      decr depth;
+      let r = fr.f_ret in
+      pool := fr :: !pool;
+      r
+  in
+  (get_compiled entry) args
+
+(* --- shared entry point ------------------------------------------------ *)
+
+let exec ?(opts = default_opts) (m : Ir.modul) ~entry ~(args : int64 list) mem
+    =
+  let st =
+    { m; mem; opts;
+      ctr = { steps = 0; misspecs = 0; calls = 0; sites = Hashtbl.create 16 };
+      sp = Memimage.size mem }
+  in
   let ret, outcome =
-    match exec_func f args with
+    match
+      match opts.engine with
+      | Tree -> exec_tree st ~entry ~args
+      | Compiled -> exec_compiled st ~entry ~args
+    with
     | r -> (r, Bs_support.Outcome.Finished)
     | exception Fuel_exhausted -> (None, Bs_support.Outcome.Out_of_fuel)
     | exception Stack_overflow ->

@@ -13,9 +13,20 @@ exception Trap of string
     exception: it is reported as [Out_of_fuel] in the result's [outcome],
     the same {!Bs_support.Outcome.t} variant the machine model uses. *)
 
+type engine =
+  | Tree      (** walk the IR directly, re-dispatching per instruction *)
+  | Compiled
+      (** pre-compile each function body to fused closures: per-block,
+          phi-resolved per incoming edge, with operand reads, width
+          truncation, misspeculation guards and profiling hooks baked in
+          at compile time.  Observably identical to [Tree] — outputs,
+          counters, traps and misspeculation-site attribution all match
+          bit for bit. *)
+
 type opts = {
   profile : Profile.t option;  (** record per-variable bitwidth statistics *)
   fuel : int;                  (** dynamic IR instruction budget *)
+  engine : engine;             (** execution engine ([Compiled] by default) *)
 }
 
 val default_opts : opts

@@ -57,9 +57,9 @@ let recycle t =
   if List.length !pool < pool_cap then pool := t.bytes :: !pool;
   Mutex.unlock pool_mutex
 
-(** [create ?size m] lays out the globals of [m] and returns a zeroed
-    memory image with initialisers applied. *)
-let create ?(size = 8 * 1024 * 1024) (m : Ir.modul) =
+(* The pure layout computation shared by [create] and [layout_table]:
+   global name -> address, plus the end of the globals region. *)
+let compute_layout (m : Ir.modul) =
   let layout = Hashtbl.create 16 in
   let cursor = ref globals_base in
   List.iter
@@ -81,6 +81,19 @@ let create ?(size = 8 * 1024 * 1024) (m : Ir.modul) =
       Hashtbl.replace layout g.gname !cursor;
       cursor := !cursor + (esz * g.count))
     m.globals;
+  (layout, !cursor)
+
+(** [layout_table m] computes the global layout without allocating (or
+    zeroing) a backing buffer — for consumers that only need addresses,
+    e.g. the assembler's [addr_of_global]. *)
+let layout_table (m : Ir.modul) : (string, int) Hashtbl.t =
+  fst (compute_layout m)
+
+(** [create ?size m] lays out the globals of [m] and returns a zeroed
+    memory image with initialisers applied. *)
+let create ?(size = 8 * 1024 * 1024) (m : Ir.modul) =
+  let layout, cursor = compute_layout m in
+  let cursor = ref cursor in
   (* [cursor] now points one past the last global byte, so the layout
      fits exactly when [cursor = size].  Check before allocating or
      initialising anything. *)

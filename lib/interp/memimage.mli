@@ -41,6 +41,12 @@ val recycle : t -> unit
 val addr_of : t -> string -> int
 (** Base address of a global. *)
 
+val layout_table : Bs_ir.Ir.modul -> (string, int) Hashtbl.t
+(** The global layout alone — identical addresses to {!create}'s — with
+    no backing buffer allocated or initialised.  For consumers that
+    only resolve addresses (the assembler's [addr_of_global]).
+    @raise Layout_error on duplicate global names. *)
+
 val read : t -> width:int -> int -> int64
 (** Little-endian load of [width] bits. *)
 

@@ -75,6 +75,43 @@ let record_at c ~iid ~width value =
   (* width 1 (booleans) are counted in the 8-bit class *)
   t.prog_hist.(class_index width) <- t.prog_hist.(class_index width) + 1
 
+(** [slot c ~iid ~width] pre-resolves everything about one variable's
+    recording except the value: the programmer-width class and (lazily,
+    on the first assignment, so a never-assigned variable still reports
+    as unprofiled) its stats cell.  The closure-compiled interpreter
+    bakes one of these per committing instruction at compile time,
+    leaving only the RequiredBits computation and a few cell updates on
+    the per-assignment path. *)
+let slot c ~iid ~width =
+  let t = c.c_prof in
+  let pc = class_index width in
+  let cell = ref None in
+  fun value ->
+    let s =
+      match !cell with
+      | Some s -> s
+      | None ->
+          let s =
+            match Hashtbl.find_opt c.c_vars iid with
+            | Some s -> s
+            | None ->
+                let s =
+                  { s_min = max_int; s_max = 0; s_sum = 0; s_count = 0 }
+                in
+                Hashtbl.replace c.c_vars iid s;
+                s
+          in
+          cell := Some s;
+          s
+    in
+    let bits = Width.required_bits value in
+    if bits < s.s_min then s.s_min <- bits;
+    if bits > s.s_max then s.s_max <- bits;
+    s.s_sum <- s.s_sum + bits;
+    s.s_count <- s.s_count + 1;
+    t.req_hist.(class_index bits) <- t.req_hist.(class_index bits) + 1;
+    t.prog_hist.(pc) <- t.prog_hist.(pc) + 1
+
 (** [record t ~func ~iid ~width value] logs one dynamic assignment of
     [value] to the variable defined by [iid]. *)
 let record t ~func ~iid ~width value =

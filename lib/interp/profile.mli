@@ -42,6 +42,14 @@ val cursor : t -> func:string -> cursor
 val record_at : cursor -> iid:int -> width:int -> int64 -> unit
 (** Log one dynamic assignment through a cursor (the hot path). *)
 
+val slot : cursor -> iid:int -> width:int -> int64 -> unit
+(** [slot c ~iid ~width] partially applies {!record_at}: the returned
+    closure logs assignments of one fixed variable.  Everything but the
+    value — the width class and (lazily, on first use) the stats cell —
+    is resolved up front, so callers that know the variable statically
+    (the closure-compiled interpreter) can hoist the lookups out of the
+    execution loop.  Building a slot alone records nothing. *)
+
 val record : t -> func:string -> iid:int -> width:int -> int64 -> unit
 (** Log one dynamic assignment. *)
 

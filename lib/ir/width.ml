@@ -17,14 +17,25 @@ let sext w v =
     if Int64.logand v sign <> 0L then Int64.logor v (Int64.lognot (mask w))
     else v
 
+(* Bit length of a non-negative value; 1 for zero, 64 for negatives.
+   This sits on the profiler's per-assignment path and in every
+   speculative misspeculation check, so the positive case drops to a
+   native int and binary-searches the length instead of shifting one
+   bit per iteration. *)
 let required_bits a =
-  if a = 0L then 1
-  else if Int64.compare a 0L < 0 then 64
-  else
-    let rec go n acc =
-      if n = 0L then acc else go (Int64.shift_right_logical n 1) (acc + 1)
-    in
-    go a 0
+  if Int64.compare a 0L < 0 then 64
+  else if a = 0L then 1
+  else if Int64.compare a 0x4000_0000_0000_0000L >= 0 then 63
+  else begin
+    (* positive and < 2^62: representable exactly as a native int *)
+    let n = Int64.to_int a in
+    let n, acc = if n >= 1 lsl 32 then (n lsr 32, 32) else (n, 0) in
+    let n, acc = if n >= 1 lsl 16 then (n lsr 16, acc + 16) else (n, acc) in
+    let n, acc = if n >= 1 lsl 8 then (n lsr 8, acc + 8) else (n, acc) in
+    let n, acc = if n >= 1 lsl 4 then (n lsr 4, acc + 4) else (n, acc) in
+    let n, acc = if n >= 1 lsl 2 then (n lsr 2, acc + 2) else (n, acc) in
+    if n >= 2 then acc + 2 else acc + n
+  end
 
 let fits w v = required_bits v <= w
 
