@@ -963,6 +963,7 @@ let () =
      phase-time breakdown *)
   Bs_obs.Trace.enable ();
   let t_start = Unix.gettimeofday () in
+  let h_start, m_start = Compile_cache.stats () in
   let timings = ref [] in
   List.iter
     (fun name ->
@@ -991,5 +992,23 @@ let () =
     ("warm", Unix.gettimeofday () -. t0, h1 - h0, m1 - m0) :: !timings;
   let total = Unix.gettimeofday () -. t_start in
   Bs_obs.Trace.disable ();
+  (* Per-section deltas must account for every global hit and miss: any
+     compile issued outside a timed section (or a future report phase
+     issuing unattributed work) re-desyncs the JSON silently.  Fail
+     loudly instead. *)
+  let sec_h =
+    List.fold_left (fun acc (_, _, h, _) -> acc + h) 0 !timings
+  in
+  let sec_m =
+    List.fold_left (fun acc (_, _, _, m) -> acc + m) 0 !timings
+  in
+  let h_end, m_end = Compile_cache.stats () in
+  if sec_h <> h_end - h_start || sec_m <> m_end - m_start then begin
+    Printf.eprintf
+      "bench: cache accounting drift: sections sum to %d hits / %d misses \
+       but the global counters moved by %d / %d\n"
+      sec_h sec_m (h_end - h_start) (m_end - m_start);
+    exit 1
+  end;
   write_bench_json ~total ~phases:(Bs_obs.Trace.phase_table ()) ~report ~imips
     (List.rev !timings)

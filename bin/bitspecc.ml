@@ -887,23 +887,66 @@ let serve_cmd =
                    server serves them back without recompiling.  Corrupt \
                    entries are quarantined and recompiled, never trusted.")
   in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write a Prometheus text exposition of the metrics \
+                   registry to $(docv) on shutdown, and again on every \
+                   SIGUSR1 (with a log line on stderr) while serving.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record request-scoped spans and flow events while \
+                   serving and write Chrome trace-event JSON to $(docv) \
+                   on shutdown.  The span buffer is bounded; overflow is \
+                   counted in the $(b,trace_dropped_events) metric.")
+  in
   let action socket jobs queue_depth deadline_ms fuel retries backoff_base_ms
-      backoff_cap_ms seed cache_dir interp_engine =
+      backoff_cap_ms seed cache_dir interp_engine metrics_out trace_out =
     with_reporting (fun () ->
         let cfg =
           { Server.jobs; queue_depth; deadline_ms; fuel; retries;
             backoff_base_ms; backoff_cap_ms; seed; cache_dir; interp_engine }
         in
-        let t = Server.start cfg in
-        match socket with
+        let write_metrics path =
+          let oc = open_out path in
+          output_string oc (Bs_obs.Metrics.prometheus ());
+          close_out oc
+        in
+        (match metrics_out with
         | Some path ->
-            unix_fail path (fun () ->
-                Server.serve_unix t ~socket:path
-                  ~on_ready:(fun () ->
-                    Printf.eprintf "bitspecc: serving on %s (%d workers)\n%!"
-                      path jobs)
-                  ())
-        | None -> Server.serve_stdio t ())
+            ignore
+              (Sys.signal Sys.sigusr1
+                 (Sys.Signal_handle
+                    (fun _ ->
+                      write_metrics path;
+                      Printf.eprintf "bitspecc: metrics snapshot -> %s\n%!"
+                        path)))
+        | None -> ());
+        if Option.is_some trace_out then Bs_obs.Trace.enable ();
+        let t = Server.start cfg in
+        let finish () =
+          (match metrics_out with
+          | Some path -> write_metrics path
+          | None -> ());
+          match trace_out with
+          | Some path ->
+              Bs_obs.Trace.disable ();
+              Bs_obs.Trace.write_chrome path
+          | None -> ()
+        in
+        Fun.protect ~finally:finish (fun () ->
+            match socket with
+            | Some path ->
+                unix_fail path (fun () ->
+                    Server.serve_unix t ~socket:path
+                      ~on_ready:(fun () ->
+                        Printf.eprintf
+                          "bitspecc: serving on %s (%d workers)\n%!"
+                          path jobs)
+                      ())
+            | None -> Server.serve_stdio t ()))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -912,7 +955,7 @@ let serve_cmd =
              retry/backoff and bounded-queue load shedding")
     Term.(const action $ socket_opt_arg $ jobs_arg $ queue_depth
           $ deadline $ fuel $ retries $ backoff_base $ backoff_cap $ seed
-          $ cache_dir $ interp_engine_arg)
+          $ cache_dir $ interp_engine_arg $ metrics_out $ trace_out)
 
 let chaos_conv =
   let parse s =
@@ -928,8 +971,8 @@ let client_cmd =
   let op =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"OP"
-             ~doc:"$(b,ping), $(b,stats), $(b,shutdown) or $(b,bench) \
-                   (which takes a WORKLOAD).")
+             ~doc:"$(b,ping), $(b,stats), $(b,health), $(b,shutdown) or \
+                   $(b,bench) (which takes a WORKLOAD).")
   in
   let wname =
     Arg.(value & pos 1 (some string) None & info [] ~docv:"WORKLOAD")
@@ -954,6 +997,7 @@ let client_cmd =
           match op with
           | "ping" -> Service.Ping
           | "stats" -> Service.Stats
+          | "health" -> Service.Health
           | "shutdown" -> Service.Shutdown
           | "bench" -> (
               match wname with
@@ -976,7 +1020,7 @@ let client_cmd =
         print_endline (Service.response_line rs);
         match rs.Service.rs_status with
         | Service.Done _ | Service.Pong | Service.Stats_reply _
-        | Service.Bye -> ()
+        | Service.Health_reply _ | Service.Bye -> ()
         | Service.Failed _ -> exit 1
         | Service.Overloaded _ -> exit 4
         | Service.Timed_out -> exit 5)
@@ -1035,8 +1079,19 @@ let loadgen_cmd =
              ~doc:"Write the canonical per-request log (sorted by id; \
                    byte-identical at any server $(b,--jobs)) to $(docv).")
   in
+  let check_server =
+    Arg.(value & flag
+         & info [ "check-server" ]
+             ~doc:"After the run, fetch the server's stats snapshot and \
+                   reconcile its latency histogram against the \
+                   client-side measurements: counts must match exactly, \
+                   p50/p99 within one histogram bucket.  $(b,--out) then \
+                   records client view, server view and the verdict.  \
+                   Only sound against a server that has served exactly \
+                   this run's requests.  Exits nonzero on mismatch.")
+  in
   let action socket seed requests clients zipf deadline fuel crash_every out
-      log =
+      log check_server =
     with_reporting (fun () ->
         let cfg =
           { Loadgen.lg_seed = seed; lg_requests = requests;
@@ -1060,14 +1115,47 @@ let loadgen_cmd =
           s.Loadgen.sm_p99_ms;
         Printf.printf "cache hit rate = %.3f\n" s.Loadgen.sm_hit_rate;
         Printf.printf "shed rate      = %.3f\n" s.Loadgen.sm_shed_rate;
+        let check =
+          if not check_server then None
+          else
+            match Loadgen.server_stats (Loadgen.Connect socket) with
+            | None -> failwith "cross-check: could not fetch server stats"
+            | Some st ->
+                let c = Loadgen.cross_check pairs st in
+                Printf.printf
+                  "server count   = %d (client %d) %s\n"
+                  c.Loadgen.cc_server_count c.Loadgen.cc_client_count
+                  (if c.Loadgen.cc_count_ok then "[exact]" else "[MISMATCH]");
+                Printf.printf
+                  "server p50/p99 = %.2f / %.2f ms (client %.2f / %.2f) %s\n"
+                  c.Loadgen.cc_server_p50 c.Loadgen.cc_server_p99
+                  c.Loadgen.cc_client_p50 c.Loadgen.cc_client_p99
+                  (if c.Loadgen.cc_p50_ok && c.Loadgen.cc_p99_ok then
+                     "[within bucket]"
+                   else "[MISMATCH]");
+                Some (st, c)
+        in
         (match out with
         | Some path ->
+            let payload =
+              match check with
+              | None -> Loadgen.summary_json s
+              | Some (st, c) ->
+                  Jsonx.Obj
+                    [ ("client", Loadgen.summary_json s);
+                      ("server", Service.stats_to_json st);
+                      ("cross_check", Loadgen.check_json c) ]
+            in
             let oc = open_out path in
-            output_string oc (Jsonx.to_string (Loadgen.summary_json s));
+            output_string oc (Jsonx.to_string payload);
             output_char oc '\n';
             close_out oc;
             Printf.printf "summary written to %s\n" path
         | None -> ());
+        (match check with
+        | Some (_, c) when not c.Loadgen.cc_ok ->
+            failwith "cross-check: server and client views disagree"
+        | _ -> ());
         match log with
         | Some path ->
             let oc = open_out path in
@@ -1086,7 +1174,8 @@ let loadgen_cmd =
              closed-loop load and report throughput, latency \
              percentiles, cache hit rate and shed rate")
     Term.(const action $ socket_req_arg $ seed $ requests
-          $ clients $ zipf $ deadline $ fuel $ crash_every $ out $ log)
+          $ clients $ zipf $ deadline $ fuel $ crash_every $ out $ log
+          $ check_server)
 
 (* --- list -------------------------------------------------------------- *)
 

@@ -204,6 +204,95 @@ grep -q '"cache_hit_rate"' BENCH_pr8.json || {
 }
 echo "serve smoke: OK (warm hit rate $hit, kill -9 recovery clean)"
 
+# Telemetry smoke: a fresh server must agree with the load generator
+# about every latency it reports — loadgen --check-server compares the
+# request count exactly and p50/p99 to within one histogram bucket,
+# recording both views in BENCH_pr10.json — answer health ok, dump a
+# Prometheus exposition on SIGUSR1 and again on graceful shutdown, and
+# produce byte-identical deterministic counter/gauge snapshot sections
+# for the same seeded mix at --jobs 1 and --jobs 4.
+tel="$(mktemp -d)"
+trap 'rm -rf "$corpus" "$obs" "$pw" "$eng" "$ieng" "$srv" "$tel"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+tsock="$tel/bs.sock"
+"$BS" serve --socket "$tsock" --cache-dir "$tel/cache" --jobs 4 \
+  --metrics-out "$tel/metrics.prom" > "$tel/serve.log" 2>&1 &
+serve_pid=$!
+i=0
+while [ ! -S "$tsock" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "telemetry smoke: socket never appeared" >&2; exit 1; }
+  sleep 0.1
+done
+"$BS" loadgen --socket "$tsock" --seed 9 --requests 80 --clients 4 \
+  --crash-every 13 --check-server --out BENCH_pr10.json > "$tel/load.out"
+grep -q 'server count   = .* \[exact\]' "$tel/load.out" || {
+  echo "telemetry smoke: server/client request counts disagree" >&2
+  cat "$tel/load.out" >&2
+  exit 1
+}
+grep -q 'server p50/p99 = .* \[within bucket\]' "$tel/load.out" || {
+  echo "telemetry smoke: server/client percentiles disagree" >&2
+  cat "$tel/load.out" >&2
+  exit 1
+}
+"$BS" client --socket "$tsock" health > "$tel/health.json"
+grep -q '"ok":true' "$tel/health.json" || {
+  echo "telemetry smoke: health not ok after a clean burst" >&2
+  cat "$tel/health.json" >&2
+  exit 1
+}
+# a live Prometheus snapshot on SIGUSR1, and another on shutdown
+kill -USR1 "$serve_pid"
+i=0
+while [ ! -s "$tel/metrics.prom" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 50 ] && { echo "telemetry smoke: no exposition after SIGUSR1" >&2; exit 1; }
+  sleep 0.1
+done
+grep -q '^# TYPE serve_request_ms histogram$' "$tel/metrics.prom"
+rm -f "$tel/metrics.prom"
+"$BS" client --socket "$tsock" shutdown > /dev/null
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=
+grep -q '^serve_requests_total{outcome="ok"} [1-9]' "$tel/metrics.prom" || {
+  echo "telemetry smoke: shutdown exposition missing request counters" >&2
+  exit 1
+}
+# BENCH_pr10.json carries both latency views and the passed cross-check
+for key in '"client_p99_ms"' '"server_p99_ms"' '"count_ok":true' '"ok":true'; do
+  grep -q "$key" BENCH_pr10.json || {
+    echo "telemetry smoke: BENCH_pr10.json is missing $key" >&2
+    exit 1
+  }
+done
+# deterministic sections are jobs-invariant: same seeded mix against a
+# 1-worker and a 4-worker server, byte-identical counters + gauges
+for j in 1 4; do
+  "$BS" serve --socket "$tel/s$j.sock" --jobs "$j" > "$tel/serve$j.log" 2>&1 &
+  serve_pid=$!
+  i=0
+  while [ ! -S "$tel/s$j.sock" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "telemetry smoke: no socket (--jobs $j)" >&2; exit 1; }
+    sleep 0.1
+  done
+  "$BS" loadgen --socket "$tel/s$j.sock" --seed 11 --requests 60 --clients 4 \
+    --crash-every 9 > /dev/null
+  sleep 0.3   # let workers finish post-response bookkeeping (gauges -> 0)
+  "$BS" client --socket "$tel/s$j.sock" stats > "$tel/stats$j.json"
+  "$BS" client --socket "$tel/s$j.sock" shutdown > /dev/null
+  wait "$serve_pid" 2>/dev/null || true
+  serve_pid=
+  grep -o '"counters":\[[^]]*\]' "$tel/stats$j.json" > "$tel/det$j.txt"
+  grep -o '"gauges":\[[^]]*\]' "$tel/stats$j.json" >> "$tel/det$j.txt"
+done
+if ! cmp -s "$tel/det1.txt" "$tel/det4.txt"; then
+  echo "telemetry smoke: deterministic sections differ between --jobs 1 and --jobs 4" >&2
+  diff "$tel/det1.txt" "$tel/det4.txt" >&2 || true
+  exit 1
+fi
+echo "telemetry smoke: OK (cross-check exact, health ok, counters jobs-invariant)"
+
 # Timed bench subset: fig8 + table2 (the regression-anchored sections).
 # Recorded single-job baseline on the reference container: ~3400 ms
 # with the trace-JIT machine engine and the closure-compiled

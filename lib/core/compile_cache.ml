@@ -10,6 +10,19 @@ open Bs_exec
    fault can never poison the cache across processes).  The disk lookup
    runs inside the memo thunk, i.e. still single-flight per key. *)
 
+(* Memory-tier cache traffic.  Single-flight makes these deterministic
+   for a given workload: of N requesters for one key, exactly one runs
+   the thunk (miss) and the rest are hits, whatever the schedule — so
+   the totals are --jobs-invariant and live in the deterministic
+   counters section.  (Disk-tier counters live in Disk_cache.) *)
+let mem_hit =
+  Bs_obs.Metrics.counter "cache_events_total"
+    ~labels:[ ("tier", "memory"); ("event", "hit") ]
+
+let mem_miss =
+  Bs_obs.Metrics.counter "cache_events_total"
+    ~labels:[ ("tier", "memory"); ("event", "miss") ]
+
 let strict_tbl : (string, Driver.compiled) Memo.t = Memo.create ~cap:512 ()
 
 let total_tbl :
@@ -78,25 +91,45 @@ let disk_or_compute ~key ~set ~encode ~decode ~persist thunk =
           if persist v then Disk_cache.store dc ~key:dkey (encode v);
           v)
 
+(* Run one memoised lookup and bump the memory-tier counters: the
+   requester whose thunk actually ran is the miss, everyone else
+   (including requesters that waited on an in-flight computation) is a
+   hit — the same accounting Memo itself keeps.  Exceptions (pinned or
+   fresh failures) are counted too, then rethrown. *)
+let counted find =
+  let ran = ref false in
+  match find ran with
+  | v ->
+      Bs_obs.Metrics.inc (if !ran then mem_miss else mem_hit);
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Bs_obs.Metrics.inc (if !ran then mem_miss else mem_hit);
+      Printexc.raise_with_backtrace e bt
+
 let compile ?origin ~key thunk =
   let set o = match origin with Some r -> r := o | None -> () in
   set Memory;
-  Memo.find_or_add strict_tbl key (fun () ->
-      disk_or_compute ~key ~set ~encode:compiled_to_bytes
-        ~decode:compiled_of_bytes
-        ~persist:(fun _ -> true)
-        thunk)
+  counted (fun ran ->
+      Memo.find_or_add strict_tbl key (fun () ->
+          ran := true;
+          disk_or_compute ~key ~set ~encode:compiled_to_bytes
+            ~decode:compiled_of_bytes
+            ~persist:(fun _ -> true)
+            thunk))
 
 let try_compile ?origin ~key thunk =
   let set o = match origin with Some r -> r := o | None -> () in
   set Memory;
-  Memo.find_or_add total_tbl key (fun () ->
-      disk_or_compute ~key ~set
-        ~encode:(function
-          | Ok c -> compiled_to_bytes c
-          | Error _ -> assert false (* persist is false for errors *))
-        ~decode:(fun b -> Option.map Result.ok (compiled_of_bytes b))
-        ~persist:Result.is_ok thunk)
+  counted (fun ran ->
+      Memo.find_or_add total_tbl key (fun () ->
+          ran := true;
+          disk_or_compute ~key ~set
+            ~encode:(function
+              | Ok c -> compiled_to_bytes c
+              | Error _ -> assert false (* persist is false for errors *))
+            ~decode:(fun b -> Option.map Result.ok (compiled_of_bytes b))
+            ~persist:Result.is_ok thunk))
 
 let hits () = Memo.hits strict_tbl + Memo.hits total_tbl
 let misses () = Memo.misses strict_tbl + Memo.misses total_tbl

@@ -42,6 +42,27 @@ type t = {
 
 let tmp_counter = Atomic.make 0
 
+(* Disk-tier cache traffic, aggregated across all open stores into the
+   global registry (per-instance accounting stays in [stats]).  The
+   disk sits under the single-flight memory tier, so for a fixed
+   workload and a fresh cache dir the totals are --jobs-invariant:
+   exactly one disk probe per memory miss. *)
+let m_hit =
+  Bs_obs.Metrics.counter "cache_events_total"
+    ~labels:[ ("tier", "disk"); ("event", "hit") ]
+
+let m_miss =
+  Bs_obs.Metrics.counter "cache_events_total"
+    ~labels:[ ("tier", "disk"); ("event", "miss") ]
+
+let m_write =
+  Bs_obs.Metrics.counter "cache_events_total"
+    ~labels:[ ("tier", "disk"); ("event", "write") ]
+
+let m_quarantine =
+  Bs_obs.Metrics.counter "cache_events_total"
+    ~labels:[ ("tier", "disk"); ("event", "quarantine") ]
+
 let mkdir_p path =
   let rec go p =
     if p <> "/" && p <> "." && not (Sys.file_exists p) then begin
@@ -94,6 +115,7 @@ let quarantine t path =
   let dest = Filename.concat (Filename.concat t.root "quarantine") uniq in
   (try Sys.rename path dest
    with Sys_error _ -> (try Sys.remove path with Sys_error _ -> ()));
+  Bs_obs.Metrics.inc m_quarantine;
   bump t (fun t -> t.quarantined <- t.quarantined + 1)
 
 let read_file path =
@@ -128,17 +150,20 @@ let verify ~key contents =
 let load t ~key =
   let path = key_path t ~key in
   if not (Sys.file_exists path) then begin
+    Bs_obs.Metrics.inc m_miss;
     bump t (fun t -> t.misses <- t.misses + 1);
     None
   end
   else
     match verify ~key (read_file path) with
     | Some payload ->
+        Bs_obs.Metrics.inc m_hit;
         bump t (fun t -> t.hits <- t.hits + 1);
         Some payload
     | None | (exception Sys_error _) ->
         (* unreadable or failed verification: quarantine and miss *)
         quarantine t path;
+        Bs_obs.Metrics.inc m_miss;
         bump t (fun t -> t.misses <- t.misses + 1);
         None
 
@@ -177,6 +202,7 @@ let store t ~key payload =
       (* make the bytes durable before the entry becomes visible *)
       Unix.fsync fd);
   Sys.rename tmp path;
+  Bs_obs.Metrics.inc m_write;
   bump t (fun t -> t.writes <- t.writes + 1)
 
 let invalidate t ~key =

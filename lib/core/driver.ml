@@ -156,6 +156,18 @@ let describe_exn = function
   | Memimage.Fault m -> "memory fault: " ^ m
   | e -> Printexc.to_string e
 
+(* Throughput gauges: last observed interpreter / machine-model speed,
+   millions of (IR steps | instructions) per wall second.  Volatile by
+   nature — wall time varies run to run — so they live in the volatile
+   snapshot section. *)
+let interp_mips_gauge = Bs_obs.Metrics.gauge ~volatile:true "interp_mips"
+let machine_mips_gauge = Bs_obs.Metrics.gauge ~volatile:true "machine_mips"
+
+let set_interp_mips ~steps ~wall_s =
+  if wall_s > 0.0 && steps > 0 then
+    Bs_obs.Metrics.set_gauge interp_mips_gauge
+      (float_of_int steps /. wall_s /. 1e6)
+
 (** Profile [m] by interpreting it on the training runs: each run is an
     (entry, args) pair; [setup] (if any) initialises workload inputs given
     the in-flight module. *)
@@ -165,13 +177,17 @@ let profile_module (m : Ir.modul) ?setup ?(interp_engine = Interp.Compiled)
   let opts =
     { Interp.default_opts with profile = Some profile; engine = interp_engine }
   in
+  let t0 = Unix.gettimeofday () in
+  let steps = ref 0 in
   List.iter
     (fun (entry, args) ->
       let s = Option.map (fun f -> f m) setup in
-      let _, mem = Interp.run_fresh ~opts ?setup:s m ~entry ~args in
+      let r, mem = Interp.run_fresh ~opts ?setup:s m ~entry ~args in
+      steps := !steps + r.Interp.steps;
       (* the training run's image is dead; park its buffer for the next *)
       Memimage.recycle mem)
     train;
+  set_interp_mips ~steps:!steps ~wall_s:(Unix.gettimeofday () -. t0);
   profile
 
 (* Profiling is heuristic-independent: it runs on the pre-squeeze module,
@@ -459,6 +475,8 @@ let run_machine ?setup ?(fuel = 1_000_000_000) ?fault ?power
   (* the result captures everything observable; the image is dead, so its
      buffer can serve the next run *)
   Memimage.recycle mem;
+  let mips = Bs_sim.Counters.simulated_mips r.Machine.ctr in
+  if mips > 0.0 then Bs_obs.Metrics.set_gauge machine_mips_gauge mips;
   r
 
 (** Run the reference interpreter on the same IR (for differential
@@ -466,6 +484,8 @@ let run_machine ?setup ?(fuel = 1_000_000_000) ?fault ?power
 let run_reference ?setup ?(interp_engine = Interp.Compiled) (c : compiled)
     ~entry ~args =
   let opts = { Interp.default_opts with engine = interp_engine } in
+  let t0 = Unix.gettimeofday () in
   let r, mem = Interp.run_fresh ~opts ?setup c.ir ~entry ~args in
+  set_interp_mips ~steps:r.Interp.steps ~wall_s:(Unix.gettimeofday () -. t0);
   Memimage.recycle mem;
   r

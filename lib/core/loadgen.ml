@@ -28,6 +28,8 @@ type summary = {
   sm_rps : float;
   sm_p50_ms : float;
   sm_p99_ms : float;
+  sm_client_p50_ms : float;
+  sm_client_p99_ms : float;
   sm_hit_rate : float;
   sm_shed_rate : float;
 }
@@ -98,7 +100,8 @@ let percentile sorted p =
     let frac = rank -. float_of_int lo in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
-let summarize (pairs : (Service.request * Service.response) list) ~wall_s =
+let summarize ?(client_ms = [||]) (pairs : (Service.request * Service.response) list)
+    ~wall_s =
   let n = List.length pairs in
   let ok = ref 0 and errors = ref 0 and timeouts = ref 0 and shed = ref 0 in
   let retries = ref 0 and hits = ref 0 in
@@ -113,19 +116,24 @@ let summarize (pairs : (Service.request * Service.response) list) ~wall_s =
       | Service.Failed _ -> incr errors
       | Service.Timed_out -> incr timeouts
       | Service.Overloaded _ -> incr shed
-      | Service.Pong | Service.Bye | Service.Stats_reply _ -> ());
+      | Service.Pong | Service.Bye | Service.Stats_reply _
+      | Service.Health_reply _ -> ());
       match rs.Service.rs_status with
       | Service.Overloaded _ -> ()  (* shed before any work: not a latency *)
       | _ -> lat := rs.Service.rs_ms :: !lat)
     pairs;
   let lat = Array.of_list !lat in
   Array.sort compare lat;
+  let cms = Array.copy client_ms in
+  Array.sort compare cms;
   let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
   { sm_requests = n; sm_ok = !ok; sm_errors = !errors;
     sm_timeouts = !timeouts; sm_shed = !shed; sm_retries = !retries;
     sm_wall_s = wall_s;
     sm_rps = (if wall_s > 0.0 then float_of_int n /. wall_s else 0.0);
     sm_p50_ms = percentile lat 0.50; sm_p99_ms = percentile lat 0.99;
+    sm_client_p50_ms = percentile cms 0.50;
+    sm_client_p99_ms = percentile cms 0.99;
     sm_hit_rate = ratio !hits !ok; sm_shed_rate = ratio !shed n }
 
 let run cfg target =
@@ -134,12 +142,18 @@ let run cfg target =
   let reqs = Array.of_list (plan cfg) in
   let n = Array.length reqs in
   let results : Service.response option array = Array.make n None in
+  (* the client's own end-to-end wall clock per request — measured
+     independently of the server-reported rs_ms, so the two views can
+     be reconciled after a run *)
+  let client_ms = Array.make n 0.0 in
   let cursor = Atomic.make 0 in
   let issue_with call =
     let rec loop () =
       let i = Atomic.fetch_and_add cursor 1 in
       if i < n then begin
+        let c0 = Unix.gettimeofday () in
         results.(i) <- Some (call reqs.(i));
+        client_ms.(i) <- (Unix.gettimeofday () -. c0) *. 1e3;
         loop ()
       end
     in
@@ -167,7 +181,7 @@ let run cfg target =
            | None -> assert false (* every index was claimed and answered *))
          results)
   in
-  (pairs, summarize pairs ~wall_s)
+  (pairs, summarize ~client_ms pairs ~wall_s)
 
 let summary_json s =
   Jsonx.Obj
@@ -181,8 +195,131 @@ let summary_json s =
       ("rps", Jsonx.Num s.sm_rps);
       ("p50_ms", Jsonx.Num s.sm_p50_ms);
       ("p99_ms", Jsonx.Num s.sm_p99_ms);
+      ("client_p50_ms", Jsonx.Num s.sm_client_p50_ms);
+      ("client_p99_ms", Jsonx.Num s.sm_client_p99_ms);
       ("cache_hit_rate", Jsonx.Num s.sm_hit_rate);
       ("shed_rate", Jsonx.Num s.sm_shed_rate) ]
+
+(* --- server-side view and reconciliation ------------------------------- *)
+
+let server_stats target =
+  let rq =
+    { Service.rq_id = 0; rq_op = Service.Stats; rq_deadline_ms = None;
+      rq_fuel = None; rq_chaos = None }
+  in
+  let rs =
+    match target with
+    | In_process srv -> Some (Server.submit_wait srv rq)
+    | Connect socket -> (
+        match Server.connect ~socket with
+        | conn ->
+            Fun.protect
+              ~finally:(fun () -> Server.close conn)
+              (fun () -> match Server.call conn rq with
+                | rs -> Some rs
+                | exception _ -> None)
+        | exception Unix.Unix_error _ -> None)
+  in
+  match rs with
+  | Some { Service.rs_status = Service.Stats_reply st; _ } -> Some st
+  | _ -> None
+
+type cross_check = {
+  cc_client_count : int;
+  cc_server_count : int;
+  cc_client_p50 : float;
+  cc_client_p99 : float;
+  cc_server_p50 : float;
+  cc_server_p99 : float;
+  cc_count_ok : bool;
+  cc_p50_ok : bool;
+  cc_p99_ok : bool;
+  cc_ok : bool;
+}
+
+(* Rank-statistic quantile — the same definition Metrics uses for its
+   estimates, so the tolerance argument below is exact rather than
+   fuzzy: the histogram estimate of a quantile q is min(upper bucket
+   bound, max) of the bucket holding the ceil(q·n)-th smallest sample,
+   hence exact <= estimate <= max(exact · bucket_ratio, bucket_floor). *)
+let rank_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank =
+      max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n))))
+    in
+    sorted.(rank - 1)
+
+let find_histogram metrics ~name =
+  match Jsonx.member "histograms" metrics with
+  | Some (Jsonx.Arr hs) ->
+      List.find_opt
+        (fun h ->
+          Jsonx.mem_string "name" h = Some name
+          && Jsonx.mem_string "labels" h = Some "")
+        hs
+  | _ -> None
+
+(* Reconcile the server's own latency histogram against the client's
+   collection of the same rs_ms values.  Counts must agree exactly
+   (both sides count every non-shed bench response once; rs_ms
+   round-trips bit-exactly through the JSON codec).  Quantiles must
+   agree within one histogram bucket ratio (plus the bucket floor for
+   sub-microsecond samples and a small absolute epsilon for float
+   noise). *)
+let cross_check (pairs : (Service.request * Service.response) list)
+    (st : Service.server_stats) =
+  let lat =
+    List.filter_map
+      (fun ((_ : Service.request), (rs : Service.response)) ->
+        match rs.Service.rs_status with
+        | Service.Overloaded _ -> None
+        | _ -> Some rs.Service.rs_ms)
+      pairs
+  in
+  let lat = Array.of_list lat in
+  Array.sort compare lat;
+  let client_count = Array.length lat in
+  let client_p50 = rank_quantile lat 0.50 in
+  let client_p99 = rank_quantile lat 0.99 in
+  let server_count, server_p50, server_p99 =
+    match find_histogram st.Service.st_metrics ~name:"serve_request_ms" with
+    | Some h ->
+        ( Option.value ~default:(-1) (Jsonx.mem_int "count" h),
+          Option.value ~default:(-1.0) (Jsonx.mem_float "p50" h),
+          Option.value ~default:(-1.0) (Jsonx.mem_float "p99" h) )
+    | None -> (-1, -1.0, -1.0)
+  in
+  let eps = 1e-9 in
+  let within exact est =
+    est +. eps >= exact
+    && est
+       <= Float.max (exact *. Bs_obs.Metrics.bucket_ratio)
+            Bs_obs.Metrics.bucket_floor
+          +. eps
+  in
+  let count_ok = server_count = client_count in
+  let p50_ok = within client_p50 server_p50 in
+  let p99_ok = within client_p99 server_p99 in
+  { cc_client_count = client_count; cc_server_count = server_count;
+    cc_client_p50 = client_p50; cc_client_p99 = client_p99;
+    cc_server_p50 = server_p50; cc_server_p99 = server_p99;
+    cc_count_ok = count_ok; cc_p50_ok = p50_ok; cc_p99_ok = p99_ok;
+    cc_ok = count_ok && p50_ok && p99_ok }
+
+let check_json c =
+  Jsonx.Obj
+    [ ("client_count", Jsonx.int c.cc_client_count);
+      ("server_count", Jsonx.int c.cc_server_count);
+      ("client_p50_ms", Jsonx.Num c.cc_client_p50);
+      ("server_p50_ms", Jsonx.Num c.cc_server_p50);
+      ("client_p99_ms", Jsonx.Num c.cc_client_p99);
+      ("server_p99_ms", Jsonx.Num c.cc_server_p99);
+      ("count_ok", Jsonx.Bool c.cc_count_ok);
+      ("p50_ok", Jsonx.Bool c.cc_p50_ok);
+      ("p99_ok", Jsonx.Bool c.cc_p99_ok);
+      ("ok", Jsonx.Bool c.cc_ok) ]
 
 let canonical_log pairs =
   let sorted =

@@ -38,6 +38,10 @@ type summary = {
   sm_rps : float;
   sm_p50_ms : float;     (** server-side latency percentiles *)
   sm_p99_ms : float;
+  sm_client_p50_ms : float;
+      (** percentiles of the client's own wall clock around each call —
+          measured independently of the server-reported [rs_ms] *)
+  sm_client_p99_ms : float;
   sm_hit_rate : float;   (** cached compiles among [Done] responses *)
   sm_shed_rate : float;  (** shed among all responses *)
 }
@@ -56,8 +60,41 @@ val run : cfg -> target -> (Service.request * Service.response) list * summary
 
 val summary_json : summary -> Bs_support.Jsonx.t
 (** Keys: [requests], [ok], [errors], [timeouts], [shed], [retries],
-    [wall_s], [rps], [p50_ms], [p99_ms], [cache_hit_rate],
-    [shed_rate]. *)
+    [wall_s], [rps], [p50_ms], [p99_ms], [client_p50_ms],
+    [client_p99_ms], [cache_hit_rate], [shed_rate]. *)
+
+(** {2 Server-side view and reconciliation} *)
+
+val server_stats : target -> Service.server_stats option
+(** Issue one [Stats] request to the target (id 0, outside the plan's
+    id space).  [None] if the server is unreachable or answered with
+    anything but a stats reply. *)
+
+type cross_check = {
+  cc_client_count : int;   (** non-shed responses the client collected *)
+  cc_server_count : int;   (** server latency-histogram count; -1 if absent *)
+  cc_client_p50 : float;   (** rank-statistic quantiles of the client's
+                               [rs_ms] collection *)
+  cc_client_p99 : float;
+  cc_server_p50 : float;   (** server histogram estimates *)
+  cc_server_p99 : float;
+  cc_count_ok : bool;      (** counts agree exactly *)
+  cc_p50_ok : bool;        (** within one bucket ratio *)
+  cc_p99_ok : bool;
+  cc_ok : bool;
+}
+
+val cross_check :
+  (Service.request * Service.response) list -> Service.server_stats ->
+  cross_check
+(** Reconcile the server's [serve_request_ms] histogram (from
+    [st_metrics]) against the client-side collection of the same
+    [rs_ms] values: counts must match exactly, quantile estimates must
+    sit in [[exact, max(exact·bucket_ratio, bucket_floor)]].  Only
+    sound against a server that has served exactly this run's
+    requests. *)
+
+val check_json : cross_check -> Bs_support.Jsonx.t
 
 val canonical_log : (Service.request * Service.response) list -> string list
 (** {!Service.canonical_line} for each pair, sorted by request id —

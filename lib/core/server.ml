@@ -34,6 +34,7 @@ type slot = {
   s_responded : bool Atomic.t;
   s_attempts : int Atomic.t;  (* last attempt started (watchdog reads it) *)
   mutable s_claim_ns : int64; (* when a worker picked it up; 0 = queued *)
+  mutable s_origin : string;  (* cache origin of the last compile *)
 }
 
 type t = {
@@ -65,6 +66,45 @@ exception Srv_fail of Diag.t list
 
 let ms_of_ns ns = Int64.to_float ns /. 1e6
 
+(* --- metrics ------------------------------------------------------------ *)
+
+(* All serve instruments are registered at module-init time so the
+   registry contents — and hence the snapshot shape — do not depend on
+   which code paths happened to fire.  Everything here is deterministic
+   for a scripted request mix: outcome counts, accepted/shed,
+   retries/backoff sleeps (chaos is part of the request), watchdog
+   counts (0 without hangs), and the depth/in-flight gauges (0 at
+   quiescence).  Latency histograms are inherently run-dependent and
+   live in the snapshot's histogram section. *)
+module M = Bs_obs.Metrics
+
+let m_req_ok = M.counter "serve_requests_total" ~labels:[ ("outcome", "ok") ]
+
+let m_req_error =
+  M.counter "serve_requests_total" ~labels:[ ("outcome", "error") ]
+
+let m_req_timeout =
+  M.counter "serve_requests_total" ~labels:[ ("outcome", "timeout") ]
+
+let m_req_shed =
+  M.counter "serve_requests_total" ~labels:[ ("outcome", "shed") ]
+
+let m_accepted = M.counter "serve_accepted_total"
+let m_retries = M.counter "serve_retries_total"
+let m_backoff_sleeps = M.counter "serve_backoff_sleeps_total"
+let m_wd_timeouts = M.counter "serve_watchdog_timeouts_total"
+let m_wd_retired = M.counter "serve_watchdog_retirements_total"
+let m_inflight = M.gauge "serve_inflight"
+let m_queue_depth = M.gauge "serve_queue_depth"
+let m_queue_wait = M.histogram "serve_queue_wait_ms"
+let m_latency = M.histogram "serve_request_ms"
+
+let m_latency_origin =
+  let mk o = (o, M.histogram "serve_request_ms" ~labels:[ ("origin", o) ]) in
+  [ mk "memory"; mk "disk"; mk "fresh" ]
+
+let flow_name = "serve:req"
+
 (* --- responding (exactly once per request) ----------------------------- *)
 
 let mk_response (slot : slot) status ~cached =
@@ -75,7 +115,15 @@ let mk_response (slot : slot) status ~cached =
     rs_ms =
       ms_of_ns (Int64.sub (Supervisor.now_ns ()) slot.s_enq_ns) }
 
-(* Must be called WITHOUT [t.lock] held. *)
+(* Must be called WITHOUT [t.lock] held.
+
+   Outcome counters and the latency histograms cover bench requests
+   only (control ops are answered inline and carry no workload), and
+   shed responses are excluded from the latency histograms — matching
+   the client side, where Loadgen's percentiles skip Overloaded.  The
+   observed sample is [rs_ms] itself, the exact value the client will
+   read back off the wire, so the server histogram describes the same
+   multiset of numbers the client measures. *)
 let respond t slot status ~cached =
   if Atomic.compare_and_set slot.s_responded false true then begin
     Mutex.lock t.lock;
@@ -85,9 +133,36 @@ let respond t slot status ~cached =
     | Service.Failed _ -> t.errors <- t.errors + 1
     | Service.Timed_out -> t.timeouts <- t.timeouts + 1
     | Service.Overloaded _ | Service.Pong | Service.Bye
-    | Service.Stats_reply _ -> ());
+    | Service.Stats_reply _ | Service.Health_reply _ -> ());
     Mutex.unlock t.lock;
-    slot.s_cb (mk_response slot status ~cached)
+    let resp = mk_response slot status ~cached in
+    let observe_latency () =
+      M.observe m_latency resp.Service.rs_ms;
+      match List.assoc_opt slot.s_origin m_latency_origin with
+      | Some h -> M.observe h resp.Service.rs_ms
+      | None -> ()
+    in
+    (match status with
+    | Service.Done _ ->
+        M.inc m_req_ok;
+        observe_latency ()
+    | Service.Failed _ ->
+        M.inc m_req_error;
+        observe_latency ()
+    | Service.Timed_out ->
+        M.inc m_req_timeout;
+        observe_latency ()
+    | Service.Overloaded _ -> M.inc m_req_shed
+    | Service.Pong | Service.Bye | Service.Stats_reply _
+    | Service.Health_reply _ -> ());
+    (match status with
+    | Service.Done _ | Service.Failed _ | Service.Timed_out
+    | Service.Overloaded _ ->
+        Bs_obs.Trace.flow_end ~id:slot.s_req.Service.rq_id
+          ~args:[ ("status", Service.status_name status) ]
+          flow_name
+    | _ -> ());
+    slot.s_cb resp
   end
 
 (* --- the bench work itself --------------------------------------------- *)
@@ -142,6 +217,11 @@ let attempt_bench t (slot : slot) (b : Service.bench_req) ~attempt ~cached =
   (match !origin with
   | Compile_cache.Memory | Compile_cache.Disk -> cached := true
   | Compile_cache.Fresh -> ());
+  slot.s_origin <-
+    (match !origin with
+    | Compile_cache.Memory -> "memory"
+    | Compile_cache.Disk -> "disk"
+    | Compile_cache.Fresh -> "fresh");
   Supervisor.check slot.s_token;
   let fuel = Option.value rq.Service.rq_fuel ~default:t.cfg.fuel in
   let r =
@@ -165,7 +245,9 @@ let process_bench t (slot : slot) (b : Service.bench_req) =
   let outcome =
     Backoff.run ~retries:t.cfg.retries
       ~is_transient:(function Service.Injected_crash _ -> true | _ -> false)
-      ~sleep:(fun ns -> Supervisor.sleep_ns ~token:slot.s_token ns)
+      ~sleep:(fun ns ->
+        M.inc m_backoff_sleeps;
+        Supervisor.sleep_ns ~token:slot.s_token ns)
       ~delay:(fun ~attempt ->
         Backoff.delay_ns ~base_ns ~cap_ns ~seed:t.cfg.seed ~key ~attempt)
       (fun ~attempt -> attempt_bench t slot b ~attempt ~cached)
@@ -175,7 +257,8 @@ let process_bench t (slot : slot) (b : Service.bench_req) =
       if outcome.Backoff.attempts > 1 then begin
         Mutex.lock t.lock;
         t.retries_done <- t.retries_done + (outcome.Backoff.attempts - 1);
-        Mutex.unlock t.lock
+        Mutex.unlock t.lock;
+        M.inc ~by:(outcome.Backoff.attempts - 1) m_retries
       end);
   match outcome.Backoff.result with
   | Ok m -> respond t slot (Service.Done m) ~cached:!cached
@@ -207,7 +290,15 @@ let rec worker_loop t gen =
       let slot = Queue.pop t.queue in
       slot.s_claim_ns <- Supervisor.now_ns ();
       Hashtbl.replace t.inflight gen slot;
+      let depth = Queue.length t.queue in
       Mutex.unlock t.lock;
+      M.set_gauge m_queue_depth (float_of_int depth);
+      M.observe m_queue_wait
+        (ms_of_ns (Int64.sub slot.s_claim_ns slot.s_enq_ns));
+      M.add_gauge m_inflight 1.0;
+      Bs_obs.Trace.flow_step ~id:slot.s_req.Service.rq_id
+        ~args:[ ("gen", string_of_int gen) ]
+        flow_name;
       Some slot
     end
     else if t.stopping then begin
@@ -224,16 +315,20 @@ let rec worker_loop t gen =
   | Some slot ->
       (match slot.s_req.Service.rq_op with
       | Service.Bench b -> (
-          try process_bench t slot b
+          let rid = string_of_int slot.s_req.Service.rq_id in
+          try
+            Bs_obs.Trace.with_context [ ("rid", rid) ] (fun () ->
+                process_bench t slot b)
           with e ->
             (* never let anything escape a worker *)
             respond t slot
               (Service.Failed
                  [ Service.diag_internal (Printexc.to_string e) ])
               ~cached:false)
-      | Service.Ping | Service.Stats | Service.Shutdown ->
+      | Service.Ping | Service.Stats | Service.Health | Service.Shutdown ->
           (* control ops never reach the queue *)
           respond t slot Service.Pong ~cached:false);
+      M.add_gauge m_inflight (-1.0);
       Mutex.lock t.lock;
       Hashtbl.remove t.inflight gen;
       let gone = Hashtbl.mem t.retired gen in
@@ -274,6 +369,7 @@ let watchdog_tick t =
              its item finally finishes — and restore capacity. *)
           Hashtbl.replace t.retired gen ();
           t.replaced <- t.replaced + 1;
+          M.inc m_wd_retired;
           stuck := gen :: !stuck;
           spawn_worker t
       | _ -> ())
@@ -284,6 +380,7 @@ let watchdog_tick t =
   List.iter
     (fun slot ->
       Supervisor.cancel slot.s_token;
+      M.inc m_wd_timeouts;
       respond t slot Service.Timed_out ~cached:false)
     !expired;
   ignore !stuck
@@ -332,6 +429,10 @@ let draining t =
 let stats t : Service.server_stats =
   let dc = Compile_cache.persistent () in
   let ds = Compile_cache.disk_stats () in
+  (* snapshot the registry before taking [t.lock]: snapshot_json takes
+     the registry and histogram locks, never t.lock, so ordering is
+     one-way *)
+  let metrics = M.snapshot_json () in
   Mutex.lock t.lock;
   let depth = Queue.length t.queue in
   let s =
@@ -350,10 +451,42 @@ let stats t : Service.server_stats =
       st_quarantined =
         (match dc with Some d -> Disk_cache.quarantine_count d | None -> 0);
       st_uptime_ms =
-        ms_of_ns (Int64.sub (Supervisor.now_ns ()) t.started_ns) }
+        ms_of_ns (Int64.sub (Supervisor.now_ns ()) t.started_ns);
+      st_metrics = metrics }
   in
   Mutex.unlock t.lock;
   s
+
+(* Degradation probe: cheap, answered inline (never queued), and
+   side-effect free.  A reason string is machine-matchable; the report
+   is ok iff there are none. *)
+let health t : Service.health_report =
+  Mutex.lock t.lock;
+  let stopping = t.stopping in
+  let served = t.served and shed = t.shed in
+  (* a retired generation still holding an in-flight slot is a wedged
+     worker: the watchdog answered for its request, but the domain has
+     not returned from the item it is stuck in *)
+  let wedged =
+    Hashtbl.fold
+      (fun gen _ acc -> if Hashtbl.mem t.retired gen then acc + 1 else acc)
+      t.inflight 0
+  in
+  Mutex.unlock t.lock;
+  let quarantined =
+    match Compile_cache.persistent () with
+    | Some d -> Disk_cache.quarantine_count d
+    | None -> 0
+  in
+  let reasons = ref [] in
+  let flag cond reason = if cond then reasons := reason :: !reasons in
+  flag stopping "draining";
+  let denom = served + shed in
+  flag (denom > 0 && float_of_int shed /. float_of_int denom > 0.10)
+    "shed-rate";
+  flag (wedged > 0) "wedged-workers";
+  flag (quarantined > 0) "quarantine";
+  { Service.hr_ok = !reasons = []; hr_reasons = List.rev !reasons }
 
 let initiate_stop t =
   Mutex.lock t.lock;
@@ -396,7 +529,7 @@ let mk_slot t rq cb =
   in
   { s_req = rq; s_cb = cb; s_token = token;
     s_enq_ns = Supervisor.now_ns (); s_responded = Atomic.make false;
-    s_attempts = Atomic.make 1; s_claim_ns = 0L }
+    s_attempts = Atomic.make 1; s_claim_ns = 0L; s_origin = "fresh" }
 
 let submit t rq cb =
   let slot = mk_slot t rq cb in
@@ -404,6 +537,8 @@ let submit t rq cb =
   | Service.Ping -> respond t slot Service.Pong ~cached:false
   | Service.Stats ->
       respond t slot (Service.Stats_reply (stats t)) ~cached:false
+  | Service.Health ->
+      respond t slot (Service.Health_reply (health t)) ~cached:false
   | Service.Shutdown ->
       initiate_stop t;
       respond t slot Service.Bye ~cached:false
@@ -419,14 +554,19 @@ let submit t rq cb =
           else begin
             Queue.push slot t.queue;
             Condition.signal t.cond;
-            `Queued
+            `Queued (Queue.length t.queue)
           end
         in
         Mutex.unlock t.lock;
         v
       in
       (match verdict with
-      | `Queued -> ()
+      | `Queued depth ->
+          M.inc m_accepted;
+          M.set_gauge m_queue_depth (float_of_int depth);
+          Bs_obs.Trace.flow_start ~id:rq.Service.rq_id
+            ~args:[ ("op", Service.op_label rq.Service.rq_op) ]
+            flow_name
       | `Shed depth ->
           respond t slot (Service.Overloaded depth) ~cached:false
       | `Draining ->

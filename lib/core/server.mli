@@ -64,6 +64,13 @@ val submit_wait : t -> Service.request -> Service.response
 (** Synchronous submission (blocks the calling thread). *)
 
 val stats : t -> Service.server_stats
+(** Counter snapshot plus the full metrics-registry snapshot in
+    [st_metrics]. *)
+
+val health : t -> Service.health_report
+(** Degradation probe: ok unless draining, shedding more than 10% of
+    admissions, holding wedged (watchdog-retired but still running)
+    workers, or quarantining persistent-cache entries. *)
 
 val stop : t -> unit
 (** Graceful shutdown: refuse new work, drain the queue, join workers

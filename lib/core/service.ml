@@ -13,7 +13,7 @@ type bench_req = {
   b_no_expander : bool;
 }
 
-type op = Ping | Stats | Shutdown | Bench of bench_req
+type op = Ping | Stats | Health | Shutdown | Bench of bench_req
 
 type request = {
   rq_id : int;
@@ -48,12 +48,20 @@ type server_stats = {
   st_entries : int;
   st_quarantined : int;
   st_uptime_ms : float;
+  st_metrics : Jsonx.t;
+      (* full Metrics.snapshot_json payload; Null when absent *)
+}
+
+type health_report = {
+  hr_ok : bool;
+  hr_reasons : string list;  (* why degraded; empty iff hr_ok *)
 }
 
 type status =
   | Done of metrics_summary
   | Pong
   | Stats_reply of server_stats
+  | Health_reply of health_report
   | Bye
   | Failed of Diag.t list
   | Overloaded of int
@@ -121,6 +129,7 @@ let status_name = function
   | Done _ -> "ok"
   | Pong -> "pong"
   | Stats_reply _ -> "stats"
+  | Health_reply _ -> "health"
   | Bye -> "bye"
   | Failed _ -> "error"
   | Overloaded _ -> "overloaded"
@@ -137,6 +146,7 @@ let request_to_json (r : request) : Jsonx.t =
     match r.rq_op with
     | Ping -> [ ("op", Str "ping") ]
     | Stats -> [ ("op", Str "stats") ]
+    | Health -> [ ("op", Str "health") ]
     | Shutdown -> [ ("op", Str "shutdown") ]
     | Bench b ->
         [ ("op", Str "bench");
@@ -185,7 +195,8 @@ let stats_to_json (s : server_stats) : Jsonx.t =
       ("cache_disk_misses", int s.st_disk_misses);
       ("cache_entries", int s.st_entries);
       ("cache_quarantined", int s.st_quarantined);
-      ("uptime_ms", Num s.st_uptime_ms) ]
+      ("uptime_ms", Num s.st_uptime_ms);
+      ("metrics", s.st_metrics) ]
 
 let response_to_json (r : response) : Jsonx.t =
   let status_fields =
@@ -193,6 +204,9 @@ let response_to_json (r : response) : Jsonx.t =
     | Done m -> [ ("metrics", metrics_to_json m) ]
     | Pong | Bye -> []
     | Stats_reply s -> [ ("stats", stats_to_json s) ]
+    | Health_reply h ->
+        [ ("ok", Bool h.hr_ok);
+          ("reasons", Arr (List.map (fun r -> Str r) h.hr_reasons)) ]
     | Failed ds -> [ ("diags", Arr (List.map diag_to_json ds)) ]
     | Overloaded depth -> [ ("queue_depth", int depth) ]
     | Timed_out -> []
@@ -227,6 +241,7 @@ let request_of_json (j : Jsonx.t) : (request, string) result =
     match opname with
     | "ping" -> Ok Ping
     | "stats" -> Ok Stats
+    | "health" -> Ok Health
     | "shutdown" -> Ok Shutdown
     | "bench" ->
         let* w = require "workload" (mem_string "workload" j) in
@@ -305,7 +320,8 @@ let stats_of_json (j : Jsonx.t) : server_stats =
     st_disk_misses = geti "cache_disk_misses";
     st_entries = geti "cache_entries";
     st_quarantined = geti "cache_quarantined";
-    st_uptime_ms = Option.value ~default:0.0 (mem_float "uptime_ms" j) }
+    st_uptime_ms = Option.value ~default:0.0 (mem_float "uptime_ms" j);
+    st_metrics = Option.value ~default:Null (member "metrics" j) }
 
 let response_of_json (j : Jsonx.t) : (response, string) result =
   let* id = require "id" (mem_int "id" j) in
@@ -320,6 +336,14 @@ let response_of_json (j : Jsonx.t) : (response, string) result =
     | "stats" ->
         let* sj = require "stats" (member "stats" j) in
         Ok (Stats_reply (stats_of_json sj))
+    | "health" ->
+        let* ok = require "ok" (mem_bool "ok" j) in
+        let reasons =
+          match Option.bind (member "reasons" j) get_list with
+          | Some rs -> List.filter_map get_string rs
+          | None -> []
+        in
+        Ok (Health_reply { hr_ok = ok; hr_reasons = reasons })
     | "error" ->
         let diags =
           match Option.bind (member "diags" j) get_list with
@@ -352,6 +376,7 @@ let response_line r = Jsonx.to_string (response_to_json r)
 let op_label = function
   | Ping -> "ping"
   | Stats -> "stats"
+  | Health -> "health"
   | Shutdown -> "shutdown"
   | Bench b ->
       Printf.sprintf "bench:%s/%s/%s/%s" b.b_workload
@@ -365,7 +390,8 @@ let canonical_line (rq : request) (rs : response) =
     | Done m -> Printf.sprintf " checksum=%Ld" m.m_checksum
     | Failed (d :: _) -> " diag=" ^ d.Diag.code
     | Failed [] -> ""
-    | Overloaded _ | Timed_out | Pong | Bye | Stats_reply _ -> ""
+    | Overloaded _ | Timed_out | Pong | Bye | Stats_reply _
+    | Health_reply _ -> ""
   in
   Printf.sprintf "id=%d op=%s status=%s attempts=%d%s" rq.rq_id
     (op_label rq.rq_op) (status_name rs.rs_status) rs.rs_attempts tail

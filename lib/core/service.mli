@@ -34,6 +34,7 @@ type bench_req = {
 type op =
   | Ping
   | Stats
+  | Health  (** liveness/degradation probe; answered without queueing *)
   | Shutdown  (** graceful: drain the queue, then exit *)
   | Bench of bench_req
 
@@ -70,12 +71,24 @@ type server_stats = {
   st_entries : int;     (** committed entries on disk *)
   st_quarantined : int; (** files in quarantine/ on disk *)
   st_uptime_ms : float;
+  st_metrics : Bs_support.Jsonx.t;
+      (** full metrics-registry snapshot ({!Bs_obs.Metrics.snapshot_json}
+          shape: counters/gauges/volatile/histograms); [Null] when the
+          peer predates the field *)
+}
+
+type health_report = {
+  hr_ok : bool;  (** no degradation reasons *)
+  hr_reasons : string list;
+      (** machine-matchable degradation causes, e.g. ["draining"],
+          ["shed-rate"], ["wedged-workers"], ["quarantine"] *)
 }
 
 type status =
   | Done of metrics_summary           (** a bench request succeeded *)
   | Pong
   | Stats_reply of server_stats
+  | Health_reply of health_report
   | Bye                               (** shutdown acknowledged *)
   | Failed of Bs_support.Diag.t list  (** structured, machine-matchable *)
   | Overloaded of int
@@ -116,6 +129,10 @@ val request_of_json : Bs_support.Jsonx.t -> (request, string) result
 val response_to_json : response -> Bs_support.Jsonx.t
 val response_of_json : Bs_support.Jsonx.t -> (response, string) result
 
+val stats_to_json : server_stats -> Bs_support.Jsonx.t
+(** Exposed for reporting code that embeds the server view (e.g. the
+    loadgen cross-check artifact); [response_to_json] uses it. *)
+
 val request_of_line : string -> (request, string) result
 val request_line : request -> string
 val response_line : response -> string
@@ -123,8 +140,8 @@ val response_line : response -> string
     newline on output). *)
 
 val status_name : status -> string
-(** ["ok"], ["pong"], ["stats"], ["bye"], ["error"], ["overloaded"],
-    ["timeout"]. *)
+(** ["ok"], ["pong"], ["stats"], ["health"], ["bye"], ["error"],
+    ["overloaded"], ["timeout"]. *)
 
 val op_label : op -> string
 (** Canonical label, e.g. ["bench:CRC32/bitspec/max/exp"] — injective

@@ -31,14 +31,25 @@ type ('k, 'v) t = {
   max_failures : int;
   mutable hits : int;
   mutable misses : int;
+  mutable coalesced : int;
 }
+
+(* Process-wide single-flight visibility, across all tables.  Volatile:
+   how many requesters pile onto an in-flight key depends on domain
+   scheduling, so the value legitimately differs between runs. *)
+let coalesced_metric =
+  Bs_obs.Metrics.counter ~volatile:true "memo_coalesced_total"
 
 let create ?(cap = max_int) ?(max_failures = 3) () =
   if max_failures < 1 then invalid_arg "Memo.create: max_failures < 1";
   { tbl = Hashtbl.create 64; lock = Mutex.create ();
-    landed = Condition.create (); cap; max_failures; hits = 0; misses = 0 }
+    landed = Condition.create (); cap; max_failures; hits = 0; misses = 0;
+    coalesced = 0 }
 
-let rec find_or_add t k f =
+(* [counted] distinguishes a requester's first encounter with the
+   in-flight marker from its re-examinations after (possibly spurious)
+   wakeups, so each coalesced requester is counted exactly once. *)
+let rec find_or_add_aux t k f ~counted =
   Mutex.lock t.lock;
   match Hashtbl.find_opt t.tbl k with
   | Some (Done v) ->
@@ -54,12 +65,18 @@ let rec find_or_add t k f =
   | Some Running ->
       (* someone else is computing this key: wait for any landing, then
          re-examine (spurious wakeups just loop) *)
+      if not counted then begin
+        t.coalesced <- t.coalesced + 1;
+        Bs_obs.Metrics.inc coalesced_metric
+      end;
       Condition.wait t.landed t.lock;
       Mutex.unlock t.lock;
-      find_or_add t k f
+      find_or_add_aux t k f ~counted:true
   | None ->
       if Hashtbl.length t.tbl >= t.cap then Hashtbl.reset t.tbl;
       run t k f ~attempts:0
+
+and find_or_add t k f = find_or_add_aux t k f ~counted:false
 
 (* Execute [f] for [k], holding the in-flight marker.  Called with
    [t.lock] held; releases it around the computation. *)
@@ -106,11 +123,18 @@ let clear t =
   Hashtbl.reset t.tbl;
   t.hits <- 0;
   t.misses <- 0;
+  t.coalesced <- 0;
   Condition.broadcast t.landed;
   Mutex.unlock t.lock
 
 let hits t = t.hits
 let misses t = t.misses
+
+let coalesced t =
+  Mutex.lock t.lock;
+  let r = t.coalesced in
+  Mutex.unlock t.lock;
+  r
 
 (* The individual counter reads above are unsynchronised (fine for a
    single counter: int stores are atomic), but a (hits, misses) PAIR

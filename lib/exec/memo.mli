@@ -52,6 +52,13 @@ val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int
 (** Requests that ran the computation (including failure retries). *)
 
+val coalesced : ('k, 'v) t -> int
+(** Requests that found their key in flight and waited for another
+    requester's computation instead of running their own (each waiting
+    requester counted once, however many times it is woken).  Also
+    accumulated process-wide into the volatile
+    [memo_coalesced_total] metric. *)
+
 val stats : ('k, 'v) t -> int * int
 (** [(hits, misses)] snapshotted atomically under the table lock.
     Reading {!hits} and {!misses} separately can observe a torn pair

@@ -22,6 +22,25 @@ exception Cancelled
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Pool visibility: items actually executed vs items a batch abandoned
+   (failure drain or cooperative stop).  Volatile — how many items are
+   in flight when a batch ends early depends on scheduling — but the
+   counts let reporting code observe pool behaviour without reaching
+   into [map]'s internals.  Item latency feeds a histogram for the
+   same reason. *)
+let items_run = Bs_obs.Metrics.counter ~volatile:true "pool_items_total"
+    ~labels:[ ("event", "run") ]
+
+let items_cancelled =
+  Bs_obs.Metrics.counter ~volatile:true "pool_items_total"
+    ~labels:[ ("event", "cancelled") ]
+
+let item_ms = Bs_obs.Metrics.histogram "pool_item_ms"
+
+let stats () =
+  (Bs_obs.Metrics.counter_value items_run,
+   Bs_obs.Metrics.counter_value items_cancelled)
+
 type 'b cell =
   | Pending
   | Ok of 'b
@@ -37,10 +56,15 @@ let map ?(should_stop = never_stop) ~jobs f a =
      which index (pool occupancy).  Identical span structure on the
      sequential path keeps traces comparable across job counts. *)
   let traced i x =
+    let t0 = Unix.gettimeofday () in
+    let finally () =
+      Bs_obs.Metrics.observe item_ms ((Unix.gettimeofday () -. t0) *. 1e3);
+      Bs_obs.Metrics.inc items_run
+    in
     if Bs_obs.Trace.is_enabled () then
       Bs_obs.Trace.with_span ~args:[ ("index", string_of_int i) ] "pool:item"
-        (fun () -> f x)
-    else f x
+        (fun () -> Fun.protect ~finally (fun () -> f x))
+    else Fun.protect ~finally (fun () -> f x)
   in
   if jobs <= 1 || n <= 1 then begin
     (* sequential path: the first failure propagates immediately, which
@@ -48,8 +72,16 @@ let map ?(should_stop = never_stop) ~jobs f a =
        still honoured between items *)
     let results = Array.make n Pending in
     for i = 0 to n - 1 do
-      if should_stop () then raise Cancelled;
-      results.(i) <- Ok (traced i (Array.unsafe_get a i))
+      if should_stop () then begin
+        Bs_obs.Metrics.inc ~by:(n - i) items_cancelled;
+        raise Cancelled
+      end;
+      (match traced i (Array.unsafe_get a i) with
+      | v -> results.(i) <- Ok v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Bs_obs.Metrics.inc ~by:(n - i - 1) items_cancelled;
+          Printexc.raise_with_backtrace e bt)
     done;
     Array.map
       (function Ok v -> v | Pending | Exn _ -> assert false)
@@ -81,6 +113,12 @@ let map ?(should_stop = never_stop) ~jobs f a =
     let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join domains;
+    let pending =
+      Array.fold_left
+        (fun acc c -> match c with Pending -> acc + 1 | _ -> acc)
+        0 results
+    in
+    if pending > 0 then Bs_obs.Metrics.inc ~by:pending items_cancelled;
     (* rethrow the lowest-index failure; if only the caller's stop flag
        fired, report the cancellation itself *)
     Array.iter

@@ -17,6 +17,13 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the CLI default for
     [--jobs]. *)
 
+val stats : unit -> int * int
+(** [(items_run, items_cancelled)] accumulated process-wide across all
+    [map] calls: items actually executed vs items abandoned when a
+    batch ended early (failure drain or [should_stop]).  Mirrored in
+    the volatile [pool_items_total] metric, with per-item latency in
+    the [pool_item_ms] histogram. *)
+
 val map :
   ?should_stop:(unit -> bool) -> jobs:int -> ('a -> 'b) -> 'a array ->
   'b array

@@ -1,0 +1,370 @@
+(* Domain-safe metrics registry: counters, gauges and log-bucketed
+   latency histograms, named and optionally labeled, with a snapshot
+   serialiser whose output ordering is deterministic (sorted by name
+   then label string) so two runs that perform the same work produce
+   byte-identical snapshot sections.
+
+   Counters are [int Atomic.t] (exact under concurrent increment);
+   gauges are [float Atomic.t] with a CAS loop for [add_gauge];
+   histograms take a per-histogram mutex on [observe] — the service
+   observes one latency per request, so contention is negligible.
+
+   Metrics whose values legitimately differ between runs of the same
+   workload (rates, MIPS, coalesce counts that depend on scheduling)
+   are registered with [~volatile:true] and serialised into a separate
+   snapshot section, so the deterministic sections can be compared
+   byte-for-byte across --jobs settings. *)
+
+module Jsonx = Bs_support.Jsonx
+
+(* ---- histogram bucketing ----------------------------------------- *)
+
+(* Log-spaced bucket upper bounds: floor 1 µs (0.001 ms), ratio
+   2^(1/4) ≈ 1.19, 121 finite bounds (top ≈ 1.07e6 ms ≈ 18 min), plus
+   one overflow bucket.  A quantile estimate is the upper bound of the
+   bucket holding the rank statistic, clamped to the observed max, so
+   exact ≤ estimate ≤ exact·ratio always holds for in-range values. *)
+let bucket_floor = 0.001
+let bucket_ratio = Float.pow 2.0 0.25
+let finite_buckets = 121
+let total_buckets = finite_buckets + 1
+
+let bounds =
+  Array.init finite_buckets (fun i ->
+      bucket_floor *. Float.pow bucket_ratio (float_of_int i))
+
+(* Index of the bucket that counts [v]: smallest i with v <= bounds.(i),
+   or the overflow index when v exceeds the top finite bound. *)
+let bucket_of v =
+  if v <= bounds.(0) then 0
+  else if v > bounds.(finite_buckets - 1) then finite_buckets
+  else begin
+    let lo = ref 0 and hi = ref (finite_buckets - 1) in
+    (* invariant: bounds.(!lo) < v <= bounds.(!hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bounds.(mid) then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let bucket_bound v =
+  let i = bucket_of v in
+  if i >= finite_buckets then infinity else bounds.(i)
+
+(* ---- registry ----------------------------------------------------- *)
+
+type hstate = {
+  hlock : Mutex.t;
+  hbuckets : int array; (* total_buckets cells *)
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmax : float;
+}
+
+type value = C of int Atomic.t | G of float Atomic.t | H of hstate
+
+type metric = {
+  m_name : string;
+  m_labels : (string * string) list;
+  m_key : string; (* name ^ "|" ^ rendered labels: registry + sort key *)
+  m_label_str : string;
+  m_volatile : bool;
+  m_value : value;
+}
+
+type counter = metric
+type gauge = metric
+type histogram = metric
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let reg_lock = Mutex.create ()
+
+let label_str labels =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register ?(labels = []) ?(volatile = false) name mk =
+  let ls = label_str labels in
+  let key = name ^ "|" ^ ls in
+  Mutex.lock reg_lock;
+  let m =
+    match Hashtbl.find_opt registry key with
+    | Some m -> m
+    | None ->
+        let m =
+          { m_name = name;
+            m_labels = labels;
+            m_key = key;
+            m_label_str = ls;
+            m_volatile = volatile;
+            m_value = mk () }
+        in
+        Hashtbl.add registry key m;
+        m
+  in
+  Mutex.unlock reg_lock;
+  m
+
+let counter ?labels ?volatile name =
+  let m = register ?labels ?volatile name (fun () -> C (Atomic.make 0)) in
+  match m.m_value with
+  | C _ -> m
+  | v -> invalid_arg ("Metrics.counter: " ^ name ^ " is a " ^ kind_name v)
+
+let gauge ?labels ?volatile name =
+  let m = register ?labels ?volatile name (fun () -> G (Atomic.make 0.0)) in
+  match m.m_value with
+  | G _ -> m
+  | v -> invalid_arg ("Metrics.gauge: " ^ name ^ " is a " ^ kind_name v)
+
+let histogram ?labels ?volatile name =
+  let m =
+    register ?labels ?volatile name (fun () ->
+        H
+          { hlock = Mutex.create ();
+            hbuckets = Array.make total_buckets 0;
+            hcount = 0;
+            hsum = 0.0;
+            hmax = 0.0 })
+  in
+  match m.m_value with
+  | H _ -> m
+  | v -> invalid_arg ("Metrics.histogram: " ^ name ^ " is a " ^ kind_name v)
+
+(* ---- operations ---------------------------------------------------- *)
+
+let as_counter m =
+  match m.m_value with C c -> c | _ -> assert false
+
+let as_gauge m = match m.m_value with G g -> g | _ -> assert false
+let as_histo m = match m.m_value with H h -> h | _ -> assert false
+
+let inc ?(by = 1) m = ignore (Atomic.fetch_and_add (as_counter m) by)
+let counter_value m = Atomic.get (as_counter m)
+let set_gauge m v = Atomic.set (as_gauge m) v
+
+let add_gauge m dv =
+  let g = as_gauge m in
+  let rec go () =
+    let cur = Atomic.get g in
+    if not (Atomic.compare_and_set g cur (cur +. dv)) then go ()
+  in
+  go ()
+
+let gauge_value m = Atomic.get (as_gauge m)
+
+let observe m v =
+  let h = as_histo m in
+  let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+  Mutex.lock h.hlock;
+  h.hbuckets.(bucket_of v) <- h.hbuckets.(bucket_of v) + 1;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. v;
+  if v > h.hmax then h.hmax <- v;
+  Mutex.unlock h.hlock
+
+let histogram_count m = (as_histo m).hcount
+let histogram_sum m = (as_histo m).hsum
+let histogram_max m = (as_histo m).hmax
+
+(* Rank statistic over the buckets: the value returned is the upper
+   bound of the bucket containing the ceil(q·count)-th smallest
+   observation, clamped to the observed max.  Never below the true
+   quantile; at most one bucket ratio above it. *)
+let quantile_of_hstate h q =
+  if h.hcount = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.hcount)) in
+      max 1 (min h.hcount r)
+    in
+    let i = ref 0 and cum = ref h.hbuckets.(0) in
+    while !cum < rank do
+      incr i;
+      cum := !cum + h.hbuckets.(!i)
+    done;
+    if !i >= finite_buckets then h.hmax else Float.min bounds.(!i) h.hmax
+  end
+
+let quantile m q =
+  let h = as_histo m in
+  Mutex.lock h.hlock;
+  let r = quantile_of_hstate h q in
+  Mutex.unlock h.hlock;
+  r
+
+(* ---- lifecycle ----------------------------------------------------- *)
+
+(* Zero every value but keep the registered metric objects: handles are
+   held in top-level closures throughout the codebase and must stay
+   valid across Server restarts in one process (tests, bench). *)
+let reset () =
+  Mutex.lock reg_lock;
+  Hashtbl.iter
+    (fun _ m ->
+      match m.m_value with
+      | C c -> Atomic.set c 0
+      | G g -> Atomic.set g 0.0
+      | H h ->
+          Mutex.lock h.hlock;
+          Array.fill h.hbuckets 0 total_buckets 0;
+          h.hcount <- 0;
+          h.hsum <- 0.0;
+          h.hmax <- 0.0;
+          Mutex.unlock h.hlock)
+    registry;
+  Mutex.unlock reg_lock
+
+(* ---- snapshot ------------------------------------------------------ *)
+
+let trace_dropped = gauge "trace_dropped_events"
+
+let sorted_metrics () =
+  Mutex.lock reg_lock;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock reg_lock;
+  List.sort (fun a b -> compare a.m_key b.m_key) ms
+
+let scalar_json m =
+  let value =
+    match m.m_value with
+    | C c -> Jsonx.int (Atomic.get c)
+    | G g -> Jsonx.Num (Atomic.get g)
+    | H _ -> assert false
+  in
+  Jsonx.Obj
+    [ ("name", Jsonx.Str m.m_name);
+      ("labels", Jsonx.Str m.m_label_str);
+      ("value", value) ]
+
+let histo_json m =
+  let h = as_histo m in
+  Mutex.lock h.hlock;
+  let count = h.hcount and sum = h.hsum and hmax = h.hmax in
+  let p50 = quantile_of_hstate h 0.50
+  and p90 = quantile_of_hstate h 0.90
+  and p99 = quantile_of_hstate h 0.99 in
+  let cells = ref [] in
+  for i = total_buckets - 1 downto 0 do
+    if h.hbuckets.(i) > 0 then
+      let le =
+        if i >= finite_buckets then Jsonx.Str "+Inf" else Jsonx.Num bounds.(i)
+      in
+      cells :=
+        Jsonx.Obj [ ("le", le); ("n", Jsonx.int h.hbuckets.(i)) ] :: !cells
+  done;
+  Mutex.unlock h.hlock;
+  Jsonx.Obj
+    [ ("name", Jsonx.Str m.m_name);
+      ("labels", Jsonx.Str m.m_label_str);
+      ("count", Jsonx.int count);
+      ("sum", Jsonx.Num sum);
+      ("max", Jsonx.Num hmax);
+      ("p50", Jsonx.Num p50);
+      ("p90", Jsonx.Num p90);
+      ("p99", Jsonx.Num p99);
+      ("buckets", Jsonx.Arr !cells) ]
+
+let snapshot_json () =
+  set_gauge trace_dropped (float_of_int (Trace.dropped ()));
+  let ms = sorted_metrics () in
+  let counters = ref [] and gauges = ref [] in
+  let volatiles = ref [] and histos = ref [] in
+  List.iter
+    (fun m ->
+      match m.m_value with
+      | H _ -> histos := histo_json m :: !histos
+      | C _ | G _ ->
+          let cell = scalar_json m in
+          if m.m_volatile then volatiles := cell :: !volatiles
+          else if (match m.m_value with C _ -> true | _ -> false) then
+            counters := cell :: !counters
+          else gauges := cell :: !gauges)
+    ms;
+  Jsonx.Obj
+    [ ("counters", Jsonx.Arr (List.rev !counters));
+      ("gauges", Jsonx.Arr (List.rev !gauges));
+      ("volatile", Jsonx.Arr (List.rev !volatiles));
+      ("histograms", Jsonx.Arr (List.rev !histos)) ]
+
+(* ---- Prometheus text exposition ------------------------------------ *)
+
+let prom_escape s =
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels ?extra labels =
+  let labels =
+    match extra with None -> labels | Some kv -> labels @ [ kv ]
+  in
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
+             labels)
+      ^ "}"
+
+let prom_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus () =
+  set_gauge trace_dropped (float_of_int (Trace.dropped ()));
+  let ms = sorted_metrics () in
+  let b = Buffer.create 4096 in
+  let typed = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem typed m.m_name) then begin
+        Hashtbl.add typed m.m_name ();
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" m.m_name (kind_name m.m_value))
+      end;
+      match m.m_value with
+      | C c ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" m.m_name (prom_labels m.m_labels)
+               (Atomic.get c))
+      | G g ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" m.m_name (prom_labels m.m_labels)
+               (prom_num (Atomic.get g)))
+      | H h ->
+          Mutex.lock h.hlock;
+          let cum = ref 0 in
+          for i = 0 to finite_buckets - 1 do
+            if h.hbuckets.(i) > 0 then begin
+              cum := !cum + h.hbuckets.(i);
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" m.m_name
+                   (prom_labels ~extra:("le", prom_num bounds.(i)) m.m_labels)
+                   !cum)
+            end
+          done;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" m.m_name
+               (prom_labels ~extra:("le", "+Inf") m.m_labels)
+               h.hcount);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" m.m_name (prom_labels m.m_labels)
+               (prom_num h.hsum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" m.m_name
+               (prom_labels m.m_labels) h.hcount);
+          Mutex.unlock h.hlock)
+    ms;
+  Buffer.contents b

@@ -1,0 +1,81 @@
+(** Domain-safe metrics registry.
+
+    Counters and gauges are lock-free atomics; histograms are
+    log-bucketed latency accumulators (floor 1 µs, ratio 2{^1/4},
+    121 finite buckets + overflow) with exact count/sum/max and
+    rank-statistic quantile estimation that is never below the true
+    quantile and at most one bucket ratio above it.
+
+    Metrics are get-or-create: calling a constructor twice with the
+    same name and labels returns the same underlying cell, so modules
+    can register their instruments at init time in top-level bindings
+    — which also makes the registry contents (and hence the snapshot
+    shape) independent of which code paths happened to fire.
+
+    [snapshot_json] serialises the registry sorted by (name, labels)
+    into four sections: ["counters"] and ["gauges"] hold only metrics
+    whose values are deterministic for a given workload, ["volatile"]
+    holds scalar metrics registered with [~volatile:true] (rates,
+    scheduling-dependent counts), and ["histograms"] holds every
+    histogram (latencies are inherently run-dependent).  The first two
+    sections are byte-identical across [--jobs] settings for the same
+    scripted request mix; CI compares them with [cmp]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter :
+  ?labels:(string * string) list -> ?volatile:bool -> string -> counter
+(** Get or create.  Raises [Invalid_argument] if the (name, labels)
+    pair is already registered with a different kind. *)
+
+val gauge :
+  ?labels:(string * string) list -> ?volatile:bool -> string -> gauge
+
+val histogram :
+  ?labels:(string * string) list -> ?volatile:bool -> string -> histogram
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record one sample.  Negative and NaN samples are clamped to 0. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+val histogram_max : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for q in [0,1]: upper bound of the bucket holding
+    the ceil(q·count)-th smallest sample, clamped to the observed max;
+    0 when empty.  Guarantees exact ≤ estimate ≤ exact·[bucket_ratio]
+    for in-range samples. *)
+
+val bucket_floor : float
+(** Upper bound of the first bucket (1 µs as milliseconds). *)
+
+val bucket_ratio : float
+(** Geometric spacing between consecutive bucket bounds, 2{^1/4}. *)
+
+val bucket_bound : float -> float
+(** Upper bound of the bucket that would count the sample, [infinity]
+    for the overflow bucket. *)
+
+val reset : unit -> unit
+(** Zero every value.  Registered metric objects are kept — handles
+    held in top-level closures remain valid. *)
+
+val snapshot_json : unit -> Bs_support.Jsonx.t
+(** Registry snapshot, sections ["counters"]/["gauges"]/["volatile"]/
+    ["histograms"], each sorted by (name, labels).  Refreshes the
+    [trace_dropped_events] gauge from {!Trace.dropped} first. *)
+
+val prometheus : unit -> string
+(** Prometheus text exposition: one [# TYPE] line per metric name,
+    sparse cumulative histogram buckets plus [+Inf], [_sum] and
+    [_count] series. *)

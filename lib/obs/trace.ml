@@ -7,9 +7,18 @@
    atomic flag when disabled, so instrumentation can stay in hot
    paths.  Workers run in separate domains; the buffer is guarded by a
    mutex and every event is tagged with the emitting domain's id so a
-   trace shows actual pool occupancy. *)
+   trace shows actual pool occupancy.
 
-type phase = B | E | I
+   The buffer is bounded: once [cap] events are recorded, further
+   events are counted in [dropped] instead of stored, so a
+   long-running serve session with --trace cannot grow memory without
+   limit.  Requests are stitched across domains with Chrome flow
+   events (S/T/F) carrying a flow id, and [with_context] installs
+   per-domain key/value pairs (e.g. a request id) that are appended to
+   the args of every event the domain emits while the context is
+   active. *)
+
+type phase = B | E | I | S | T | F
 
 type event = {
   name : string;
@@ -17,22 +26,33 @@ type event = {
   ts : float; (* seconds, from the active clock *)
   tid : int;
   args : (string * string) list;
+  flow : int option; (* flow id for S/T/F events *)
 }
 
 let enabled = Atomic.make false
 let lock = Mutex.create ()
 
-(* Buffer is kept in reverse emission order; [events] re-reverses. *)
+(* Buffer is kept in reverse emission order; [events] re-reverses.
+   [count] mirrors its length (guarded by [lock]) so the cap check is
+   O(1). *)
 let buf : event list ref = ref []
+let count = ref 0
 let clock : (unit -> float) ref = ref Unix.gettimeofday
+let default_cap = 262_144
+let cap = Atomic.make default_cap
+let dropped_n = Atomic.make 0
 
 let is_enabled () = Atomic.get enabled
+let set_cap n = Atomic.set cap (max 1 n)
+let dropped () = Atomic.get dropped_n
 
 let enable ?clock:(c = Unix.gettimeofday) () =
   Mutex.lock lock;
   clock := c;
   buf := [];
+  count := 0;
   Mutex.unlock lock;
+  Atomic.set dropped_n 0;
   Atomic.set enabled true
 
 let disable () = Atomic.set enabled false
@@ -41,21 +61,48 @@ let reset () =
   Atomic.set enabled false;
   Mutex.lock lock;
   buf := [];
+  count := 0;
   clock := Unix.gettimeofday;
-  Mutex.unlock lock
+  Mutex.unlock lock;
+  Atomic.set dropped_n 0;
+  Atomic.set cap default_cap
 
 let tid () = (Domain.self () :> int)
 
+(* Per-domain ambient context, appended to every emitted event's args.
+   Worker domains inherit nothing from their parent: a context is
+   installed around the work a domain performs, not at spawn time. *)
+let ctx_key : (string * string) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let with_context kvs f =
+  let old = Domain.DLS.get ctx_key in
+  Domain.DLS.set ctx_key (old @ kvs);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key old) f
+
 let push ev =
   Mutex.lock lock;
-  buf := ev :: !buf;
-  Mutex.unlock lock
+  if !count >= Atomic.get cap then begin
+    Mutex.unlock lock;
+    Atomic.incr dropped_n
+  end
+  else begin
+    buf := ev :: !buf;
+    incr count;
+    Mutex.unlock lock
+  end
 
-let emit ph ?(args = []) name =
+let emit ?flow ph ?(args = []) name =
   if Atomic.get enabled then
-    push { name; ph; ts = !clock (); tid = tid (); args }
+    let args =
+      match Domain.DLS.get ctx_key with [] -> args | ctx -> args @ ctx
+    in
+    push { name; ph; ts = !clock (); tid = tid (); args; flow }
 
 let instant ?args name = emit I ?args name
+let flow_start ?args ~id name = emit ~flow:id S ?args name
+let flow_step ?args ~id name = emit ~flow:id T ?args name
+let flow_end ?args ~id name = emit ~flow:id F ?args name
 
 let with_span ?args name f =
   if not (Atomic.get enabled) then f ()
@@ -84,7 +131,13 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let phase_letter = function B -> "B" | E -> "E" | I -> "i"
+let phase_letter = function
+  | B -> "B"
+  | E -> "E"
+  | I -> "i"
+  | S -> "s"
+  | T -> "t"
+  | F -> "f"
 
 (* Timestamps are rebased to the earliest event so traces start at
    t=0 regardless of the clock's epoch. *)
@@ -93,6 +146,11 @@ let write_event out ~t0 ev =
   Buffer.add_string out
     (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
        (json_escape ev.name) (phase_letter ev.ph) us ev.tid);
+  (match ev.flow with
+  | None -> ()
+  | Some id ->
+      Buffer.add_string out (Printf.sprintf ",\"cat\":\"flow\",\"id\":%d" id);
+      if ev.ph = F then Buffer.add_string out ",\"bp\":\"e\"");
   (match ev.args with
   | [] -> ()
   | args ->
@@ -162,7 +220,7 @@ let phase_table () =
               dt := !dt +. (ev.ts -. t0);
               incr n
           | _ -> () (* unbalanced: ignore rather than crash *))
-      | I -> ())
+      | I | S | T | F -> ())
     (events ());
   List.rev_map
     (fun name ->
@@ -181,4 +239,6 @@ let pp_phase_table ppf () =
       (fun (name, dt, n) ->
         Format.fprintf ppf "%-*s %10.3f %6d@." w name (dt *. 1e3) n)
       rows
-  end
+  end;
+  let d = dropped () in
+  if d > 0 then Format.fprintf ppf "(buffer full: %d events dropped)@." d

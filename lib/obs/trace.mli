@@ -4,9 +4,15 @@
     with begin/end events carrying the emitting domain's id, suitable
     for Chrome trace-event JSON ([write_chrome]) and a per-phase
     timing table ([phase_table]).  The clock is injectable so tests
-    can drive deterministic timestamps. *)
+    can drive deterministic timestamps.
 
-type phase = B | E | I
+    The buffer is bounded ([set_cap], default 262144 events); events
+    past the cap are counted in [dropped] instead of stored.  Flow
+    events (S/T/F + flow id) stitch one logical request across domain
+    tids, and [with_context] installs per-domain args (e.g. a request
+    id) appended to every event emitted while active. *)
+
+type phase = B | E | I | S | T | F
 
 type event = {
   name : string;
@@ -14,19 +20,33 @@ type event = {
   ts : float;  (** seconds, from the active clock *)
   tid : int;  (** emitting domain id *)
   args : (string * string) list;
+  flow : int option;  (** flow id for S/T/F events *)
 }
 
 val is_enabled : unit -> bool
 
 val enable : ?clock:(unit -> float) -> unit -> unit
-(** Clear the buffer, install [clock] (default [Unix.gettimeofday])
-    and start recording. *)
+(** Clear the buffer and dropped count, install [clock] (default
+    [Unix.gettimeofday]) and start recording. *)
 
 val disable : unit -> unit
 (** Stop recording; the buffer is kept for inspection/serialisation. *)
 
 val reset : unit -> unit
-(** Stop recording, clear the buffer, restore the default clock. *)
+(** Stop recording, clear the buffer, restore the default clock and
+    cap, zero the dropped count. *)
+
+val set_cap : int -> unit
+(** Maximum buffered events; further events are dropped (counted). *)
+
+val dropped : unit -> int
+(** Events dropped since the last [enable]/[reset]. *)
+
+val with_context : (string * string) list -> (unit -> 'a) -> 'a
+(** [with_context kvs f] appends [kvs] to the args of every event this
+    domain emits during [f].  Nests; restored on exit or raise.
+    Per-domain: other domains (and threads scheduled on them) are
+    unaffected. *)
 
 val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f] bracketed by B/E events.  The end
@@ -35,6 +55,14 @@ val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 
 val instant : ?args:(string * string) list -> string -> unit
 (** Emit a single instant event. *)
+
+val flow_start : ?args:(string * string) list -> id:int -> string -> unit
+val flow_step : ?args:(string * string) list -> id:int -> string -> unit
+
+val flow_end : ?args:(string * string) list -> id:int -> string -> unit
+(** Chrome flow events: [flow_start] at the producer, [flow_step] at
+    each hand-off, [flow_end] at the consumer, all with the same [id];
+    viewers draw arrows between the enclosing slices. *)
 
 val events : unit -> event list
 (** Recorded events in emission order. *)
@@ -50,3 +78,5 @@ val phase_table : unit -> (string * float * int) list
     first-begin order. *)
 
 val pp_phase_table : Format.formatter -> unit -> unit
+(** The phase table plus a trailing line reporting dropped events when
+    the buffer cap was hit. *)

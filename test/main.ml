@@ -22,4 +22,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("exec", Test_exec.suite);
       ("serve", Test_serve.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("metrics", Test_metrics.suite) ]

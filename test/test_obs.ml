@@ -19,7 +19,13 @@ let shape_of_events evs =
   List.map
     (fun (e : Bs_obs.Trace.event) ->
       ( e.name,
-        (match e.ph with Bs_obs.Trace.B -> "B" | E -> "E" | I -> "I"),
+        (match e.ph with
+        | Bs_obs.Trace.B -> "B"
+        | E -> "E"
+        | I -> "I"
+        | S -> "s"
+        | T -> "t"
+        | F -> "f"),
         e.ts ))
     evs
 
